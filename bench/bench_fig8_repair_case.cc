@@ -1,0 +1,217 @@
+/// Fig. 8 reproduction: the real-world repairing case study. A compressed
+/// "day" on one instance replays the paper's storyline:
+///
+///   t=A    a poor SQL deploys -> active session / CPU anomaly (red)
+///   t=T1   the user manually throttles the Top-1 SQL by response time
+///          (a victim, not the root cause) -> partial relief (yellow)
+///   t=T2   throttling hurts the business, user lifts it -> anomaly
+///          returns (orange)
+///   t=T3   user enables PinSQL -> R-SQL identified, optimization
+///          suggested (blue)
+///   t=T4   optimization executed -> metrics recover
+///
+/// Paper reference: throttling the Top SQL does not resolve the anomaly
+/// fundamentally; optimizing the R-SQL does.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/top_sql.h"
+#include "anomaly/phenomenon.h"
+#include "core/diagnoser.h"
+#include "dbsim/engine.h"
+#include "dbsim/monitor.h"
+#include "eval/runner.h"
+#include "pipeline/stream_aggregator.h"
+#include "repair/actions.h"
+#include "repair/rule_engine.h"
+#include "util/strings.h"
+#include "workload/arrivals.h"
+#include "workload/scenario.h"
+
+namespace {
+
+constexpr int64_t kDayStart = 0;
+constexpr int64_t kAnomalyStart = 400;   // A
+constexpr int64_t kThrottleOn = 900;     // T1
+constexpr int64_t kThrottleOff = 1400;   // T2
+constexpr int64_t kPinSqlRuns = 1900;    // T3
+constexpr int64_t kOptimizeAt = 1950;    // T4
+constexpr int64_t kDayEnd = 2500;
+
+double MeanSession(const pinsql::dbsim::InstanceMetrics& m, int64_t t0,
+                   int64_t t1) {
+  return m.active_session.Slice(t0, t1).Mean();
+}
+
+}  // namespace
+
+int main() {
+  using pinsql::dbsim::Engine;
+  using pinsql::workload::AnomalyType;
+
+  pinsql::Rng rng(20220514);
+  pinsql::workload::ScenarioParams params;
+  pinsql::workload::Workload workload =
+      pinsql::workload::MakeStandardWorkload(params, &rng);
+  // A hot-row batch UPDATE deploys and keeps running until someone fixes
+  // it (the override runs to day end). Its victims — locking reads
+  // queueing on the hot rows — dominate the Top-RT page, so the user's
+  // manual throttle hits a victim, exactly the paper's storyline.
+  pinsql::workload::Injection injection =
+      pinsql::workload::MakeInjection(AnomalyType::kRowLock, &workload,
+                                      kAnomalyStart, kDayEnd, &rng);
+  // Pin the case-study severity (the random draw can be mild; the paper's
+  // case ran for hours with clearly elevated metrics).
+  workload.templates.back().cpu_ms_mean = 400.0;
+  workload.templates.back().row_groups_touched = 3;
+  workload.templates.back().hot_group_limit = 4;
+  injection.overrides[0].add_qps = 2.5;
+  // Concentrate the victim table's key range so the numerous locking
+  // reads all collide with the batch update's footprint: their aggregate
+  // waiting time is what tops the Top-RT page.
+  for (auto& table : workload.tables) {
+    if (table.id == workload.templates.back().table_id) {
+      table.hot_row_groups = 4;
+    }
+  }
+  const uint64_t rsql_truth = injection.root_cause_ids[0];
+
+  pinsql::LogStore logs;
+  workload.RegisterTemplates(&logs);
+  pinsql::dbsim::SimConfig sim;
+  sim.cpu_cores = 8.0;
+  Engine engine(sim);
+  engine.AttachLogStore(&logs);
+  pinsql::repair::ActionExecutor executor(&engine);
+  engine.AddArrivals(pinsql::workload::GenerateArrivals(
+      workload, injection.overrides, kDayStart, kDayEnd, 991));
+
+  pinsql::Rng monitor_rng(7);
+  auto metrics_until = [&](int64_t t_sec) {
+    pinsql::Rng rng_copy = monitor_rng;  // deterministic offsets
+    return pinsql::dbsim::ComputeInstanceMetrics(
+        engine.completed(), kDayStart, t_sec, engine.EffectiveCores(),
+        sim.io_capacity_ms_per_sec, &rng_copy);
+  };
+
+  // ---- Phase 1: anomaly untreated -----------------------------------------
+  engine.RunUntil(kThrottleOn * 1000.0);
+
+  // ---- Phase 2: user throttles the Top-1 SQL by response time -------------
+  const auto window = pinsql::AggregateWindow(logs, kAnomalyStart,
+                                              kThrottleOn);
+  const auto top_rt = pinsql::baselines::RankTopSql(
+      window, pinsql::baselines::TopSqlMetric::kResponseTime, kAnomalyStart,
+      kThrottleOn);
+  const uint64_t throttled_sql = top_rt[0];
+  pinsql::repair::RepairAction throttle;
+  throttle.type = pinsql::repair::ActionType::kThrottle;
+  throttle.sql_id = throttled_sql;
+  throttle.throttle_max_qps = 1.0;
+  throttle.throttle_duration_sec = kThrottleOff - kThrottleOn;
+  executor.Execute(throttle, kThrottleOn * 1000.0);
+  engine.RunUntil(kThrottleOff * 1000.0);
+
+  // ---- Phase 3: throttle lifted, anomaly returns ---------------------------
+  executor.ExpireThrottles(kThrottleOff * 1000.0);
+  engine.RunUntil(kPinSqlRuns * 1000.0);
+
+  // ---- Phase 4: PinSQL diagnoses and optimizes the R-SQL -------------------
+  const pinsql::dbsim::InstanceMetrics so_far = metrics_until(kPinSqlRuns);
+  pinsql::core::DiagnosisInput input;
+  input.logs = &logs;
+  input.active_session = so_far.active_session;
+  input.helper_metrics["cpu_usage"] = so_far.cpu_usage;
+  input.helper_metrics["iops_usage"] = so_far.iops_usage;
+  input.helper_metrics["row_lock_waits"] = so_far.row_lock_waits;
+  input.helper_metrics["mdl_waits"] = so_far.mdl_waits;
+  // Run the real detection pipeline: the session never returned to
+  // baseline since t=A (the throttled phase was merely less bad), so the
+  // perceived anomaly is one long case starting around t=A — which also
+  // gives the verifier a clean pre-anomaly baseline.
+  const std::map<std::string, const pinsql::TimeSeries*> monitored = {
+      {"active_session", &so_far.active_session},
+      {"cpu_usage", &so_far.cpu_usage},
+      {"iops_usage", &so_far.iops_usage},
+  };
+  const auto phenomena = pinsql::anomaly::DetectPhenomena(
+      monitored, pinsql::anomaly::PhenomenonConfig::Default());
+  int64_t as = kThrottleOff;
+  int64_t ae = kPinSqlRuns;
+  pinsql::anomaly::ExtractAnomalyPeriod(phenomena, &as, &ae);
+  input.anomaly_start_sec = std::max<int64_t>(as, kDayStart + 60);
+  input.anomaly_end_sec = std::min<int64_t>(ae, kPinSqlRuns);
+  const pinsql::core::DiagnosisResult diagnosis =
+      pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{});
+  const uint64_t pinpointed =
+      diagnosis.rsql.ranking.empty() ? 0 : diagnosis.rsql.ranking[0];
+
+  pinsql::repair::RepairAction optimize;
+  optimize.type = pinsql::repair::ActionType::kOptimize;
+  optimize.sql_id = pinpointed;
+  optimize.optimize_cpu_factor = 0.08;
+  optimize.optimize_rows_factor = 0.08;
+  executor.Execute(optimize, kOptimizeAt * 1000.0);
+  engine.RunUntil(kDayEnd * 1000.0);
+  engine.RunToCompletion();
+
+  // ---- Report ---------------------------------------------------------------
+  const pinsql::dbsim::InstanceMetrics day = metrics_until(kDayEnd);
+  std::printf("FIG 8: repairing case study over a compressed day "
+              "(%llds)\n\n",
+              static_cast<long long>(kDayEnd - kDayStart));
+  std::printf("timeline (100 s buckets): active session / cpu%%\n");
+  for (int64_t t = kDayStart; t < kDayEnd; t += 100) {
+    const double session = MeanSession(day, t, t + 100);
+    const double cpu = day.cpu_usage.Slice(t, t + 100).Mean();
+    std::string note;
+    if (t == kAnomalyStart) note = "<- anomaly begins (red)";
+    if (t == kThrottleOn) note = "<- user throttles Top-1 SQL (yellow)";
+    if (t == kThrottleOff) note = "<- throttle lifted (orange)";
+    if (t == kPinSqlRuns) note = "<- PinSQL diagnoses (blue)";
+    if (t == kOptimizeAt - kOptimizeAt % 100 && note.empty()) {
+      note = "<- optimization executed";
+    }
+    std::printf("  [%4lld,%4lld) session=%7.1f cpu=%5.1f%%  %s\n",
+                static_cast<long long>(t), static_cast<long long>(t + 100),
+                session, cpu, note.c_str());
+  }
+
+  const double baseline = MeanSession(day, 0, kAnomalyStart);
+  const double untreated = MeanSession(day, kAnomalyStart + 50, kThrottleOn);
+  const double throttled = MeanSession(day, kThrottleOn + 50, kThrottleOff);
+  const double relapsed = MeanSession(day, kThrottleOff + 50, kPinSqlRuns);
+  // Measured after the backlog drains (the convoy's queued work takes a
+  // while to clear even once the root cause is cheap).
+  const double repaired = MeanSession(day, kDayEnd - 200, kDayEnd);
+
+  std::printf("\nphase means: baseline=%.1f anomaly=%.1f throttled=%.1f "
+              "relapse=%.1f repaired=%.1f\n",
+              baseline, untreated, throttled, relapsed, repaired);
+  std::printf("PinSQL pinpointed %s (injected root cause %s): %s\n",
+              pinsql::HashToHex(pinpointed).c_str(),
+              pinsql::HashToHex(rsql_truth).c_str(),
+              pinpointed == rsql_truth ? "CORRECT" : "WRONG");
+  std::printf("user throttled %s (a %s)\n",
+              pinsql::HashToHex(throttled_sql).c_str(),
+              throttled_sql == rsql_truth ? "root cause, luckily"
+                                          : "victim, not the root cause");
+  std::printf("\nshape checks:\n");
+  std::printf("  throttle gives partial relief (%.1f < %.1f): %s\n",
+              throttled, untreated,
+              throttled < untreated ? "OK" : "VIOLATED");
+  std::printf("  anomaly returns after un-throttle (%.1f > %.1f): %s\n",
+              relapsed, throttled, relapsed > throttled ? "OK" : "VIOLATED");
+  std::printf("  optimization resolves it (%.1f << %.1f, near baseline "
+              "%.1f): %s\n",
+              repaired, relapsed, baseline,
+              (repaired < 0.25 * relapsed &&
+               repaired < 3.0 * baseline + 2.0)
+                  ? "OK"
+                  : "VIOLATED");
+  for (const std::string& line : executor.audit_log()) {
+    std::printf("  audit: %s\n", line.c_str());
+  }
+  return 0;
+}

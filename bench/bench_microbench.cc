@@ -1,0 +1,133 @@
+/// Google-benchmark micro-benchmarks for the hot kernels of PinSQL: SQL
+/// fingerprinting, Pearson correlation, session estimation, the lock
+/// manager, the simulation engine, and JSON parsing. These back the
+/// efficiency discussion of Sec. VIII-B (stage times of the 14.94 s
+/// average diagnosis).
+
+#include <benchmark/benchmark.h>
+
+#include "core/session_estimator.h"
+#include "dbsim/engine.h"
+#include "dbsim/lock_manager.h"
+#include "sqltpl/fingerprint.h"
+#include "ts/stats.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_Fingerprint(benchmark::State& state) {
+  const char* sql =
+      "SELECT a.c0, b.c1 FROM orders a JOIN customers b ON a.cid = b.id "
+      "WHERE a.status = 'open' AND a.total > 100.5 AND a.region IN "
+      "(1,2,3,4) ORDER BY a.created LIMIT 50";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pinsql::sqltpl::Fingerprint(sql));
+  }
+}
+BENCHMARK(BM_Fingerprint);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  pinsql::Rng rng(1);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform01();
+    y[i] = x[i] + rng.Normal(0, 0.1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pinsql::PearsonCorrelation(x, y));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PearsonCorrelation)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SessionEstimation(benchmark::State& state) {
+  const int64_t n_sec = state.range(0);
+  pinsql::Rng rng(2);
+  std::vector<pinsql::QueryLogRecord> logs;
+  for (int64_t sec = 0; sec < n_sec; ++sec) {
+    for (int q = 0; q < 200; ++q) {
+      pinsql::QueryLogRecord rec;
+      rec.arrival_ms = sec * 1000 + rng.UniformInt(0, 999);
+      rec.response_ms = rng.Uniform(1.0, 300.0);
+      rec.sql_id = static_cast<uint64_t>(rng.UniformInt(1, 100));
+      logs.push_back(rec);
+    }
+  }
+  pinsql::TimeSeries observed(0, 1, static_cast<size_t>(n_sec));
+  for (size_t i = 0; i < observed.size(); ++i) {
+    observed[i] = rng.Uniform(0.0, 20.0);
+  }
+  pinsql::core::SessionEstimatorOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pinsql::core::EstimateSessions(
+        logs, observed, 0, n_sec, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(logs.size()));
+}
+BENCHMARK(BM_SessionEstimation)->Arg(60)->Arg(300);
+
+void BM_LockManagerGrantRelease(benchmark::State& state) {
+  pinsql::dbsim::LockManager lm;
+  std::vector<uint64_t> granted;
+  uint64_t query = 1;
+  for (auto _ : state) {
+    const uint64_t key = pinsql::dbsim::MakeRowKey(1, query % 64);
+    lm.Request(query, key, pinsql::dbsim::LockMode::kExclusive);
+    granted.clear();
+    lm.Release(query, key, &granted);
+    ++query;
+  }
+}
+BENCHMARK(BM_LockManagerGrantRelease);
+
+void BM_EngineThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    pinsql::dbsim::SimConfig config;
+    pinsql::dbsim::Engine engine(config);
+    pinsql::Rng rng(3);
+    std::vector<pinsql::dbsim::QueryArrival> arrivals;
+    for (int i = 0; i < 20'000; ++i) {
+      pinsql::dbsim::QueryArrival a;
+      a.arrival_ms = rng.UniformInt(0, 9'999);
+      a.spec.sql_id = 1;
+      a.spec.cpu_ms = rng.Uniform(0.5, 3.0);
+      a.spec.locks.push_back({pinsql::dbsim::MakeMdlKey(0),
+                              pinsql::dbsim::LockMode::kShared});
+      arrivals.push_back(std::move(a));
+    }
+    state.ResumeTiming();
+    engine.AddArrivals(arrivals);
+    engine.RunToCompletion();
+    benchmark::DoNotOptimize(engine.completed().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20'000);
+}
+BENCHMARK(BM_EngineThroughput);
+
+void BM_JsonParse(benchmark::State& state) {
+  const std::string doc = R"({
+    "rules": [
+      {"anomaly": "cpu_usage.spike",
+       "template_feature": "examined_rows.sudden_increase",
+       "action": "optimize", "params": {"cpu_factor": 0.25},
+       "notify": ["dingtalk", "sms"]},
+      {"anomaly": "active_session.spike", "action": "throttle",
+       "params": {"max_qps": 5, "duration_sec": 120}}
+    ]})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pinsql::Json::Parse(doc));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_JsonParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

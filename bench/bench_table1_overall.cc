@@ -1,0 +1,67 @@
+/// Table I reproduction: overall effectiveness/efficiency of PinSQL vs the
+/// Top-SQL baselines on a batch of synthetic ADAC-style anomaly cases
+/// (mixed across the paper's root-cause categories).
+///
+/// Environment knobs: PINSQL_BENCH_CASES (default 32), PINSQL_BENCH_SEED.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/runner.h"
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  pinsql::eval::EvalOptions options;
+  options.num_cases = EnvInt("PINSQL_BENCH_CASES", 32);
+  options.seed = static_cast<uint64_t>(EnvInt("PINSQL_BENCH_SEED", 42));
+
+  std::printf(
+      "TABLE I: overall results of identifying R-SQLs and H-SQLs\n"
+      "(%d synthetic cases; paper reference: PinSQL R-SQL H@1=80.4, "
+      "H-SQL H@1=97.6; Top-All R-SQL H@1=33.3, H-SQL H@1=66.1)\n\n",
+      options.num_cases);
+
+  const auto scores =
+      pinsql::eval::RunOverallEvaluation(options,
+                                         pinsql::core::DiagnoserOptions{});
+
+  std::printf("%-8s | %6s %6s %6s %10s | %6s %6s %6s %10s\n", "Method",
+              "R-H@1", "R-H@5", "R-MRR", "R-Time", "H-H@1", "H-H@5",
+              "H-MRR", "H-Time");
+  std::printf("---------+-----------------------------------+----------"
+              "-------------------------\n");
+  for (const auto& m : scores) {
+    std::printf("%-8s | %6.1f %6.1f %6.2f %9.3fs | %6.1f %6.1f %6.2f "
+                "%9.3fs\n",
+                m.name.c_str(), m.rsql.hits_at_1, m.rsql.hits_at_5,
+                m.rsql.mrr, m.mean_time_sec, m.hsql.hits_at_1,
+                m.hsql.hits_at_5, m.hsql.mrr, m.mean_time_sec);
+  }
+
+  // Shape assertions the paper's conclusions rest on.
+  const auto& pinsql = scores[0];
+  const auto& top_all = scores[4];
+  std::printf("\nshape checks:\n");
+  std::printf("  PinSQL R-SQL H@1 (%.1f) > Top-All R-SQL H@1 (%.1f): %s\n",
+              pinsql.rsql.hits_at_1, top_all.rsql.hits_at_1,
+              pinsql.rsql.hits_at_1 > top_all.rsql.hits_at_1 ? "OK"
+                                                             : "VIOLATED");
+  // Parity suffices on H-SQLs: the synthetic ground truth labels H-SQLs
+  // by true session inflation, and total response time approximates the
+  // session by Little's law, so Top-RT is structurally near-optimal here.
+  // (The paper's DBA-labeled truth gave PinSQL a large H gap; the R gap
+  // above is the reproduction headline.)
+  std::printf("  PinSQL H-SQL H@1 (%.1f) >= Top-All H-SQL H@1 (%.1f): %s\n",
+              pinsql.hsql.hits_at_1, top_all.hsql.hits_at_1,
+              pinsql.hsql.hits_at_1 >= top_all.hsql.hits_at_1 ? "OK"
+                                                              : "VIOLATED");
+  return 0;
+}

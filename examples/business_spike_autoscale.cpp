@@ -1,0 +1,116 @@
+/// Example: a planned business surge handled by AutoScale instead of
+/// throttling (paper Sec. VII: "increased SQL traffic is a phenomenon
+/// known in advance by the business department, where we should not apply
+/// throttling").
+///
+/// PinSQL pinpoints the surging template; a user-supplied JSON rule config
+/// (the Fig. 5 mechanism) maps the active-session anomaly to an AutoScale
+/// action, which is then executed against the live instance — and the
+/// example re-simulates the surge on the scaled-up instance to show the
+/// session recovering without rejecting a single query.
+
+#include <cstdio>
+
+#include "core/diagnoser.h"
+#include "dbsim/engine.h"
+#include "dbsim/monitor.h"
+#include "eval/case_generator.h"
+#include "eval/runner.h"
+#include "repair/rule_engine.h"
+#include "util/strings.h"
+#include "workload/arrivals.h"
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 31337;
+
+  pinsql::eval::CaseGenOptions options;
+  options.type = pinsql::workload::AnomalyType::kBusinessSpike;
+  options.seed = seed;
+  const pinsql::eval::AnomalyCaseData data =
+      pinsql::eval::GenerateCase(options);
+
+  std::printf("== Business surge: diagnose, then AutoScale ==\n\n");
+  const double before_mean = data.metrics.active_session
+                                 .Slice(data.injected_as, data.injected_ae)
+                                 .Mean();
+  std::printf("surge active session: %.1f (baseline %.1f)\n", before_mean,
+              data.metrics.active_session
+                  .Slice(data.window_start_sec, data.injected_as)
+                  .Mean());
+
+  // 1. Pinpoint the surging template.
+  const pinsql::core::DiagnosisInput input =
+      pinsql::eval::MakeDiagnosisInput(data);
+  const pinsql::core::DiagnosisResult result =
+      pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{});
+  if (result.rsql.ranking.empty()) {
+    std::printf("no R-SQL found\n");
+    return 1;
+  }
+  const uint64_t rsql = result.rsql.ranking[0];
+  std::printf("PinSQL R-SQL: %s (%s)\n", pinsql::HashToHex(rsql).c_str(),
+              rsql == data.rsql_truth[0] ? "matches injected surge"
+                                         : "NOT the injected surge");
+
+  // 2. The business expects this traffic: configure AutoScale, not
+  //    throttling (user-editable JSON, paper Fig. 5).
+  const auto rules = pinsql::repair::RepairRuleEngine::FromJsonText(R"({
+    "rules": [
+      {"anomaly": "active_session.spike",
+       "template_feature": "execution_count.sudden_increase",
+       "action": "autoscale",
+       "params": {"add_cores": 8, "io_factor": 3},
+       "auto_execute": true,
+       "notify": ["dingtalk"]},
+      {"anomaly": "active_session.level_shift",
+       "template_feature": "execution_count.sudden_increase",
+       "action": "autoscale",
+       "params": {"add_cores": 8, "io_factor": 3},
+       "auto_execute": true}
+    ]})");
+  if (!rules.ok()) {
+    std::printf("config error: %s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+  const auto suggestions =
+      rules->Suggest(data.phenomena, result.rsql.ranking, result.metrics,
+                     input.anomaly_start_sec, input.anomaly_end_sec);
+  std::printf("\nsuggestions from the rule config:\n");
+  for (const auto& s : suggestions) {
+    std::printf("  [%s] %s%s\n", s.matched_rule.c_str(),
+                s.action.ToString().c_str(),
+                s.auto_execute ? "  (auto-execute)" : "");
+  }
+  if (suggestions.empty()) {
+    std::printf("  (none — anomaly did not match the configured rules)\n");
+    return 1;
+  }
+
+  // 3. Replay the same surge on a scaled-up instance.
+  pinsql::dbsim::Engine engine(options.sim);
+  pinsql::LogStore logs;
+  engine.AttachLogStore(&logs);
+  pinsql::repair::ActionExecutor executor(&engine);
+  for (const auto& s : suggestions) {
+    if (s.auto_execute) executor.Execute(s.action, 0.0);
+  }
+  engine.AddArrivals(pinsql::workload::GenerateArrivals(
+      data.workload, data.overrides, data.window_start_sec,
+      data.window_end_sec, data.arrival_seed));
+  engine.RunToCompletion();
+  pinsql::Rng monitor_rng(1);
+  const auto after = pinsql::dbsim::ComputeInstanceMetrics(
+      engine.completed(), data.window_start_sec, data.window_end_sec,
+      engine.EffectiveCores(), options.sim.io_capacity_ms_per_sec,
+      &monitor_rng);
+  const double after_mean =
+      after.active_session.Slice(data.injected_as, data.injected_ae).Mean();
+  std::printf("\nsurge active session after scaling %0.f -> %0.f cores: "
+              "%.1f -> %.1f (throttled queries: %zu)\n",
+              options.sim.cpu_cores, engine.cpu_cores(), before_mean,
+              after_mean, engine.throttled_count());
+  std::printf("%s\n", after_mean < before_mean
+                          ? "AutoScale absorbed the surge."
+                          : "surge unchanged (already CPU-light)");
+  return 0;
+}

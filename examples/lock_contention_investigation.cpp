@@ -1,0 +1,107 @@
+/// Example: investigating a metadata-lock pile-up, the way an SRE would.
+///
+/// A batched online-DDL job takes exclusive metadata locks on a hot table;
+/// every query touching the table piles up ("Waiting for table metadata
+/// lock"), and the active session explodes — while the DDL itself executes
+/// only a handful of times and is invisible on any Top-SQL page. This
+/// walks the whole PinSQL investigation: metrics -> phenomena -> H-SQLs ->
+/// clusters -> history verification -> the R-SQL.
+
+#include <cstdio>
+
+#include "baselines/top_sql.h"
+#include "core/diagnoser.h"
+#include "eval/case_generator.h"
+#include "eval/runner.h"
+#include "util/strings.h"
+
+namespace {
+
+std::string TemplateText(const pinsql::eval::AnomalyCaseData& data,
+                         uint64_t sql_id, size_t max_len = 56) {
+  const pinsql::TemplateCatalogEntry* entry = data.logs.FindTemplate(sql_id);
+  std::string text = entry != nullptr ? entry->template_text : "<unknown>";
+  if (text.size() > max_len) text = text.substr(0, max_len - 3) + "...";
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 2024;
+
+  pinsql::eval::CaseGenOptions options;
+  options.type = pinsql::workload::AnomalyType::kMdlLock;
+  options.seed = seed;
+  const pinsql::eval::AnomalyCaseData data =
+      pinsql::eval::GenerateCase(options);
+
+  std::printf("== Investigating a metadata-lock pile-up ==\n\n");
+  std::printf("instance metrics around the anomaly:\n");
+  const int64_t as = data.anomaly_start();
+  const int64_t ae = data.anomaly_end();
+  std::printf("  active session:  %.1f -> %.1f (peak %.0f)\n",
+              data.metrics.active_session
+                  .Slice(data.window_start_sec, as).Mean(),
+              data.metrics.active_session.Slice(as, ae).Mean(),
+              data.metrics.active_session.Slice(as, ae).Max());
+  std::printf("  mdl waits/s:     %.2f -> %.2f\n",
+              data.metrics.mdl_waits.Slice(data.window_start_sec, as).Mean(),
+              data.metrics.mdl_waits.Slice(as, ae).Mean());
+  std::printf("  row-lock waits/s:%.2f -> %.2f\n",
+              data.metrics.row_lock_waits
+                  .Slice(data.window_start_sec, as).Mean(),
+              data.metrics.row_lock_waits.Slice(as, ae).Mean());
+  std::printf("\ndetected phenomena:\n");
+  for (const auto& p : data.phenomena) {
+    std::printf("  %-28s [%lld, %lld) severity %.1f\n", p.rule.c_str(),
+                static_cast<long long>(p.start_sec),
+                static_cast<long long>(p.end_sec), p.severity);
+  }
+
+  // What a Top-SQL page would show: the blocked victims.
+  const pinsql::core::DiagnosisInput input =
+      pinsql::eval::MakeDiagnosisInput(data);
+  const pinsql::core::DiagnosisResult result =
+      pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{});
+  const auto tops = pinsql::baselines::RankAllTopSql(
+      result.metrics, input.anomaly_start_sec, input.anomaly_end_sec);
+  std::printf("\nTop-RT page (what a DBA sees first):\n");
+  for (size_t i = 0; i < 3 && i < tops.by_response_time.size(); ++i) {
+    std::printf("  %zu. %s\n", i + 1,
+                TemplateText(data, tops.by_response_time[i]).c_str());
+  }
+  std::printf("  -> all victims waiting on the metadata lock, none the "
+              "cause\n");
+
+  std::printf("\nPinSQL H-SQLs (direct causes of the session spike):\n");
+  for (size_t i = 0; i < 3 && i < result.hsql_ranking.size(); ++i) {
+    std::printf("  %zu. impact=%+.2f  %s\n", i + 1,
+                result.hsql_ranking[i].impact,
+                TemplateText(data, result.hsql_ranking[i].sql_id).c_str());
+  }
+
+  std::printf("\nclustering: %zu clusters, %zu selected by the cumulative "
+              "threshold, %zu verified against history%s\n",
+              result.rsql.clusters.size(),
+              result.rsql.selected_clusters.size(),
+              result.rsql.verified.size(),
+              result.rsql.verification_fallback
+                  ? " (search widened: selected clusters held only stable "
+                    "templates)"
+                  : "");
+
+  std::printf("\nPinSQL R-SQL ranking:\n");
+  for (size_t i = 0; i < 3 && i < result.rsql.ranking.size(); ++i) {
+    const uint64_t id = result.rsql.ranking[i];
+    const bool is_truth = id == data.rsql_truth[0];
+    std::printf("  %zu. %s %s\n", i + 1, TemplateText(data, id).c_str(),
+                is_truth ? "  <== injected root cause" : "");
+  }
+  const int rank = pinsql::eval::RsqlRank(result.rsql.ranking, data);
+  std::printf("\nroot cause found at rank %d; diagnosis took %.2fs "
+              "(est %.2fs, verify %.2fs)\n",
+              rank, result.total_seconds, result.estimate_seconds,
+              result.verify_seconds);
+  return rank == 1 ? 0 : 1;
+}

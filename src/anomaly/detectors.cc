@@ -1,0 +1,152 @@
+#include "anomaly/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace pinsql::anomaly {
+
+const char* FeatureTypeName(FeatureType type) {
+  switch (type) {
+    case FeatureType::kSpikeUp:
+      return "spike_up";
+    case FeatureType::kSpikeDown:
+      return "spike_down";
+    case FeatureType::kLevelShiftUp:
+      return "level_shift_up";
+    case FeatureType::kLevelShiftDown:
+      return "level_shift_down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double MedianOf(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid),
+                   v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(),
+                   v.begin() + static_cast<ptrdiff_t>(mid) - 1,
+                   v.begin() + static_cast<ptrdiff_t>(mid));
+  return 0.5 * (hi + v[mid - 1]);
+}
+
+struct RobustBaseline {
+  double median = 0.0;
+  double mad = 0.0;
+};
+
+RobustBaseline ComputeBaseline(const std::deque<double>& clean,
+                               const DetectorOptions& options) {
+  std::vector<double> v(clean.begin(), clean.end());
+  RobustBaseline b;
+  b.median = MedianOf(v);
+  for (double& x : v) x = std::fabs(x - b.median);
+  b.mad = MedianOf(std::move(v));
+  const double floor = options.mad_floor_frac * std::fabs(b.median) + 0.5;
+  b.mad = std::max(b.mad, floor);
+  return b;
+}
+
+}  // namespace
+
+std::vector<FeatureEvent> DetectFeatures(const TimeSeries& series,
+                                         const DetectorOptions& options) {
+  std::vector<FeatureEvent> events;
+  const size_t n = series.size();
+  if (n == 0) return events;
+
+  std::deque<double> clean;
+  RobustBaseline baseline;
+  bool baseline_fresh = false;
+
+  // Current run of flagged points.
+  bool in_run = false;
+  bool run_up = true;
+  size_t run_start = 0;
+  double run_peak = 0.0;
+
+  auto close_run = [&](size_t end_index) {
+    const int64_t start_sec = series.TimeForIndex(run_start);
+    const int64_t end_sec = series.TimeForIndex(end_index);
+    const bool recovered = end_index < n;
+    const bool long_run =
+        (end_sec - start_sec) >=
+        options.level_shift_min_sec * series.interval_sec();
+    FeatureEvent ev;
+    if (!recovered || long_run) {
+      ev.type = run_up ? FeatureType::kLevelShiftUp
+                       : FeatureType::kLevelShiftDown;
+    } else {
+      ev.type = run_up ? FeatureType::kSpikeUp : FeatureType::kSpikeDown;
+    }
+    ev.start_sec = start_sec;
+    // Half-open: the event covers up to the start of the first clean point
+    // (or the series end).
+    ev.end_sec = end_index < n ? series.TimeForIndex(end_index)
+                               : series.end_time();
+    ev.severity = run_peak;
+    events.push_back(ev);
+    in_run = false;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const double v = series[i];
+    bool flagged = false;
+    bool up = true;
+    double z = 0.0;
+    if (clean.size() >= options.min_baseline) {
+      if (!baseline_fresh) {
+        baseline = ComputeBaseline(clean, options);
+        baseline_fresh = true;
+      }
+      z = (v - baseline.median) / (1.4826 * baseline.mad);
+      if (z > options.threshold) {
+        flagged = true;
+        up = true;
+      } else if (z < -options.threshold) {
+        flagged = true;
+        up = false;
+      }
+    }
+
+    if (flagged) {
+      if (in_run && up != run_up) {
+        close_run(i);
+      }
+      if (!in_run) {
+        in_run = true;
+        run_up = up;
+        run_start = i;
+        run_peak = std::fabs(z);
+      } else {
+        run_peak = std::max(run_peak, std::fabs(z));
+      }
+      // Baseline frozen during the run: flagged points are not clean.
+    } else {
+      if (in_run) close_run(i);
+      clean.push_back(v);
+      if (clean.size() > options.baseline_window) clean.pop_front();
+      baseline_fresh = false;
+    }
+  }
+  if (in_run) close_run(n);
+  return events;
+}
+
+bool HasFeatureInRange(const std::vector<FeatureEvent>& events,
+                       FeatureType type, int64_t start_sec,
+                       int64_t end_sec) {
+  for (const FeatureEvent& ev : events) {
+    if (ev.type == type && ev.start_sec < end_sec && ev.end_sec > start_sec) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pinsql::anomaly

@@ -1,0 +1,62 @@
+#ifndef PINSQL_ANOMALY_DETECTORS_H_
+#define PINSQL_ANOMALY_DETECTORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace pinsql::anomaly {
+
+/// Anomalous features the Basic Perception Layer recognizes (paper Sec.
+/// IV-B, citing iSQUAD's taxonomy): a spike recovers, a level shift stays.
+enum class FeatureType {
+  kSpikeUp,
+  kSpikeDown,
+  kLevelShiftUp,
+  kLevelShiftDown,
+};
+
+const char* FeatureTypeName(FeatureType type);
+
+/// One detected anomalous feature: [start_sec, end_sec) plus a severity
+/// (peak robust z-score).
+struct FeatureEvent {
+  FeatureType type = FeatureType::kSpikeUp;
+  int64_t start_sec = 0;
+  int64_t end_sec = 0;
+  double severity = 0.0;
+};
+
+/// Detector tuning.
+struct DetectorOptions {
+  /// Robust z-score threshold for flagging a point.
+  double threshold = 6.0;
+  /// Number of trailing clean samples forming the rolling baseline.
+  size_t baseline_window = 120;
+  /// Minimum baseline samples before detection starts.
+  size_t min_baseline = 30;
+  /// Runs at least this long that never recover before the series ends
+  /// are classified as level shifts rather than spikes.
+  int64_t level_shift_min_sec = 300;
+  /// Floor on the MAD so flat baselines don't divide by ~0. Expressed as a
+  /// fraction of the baseline median (plus a small absolute floor).
+  double mad_floor_frac = 0.05;
+};
+
+/// Streaming-style robust detector: each point is compared against the
+/// median/MAD of the last `baseline_window` *clean* points, so the
+/// baseline stays frozen while an anomaly is in progress (otherwise a long
+/// pile-up would absorb itself into the baseline and end the event).
+/// Returns the flagged runs as events, classified spike vs level shift.
+std::vector<FeatureEvent> DetectFeatures(const TimeSeries& series,
+                                         const DetectorOptions& options);
+
+/// Convenience: true iff any feature of `type` overlaps [start, end).
+bool HasFeatureInRange(const std::vector<FeatureEvent>& events,
+                       FeatureType type, int64_t start_sec, int64_t end_sec);
+
+}  // namespace pinsql::anomaly
+
+#endif  // PINSQL_ANOMALY_DETECTORS_H_

@@ -1,0 +1,58 @@
+#include "anomaly/pettitt.h"
+
+#include <cmath>
+
+namespace pinsql::anomaly {
+
+PettittResult PettittTest(const std::vector<double>& x) {
+  PettittResult result;
+  const size_t n = x.size();
+  if (n < 2) return result;
+
+  // U_t = sum_{i<=t} sum_{j>t} sign(x_j - x_i), computed incrementally:
+  // U_t = U_{t-1} + sum_j sign(x_j - x_t) restricted to j > t side... the
+  // direct identity is U_t = U_{t-1} + V_t with
+  //   V_t = sum_{j=t+1..n} sign(x_j - x_t) - sum_{i=1..t-1} sign(x_t - x_i),
+  // still O(n) per step -> O(n^2) total, which is fine for the window
+  // sizes PinSQL works with (resample first for very long series).
+  double u = 0.0;
+  double best = 0.0;
+  size_t best_index = 0;
+  for (size_t t = 0; t + 1 < n; ++t) {
+    double v = 0.0;
+    for (size_t j = t + 1; j < n; ++j) {
+      const double d = x[j] - x[t];
+      v += d > 0 ? 1.0 : (d < 0 ? -1.0 : 0.0);
+    }
+    for (size_t i = 0; i < t; ++i) {
+      const double d = x[t] - x[i];
+      v -= d > 0 ? 1.0 : (d < 0 ? -1.0 : 0.0);
+    }
+    u += v;
+    if (std::fabs(u) > best) {
+      best = std::fabs(u);
+      best_index = t;
+    }
+  }
+
+  result.change_index = best_index;
+  result.statistic = best;
+  const double nn = static_cast<double>(n);
+  const double exponent = -6.0 * best * best / (nn * nn * nn + nn * nn);
+  result.p_value = std::min(1.0, 2.0 * std::exp(exponent));
+
+  double sum_before = 0.0;
+  for (size_t i = 0; i <= best_index; ++i) sum_before += x[i];
+  double sum_after = 0.0;
+  for (size_t i = best_index + 1; i < n; ++i) sum_after += x[i];
+  result.mean_before = sum_before / static_cast<double>(best_index + 1);
+  result.mean_after =
+      sum_after / static_cast<double>(n - best_index - 1);
+  return result;
+}
+
+PettittResult PettittTest(const TimeSeries& x) {
+  return PettittTest(x.values());
+}
+
+}  // namespace pinsql::anomaly

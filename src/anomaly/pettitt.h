@@ -1,0 +1,37 @@
+#ifndef PINSQL_ANOMALY_PETTITT_H_
+#define PINSQL_ANOMALY_PETTITT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace pinsql::anomaly {
+
+/// Pettitt's non-parametric change-point test (Pettitt 1979, the paper's
+/// reference [28] for its anomaly-detection toolbox). Finds the single
+/// most likely change point of a series' distribution and its approximate
+/// significance.
+struct PettittResult {
+  /// Index of the last point of the first segment (change happens after
+  /// it). Undefined when the series is shorter than 2 points.
+  size_t change_index = 0;
+  /// Max |U_t| statistic.
+  double statistic = 0.0;
+  /// Approximate two-sided p-value: 2 exp(-6 K^2 / (n^3 + n^2)).
+  double p_value = 1.0;
+  /// Mean of the segments before/after the change point.
+  double mean_before = 0.0;
+  double mean_after = 0.0;
+
+  bool significant(double alpha = 0.05) const { return p_value < alpha; }
+  bool shifted_up() const { return mean_after > mean_before; }
+};
+
+/// Runs the test over the raw values (O(n^2); resample long series first).
+PettittResult PettittTest(const std::vector<double>& x);
+PettittResult PettittTest(const TimeSeries& x);
+
+}  // namespace pinsql::anomaly
+
+#endif  // PINSQL_ANOMALY_PETTITT_H_

@@ -1,0 +1,158 @@
+#include "anomaly/phenomenon.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace pinsql::anomaly {
+
+bool PhenomenonRule::Matches(FeatureType type) const {
+  if (feature == "spike") {
+    return type == FeatureType::kSpikeUp;
+  }
+  if (feature == "level_shift") {
+    return type == FeatureType::kLevelShiftUp;
+  }
+  if (feature == "spike_up") return type == FeatureType::kSpikeUp;
+  if (feature == "spike_down") return type == FeatureType::kSpikeDown;
+  if (feature == "level_shift_up") {
+    return type == FeatureType::kLevelShiftUp;
+  }
+  if (feature == "level_shift_down") {
+    return type == FeatureType::kLevelShiftDown;
+  }
+  return false;
+}
+
+PhenomenonConfig PhenomenonConfig::Default() {
+  PhenomenonConfig config;
+  for (const char* metric : {"active_session", "cpu_usage", "iops_usage"}) {
+    config.rules.push_back({metric, "spike"});
+    config.rules.push_back({metric, "level_shift"});
+  }
+  return config;
+}
+
+StatusOr<PhenomenonConfig> PhenomenonConfig::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("phenomenon config must be an object");
+  }
+  PhenomenonConfig config;
+  const Json* rules = json.Find("rules");
+  if (rules == nullptr || !rules->is_array()) {
+    return Status::InvalidArgument("phenomenon config needs a rules array");
+  }
+  for (const Json& rule : rules->AsArray()) {
+    if (!rule.is_string()) {
+      return Status::InvalidArgument("each rule must be a string");
+    }
+    const std::string& text = rule.AsString();
+    const size_t dot = text.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= text.size()) {
+      return Status::ParseError(
+          StrFormat("rule '%s' is not <metric>.<feature>", text.c_str()));
+    }
+    config.rules.push_back({text.substr(0, dot), text.substr(dot + 1)});
+  }
+  config.merge_gap_sec = static_cast<int64_t>(
+      json.GetNumberOr("merge_gap_sec",
+                       static_cast<double>(config.merge_gap_sec)));
+  config.min_duration_sec = static_cast<int64_t>(
+      json.GetNumberOr("min_duration_sec",
+                       static_cast<double>(config.min_duration_sec)));
+  config.detector.threshold =
+      json.GetNumberOr("threshold", config.detector.threshold);
+  return config;
+}
+
+std::vector<Phenomenon> DetectPhenomena(
+    const std::map<std::string, const TimeSeries*>& metrics,
+    const PhenomenonConfig& config) {
+  std::vector<Phenomenon> out;
+  for (const auto& [metric_name, series] : metrics) {
+    // Only detect on metrics some rule references.
+    bool referenced = false;
+    for (const PhenomenonRule& rule : config.rules) {
+      if (rule.metric == metric_name) referenced = true;
+    }
+    if (!referenced || series == nullptr) continue;
+
+    const std::vector<FeatureEvent> features =
+        DetectFeatures(*series, config.detector);
+    for (const PhenomenonRule& rule : config.rules) {
+      if (rule.metric != metric_name) continue;
+      for (const FeatureEvent& ev : features) {
+        if (!rule.Matches(ev.type)) continue;
+        Phenomenon p;
+        p.rule = rule.metric + "." + rule.feature;
+        p.start_sec = ev.start_sec;
+        p.end_sec = ev.end_sec;
+        p.severity = ev.severity;
+        out.push_back(std::move(p));
+      }
+    }
+  }
+
+  // Merge phenomena of the same rule that are close in time.
+  std::sort(out.begin(), out.end(), [](const Phenomenon& a,
+                                       const Phenomenon& b) {
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.start_sec < b.start_sec;
+  });
+  std::vector<Phenomenon> merged;
+  for (Phenomenon& p : out) {
+    if (!merged.empty() && merged.back().rule == p.rule &&
+        p.start_sec - merged.back().end_sec <= config.merge_gap_sec) {
+      merged.back().end_sec = std::max(merged.back().end_sec, p.end_sec);
+      merged.back().severity = std::max(merged.back().severity, p.severity);
+    } else {
+      merged.push_back(std::move(p));
+    }
+  }
+
+  // Drop too-short phenomena.
+  std::vector<Phenomenon> kept;
+  for (Phenomenon& p : merged) {
+    if (p.end_sec - p.start_sec >= config.min_duration_sec) {
+      kept.push_back(std::move(p));
+    }
+  }
+  return kept;
+}
+
+bool ExtractAnomalyPeriod(const std::vector<Phenomenon>& phenomena,
+                          int64_t* anomaly_start, int64_t* anomaly_end) {
+  if (phenomena.empty()) return false;
+  // Anchor on the most severe phenomenon and absorb only phenomena that
+  // overlap (or nearly overlap) it: an unrelated low-severity blip far
+  // before the real event must not stretch the anomaly period.
+  constexpr int64_t kJoinGapSec = 60;
+  size_t anchor = 0;
+  for (size_t i = 1; i < phenomena.size(); ++i) {
+    if (phenomena[i].severity > phenomena[anchor].severity) anchor = i;
+  }
+  int64_t start = phenomena[anchor].start_sec;
+  int64_t end = phenomena[anchor].end_sec;
+  bool grew = true;
+  std::vector<bool> used(phenomena.size(), false);
+  used[anchor] = true;
+  while (grew) {
+    grew = false;
+    for (size_t i = 0; i < phenomena.size(); ++i) {
+      if (used[i]) continue;
+      const Phenomenon& p = phenomena[i];
+      if (p.start_sec <= end + kJoinGapSec &&
+          p.end_sec + kJoinGapSec >= start) {
+        start = std::min(start, p.start_sec);
+        end = std::max(end, p.end_sec);
+        used[i] = true;
+        grew = true;
+      }
+    }
+  }
+  *anomaly_start = start;
+  *anomaly_end = end;
+  return true;
+}
+
+}  // namespace pinsql::anomaly

@@ -1,0 +1,66 @@
+#ifndef PINSQL_ANOMALY_PHENOMENON_H_
+#define PINSQL_ANOMALY_PHENOMENON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anomaly/detectors.h"
+#include "ts/time_series.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace pinsql::anomaly {
+
+/// One configured trigger: "<metric>.<feature>", e.g. "active_session.spike"
+/// (paper Sec. IV-B). `spike`/`level_shift` match the up-variants;
+/// the explicit forms ("spike_up", "spike_down", ...) are also accepted.
+struct PhenomenonRule {
+  std::string metric;
+  std::string feature;  // "spike", "level_shift", "spike_up", ...
+
+  bool Matches(FeatureType type) const;
+};
+
+/// A detected anomaly phenomenon: the triggering rule plus the merged
+/// anomaly period.
+struct Phenomenon {
+  std::string rule;  // "<metric>.<feature>"
+  int64_t start_sec = 0;
+  int64_t end_sec = 0;
+  double severity = 0.0;
+};
+
+/// Phenomenon Perception Layer configuration.
+struct PhenomenonConfig {
+  std::vector<PhenomenonRule> rules;
+  /// Phenomena of the same rule closer than this merge into one.
+  int64_t merge_gap_sec = 120;
+  /// Phenomena shorter than this are ignored.
+  int64_t min_duration_sec = 10;
+  DetectorOptions detector;
+
+  /// The paper's default: active_session / cpu_usage / iops_usage spikes
+  /// and level shifts.
+  static PhenomenonConfig Default();
+  /// Parses {"rules": ["active_session.spike", ...], "merge_gap_sec": ...}.
+  static StatusOr<PhenomenonConfig> FromJson(const Json& json);
+};
+
+/// Runs the Basic Perception Layer over every configured metric and then
+/// matches the configured rules; overlapping/nearby events of one rule are
+/// merged and short ones dropped. The earliest phenomenon defines the
+/// anomaly case (paper Sec. IV-B).
+std::vector<Phenomenon> DetectPhenomena(
+    const std::map<std::string, const TimeSeries*>& metrics,
+    const PhenomenonConfig& config);
+
+/// The diagnosis window the detected phenomena induce: [a_s, a_e) is the
+/// span of the merged phenomena. Returns false when nothing was detected.
+bool ExtractAnomalyPeriod(const std::vector<Phenomenon>& phenomena,
+                          int64_t* anomaly_start, int64_t* anomaly_end);
+
+}  // namespace pinsql::anomaly
+
+#endif  // PINSQL_ANOMALY_PHENOMENON_H_

@@ -1,0 +1,63 @@
+#include "baselines/top_sql.h"
+
+#include <algorithm>
+
+namespace pinsql::baselines {
+
+const char* TopSqlMetricName(TopSqlMetric metric) {
+  switch (metric) {
+    case TopSqlMetric::kExecutionCount:
+      return "Top-EN";
+    case TopSqlMetric::kResponseTime:
+      return "Top-RT";
+    case TopSqlMetric::kExaminedRows:
+      return "Top-ER";
+  }
+  return "Top-?";
+}
+
+std::vector<uint64_t> RankTopSql(const TemplateMetricsStore& metrics,
+                                 TopSqlMetric metric, int64_t anomaly_start,
+                                 int64_t anomaly_end) {
+  std::vector<std::pair<double, uint64_t>> scored;
+  for (const TemplateSeries* tpl : metrics.AllSorted()) {
+    const TimeSeries* series = nullptr;
+    switch (metric) {
+      case TopSqlMetric::kExecutionCount:
+        series = &tpl->execution_count;
+        break;
+      case TopSqlMetric::kResponseTime:
+        series = &tpl->total_response_ms;
+        break;
+      case TopSqlMetric::kExaminedRows:
+        series = &tpl->examined_rows;
+        break;
+    }
+    scored.emplace_back(series->Slice(anomaly_start, anomaly_end).Sum(),
+                        tpl->sql_id);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const std::pair<double, uint64_t>& a,
+               const std::pair<double, uint64_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<uint64_t> out;
+  out.reserve(scored.size());
+  for (const auto& [score, id] : scored) out.push_back(id);
+  return out;
+}
+
+TopSqlRankings RankAllTopSql(const TemplateMetricsStore& metrics,
+                             int64_t anomaly_start, int64_t anomaly_end) {
+  TopSqlRankings out;
+  out.by_execution = RankTopSql(metrics, TopSqlMetric::kExecutionCount,
+                                anomaly_start, anomaly_end);
+  out.by_response_time = RankTopSql(metrics, TopSqlMetric::kResponseTime,
+                                    anomaly_start, anomaly_end);
+  out.by_examined_rows = RankTopSql(metrics, TopSqlMetric::kExaminedRows,
+                                    anomaly_start, anomaly_end);
+  return out;
+}
+
+}  // namespace pinsql::baselines

@@ -1,0 +1,41 @@
+#ifndef PINSQL_BASELINES_TOP_SQL_H_
+#define PINSQL_BASELINES_TOP_SQL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/template_metrics.h"
+
+namespace pinsql::baselines {
+
+/// The Top-SQL family of baselines (paper Sec. VIII-A): rank templates by
+/// one aggregated metric over the anomaly period. These model what cloud
+/// vendors' "Performance Insights"-style pages show DBAs.
+enum class TopSqlMetric {
+  kExecutionCount,  // Top-EN
+  kResponseTime,    // Top-RT (equivalent to average active session)
+  kExaminedRows,    // Top-ER
+};
+
+const char* TopSqlMetricName(TopSqlMetric metric);
+
+/// Ranks all templates by the chosen metric summed over [anomaly_start,
+/// anomaly_end), descending.
+std::vector<uint64_t> RankTopSql(const TemplateMetricsStore& metrics,
+                                 TopSqlMetric metric, int64_t anomaly_start,
+                                 int64_t anomaly_end);
+
+/// All three rankings at once (Top-All takes the best of these per case,
+/// which the evaluation harness computes against ground truth).
+struct TopSqlRankings {
+  std::vector<uint64_t> by_execution;
+  std::vector<uint64_t> by_response_time;
+  std::vector<uint64_t> by_examined_rows;
+};
+
+TopSqlRankings RankAllTopSql(const TemplateMetricsStore& metrics,
+                             int64_t anomaly_start, int64_t anomaly_end);
+
+}  // namespace pinsql::baselines
+
+#endif  // PINSQL_BASELINES_TOP_SQL_H_

@@ -1,0 +1,94 @@
+#include "core/diagnoser.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "pipeline/stream_aggregator.h"
+
+namespace pinsql::core {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::vector<uint64_t> DiagnosisResult::TopHsql(size_t k) const {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < std::min(k, hsql_ranking.size()); ++i) {
+    out.push_back(hsql_ranking[i].sql_id);
+  }
+  return out;
+}
+
+std::vector<uint64_t> DiagnosisResult::TopRsql(size_t k) const {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < std::min(k, rsql.ranking.size()); ++i) {
+    out.push_back(rsql.ranking[i]);
+  }
+  return out;
+}
+
+DiagnosisResult Diagnose(const DiagnosisInput& input,
+                         const DiagnoserOptions& options) {
+  assert(input.logs != nullptr);
+  assert(input.anomaly_end_sec > input.anomaly_start_sec);
+
+  DiagnosisResult result;
+  result.ts_sec = std::max(input.active_session.start_time(),
+                           input.anomaly_start_sec - options.delta_s_sec);
+  result.te_sec =
+      std::min(input.active_session.end_time(), input.anomaly_end_sec);
+  assert(result.te_sec > result.ts_sec);
+
+  const TimeSeries session =
+      input.active_session.Slice(result.ts_sec, result.te_sec);
+
+  const auto t_total = std::chrono::steady_clock::now();
+
+  // Stage 1: individual active-session estimation.
+  auto t0 = std::chrono::steady_clock::now();
+  result.estimate = EstimateSessions(*input.logs, session, result.ts_sec,
+                                     result.te_sec, options.estimator);
+  result.estimate_seconds = SecondsSince(t0);
+
+  // Stage 2: H-SQL identification.
+  t0 = std::chrono::steady_clock::now();
+  result.hsql_ranking = RankHighImpactSqls(
+      result.estimate.per_template, session, input.anomaly_start_sec,
+      input.anomaly_end_sec, options.hsql);
+  result.hsql_seconds = SecondsSince(t0);
+
+  // Stage 3+4: R-SQL identification (clustering/filtering + history
+  // verification + final ranking). Timed together around the call; the
+  // clustering share is attributed via a second aggregate-only timing.
+  t0 = std::chrono::steady_clock::now();
+  result.metrics =
+      AggregateWindow(*input.logs, result.ts_sec, result.te_sec);
+  std::map<std::string, const TimeSeries*> helpers;
+  std::map<std::string, TimeSeries> sliced_helpers;
+  for (const auto& [name, series] : input.helper_metrics) {
+    sliced_helpers[name] = series.Slice(result.ts_sec, result.te_sec);
+  }
+  for (const auto& [name, series] : sliced_helpers) {
+    helpers[name] = &series;
+  }
+  result.cluster_seconds = SecondsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  result.rsql = IdentifyRootCauseSqls(
+      result.metrics, result.estimate.per_template, session, helpers,
+      result.hsql_ranking, input.history, input.anomaly_start_sec,
+      input.anomaly_end_sec, options.rsql);
+  result.verify_seconds = SecondsSince(t0);
+
+  result.total_seconds = SecondsSince(t_total);
+  return result;
+}
+
+}  // namespace pinsql::core

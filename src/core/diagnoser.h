@@ -1,0 +1,69 @@
+#ifndef PINSQL_CORE_DIAGNOSER_H_
+#define PINSQL_CORE_DIAGNOSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/hsql.h"
+#include "core/rsql.h"
+#include "core/session_estimator.h"
+#include "logstore/log_store.h"
+#include "pipeline/template_metrics.h"
+#include "ts/time_series.h"
+
+namespace pinsql::core {
+
+/// End-to-end PinSQL configuration: one flag per ablatable component.
+struct DiagnoserOptions {
+  /// delta_s: lookback before the detected anomaly start (paper: 30 min;
+  /// scaled workloads use shorter windows).
+  int64_t delta_s_sec = 600;
+  SessionEstimatorOptions estimator;
+  HsqlOptions hsql;
+  RsqlOptions rsql;
+};
+
+/// Everything PinSQL consumes for one anomaly case. The metric series must
+/// cover at least [anomaly_start - delta_s, anomaly_end).
+struct DiagnosisInput {
+  const LogStore* logs = nullptr;
+  TimeSeries active_session;
+  /// Additional metrics used as clustering helper nodes (cpu_usage,
+  /// iops_usage, row-lock and MDL wait counters, ...).
+  std::map<std::string, TimeSeries> helper_metrics;
+  int64_t anomaly_start_sec = 0;  // a_s
+  int64_t anomaly_end_sec = 0;    // a_e
+  const HistoryProvider* history = nullptr;
+};
+
+/// Full diagnosis output, including per-stage wall-clock timings (the
+/// paper reports them in Sec. VIII-B).
+struct DiagnosisResult {
+  int64_t ts_sec = 0;  // diagnosis window start (a_s - delta_s)
+  int64_t te_sec = 0;  // diagnosis window end (a_e)
+  std::vector<HsqlScore> hsql_ranking;
+  RsqlResult rsql;
+  SessionEstimate estimate;
+  TemplateMetricsStore metrics;
+
+  double estimate_seconds = 0.0;
+  double hsql_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Top-k sql_ids of each ranking (convenience).
+  std::vector<uint64_t> TopHsql(size_t k) const;
+  std::vector<uint64_t> TopRsql(size_t k) const;
+};
+
+/// Runs the full PinSQL root-cause analysis for one anomaly case: estimate
+/// individual active sessions -> rank H-SQLs -> cluster/filter/verify ->
+/// rank R-SQLs.
+DiagnosisResult Diagnose(const DiagnosisInput& input,
+                         const DiagnoserOptions& options);
+
+}  // namespace pinsql::core
+
+#endif  // PINSQL_CORE_DIAGNOSER_H_

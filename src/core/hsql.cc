@@ -1,0 +1,88 @@
+#include "core/hsql.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ts/stats.h"
+
+namespace pinsql::core {
+
+std::vector<HsqlScore> RankHighImpactSqls(
+    const std::unordered_map<uint64_t, TimeSeries>& template_sessions,
+    const TimeSeries& instance_session, int64_t anomaly_start,
+    int64_t anomaly_end, const HsqlOptions& options) {
+  std::vector<HsqlScore> scores;
+  if (template_sessions.empty()) return scores;
+
+  const int64_t ts = instance_session.start_time();
+  const int64_t te = instance_session.end_time();
+  const std::vector<double>& session = instance_session.values();
+
+  // Trend weights W_t (Eq. before (1)); all-ones when sigmoid weighting is
+  // ablated.
+  std::vector<double> weights;
+  if (options.use_sigmoid_weights) {
+    weights = SigmoidAnomalyWeights(ts, te, instance_session.interval_sec(),
+                                    anomaly_start, anomaly_end,
+                                    options.smooth_factor_ks);
+  } else {
+    weights.assign(session.size(), 1.0);
+  }
+
+  // Raw per-template scores.
+  scores.reserve(template_sessions.size());
+  std::vector<double> raw_scale;
+  raw_scale.reserve(template_sessions.size());
+  for (const auto& [sql_id, series] : template_sessions) {
+    assert(series.size() == instance_session.size());
+    HsqlScore s;
+    s.sql_id = sql_id;
+    s.trend =
+        WeightedPearsonCorrelation(series.values(), session, weights);
+    s.scale_trend =
+        PearsonCorrelation(series.DivideBy(instance_session).values(),
+                           session);
+    // Total individual session over the anomaly period.
+    double total = 0.0;
+    for (int64_t t = std::max(anomaly_start, ts);
+         t < std::min(anomaly_end, te); ++t) {
+      total += series.AtTime(t);
+    }
+    raw_scale.push_back(total);
+    scores.push_back(s);
+  }
+
+  // Scale-level: min-max normalize the anomaly-period totals to [-1, 1].
+  const std::vector<double> norm = MinMaxNormalize(raw_scale);
+  size_t qmax_index = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i].scale = 2.0 * norm[i] - 1.0;
+    if (raw_scale[i] > raw_scale[qmax_index]) qmax_index = i;
+  }
+
+  // Fusion weights: alpha = corr(session of the largest template, instance
+  // session); beta = -alpha (paper Sec. V). Constant 1 when ablated.
+  double alpha = 1.0;
+  double beta = 1.0;
+  if (options.use_weighted_final) {
+    const TimeSeries& qmax_series =
+        template_sessions.at(scores[qmax_index].sql_id);
+    alpha = PearsonCorrelation(qmax_series.values(), session);
+    beta = -alpha;
+  }
+
+  for (HsqlScore& s : scores) {
+    s.impact = (options.use_trend ? beta * s.trend : 0.0) +
+               (options.use_scale_trend ? s.scale_trend : 0.0) +
+               (options.use_scale ? alpha * s.scale : 0.0);
+  }
+
+  std::sort(scores.begin(), scores.end(),
+            [](const HsqlScore& a, const HsqlScore& b) {
+              if (a.impact != b.impact) return a.impact > b.impact;
+              return a.sql_id < b.sql_id;
+            });
+  return scores;
+}
+
+}  // namespace pinsql::core

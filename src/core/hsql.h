@@ -1,0 +1,54 @@
+#ifndef PINSQL_CORE_HSQL_H_
+#define PINSQL_CORE_HSQL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace pinsql::core {
+
+/// Tuning and ablation flags for the High-impact SQL Identification Module
+/// (paper Sec. V and Fig. 6b).
+struct HsqlOptions {
+  /// k_s: sigmoid smooth factor highlighting the anomaly period.
+  double smooth_factor_ks = 30.0;
+  /// Component toggles (ablations "w/o <X>-level Score").
+  bool use_trend = true;
+  bool use_scale = true;
+  bool use_scale_trend = true;
+  /// Data-dependent fusion weights alpha/beta (false = constant 1,
+  /// ablation "w/o Weighted Final Score").
+  bool use_weighted_final = true;
+  /// Sigmoid anomaly-window weighting of the trend score (false = plain
+  /// Pearson over the whole window).
+  bool use_sigmoid_weights = true;
+};
+
+/// Impact of one template on the instance active session.
+struct HsqlScore {
+  uint64_t sql_id = 0;
+  double impact = 0.0;
+  double trend = 0.0;
+  double scale = 0.0;
+  double scale_trend = 0.0;
+};
+
+/// Fuses the trend-level, scale-level and scale-trend-level scores into
+/// impact(Q) = beta * trend(Q) + scale_trend(Q) + alpha * scale(Q),
+/// with alpha = corr(session_{Qmax}, session), Qmax the largest template by
+/// scale, and beta = -alpha (paper Sec. V). Returns templates sorted by
+/// impact, descending: the H-SQL ranking.
+///
+/// `template_sessions` are the estimated individual active sessions over
+/// [ts, te); `instance_session` is the monitor's active_session over the
+/// same window; [anomaly_start, anomaly_end) is the detected period.
+std::vector<HsqlScore> RankHighImpactSqls(
+    const std::unordered_map<uint64_t, TimeSeries>& template_sessions,
+    const TimeSeries& instance_session, int64_t anomaly_start,
+    int64_t anomaly_end, const HsqlOptions& options);
+
+}  // namespace pinsql::core
+
+#endif  // PINSQL_CORE_HSQL_H_

@@ -1,0 +1,117 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "ts/stats.h"
+#include "util/strings.h"
+
+namespace pinsql::core {
+
+namespace {
+
+DiagnosisReport::RankedTemplate Resolve(const LogStore& catalog,
+                                        uint64_t sql_id, double score) {
+  DiagnosisReport::RankedTemplate out;
+  out.sql_id = sql_id;
+  out.sql_id_hex = HashToHex(sql_id);
+  const TemplateCatalogEntry* entry = catalog.FindTemplate(sql_id);
+  out.template_text = entry != nullptr ? entry->template_text : "<unknown>";
+  out.score = score;
+  return out;
+}
+
+Json RankedToJson(const DiagnosisReport::RankedTemplate& t) {
+  Json obj = Json::MakeObject();
+  obj.Set("sql_id", t.sql_id_hex);
+  obj.Set("template", t.template_text);
+  obj.Set("score", t.score);
+  return obj;
+}
+
+}  // namespace
+
+DiagnosisReport BuildReport(
+    const DiagnosisResult& result, const LogStore& catalog,
+    const std::vector<anomaly::Phenomenon>& phenomena,
+    int64_t anomaly_start_sec, int64_t anomaly_end_sec,
+    const std::vector<repair::Suggestion>& suggestions, size_t top_k) {
+  DiagnosisReport report;
+  report.anomaly_start_sec = anomaly_start_sec;
+  report.anomaly_end_sec = anomaly_end_sec;
+  report.diagnosis_seconds = result.total_seconds;
+  report.verification_fallback = result.rsql.verification_fallback;
+
+  for (const anomaly::Phenomenon& p : phenomena) {
+    report.phenomena.push_back(
+        StrFormat("%s [%lld, %lld) severity %.1f", p.rule.c_str(),
+                  static_cast<long long>(p.start_sec),
+                  static_cast<long long>(p.end_sec), p.severity));
+  }
+  for (size_t i = 0; i < std::min(top_k, result.hsql_ranking.size()); ++i) {
+    report.hsqls.push_back(Resolve(catalog, result.hsql_ranking[i].sql_id,
+                                   result.hsql_ranking[i].impact));
+  }
+  for (size_t i = 0; i < std::min(top_k, result.rsql.ranking.size()); ++i) {
+    report.rsqls.push_back(
+        Resolve(catalog, result.rsql.ranking[i],
+                static_cast<double>(result.rsql.ranking.size() - i)));
+  }
+  for (const repair::Suggestion& s : suggestions) {
+    report.suggestions.push_back(
+        StrFormat("[%s] %s", s.matched_rule.c_str(),
+                  s.action.ToString().c_str()));
+  }
+  return report;
+}
+
+Json DiagnosisReport::ToJson() const {
+  Json obj = Json::MakeObject();
+  obj.Set("anomaly_start", anomaly_start_sec);
+  obj.Set("anomaly_end", anomaly_end_sec);
+  obj.Set("diagnosis_seconds", diagnosis_seconds);
+  obj.Set("verification_fallback", verification_fallback);
+  Json phen = Json::MakeArray();
+  for (const std::string& p : phenomena) phen.Append(p);
+  obj.Set("phenomena", std::move(phen));
+  Json h = Json::MakeArray();
+  for (const RankedTemplate& t : hsqls) h.Append(RankedToJson(t));
+  obj.Set("hsqls", std::move(h));
+  Json r = Json::MakeArray();
+  for (const RankedTemplate& t : rsqls) r.Append(RankedToJson(t));
+  obj.Set("rsqls", std::move(r));
+  Json s = Json::MakeArray();
+  for (const std::string& line : suggestions) s.Append(line);
+  obj.Set("suggestions", std::move(s));
+  return obj;
+}
+
+std::string DiagnosisReport::ToText() const {
+  std::string out = StrFormat(
+      "PinSQL diagnosis for anomaly [%lld, %lld) (%.2fs)\n",
+      static_cast<long long>(anomaly_start_sec),
+      static_cast<long long>(anomaly_end_sec), diagnosis_seconds);
+  out += "phenomena:\n";
+  for (const std::string& p : phenomena) out += "  - " + p + "\n";
+  out += "high-impact SQLs:\n";
+  for (size_t i = 0; i < hsqls.size(); ++i) {
+    out += StrFormat("  %zu. [%s] impact=%+.2f %s\n", i + 1,
+                     hsqls[i].sql_id_hex.c_str(), hsqls[i].score,
+                     hsqls[i].template_text.c_str());
+  }
+  out += "root-cause SQLs:\n";
+  for (size_t i = 0; i < rsqls.size(); ++i) {
+    out += StrFormat("  %zu. [%s] %s\n", i + 1,
+                     rsqls[i].sql_id_hex.c_str(),
+                     rsqls[i].template_text.c_str());
+  }
+  if (verification_fallback) {
+    out += "  (note: history verification widened beyond the selected "
+           "clusters)\n";
+  }
+  out += "suggested actions:\n";
+  if (suggestions.empty()) out += "  (none)\n";
+  for (const std::string& s : suggestions) out += "  - " + s + "\n";
+  return out;
+}
+
+}  // namespace pinsql::core

@@ -1,0 +1,284 @@
+#include "core/rsql.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+#include "ts/stats.h"
+#include "ts/tukey.h"
+
+namespace pinsql::core {
+
+void MapHistoryProvider::Put(uint64_t sql_id, int days_ago,
+                             TimeSeries series) {
+  data_[{sql_id, days_ago}] = std::move(series);
+}
+
+const TimeSeries* MapHistoryProvider::ExecutionHistory(uint64_t sql_id,
+                                                       int days_ago) const {
+  auto it = data_.find({sql_id, days_ago});
+  return it == data_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Union-find over node indices.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// Rule (i): an upward outlier of the current window's #execution falls
+/// inside the anomaly period, with a materiality guard so ordinary traffic
+/// waves of stable templates do not pass.
+bool AnomalyInCurrentWindow(const TimeSeries& exec, int64_t anomaly_start,
+                            int64_t anomaly_end, double tukey_k,
+                            double min_ratio) {
+  const int64_t step = exec.interval_sec();
+  const size_t rel_begin = static_cast<size_t>(
+      std::max<int64_t>(0, (anomaly_start - exec.start_time()) / step));
+  const size_t rel_end = static_cast<size_t>(std::max<int64_t>(
+      0, (anomaly_end - exec.start_time() + step - 1) / step));
+  return UpwardAnomalyInPeriod(exec.values(), rel_begin, rel_end, tukey_k,
+                               min_ratio);
+}
+
+}  // namespace
+
+RsqlResult IdentifyRootCauseSqls(
+    const TemplateMetricsStore& metrics,
+    const std::unordered_map<uint64_t, TimeSeries>& template_sessions,
+    const TimeSeries& instance_session,
+    const std::map<std::string, const TimeSeries*>& helper_metrics,
+    const std::vector<HsqlScore>& hsql_scores,
+    const HistoryProvider* history, int64_t anomaly_start,
+    int64_t anomaly_end, const RsqlOptions& options) {
+  RsqlResult result;
+  const std::vector<const TemplateSeries*> templates = metrics.AllSorted();
+  if (templates.empty()) return result;
+
+  // ---- SQL template clustering on #execution trends --------------------
+  // Node layout: [0, T) templates, [T, T + M) metric helper nodes.
+  const size_t num_templates = templates.size();
+  std::vector<std::vector<double>> node_series;
+  node_series.reserve(num_templates + helper_metrics.size() + 1);
+  for (const TemplateSeries* tpl : templates) {
+    node_series.push_back(
+        tpl->execution_count
+            .Resample(options.cluster_interval_sec, TimeSeries::Agg::kSum)
+            .values());
+  }
+  if (options.use_metric_helper_nodes) {
+    for (const auto& [name, series] : helper_metrics) {
+      if (series == nullptr) continue;
+      node_series.push_back(
+          series->Resample(options.cluster_interval_sec,
+                           TimeSeries::Agg::kMean)
+              .values());
+    }
+  }
+
+  const size_t num_nodes = node_series.size();
+  DisjointSets sets(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    for (size_t j = i + 1; j < num_nodes; ++j) {
+      if (PearsonCorrelation(node_series[i], node_series[j]) >
+          options.cluster_tau) {
+        sets.Union(i, j);
+      }
+    }
+  }
+
+  // Components -> clusters, keeping template members only (helper nodes
+  // are temporary, paper Sec. VI).
+  std::unordered_map<size_t, std::vector<uint64_t>> components;
+  for (size_t i = 0; i < num_templates; ++i) {
+    components[sets.Find(i)].push_back(templates[i]->sql_id);
+  }
+  for (auto& [root, members] : components) {
+    result.clusters.push_back(std::move(members));
+  }
+  // Deterministic order: by smallest member id.
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+              return a.front() < b.front();
+            });
+
+  // ---- Rank clusters for filtering --------------------------------------
+  // impact(c) = max_{Q in c} impact(Q); the ablated variant ranks by total
+  // response time over the anomaly period instead (Top-RT).
+  std::unordered_map<uint64_t, double> impact_by_id;
+  if (options.use_hsql_cluster_ranking) {
+    for (const HsqlScore& s : hsql_scores) impact_by_id[s.sql_id] = s.impact;
+  } else {
+    for (const TemplateSeries* tpl : templates) {
+      const TimeSeries rt =
+          tpl->total_response_ms.Slice(anomaly_start, anomaly_end);
+      impact_by_id[tpl->sql_id] = rt.Sum();
+    }
+  }
+  std::vector<double> cluster_impact(result.clusters.size(), 0.0);
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    double best = -1e300;
+    for (uint64_t id : result.clusters[c]) {
+      auto it = impact_by_id.find(id);
+      if (it != impact_by_id.end()) best = std::max(best, it->second);
+    }
+    cluster_impact[c] = best;
+  }
+  std::vector<size_t> order(result.clusters.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cluster_impact[a] > cluster_impact[b];
+  });
+
+  // ---- Cumulative threshold ---------------------------------------------
+  if (options.use_cumulative_threshold) {
+    TimeSeries cumulative(instance_session.start_time(),
+                          instance_session.interval_sec(),
+                          instance_session.size());
+    const int kc = std::max(1, options.max_clusters_kc);
+    for (size_t i = 0;
+         i < order.size() && static_cast<int>(i) < kc; ++i) {
+      result.selected_clusters.push_back(order[i]);
+      for (uint64_t id : result.clusters[order[i]]) {
+        auto it = template_sessions.find(id);
+        if (it != template_sessions.end()) {
+          cumulative.AddInPlace(it->second);
+        }
+      }
+      if (PearsonCorrelation(cumulative, instance_session) >=
+          options.cumulative_tau_c) {
+        break;
+      }
+    }
+  } else if (!order.empty()) {
+    result.selected_clusters.push_back(order[0]);
+  }
+
+  // Candidate pool: every template of every selected cluster.
+  std::vector<uint64_t> candidates;
+  for (size_t c : result.selected_clusters) {
+    for (uint64_t id : result.clusters[c]) candidates.push_back(id);
+  }
+
+  // ---- History trend verification ----------------------------------------
+  auto verify_one = [&](uint64_t id) -> bool {
+    const TemplateSeries* tpl = metrics.Find(id);
+    if (tpl == nullptr) return false;
+    const TimeSeries exec = tpl->execution_count.Resample(
+        options.verify_interval_sec, TimeSeries::Agg::kSum);
+    // Rule (i): the execution trend is anomalous *now*, inside the anomaly
+    // period.
+    if (!AnomalyInCurrentWindow(exec, anomaly_start, anomaly_end,
+                                options.tukey_k,
+                                options.verify_min_ratio)) {
+      return false;
+    }
+    // Rule (ii): it was not anomalous in any history window's relative
+    // anomaly period.
+    const size_t rel_begin = static_cast<size_t>(
+        std::max<int64_t>(0, (anomaly_start - exec.start_time()) /
+                                 options.verify_interval_sec));
+    const size_t rel_end = static_cast<size_t>(std::max<int64_t>(
+        0, (anomaly_end - exec.start_time() + options.verify_interval_sec -
+            1) /
+               options.verify_interval_sec));
+    if (history != nullptr) {
+      for (int days : options.history_days) {
+        const TimeSeries* h = history->ExecutionHistory(id, days);
+        if (h == nullptr) continue;  // new template: vacuously clean
+        // Rule (ii) is deliberately more conservative (larger k) than rule
+        // (i): ordinary traffic waves in an anomaly-free history window
+        // must not masquerade as "this template was already anomalous".
+        const TimeSeries h_resampled =
+            h->Resample(options.verify_interval_sec, TimeSeries::Agg::kSum);
+        if (UpwardAnomalyInPeriod(h_resampled.values(), rel_begin, rel_end,
+                                  options.history_tukey_k)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Final-ranking score (paper Sec. VI): corr(#execution, session),
+  // compared at a coarser granularity to suppress per-second Poisson noise.
+  const TimeSeries session_coarse = instance_session.Resample(
+      options.rank_interval_sec, TimeSeries::Agg::kMean);
+  auto rank_score = [&](uint64_t id) {
+    const TemplateSeries* tpl = metrics.Find(id);
+    if (tpl == nullptr) return -2.0;
+    return PearsonCorrelation(
+        tpl->execution_count
+            .Resample(options.rank_interval_sec, TimeSeries::Agg::kSum)
+            .values(),
+        session_coarse.values());
+  };
+
+  std::vector<uint64_t> verified;
+  if (options.use_history_verification) {
+    for (uint64_t id : candidates) {
+      if (verify_one(id)) verified.push_back(id);
+    }
+    double best_corr = -2.0;
+    for (uint64_t id : verified) best_corr = std::max(best_corr,
+                                                      rank_score(id));
+    if (verified.empty() || best_corr < options.widen_corr_threshold) {
+      // Either every candidate in the selected clusters has a stable
+      // execution trend (they are affected SQLs, not root causes), or the
+      // survivors barely track the session. Widen the search to all
+      // templates — the root cause may sit in an unselected cluster (e.g.
+      // a single DDL whose tiny session kept its cluster's impact low).
+      // This extension beyond the paper's description is documented in
+      // DESIGN.md.
+      result.verification_fallback = true;
+      std::unordered_set<uint64_t> seen(verified.begin(), verified.end());
+      for (const TemplateSeries* tpl : templates) {
+        if (seen.count(tpl->sql_id) > 0) continue;
+        if (verify_one(tpl->sql_id)) verified.push_back(tpl->sql_id);
+      }
+    }
+    result.verified = verified;
+    if (verified.empty()) {
+      // Nothing anywhere passes verification: fall back to the unverified
+      // candidate pool so a ranking always exists.
+      verified = candidates;
+    }
+  } else {
+    verified = candidates;
+    result.verified = verified;
+  }
+
+  // ---- Final ranking: corr(#execution, active session) -------------------
+  std::vector<std::pair<double, uint64_t>> ranked;
+  ranked.reserve(verified.size());
+  for (uint64_t id : verified) {
+    ranked.emplace_back(rank_score(id), id);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const std::pair<double, uint64_t>& a,
+               const std::pair<double, uint64_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  result.ranking.reserve(ranked.size());
+  for (const auto& [corr, id] : ranked) result.ranking.push_back(id);
+  return result;
+}
+
+}  // namespace pinsql::core

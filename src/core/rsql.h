@@ -1,0 +1,116 @@
+#ifndef PINSQL_CORE_RSQL_H_
+#define PINSQL_CORE_RSQL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hsql.h"
+#include "pipeline/template_metrics.h"
+#include "ts/time_series.h"
+
+namespace pinsql::core {
+
+/// Supplies the #execution series of the same window N days ago (paper:
+/// N in {1, 3, 7}), for history-trend verification. Returning nullptr
+/// means no history exists (a new template), which vacuously passes the
+/// "no anomaly N days ago" rule.
+class HistoryProvider {
+ public:
+  virtual ~HistoryProvider() = default;
+  virtual const TimeSeries* ExecutionHistory(uint64_t sql_id,
+                                             int days_ago) const = 0;
+};
+
+/// Simple map-backed HistoryProvider used by tests and the evaluation
+/// harness.
+class MapHistoryProvider : public HistoryProvider {
+ public:
+  void Put(uint64_t sql_id, int days_ago, TimeSeries series);
+  const TimeSeries* ExecutionHistory(uint64_t sql_id,
+                                     int days_ago) const override;
+
+ private:
+  std::map<std::pair<uint64_t, int>, TimeSeries> data_;
+};
+
+/// Tuning and ablation flags for the Root Cause SQL Identification Module
+/// (paper Sec. VI and Fig. 6a).
+struct RsqlOptions {
+  /// tau: Pearson threshold for the template-correlation graph edges.
+  double cluster_tau = 0.8;
+  /// Granularity at which #execution trends are compared for clustering
+  /// (1 s Poisson noise would swamp the correlation).
+  int64_t cluster_interval_sec = 30;
+  /// K_c: maximum clusters kept by the cumulative threshold.
+  int max_clusters_kc = 5;
+  /// tau_c: cumulative session-correlation threshold.
+  double cumulative_tau_c = 0.95;
+  /// IQR multiplier for Tukey's rule on the current window (rule i).
+  double tukey_k = 3.0;
+  /// Materiality guard for rule (i): the surge must also exceed this
+  /// multiple of the baseline Q3 (ordinary traffic waves peak well below
+  /// it; QPS spikes / new templates clear it easily).
+  double verify_min_ratio = 1.6;
+  /// IQR multiplier for the history windows (rule ii); larger so ordinary
+  /// traffic waves in clean history don't cause false rejections.
+  double history_tukey_k = 5.0;
+  /// Granularity for history verification counts.
+  int64_t verify_interval_sec = 10;
+  /// Granularity for the final corr(#execution, session) ranking; coarser
+  /// than 1 s so low-QPS root causes (DDL chunks, batch updates) are not
+  /// drowned in per-second Poisson noise.
+  int64_t rank_interval_sec = 10;
+  /// History lookbacks in days.
+  std::vector<int> history_days = {1, 3, 7};
+
+  /// When the best verified candidate's corr(#execution, session) falls
+  /// below this, the verification search widens to all templates (the
+  /// root cause probably sits in an unselected cluster).
+  double widen_corr_threshold = 0.65;
+
+  // Ablation toggles.
+  bool use_cumulative_threshold = true;   // false -> fixed top-1 cluster
+  bool use_history_verification = true;   // false -> skip verification
+  bool use_metric_helper_nodes = true;    // false -> template-only graph
+  /// false -> rank clusters by total response time (Top-RT) instead of the
+  /// H-SQL impact scores (ablation "w/o Direct Cause SQL Ranking").
+  bool use_hsql_cluster_ranking = true;
+};
+
+/// Diagnostics-rich result of the R-SQL stage.
+struct RsqlResult {
+  /// Final ranking, most-likely root cause first.
+  std::vector<uint64_t> ranking;
+  /// Template clusters (connected components, metric nodes removed).
+  std::vector<std::vector<uint64_t>> clusters;
+  /// Indices into `clusters` chosen by the cumulative threshold, in
+  /// impact order.
+  std::vector<size_t> selected_clusters;
+  /// Candidates that passed history verification.
+  std::vector<uint64_t> verified;
+  /// True when verification rejected every candidate and the unverified
+  /// candidate list was used as a fallback.
+  bool verification_fallback = false;
+};
+
+/// Pinpoints R-SQLs (paper Sec. VI): clusters templates by #execution
+/// trend (with performance-metric helper nodes densifying the graph),
+/// ranks clusters by the max H-SQL impact of their members, keeps clusters
+/// by the cumulative session-correlation threshold, verifies candidates
+/// against 1/3/7-day-old history with Tukey's rule, and finally ranks the
+/// survivors by corr(#execution, active session).
+RsqlResult IdentifyRootCauseSqls(
+    const TemplateMetricsStore& metrics,
+    const std::unordered_map<uint64_t, TimeSeries>& template_sessions,
+    const TimeSeries& instance_session,
+    const std::map<std::string, const TimeSeries*>& helper_metrics,
+    const std::vector<HsqlScore>& hsql_scores,
+    const HistoryProvider* history, int64_t anomaly_start,
+    int64_t anomaly_end, const RsqlOptions& options);
+
+}  // namespace pinsql::core
+
+#endif  // PINSQL_CORE_RSQL_H_

@@ -1,0 +1,125 @@
+#include "core/session_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pinsql::core {
+
+namespace {
+
+/// Overlap of [lo1, hi1) and [lo2, hi2) in ms.
+double Overlap(double lo1, double hi1, double lo2, double hi2) {
+  const double lo = std::max(lo1, lo2);
+  const double hi = std::min(hi1, hi2);
+  return std::max(0.0, hi - lo);
+}
+
+}  // namespace
+
+SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
+                                 const TimeSeries& observed_session,
+                                 int64_t ts_sec, int64_t te_sec,
+                                 const SessionEstimatorOptions& options) {
+  assert(te_sec > ts_sec);
+  const size_t n = static_cast<size_t>(te_sec - ts_sec);
+  SessionEstimate out;
+  out.total = TimeSeries(ts_sec, 1, n);
+
+  if (options.mode == SessionEstimatorMode::kResponseTime) {
+    // Proxy: individual session ~ total response time per second / 1000.
+    for (const QueryLogRecord& q : logs) {
+      const int64_t sec = q.arrival_ms / 1000;
+      if (sec < ts_sec || sec >= te_sec) continue;
+      auto [it, inserted] = out.per_template.try_emplace(q.sql_id);
+      if (inserted) it->second = TimeSeries(ts_sec, 1, n);
+      it->second.AtTime(sec) += q.response_ms / 1000.0;
+      out.total.AtTime(sec) += q.response_ms / 1000.0;
+    }
+    return out;
+  }
+
+  const int k = options.mode == SessionEstimatorMode::kBucketed
+                    ? std::max(1, options.num_buckets)
+                    : 1;
+  const double bucket_ms = 1000.0 / static_cast<double>(k);
+
+  // Pass 1: expected active session per (second, bucket).
+  std::vector<double> expect(n * static_cast<size_t>(k), 0.0);
+  for (const QueryLogRecord& q : logs) {
+    const double q_lo = static_cast<double>(q.arrival_ms);
+    const double q_hi = q_lo + std::max(q.response_ms, 0.0);
+    const int64_t first_sec =
+        std::max(ts_sec, q.arrival_ms / 1000);
+    const int64_t last_sec = std::min(
+        te_sec - 1, static_cast<int64_t>(std::floor((q_hi - 1e-9) / 1000.0)));
+    for (int64_t sec = first_sec; sec <= last_sec; ++sec) {
+      const double sec_ms = static_cast<double>(sec) * 1000.0;
+      const size_t row = static_cast<size_t>(sec - ts_sec) *
+                         static_cast<size_t>(k);
+      for (int b = 0; b < k; ++b) {
+        const double b_lo = sec_ms + bucket_ms * b;
+        const double p = Overlap(q_lo, q_hi, b_lo, b_lo + bucket_ms) /
+                         bucket_ms;
+        if (p > 0.0) expect[row + static_cast<size_t>(b)] += p;
+      }
+    }
+  }
+
+  // Bucket selection: sel_t = argmin_b |observed_t - E[session_b]|.
+  std::vector<int> sel(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t sec = ts_sec + static_cast<int64_t>(i);
+    const double observed =
+        observed_session.Covers(sec) ? observed_session.AtTime(sec) : 0.0;
+    const size_t row = i * static_cast<size_t>(k);
+    int best = 0;
+    double best_err = std::fabs(observed - expect[row]);
+    for (int b = 1; b < k; ++b) {
+      const double err =
+          std::fabs(observed - expect[row + static_cast<size_t>(b)]);
+      if (err < best_err) {
+        best_err = err;
+        best = b;
+      }
+    }
+    sel[i] = best;
+    out.total[i] = expect[row + static_cast<size_t>(best)];
+  }
+
+  // Pass 2: per-template sessions using the selected buckets.
+  for (const QueryLogRecord& q : logs) {
+    const double q_lo = static_cast<double>(q.arrival_ms);
+    const double q_hi = q_lo + std::max(q.response_ms, 0.0);
+    const int64_t first_sec = std::max(ts_sec, q.arrival_ms / 1000);
+    const int64_t last_sec = std::min(
+        te_sec - 1, static_cast<int64_t>(std::floor((q_hi - 1e-9) / 1000.0)));
+    if (last_sec < first_sec) continue;
+    auto [it, inserted] = out.per_template.try_emplace(q.sql_id);
+    if (inserted) it->second = TimeSeries(ts_sec, 1, n);
+    TimeSeries& series = it->second;
+    for (int64_t sec = first_sec; sec <= last_sec; ++sec) {
+      const size_t i = static_cast<size_t>(sec - ts_sec);
+      const double b_lo = static_cast<double>(sec) * 1000.0 +
+                          bucket_ms * sel[i];
+      const double p = Overlap(q_lo, q_hi, b_lo, b_lo + bucket_ms) /
+                       bucket_ms;
+      if (p > 0.0) series[i] += p;
+    }
+  }
+  return out;
+}
+
+SessionEstimate EstimateSessions(const LogStore& store,
+                                 const TimeSeries& observed_session,
+                                 int64_t ts_sec, int64_t te_sec,
+                                 const SessionEstimatorOptions& options) {
+  // Include queries that *arrived* before the window but were still
+  // running inside it: scan from well before ts (10 min suffices for the
+  // workloads simulated here; queries rarely run longer).
+  const std::vector<QueryLogRecord> logs =
+      store.Range((ts_sec - 600) * 1000, te_sec * 1000);
+  return EstimateSessions(logs, observed_session, ts_sec, te_sec, options);
+}
+
+}  // namespace pinsql::core

@@ -1,0 +1,60 @@
+#include "dbsim/closed_loop.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pinsql::dbsim {
+
+ClosedLoopDriver::ClosedLoopDriver(
+    std::vector<std::pair<SpecGenerator, double>> mix, int32_t num_threads,
+    double stop_after_ms, uint64_t seed)
+    : mix_(std::move(mix)),
+      num_threads_(num_threads),
+      stop_after_ms_(stop_after_ms),
+      rng_(seed) {
+  assert(!mix_.empty());
+  assert(num_threads_ > 0);
+  for (const auto& [gen, weight] : mix_) {
+    assert(weight > 0.0);
+    total_weight_ += weight;
+  }
+}
+
+QuerySpec ClosedLoopDriver::SampleSpec() {
+  double pick = rng_.Uniform(0.0, total_weight_);
+  for (const auto& [gen, weight] : mix_) {
+    if (pick < weight) {
+      ++issued_;
+      return gen(&rng_);
+    }
+    pick -= weight;
+  }
+  ++issued_;
+  return mix_.back().first(&rng_);
+}
+
+std::vector<QueryArrival> ClosedLoopDriver::InitialArrivals(
+    int64_t start_ms) {
+  std::vector<QueryArrival> out;
+  out.reserve(static_cast<size_t>(num_threads_));
+  for (int32_t c = 0; c < num_threads_; ++c) {
+    QueryArrival arrival;
+    arrival.arrival_ms = start_ms + rng_.UniformInt(0, 2);
+    arrival.spec = SampleSpec();
+    arrival.client_id = c;
+    out.push_back(std::move(arrival));
+  }
+  return out;
+}
+
+std::optional<QueryArrival> ClosedLoopDriver::OnQueryDone(int32_t client_id,
+                                                          double now_ms) {
+  if (now_ms >= stop_after_ms_) return std::nullopt;
+  QueryArrival arrival;
+  arrival.arrival_ms = static_cast<int64_t>(std::ceil(now_ms));
+  arrival.spec = SampleSpec();
+  arrival.client_id = client_id;
+  return arrival;
+}
+
+}  // namespace pinsql::dbsim

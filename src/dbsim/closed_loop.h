@@ -1,0 +1,50 @@
+#ifndef PINSQL_DBSIM_CLOSED_LOOP_H_
+#define PINSQL_DBSIM_CLOSED_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dbsim/engine.h"
+#include "dbsim/types.h"
+#include "util/rng.h"
+
+namespace pinsql::dbsim {
+
+/// Sysbench-style closed-loop load driver (used by the monitoring-overhead
+/// experiment, Table IV): a fixed number of client threads each keep
+/// exactly one query in flight; as soon as a query finishes the thread
+/// issues the next one, so throughput is capacity-bound.
+class ClosedLoopDriver : public ArrivalDriver {
+ public:
+  /// Generates one query instance; receives the driver's RNG so specs can
+  /// randomize row groups / jitter demand.
+  using SpecGenerator = std::function<QuerySpec(Rng*)>;
+
+  /// `mix` pairs a generator with a relative weight (e.g. 70 % point
+  /// selects / 30 % updates for the read-write profile).
+  ClosedLoopDriver(std::vector<std::pair<SpecGenerator, double>> mix,
+                   int32_t num_threads, double stop_after_ms, uint64_t seed);
+
+  /// One arrival per client thread at t=start_ms (with sub-ms jitter).
+  std::vector<QueryArrival> InitialArrivals(int64_t start_ms);
+
+  std::optional<QueryArrival> OnQueryDone(int32_t client_id,
+                                          double now_ms) override;
+
+  size_t issued() const { return issued_; }
+
+ private:
+  QuerySpec SampleSpec();
+
+  std::vector<std::pair<SpecGenerator, double>> mix_;
+  double total_weight_ = 0.0;
+  int32_t num_threads_;
+  double stop_after_ms_;
+  Rng rng_;
+  size_t issued_ = 0;
+};
+
+}  // namespace pinsql::dbsim
+
+#endif  // PINSQL_DBSIM_CLOSED_LOOP_H_

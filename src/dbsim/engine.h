@@ -1,0 +1,172 @@
+#ifndef PINSQL_DBSIM_ENGINE_H_
+#define PINSQL_DBSIM_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "dbsim/lock_manager.h"
+#include "dbsim/types.h"
+#include "logstore/log_store.h"
+
+namespace pinsql::dbsim {
+
+/// Source of follow-up arrivals for closed-loop clients (sysbench-style
+/// stress tests, Table IV): when a client's query completes, the driver is
+/// asked for that client's next query.
+class ArrivalDriver {
+ public:
+  virtual ~ArrivalDriver() = default;
+  /// Returns the next arrival for `client_id` after its previous query
+  /// finished at `now_ms`, or nullopt to retire the client.
+  virtual std::optional<QueryArrival> OnQueryDone(int32_t client_id,
+                                                  double now_ms) = 0;
+};
+
+/// Event-driven cloud-database instance simulator.
+///
+/// Query lifecycle: arrival -> (throttle check) -> ordered lock acquisition
+/// (FIFO queues, wait timeout) -> service -> completion (locks released,
+/// log record emitted). Service time is the CPU demand scaled by the
+/// processor-sharing slowdown observed at service start plus the IO demand
+/// scaled by IO-channel contention; freezing the slowdown at service start
+/// is a documented approximation (DESIGN.md §4.7) that keeps the simulation
+/// O(#queries log #queries).
+///
+/// Repair hooks (SetThrottle / SetCostMultiplier / SetCpuCores /
+/// set_monitoring) can be changed between RunUntil segments, which is how
+/// the repairing case study (Fig. 8) replays user actions over a day.
+class Engine {
+ public:
+  explicit Engine(const SimConfig& config);
+
+  /// Optional sink for query-log records of completed queries.
+  void AttachLogStore(LogStore* store) { log_store_ = store; }
+  /// Optional closed-loop driver.
+  void SetArrivalDriver(ArrivalDriver* driver) { driver_ = driver; }
+
+  /// Schedules arrivals (any order; they are heap-ordered internally).
+  void AddArrivals(const std::vector<QueryArrival>& arrivals);
+  void AddArrival(const QueryArrival& arrival);
+
+  /// Processes all events strictly before t_end_ms and advances the clock.
+  void RunUntil(double t_end_ms);
+  /// Runs until no events remain (closed-loop drivers must retire clients).
+  void RunToCompletion();
+
+  double now_ms() const { return now_ms_; }
+  /// Queries currently waiting on locks or in service.
+  size_t ActiveCount() const { return active_.size(); }
+  size_t InServiceCount() const { return n_in_service_; }
+
+  /// Finished-query records accumulated so far.
+  const std::vector<CompletedQuery>& completed() const { return completed_; }
+  /// Moves the accumulated records out (e.g. once per simulated window).
+  std::vector<CompletedQuery> TakeCompleted();
+
+  // --- Operational knobs (repair module / experiments) ---------------------
+
+  /// Rate-limits a template to `max_qps` arrivals per second; excess
+  /// arrivals are rejected (QueryOutcome::kThrottled).
+  void SetThrottle(uint64_t sql_id, double max_qps);
+  void ClearThrottle(uint64_t sql_id);
+
+  /// Scales the resource demand of future arrivals of a template; models a
+  /// query-optimization action (index added, query rewritten).
+  void SetCostMultiplier(uint64_t sql_id, double cpu_factor,
+                         double io_factor, double rows_factor);
+
+  /// Instance auto-scaling.
+  void SetCpuCores(double cores);
+  double cpu_cores() const { return config_.cpu_cores; }
+  void SetIoCapacity(double ms_per_sec);
+  double io_capacity_ms_per_sec() const {
+    return config_.io_capacity_ms_per_sec;
+  }
+
+  void set_monitoring(MonitoringConfig m) { config_.monitoring = m; }
+  MonitoringConfig monitoring() const { return config_.monitoring; }
+
+  /// CPU capacity net of monitoring overhead, in cores.
+  double EffectiveCores() const;
+
+  /// Counters.
+  size_t throttled_count() const { return throttled_count_; }
+  size_t timeout_count() const { return timeout_count_; }
+
+ private:
+  enum class EventType { kArrival, kCompletion, kLockTimeout };
+  struct Event {
+    double time_ms;
+    uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventType type;
+    uint64_t query_id;
+    uint64_t aux_key;  // lock key for timeout events
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
+      return a.seq > b.seq;
+    }
+  };
+  struct ActiveQuery {
+    QuerySpec spec;
+    int64_t arrival_ms = 0;
+    int32_t client_id = -1;
+    size_t next_lock = 0;     // index of the first not-yet-held lock
+    bool in_service = false;
+    bool waiting = false;     // blocked on spec.locks[next_lock]
+    uint64_t wait_seq = 0;    // matches the pending timeout event
+    bool waited_row_lock = false;
+    bool waited_mdl = false;
+    double service_start_ms = 0.0;
+  };
+  struct ThrottleState {
+    double max_qps = 0.0;
+    int64_t window_sec = -1;
+    double admitted = 0.0;
+  };
+  struct CostMultiplier {
+    double cpu = 1.0;
+    double io = 1.0;
+    double rows = 1.0;
+  };
+
+  void Schedule(double time_ms, EventType type, uint64_t query_id,
+                uint64_t aux_key = 0);
+  void HandleArrival(uint64_t query_id);
+  void HandleCompletion(uint64_t query_id);
+  void HandleLockTimeout(uint64_t query_id, uint64_t key, uint64_t seq);
+  /// Acquires locks from next_lock on; starts service when all are held.
+  void ContinueAcquisition(uint64_t query_id);
+  void StartService(uint64_t query_id);
+  /// Finalizes a query: releases locks, records, logs, notifies driver.
+  void Finish(uint64_t query_id, double completion_ms, QueryOutcome outcome);
+  void ResumeGranted(const std::vector<uint64_t>& granted);
+  bool Admit(uint64_t sql_id, int64_t arrival_ms);
+
+  SimConfig config_;
+  LockManager lock_manager_;
+  LogStore* log_store_ = nullptr;
+  ArrivalDriver* driver_ = nullptr;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::unordered_map<uint64_t, ActiveQuery> active_;
+  std::vector<CompletedQuery> completed_;
+  std::unordered_map<uint64_t, ThrottleState> throttles_;
+  std::unordered_map<uint64_t, CostMultiplier> cost_multipliers_;
+
+  double now_ms_ = 0.0;
+  uint64_t next_query_id_ = 1;
+  uint64_t next_seq_ = 1;
+  size_t n_in_service_ = 0;
+  size_t n_io_in_service_ = 0;
+  size_t throttled_count_ = 0;
+  size_t timeout_count_ = 0;
+};
+
+}  // namespace pinsql::dbsim
+
+#endif  // PINSQL_DBSIM_ENGINE_H_

@@ -1,0 +1,128 @@
+#include "dbsim/lock_manager.h"
+
+#include <cassert>
+
+namespace pinsql::dbsim {
+
+namespace {
+constexpr uint64_t kMdlBit = 1ULL << 63;
+}  // namespace
+
+uint64_t MakeMdlKey(uint32_t table_id) {
+  return kMdlBit | (static_cast<uint64_t>(table_id) << 32);
+}
+
+uint64_t MakeRowKey(uint32_t table_id, uint32_t row_group) {
+  return (static_cast<uint64_t>(table_id) << 32) | row_group;
+}
+
+bool IsMdlKey(uint64_t key) { return (key & kMdlBit) != 0; }
+
+uint32_t TableOfKey(uint64_t key) {
+  return static_cast<uint32_t>((key & ~kMdlBit) >> 32);
+}
+
+bool LockManager::Request(uint64_t query_id, uint64_t key, LockMode mode) {
+  LockState& state = locks_[key];
+  const bool queue_empty = state.queue.empty();
+  bool grantable = false;
+  if (mode == LockMode::kShared) {
+    grantable = queue_empty && !state.exclusive_held;
+  } else {
+    grantable = queue_empty && state.Unowned();
+  }
+  if (grantable) {
+    if (mode == LockMode::kShared) {
+      state.shared_owners.insert(query_id);
+    } else {
+      state.exclusive_held = true;
+      state.exclusive_owner = query_id;
+    }
+    return true;
+  }
+  state.queue.push_back({query_id, mode});
+  return false;
+}
+
+void LockManager::PumpQueue(uint64_t key, LockState* state,
+                            std::vector<uint64_t>* granted_out) {
+  while (!state->queue.empty()) {
+    const Waiter& head = state->queue.front();
+    if (head.mode == LockMode::kExclusive) {
+      if (!state->Unowned()) break;
+      state->exclusive_held = true;
+      state->exclusive_owner = head.query_id;
+      granted_out->push_back(head.query_id);
+      state->queue.pop_front();
+      break;  // exclusive blocks everything behind it
+    }
+    // Shared head: grantable unless an exclusive lock is held.
+    if (state->exclusive_held) break;
+    state->shared_owners.insert(head.query_id);
+    granted_out->push_back(head.query_id);
+    state->queue.pop_front();
+    // Keep granting consecutive shared requests.
+  }
+  (void)key;
+}
+
+void LockManager::EraseIfIdle(uint64_t key) {
+  auto it = locks_.find(key);
+  if (it != locks_.end() && it->second.Unowned() && it->second.queue.empty()) {
+    locks_.erase(it);
+  }
+}
+
+void LockManager::Release(uint64_t query_id, uint64_t key,
+                          std::vector<uint64_t>* granted_out) {
+  auto it = locks_.find(key);
+  assert(it != locks_.end() && "releasing an unknown lock");
+  LockState& state = it->second;
+  if (state.exclusive_held && state.exclusive_owner == query_id) {
+    state.exclusive_held = false;
+    state.exclusive_owner = 0;
+  } else {
+    const size_t erased = state.shared_owners.erase(query_id);
+    assert(erased == 1 && "releasing a lock not held by this query");
+    (void)erased;
+  }
+  PumpQueue(key, &state, granted_out);
+  EraseIfIdle(key);
+}
+
+bool LockManager::CancelWait(uint64_t query_id, uint64_t key,
+                             std::vector<uint64_t>* granted_out) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return false;
+  LockState& state = it->second;
+  bool removed = false;
+  for (auto qit = state.queue.begin(); qit != state.queue.end(); ++qit) {
+    if (qit->query_id == query_id) {
+      state.queue.erase(qit);
+      removed = true;
+      break;
+    }
+  }
+  if (removed) {
+    // The cancelled waiter may have been the head blocking compatible
+    // requests behind it.
+    PumpQueue(key, &state, granted_out);
+    EraseIfIdle(key);
+  }
+  return removed;
+}
+
+bool LockManager::Holds(uint64_t query_id, uint64_t key) const {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return false;
+  const LockState& state = it->second;
+  return (state.exclusive_held && state.exclusive_owner == query_id) ||
+         state.shared_owners.count(query_id) > 0;
+}
+
+size_t LockManager::WaiterCount(uint64_t key) const {
+  auto it = locks_.find(key);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+}  // namespace pinsql::dbsim

@@ -1,0 +1,135 @@
+#include "dbsim/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pinsql::dbsim {
+
+namespace {
+
+/// Adds `amount` spread uniformly over [begin_ms, end_ms) into per-second
+/// buckets of `series` (values accumulate proportionally to overlap).
+void SpreadOverSeconds(TimeSeries* series, double begin_ms, double end_ms,
+                       double amount) {
+  if (end_ms <= begin_ms || amount == 0.0) return;
+  const double density = amount / (end_ms - begin_ms);
+  const int64_t first_sec = static_cast<int64_t>(std::floor(begin_ms / 1000.0));
+  const int64_t last_sec = static_cast<int64_t>(std::floor((end_ms - 1e-9) / 1000.0));
+  for (int64_t sec = first_sec; sec <= last_sec; ++sec) {
+    const double lo = std::max(begin_ms, static_cast<double>(sec) * 1000.0);
+    const double hi =
+        std::min(end_ms, static_cast<double>(sec + 1) * 1000.0);
+    if (hi > lo && series->Covers(sec)) {
+      series->AtTime(sec) += density * (hi - lo);
+    }
+  }
+}
+
+}  // namespace
+
+InstanceMetrics ComputeInstanceMetrics(
+    const std::vector<CompletedQuery>& completed, int64_t start_sec,
+    int64_t end_sec, double effective_cores, double io_capacity_ms_per_sec,
+    Rng* rng) {
+  const size_t n = static_cast<size_t>(end_sec - start_sec);
+  InstanceMetrics m;
+  m.active_session = TimeSeries(start_sec, 1, n);
+  m.cpu_usage = TimeSeries(start_sec, 1, n);
+  m.iops_usage = TimeSeries(start_sec, 1, n);
+  m.row_lock_waits = TimeSeries(start_sec, 1, n);
+  m.mdl_waits = TimeSeries(start_sec, 1, n);
+  m.qps = TimeSeries(start_sec, 1, n);
+  m.sample_offset_ms.resize(n);
+
+  // Hidden SHOW STATUS sampling instants, one per second.
+  std::vector<double> sample_ms(n);
+  for (size_t i = 0; i < n; ++i) {
+    m.sample_offset_ms[i] = rng->Uniform(0.0, 1000.0);
+    sample_ms[i] = static_cast<double>(start_sec + static_cast<int64_t>(i)) *
+                       1000.0 +
+                   m.sample_offset_ms[i];
+  }
+
+  // Point-in-time active-session counting via a two-pointer sweep over
+  // sorted interval endpoints (a query is active from arrival to
+  // completion, lock waits included; throttled queries never occupied a
+  // session).
+  std::vector<double> starts;
+  std::vector<double> ends;
+  starts.reserve(completed.size());
+  ends.reserve(completed.size());
+  for (const CompletedQuery& q : completed) {
+    if (q.outcome == QueryOutcome::kThrottled) continue;
+    starts.push_back(static_cast<double>(q.arrival_ms));
+    ends.push_back(q.completion_ms);
+  }
+  std::sort(starts.begin(), starts.end());
+  std::sort(ends.begin(), ends.end());
+  size_t si = 0;
+  size_t ei = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (si < starts.size() && starts[si] <= sample_ms[i]) ++si;
+    while (ei < ends.size() && ends[ei] <= sample_ms[i]) ++ei;
+    m.active_session[i] = static_cast<double>(si - ei);
+  }
+
+  // Resource usage: distribute each query's CPU/IO demand uniformly over
+  // its service interval, then express per-second work as a percentage of
+  // capacity.
+  for (const CompletedQuery& q : completed) {
+    if (q.outcome == QueryOutcome::kThrottled) continue;
+    SpreadOverSeconds(&m.cpu_usage, q.service_start_ms, q.completion_ms,
+                      q.outcome == QueryOutcome::kCompleted ? q.cpu_ms : 0.0);
+    SpreadOverSeconds(&m.iops_usage, q.service_start_ms, q.completion_ms,
+                      q.outcome == QueryOutcome::kCompleted ? q.io_ms : 0.0);
+    const int64_t arr_sec = q.arrival_ms / 1000;
+    if (q.waited_row_lock) m.row_lock_waits.AccumulateAt(arr_sec, 1.0);
+    if (q.waited_mdl) m.mdl_waits.AccumulateAt(arr_sec, 1.0);
+    if (q.outcome == QueryOutcome::kCompleted) {
+      const int64_t done_sec =
+          static_cast<int64_t>(std::floor(q.completion_ms / 1000.0));
+      m.qps.AccumulateAt(done_sec, 1.0);
+    }
+  }
+  const double cpu_capacity_ms = effective_cores * 1000.0;
+  for (size_t i = 0; i < n; ++i) {
+    m.cpu_usage[i] = std::min(100.0, 100.0 * m.cpu_usage[i] /
+                                         cpu_capacity_ms);
+    m.iops_usage[i] =
+        std::min(100.0, 100.0 * m.iops_usage[i] / io_capacity_ms_per_sec);
+  }
+  return m;
+}
+
+std::unordered_map<uint64_t, TimeSeries> ComputeTrueTemplateSessions(
+    const std::vector<CompletedQuery>& completed, int64_t start_sec,
+    int64_t end_sec) {
+  const size_t n = static_cast<size_t>(end_sec - start_sec);
+  std::unordered_map<uint64_t, TimeSeries> out;
+  for (const CompletedQuery& q : completed) {
+    if (q.outcome == QueryOutcome::kThrottled) continue;
+    auto [it, inserted] = out.try_emplace(q.sql_id);
+    if (inserted) it->second = TimeSeries(start_sec, 1, n);
+    // Mean concurrency contribution: active-time overlap per second / 1 s.
+    const double begin = static_cast<double>(q.arrival_ms);
+    const double end = q.completion_ms;
+    SpreadOverSeconds(&it->second, begin, end, (end - begin) / 1000.0);
+  }
+  return out;
+}
+
+TimeSeries ComputeTrueInstanceSession(
+    const std::vector<CompletedQuery>& completed, int64_t start_sec,
+    int64_t end_sec) {
+  const size_t n = static_cast<size_t>(end_sec - start_sec);
+  TimeSeries total(start_sec, 1, n);
+  for (const CompletedQuery& q : completed) {
+    if (q.outcome == QueryOutcome::kThrottled) continue;
+    const double begin = static_cast<double>(q.arrival_ms);
+    const double end = q.completion_ms;
+    SpreadOverSeconds(&total, begin, end, (end - begin) / 1000.0);
+  }
+  return total;
+}
+
+}  // namespace pinsql::dbsim

@@ -1,0 +1,53 @@
+#ifndef PINSQL_DBSIM_MONITOR_H_
+#define PINSQL_DBSIM_MONITOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dbsim/types.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+
+namespace pinsql::dbsim {
+
+/// Per-second instance performance metrics, as the monitoring agent would
+/// report them (paper Definition II.4 and Sec. IV).
+struct InstanceMetrics {
+  /// Number of active sessions observed by SHOW STATUS. Crucially, the
+  /// sample is taken at an *unknown* offset t3 inside each second (Fig. 3);
+  /// the offsets are recorded here only as ground truth for tests and are
+  /// never shown to the estimator.
+  TimeSeries active_session;
+  TimeSeries cpu_usage;       // percent of effective CPU capacity
+  TimeSeries iops_usage;      // percent of IO capacity
+  TimeSeries row_lock_waits;  // row-lock waits begun per second
+  TimeSeries mdl_waits;       // metadata-lock waits begun per second
+  TimeSeries qps;             // successfully completed queries per second
+  std::vector<double> sample_offset_ms;  // hidden t3 offsets, one per second
+};
+
+/// Derives the monitor's view from the simulator's post-mortem records.
+/// `effective_cores` and `io_capacity_ms_per_sec` size the usage
+/// percentages; `rng` draws the hidden SHOW STATUS offsets.
+InstanceMetrics ComputeInstanceMetrics(
+    const std::vector<CompletedQuery>& completed, int64_t start_sec,
+    int64_t end_sec, double effective_cores, double io_capacity_ms_per_sec,
+    Rng* rng);
+
+/// Ground-truth individual active session per template: the mean number of
+/// concurrently-active queries of each template in every second (integral
+/// of the active intervals). Used to label H-SQLs in the synthetic dataset
+/// and to validate the estimator.
+std::unordered_map<uint64_t, TimeSeries> ComputeTrueTemplateSessions(
+    const std::vector<CompletedQuery>& completed, int64_t start_sec,
+    int64_t end_sec);
+
+/// Sum of the per-template true sessions = true instance mean concurrency.
+TimeSeries ComputeTrueInstanceSession(
+    const std::vector<CompletedQuery>& completed, int64_t start_sec,
+    int64_t end_sec);
+
+}  // namespace pinsql::dbsim
+
+#endif  // PINSQL_DBSIM_MONITOR_H_

@@ -1,0 +1,91 @@
+#ifndef PINSQL_DBSIM_TYPES_H_
+#define PINSQL_DBSIM_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dbsim/lock_manager.h"
+
+namespace pinsql::dbsim {
+
+/// One lock a query must hold for its whole execution (acquired in key
+/// order before service, released at completion).
+struct LockRequest {
+  uint64_t key = 0;
+  LockMode mode = LockMode::kShared;
+};
+
+/// Resource demand and lock footprint of a single query instance.
+struct QuerySpec {
+  uint64_t sql_id = 0;
+  double cpu_ms = 1.0;         // pure CPU service demand at an idle instance
+  double io_ms = 0.0;          // IO portion of the service demand
+  int64_t examined_rows = 0;   // reported in the query log
+  std::vector<LockRequest> locks;
+};
+
+/// A query arriving at the instance. client_id >= 0 marks closed-loop
+/// clients (sysbench-style): their completion triggers the next arrival.
+struct QueryArrival {
+  int64_t arrival_ms = 0;
+  QuerySpec spec;
+  int32_t client_id = -1;
+};
+
+/// How a query ended.
+enum class QueryOutcome {
+  kCompleted,
+  kLockTimeout,  // aborted after waiting too long on a lock
+  kThrottled,    // rejected by an SQL-throttling rule
+};
+
+/// Post-mortem record of one simulated query; the Monitor derives all
+/// ground-truth metrics from these.
+struct CompletedQuery {
+  uint64_t sql_id = 0;
+  int32_t client_id = -1;
+  int64_t arrival_ms = 0;
+  double service_start_ms = 0.0;  // lock waits end here
+  double completion_ms = 0.0;
+  double cpu_ms = 0.0;  // effective CPU demand (after optimization actions)
+  double io_ms = 0.0;
+  int64_t examined_rows = 0;
+  bool waited_row_lock = false;
+  bool waited_mdl = false;
+  QueryOutcome outcome = QueryOutcome::kCompleted;
+
+  double response_ms() const {
+    return completion_ms - static_cast<double>(arrival_ms);
+  }
+};
+
+/// MySQL Performance Schema configurations whose overhead Table IV
+/// measures. Monitoring steals a fraction of CPU capacity.
+enum class MonitoringConfig {
+  kNormal,     // performance_schema = OFF
+  kPfs,        // performance_schema = ON, defaults
+  kPfsIns,     // + all instrumentation enabled
+  kPfsCon,     // + all consumers enabled
+  kPfsConIns,  // + both
+};
+
+const char* MonitoringConfigName(MonitoringConfig config);
+
+/// Fraction of CPU capacity consumed by the monitoring configuration.
+/// Calibrated so the closed-loop QPS decline reproduces Table IV's bands
+/// (pfs ~ 9-13 %, single add-on ~ 8-18 %, both ~ 26-30 %).
+double MonitoringOverheadFraction(MonitoringConfig config);
+
+/// Instance-level simulator configuration.
+struct SimConfig {
+  double cpu_cores = 16.0;
+  /// IO budget: milliseconds of device time available per wall second.
+  double io_capacity_ms_per_sec = 8000.0;
+  MonitoringConfig monitoring = MonitoringConfig::kNormal;
+  /// innodb_lock_wait_timeout analogue.
+  double lock_wait_timeout_ms = 50'000.0;
+};
+
+}  // namespace pinsql::dbsim
+
+#endif  // PINSQL_DBSIM_TYPES_H_

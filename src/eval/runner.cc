@@ -1,0 +1,120 @@
+#include "eval/runner.h"
+
+#include <chrono>
+#include <unordered_set>
+
+namespace pinsql::eval {
+
+void ForEachCase(
+    const EvalOptions& options,
+    const std::function<void(size_t, const AnomalyCaseData&)>& fn) {
+  for (int i = 0; i < options.num_cases; ++i) {
+    CaseGenOptions cg = options.case_options;
+    cg.seed = options.seed + static_cast<uint64_t>(i) * 1000003ULL;
+    cg.type = options.types[static_cast<size_t>(i) % options.types.size()];
+    const AnomalyCaseData data = GenerateCase(cg);
+    fn(static_cast<size_t>(i), data);
+  }
+}
+
+core::DiagnosisInput MakeDiagnosisInput(const AnomalyCaseData& data) {
+  core::DiagnosisInput input;
+  input.logs = &data.logs;
+  input.active_session = data.metrics.active_session;
+  input.helper_metrics["cpu_usage"] = data.metrics.cpu_usage;
+  input.helper_metrics["iops_usage"] = data.metrics.iops_usage;
+  input.helper_metrics["row_lock_waits"] = data.metrics.row_lock_waits;
+  input.helper_metrics["mdl_waits"] = data.metrics.mdl_waits;
+  input.anomaly_start_sec = data.anomaly_start();
+  input.anomaly_end_sec = data.anomaly_end();
+  input.history = &data.history;
+  return input;
+}
+
+int RsqlRank(const std::vector<uint64_t>& ranking,
+             const AnomalyCaseData& data) {
+  return FirstHitRank(ranking, std::unordered_set<uint64_t>(
+                                   data.rsql_truth.begin(),
+                                   data.rsql_truth.end()));
+}
+
+int HsqlRank(const std::vector<uint64_t>& ranking,
+             const AnomalyCaseData& data) {
+  return FirstHitRank(ranking, std::unordered_set<uint64_t>(
+                                   data.hsql_truth.begin(),
+                                   data.hsql_truth.end()));
+}
+
+void MethodAccumulator::AddCase(const std::vector<uint64_t>& rsql_ranking,
+                                const std::vector<uint64_t>& hsql_ranking,
+                                const AnomalyCaseData& data, double seconds) {
+  AddRanks(RsqlRank(rsql_ranking, data), HsqlRank(hsql_ranking, data),
+           seconds);
+}
+
+void MethodAccumulator::AddRanks(int rsql_rank, int hsql_rank,
+                                 double seconds) {
+  rsql_.Add(rsql_rank);
+  hsql_.Add(hsql_rank);
+  time_sum_ += seconds;
+  ++time_count_;
+}
+
+MethodScores MethodAccumulator::Summary() const {
+  MethodScores s;
+  s.name = name_;
+  s.rsql = rsql_.Summary();
+  s.hsql = hsql_.Summary();
+  s.mean_time_sec =
+      time_count_ == 0 ? 0.0 : time_sum_ / static_cast<double>(time_count_);
+  return s;
+}
+
+std::vector<MethodScores> RunOverallEvaluation(
+    const EvalOptions& options, const core::DiagnoserOptions& diagnoser) {
+  MethodAccumulator pinsql("PinSQL");
+  MethodAccumulator top_en("Top-EN");
+  MethodAccumulator top_rt("Top-RT");
+  MethodAccumulator top_er("Top-ER");
+  MethodAccumulator top_all("Top-All");
+
+  ForEachCase(options, [&](size_t index, const AnomalyCaseData& data) {
+    (void)index;
+    const core::DiagnosisInput input = MakeDiagnosisInput(data);
+    const core::DiagnosisResult result = core::Diagnose(input, diagnoser);
+    pinsql.AddCase(result.rsql.ranking, result.TopHsql(result.hsql_ranking.size()),
+                   data, result.total_seconds);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const baselines::TopSqlRankings tops = baselines::RankAllTopSql(
+        result.metrics, input.anomaly_start_sec, input.anomaly_end_sec);
+    const double top_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        3.0;
+
+    const int en_r = RsqlRank(tops.by_execution, data);
+    const int en_h = HsqlRank(tops.by_execution, data);
+    const int rt_r = RsqlRank(tops.by_response_time, data);
+    const int rt_h = HsqlRank(tops.by_response_time, data);
+    const int er_r = RsqlRank(tops.by_examined_rows, data);
+    const int er_h = HsqlRank(tops.by_examined_rows, data);
+    top_en.AddRanks(en_r, en_h, top_seconds);
+    top_rt.AddRanks(rt_r, rt_h, top_seconds);
+    top_er.AddRanks(er_r, er_h, top_seconds);
+
+    // Top-All: the best variant per case (paper Sec. VIII-A), 0 = miss.
+    auto best = [](int a, int b) {
+      if (a == 0) return b;
+      if (b == 0) return a;
+      return std::min(a, b);
+    };
+    top_all.AddRanks(best(best(en_r, rt_r), er_r),
+                     best(best(en_h, rt_h), er_h), top_seconds * 3.0);
+  });
+
+  return {pinsql.Summary(), top_rt.Summary(), top_er.Summary(),
+          top_en.Summary(), top_all.Summary()};
+}
+
+}  // namespace pinsql::eval

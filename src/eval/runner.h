@@ -1,0 +1,83 @@
+#ifndef PINSQL_EVAL_RUNNER_H_
+#define PINSQL_EVAL_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/top_sql.h"
+#include "core/diagnoser.h"
+#include "eval/case_generator.h"
+#include "eval/metrics.h"
+
+namespace pinsql::eval {
+
+/// Evaluation batch configuration: `num_cases` cases, anomaly types cycled
+/// round-robin, each case seeded from `seed` + index.
+struct EvalOptions {
+  int num_cases = 40;
+  uint64_t seed = 42;
+  CaseGenOptions case_options;
+  /// Case-type cycle. Lock anomalies appear twice: they dominate the
+  /// hard production cases the paper motivates (R-SQL != top consumer).
+  std::vector<workload::AnomalyType> types = {
+      workload::AnomalyType::kBusinessSpike,
+      workload::AnomalyType::kPoorSql,
+      workload::AnomalyType::kMdlLock,
+      workload::AnomalyType::kRowLock,
+      workload::AnomalyType::kMdlLock,
+      workload::AnomalyType::kRowLock,
+  };
+};
+
+/// Generates each case in turn and hands it to `fn`; cases are discarded
+/// afterwards so memory stays bounded. Use this to evaluate many method
+/// variants against identical cases.
+void ForEachCase(const EvalOptions& options,
+                 const std::function<void(size_t, const AnomalyCaseData&)>& fn);
+
+/// Builds the diagnosis input for a generated case (wires logs, metrics,
+/// helper-metric nodes, the detected anomaly period and history).
+core::DiagnosisInput MakeDiagnosisInput(const AnomalyCaseData& data);
+
+/// Scores of one method on one batch.
+struct MethodScores {
+  std::string name;
+  RankMetrics rsql;
+  RankMetrics hsql;
+  double mean_time_sec = 0.0;
+};
+
+/// Accumulates per-case ranks + timings for one method.
+class MethodAccumulator {
+ public:
+  explicit MethodAccumulator(std::string name) : name_(std::move(name)) {}
+  void AddCase(const std::vector<uint64_t>& rsql_ranking,
+               const std::vector<uint64_t>& hsql_ranking,
+               const AnomalyCaseData& data, double seconds);
+  /// For Top-All: add the best (min positive) rank across variants.
+  void AddRanks(int rsql_rank, int hsql_rank, double seconds);
+  MethodScores Summary() const;
+
+ private:
+  std::string name_;
+  RankAccumulator rsql_;
+  RankAccumulator hsql_;
+  double time_sum_ = 0.0;
+  size_t time_count_ = 0;
+};
+
+/// First-hit ranks of one ranking against a case's R/H ground truth.
+int RsqlRank(const std::vector<uint64_t>& ranking,
+             const AnomalyCaseData& data);
+int HsqlRank(const std::vector<uint64_t>& ranking,
+             const AnomalyCaseData& data);
+
+/// Full Table-I style evaluation: PinSQL (with `diagnoser` options) vs
+/// Top-EN / Top-RT / Top-ER / Top-All on one batch.
+std::vector<MethodScores> RunOverallEvaluation(
+    const EvalOptions& options, const core::DiagnoserOptions& diagnoser);
+
+}  // namespace pinsql::eval
+
+#endif  // PINSQL_EVAL_RUNNER_H_

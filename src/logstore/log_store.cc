@@ -1,0 +1,69 @@
+#include "logstore/log_store.h"
+
+#include <algorithm>
+
+namespace pinsql {
+
+void LogStore::Append(const QueryLogRecord& record) {
+  if (!records_.empty() && record.arrival_ms < records_.back().arrival_ms) {
+    sorted_ = false;
+  }
+  records_.push_back(record);
+}
+
+void LogStore::RegisterTemplate(uint64_t sql_id, TemplateCatalogEntry entry) {
+  catalog_.emplace(sql_id, std::move(entry));
+}
+
+const TemplateCatalogEntry* LogStore::FindTemplate(uint64_t sql_id) const {
+  auto it = catalog_.find(sql_id);
+  return it == catalog_.end() ? nullptr : &it->second;
+}
+
+void LogStore::EnsureSorted() const {
+  if (sorted_) return;
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const QueryLogRecord& a, const QueryLogRecord& b) {
+                     return a.arrival_ms < b.arrival_ms;
+                   });
+  sorted_ = true;
+}
+
+void LogStore::ScanRange(
+    int64_t t0_ms, int64_t t1_ms,
+    const std::function<void(const QueryLogRecord&)>& fn) const {
+  EnsureSorted();
+  auto lo = std::lower_bound(records_.begin(), records_.end(), t0_ms,
+                             [](const QueryLogRecord& r, int64_t t) {
+                               return r.arrival_ms < t;
+                             });
+  for (auto it = lo; it != records_.end() && it->arrival_ms < t1_ms; ++it) {
+    fn(*it);
+  }
+}
+
+std::vector<QueryLogRecord> LogStore::Range(int64_t t0_ms,
+                                            int64_t t1_ms) const {
+  std::vector<QueryLogRecord> out;
+  ScanRange(t0_ms, t1_ms,
+            [&out](const QueryLogRecord& r) { out.push_back(r); });
+  return out;
+}
+
+size_t LogStore::TrimBefore(int64_t cutoff_ms) {
+  EnsureSorted();
+  auto lo = std::lower_bound(records_.begin(), records_.end(), cutoff_ms,
+                             [](const QueryLogRecord& r, int64_t t) {
+                               return r.arrival_ms < t;
+                             });
+  const size_t dropped = static_cast<size_t>(lo - records_.begin());
+  records_.erase(records_.begin(), lo);
+  return dropped;
+}
+
+const std::vector<QueryLogRecord>& LogStore::SortedRecords() const {
+  EnsureSorted();
+  return records_;
+}
+
+}  // namespace pinsql

@@ -1,0 +1,79 @@
+#ifndef PINSQL_LOGSTORE_LOG_STORE_H_
+#define PINSQL_LOGSTORE_LOG_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqltpl/fingerprint.h"
+
+namespace pinsql {
+
+/// One collected query-log entry (paper Sec. IV-A): for every SQL query the
+/// collector records its template id, arrival timestamp in milliseconds,
+/// response time, and the number of examined rows.
+struct QueryLogRecord {
+  int64_t arrival_ms = 0;    // t(q): when the query reached the database
+  double response_ms = 0.0;  // tres(q): response / DB time
+  uint64_t sql_id = 0;       // template id
+  int64_t examined_rows = 0; // #examined_rows(q)
+};
+
+/// Side table mapping SQL_ID -> template metadata so the per-record payload
+/// stays small (billions of queries aggregate into tens of thousands of
+/// templates in production).
+struct TemplateCatalogEntry {
+  std::string template_text;
+  sqltpl::StatementKind kind = sqltpl::StatementKind::kOther;
+  std::vector<std::string> tables;
+};
+
+/// Append-only query-log store, the stand-in for Alibaba Cloud LogStore.
+/// Records are buffered as they complete (completion order != arrival
+/// order) and sorted lazily by arrival time when scanned. Retention
+/// trimming models the paper's 3-day expiry.
+class LogStore {
+ public:
+  LogStore() = default;
+
+  /// Appends one completed-query record.
+  void Append(const QueryLogRecord& record);
+
+  /// Registers template metadata (idempotent).
+  void RegisterTemplate(uint64_t sql_id, TemplateCatalogEntry entry);
+  /// Returns nullptr when unknown.
+  const TemplateCatalogEntry* FindTemplate(uint64_t sql_id) const;
+  const std::unordered_map<uint64_t, TemplateCatalogEntry>& catalog() const {
+    return catalog_;
+  }
+
+  size_t size() const { return records_.size(); }
+
+  /// Invokes `fn` for every record with arrival_ms in [t0_ms, t1_ms), in
+  /// arrival order.
+  void ScanRange(int64_t t0_ms, int64_t t1_ms,
+                 const std::function<void(const QueryLogRecord&)>& fn) const;
+
+  /// Copies the records with arrival_ms in [t0_ms, t1_ms), arrival-ordered.
+  std::vector<QueryLogRecord> Range(int64_t t0_ms, int64_t t1_ms) const;
+
+  /// Drops every record with arrival_ms < cutoff_ms (retention). Returns
+  /// the number of dropped records.
+  size_t TrimBefore(int64_t cutoff_ms);
+
+  /// All records, arrival-ordered.
+  const std::vector<QueryLogRecord>& SortedRecords() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<QueryLogRecord> records_;
+  mutable bool sorted_ = true;
+  std::unordered_map<uint64_t, TemplateCatalogEntry> catalog_;
+};
+
+}  // namespace pinsql
+
+#endif  // PINSQL_LOGSTORE_LOG_STORE_H_

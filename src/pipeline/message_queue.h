@@ -1,0 +1,96 @@
+#ifndef PINSQL_PIPELINE_MESSAGE_QUEUE_H_
+#define PINSQL_PIPELINE_MESSAGE_QUEUE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pinsql::pipeline {
+
+/// In-process stand-in for the Kafka layer of the paper's collection
+/// pipeline (Sec. IV-A): a topic is a set of partitions, producers publish
+/// records partitioned by key, and consumers poll per-partition with
+/// explicit offsets. Single-process and lock-free by design — the
+/// substitution keeps the data flow and ordering semantics (per-partition
+/// FIFO, at-least-once re-reads by rewinding offsets) without the cluster.
+template <typename T>
+class Topic {
+ public:
+  explicit Topic(std::string name, size_t num_partitions = 4)
+      : name_(std::move(name)), partitions_(num_partitions) {
+    assert(num_partitions > 0);
+  }
+
+  const std::string& name() const { return name_; }
+  size_t num_partitions() const { return partitions_.size(); }
+
+  /// Publishes a record to the partition selected by `key` (stable hash).
+  void Publish(uint64_t key, T record) {
+    partitions_[key % partitions_.size()].push_back(std::move(record));
+  }
+
+  /// Total records across partitions.
+  size_t TotalSize() const {
+    size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  const std::vector<T>& Partition(size_t i) const { return partitions_[i]; }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<T>> partitions_;
+};
+
+/// Polling consumer with per-partition offsets (consumer-group semantics
+/// for a group of one). Poll drains up to `max_records` in round-robin
+/// partition order.
+template <typename T>
+class Consumer {
+ public:
+  explicit Consumer(const Topic<T>* topic)
+      : topic_(topic), offsets_(topic->num_partitions(), 0) {}
+
+  /// Returns up to max_records unread records and advances the offsets.
+  std::vector<T> Poll(size_t max_records) {
+    std::vector<T> out;
+    out.reserve(max_records);
+    bool progress = true;
+    while (out.size() < max_records && progress) {
+      progress = false;
+      for (size_t p = 0; p < topic_->num_partitions(); ++p) {
+        const auto& part = topic_->Partition(p);
+        if (offsets_[p] < part.size() && out.size() < max_records) {
+          out.push_back(part[offsets_[p]++]);
+          progress = true;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Unread records remaining.
+  size_t Lag() const {
+    size_t lag = 0;
+    for (size_t p = 0; p < topic_->num_partitions(); ++p) {
+      lag += topic_->Partition(p).size() - offsets_[p];
+    }
+    return lag;
+  }
+
+  /// Rewinds all offsets to the beginning (re-consume).
+  void SeekToBeginning() {
+    for (auto& off : offsets_) off = 0;
+  }
+
+ private:
+  const Topic<T>* topic_;
+  std::vector<size_t> offsets_;
+};
+
+}  // namespace pinsql::pipeline
+
+#endif  // PINSQL_PIPELINE_MESSAGE_QUEUE_H_

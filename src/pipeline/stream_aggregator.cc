@@ -1,0 +1,38 @@
+#include "pipeline/stream_aggregator.h"
+
+namespace pinsql {
+
+StreamAggregator::StreamAggregator(pipeline::Topic<QueryLogRecord>* topic,
+                                   int64_t start_sec, int64_t end_sec)
+    : consumer_(topic), metrics_(start_sec, end_sec, /*interval_sec=*/1) {}
+
+size_t StreamAggregator::PumpOnce(size_t max_records) {
+  const std::vector<QueryLogRecord> batch = consumer_.Poll(max_records);
+  for (const QueryLogRecord& record : batch) {
+    metrics_.Accumulate(record);
+    if (log_store_ != nullptr) log_store_->Append(record);
+  }
+  return batch.size();
+}
+
+size_t StreamAggregator::PumpAll() {
+  size_t total = 0;
+  while (true) {
+    const size_t n = PumpOnce();
+    if (n == 0) break;
+    total += n;
+  }
+  return total;
+}
+
+TemplateMetricsStore AggregateWindow(const LogStore& store, int64_t start_sec,
+                                     int64_t end_sec, int64_t interval_sec) {
+  TemplateMetricsStore metrics(start_sec, end_sec, interval_sec);
+  store.ScanRange(start_sec * 1000, end_sec * 1000,
+                  [&metrics](const QueryLogRecord& record) {
+                    metrics.Accumulate(record);
+                  });
+  return metrics;
+}
+
+}  // namespace pinsql

@@ -1,0 +1,47 @@
+#ifndef PINSQL_PIPELINE_STREAM_AGGREGATOR_H_
+#define PINSQL_PIPELINE_STREAM_AGGREGATOR_H_
+
+#include <cstdint>
+
+#include "logstore/log_store.h"
+#include "pipeline/message_queue.h"
+#include "pipeline/template_metrics.h"
+
+namespace pinsql {
+
+/// The Flink stand-in (paper Sec. IV-A): consumes raw query-log records
+/// from a Topic<QueryLogRecord> and folds them into per-template
+/// time-bucketed aggregates. Also persists the raw records into a LogStore
+/// (the "asynchronously stored into LogStore" path) when one is attached.
+class StreamAggregator {
+ public:
+  /// Aggregates into the window [start_sec, end_sec) at 1 s granularity.
+  StreamAggregator(pipeline::Topic<QueryLogRecord>* topic, int64_t start_sec,
+                   int64_t end_sec);
+
+  /// Optional: also archive consumed records into `store`.
+  void AttachLogStore(LogStore* store) { log_store_ = store; }
+
+  /// Consumes up to `max_records` from the topic. Returns records consumed.
+  size_t PumpOnce(size_t max_records = 4096);
+  /// Consumes until the topic is drained. Returns records consumed.
+  size_t PumpAll();
+
+  const TemplateMetricsStore& metrics() const { return metrics_; }
+  TemplateMetricsStore& metrics() { return metrics_; }
+
+ private:
+  pipeline::Consumer<QueryLogRecord> consumer_;
+  TemplateMetricsStore metrics_;
+  LogStore* log_store_ = nullptr;
+};
+
+/// Batch convenience used by the diagnosis path: aggregates the records of
+/// an existing LogStore over [start_sec, end_sec) without a queue.
+TemplateMetricsStore AggregateWindow(const LogStore& store, int64_t start_sec,
+                                     int64_t end_sec,
+                                     int64_t interval_sec = 1);
+
+}  // namespace pinsql
+
+#endif  // PINSQL_PIPELINE_STREAM_AGGREGATOR_H_

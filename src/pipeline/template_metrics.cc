@@ -1,0 +1,91 @@
+#include "pipeline/template_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pinsql {
+
+TemplateMetricsStore::TemplateMetricsStore(int64_t start_sec, int64_t end_sec,
+                                           int64_t interval_sec)
+    : start_sec_(start_sec), end_sec_(end_sec), interval_sec_(interval_sec) {
+  assert(end_sec >= start_sec);
+  assert(interval_sec > 0);
+}
+
+TemplateSeries* TemplateMetricsStore::FindOrCreate(uint64_t sql_id) {
+  auto it = by_id_.find(sql_id);
+  if (it != by_id_.end()) return &it->second;
+  const size_t n =
+      static_cast<size_t>((end_sec_ - start_sec_) / interval_sec_);
+  TemplateSeries series;
+  series.sql_id = sql_id;
+  series.execution_count = TimeSeries(start_sec_, interval_sec_, n);
+  series.total_response_ms = TimeSeries(start_sec_, interval_sec_, n);
+  series.examined_rows = TimeSeries(start_sec_, interval_sec_, n);
+  return &by_id_.emplace(sql_id, std::move(series)).first->second;
+}
+
+void TemplateMetricsStore::Accumulate(const QueryLogRecord& record) {
+  const int64_t t_sec = record.arrival_ms / 1000;
+  if (t_sec < start_sec_ || t_sec >= end_sec_) return;
+  TemplateSeries* series = FindOrCreate(record.sql_id);
+  series->execution_count.AccumulateAt(t_sec, 1.0);
+  series->total_response_ms.AccumulateAt(t_sec, record.response_ms);
+  series->examined_rows.AccumulateAt(
+      t_sec, static_cast<double>(record.examined_rows));
+}
+
+const TemplateSeries* TemplateMetricsStore::Find(uint64_t sql_id) const {
+  auto it = by_id_.find(sql_id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<const TemplateSeries*> TemplateMetricsStore::AllSorted() const {
+  std::vector<const TemplateSeries*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, series] : by_id_) out.push_back(&series);
+  std::sort(out.begin(), out.end(),
+            [](const TemplateSeries* a, const TemplateSeries* b) {
+              return a->sql_id < b->sql_id;
+            });
+  return out;
+}
+
+std::vector<uint64_t> TemplateMetricsStore::SqlIdsSorted() const {
+  std::vector<uint64_t> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, series] : by_id_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TimeSeries TemplateMetricsStore::TotalResponseAcrossTemplates() const {
+  const size_t n =
+      static_cast<size_t>((end_sec_ - start_sec_) / interval_sec_);
+  TimeSeries total(start_sec_, interval_sec_, n);
+  for (const auto& [id, series] : by_id_) {
+    total.AddInPlace(series.total_response_ms);
+  }
+  return total;
+}
+
+TemplateMetricsStore TemplateMetricsStore::Resample(
+    int64_t new_interval_sec) const {
+  TemplateMetricsStore out(start_sec_, end_sec_, new_interval_sec);
+  for (const auto& [id, series] : by_id_) {
+    TemplateSeries resampled;
+    resampled.sql_id = id;
+    resampled.execution_count =
+        series.execution_count.Resample(new_interval_sec,
+                                        TimeSeries::Agg::kSum);
+    resampled.total_response_ms =
+        series.total_response_ms.Resample(new_interval_sec,
+                                          TimeSeries::Agg::kSum);
+    resampled.examined_rows = series.examined_rows.Resample(
+        new_interval_sec, TimeSeries::Agg::kSum);
+    out.by_id_.emplace(id, std::move(resampled));
+  }
+  return out;
+}
+
+}  // namespace pinsql

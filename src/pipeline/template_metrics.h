@@ -1,0 +1,67 @@
+#ifndef PINSQL_PIPELINE_TEMPLATE_METRICS_H_
+#define PINSQL_PIPELINE_TEMPLATE_METRICS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logstore/log_store.h"
+#include "ts/time_series.h"
+
+namespace pinsql {
+
+/// Per-template aggregated metric series over a window (paper Sec. IV-A):
+/// metric_{Q,t} = Aggregate({metric(q) : q in Q, t(q) in [t, t+dt)}).
+/// All three series share the window's start time and interval.
+struct TemplateSeries {
+  uint64_t sql_id = 0;
+  TimeSeries execution_count;    // count aggregate  (#execution)
+  TimeSeries total_response_ms;  // sum aggregate of tres
+  TimeSeries examined_rows;      // sum aggregate of #examined_rows
+};
+
+/// Aggregated template metrics for one instance and one time window.
+/// Produced by the StreamAggregator at 1 s granularity; 1 min granularity
+/// is derived via Resample.
+class TemplateMetricsStore {
+ public:
+  TemplateMetricsStore() = default;
+  /// Window [start_sec, end_sec) at `interval_sec` granularity.
+  TemplateMetricsStore(int64_t start_sec, int64_t end_sec,
+                       int64_t interval_sec = 1);
+
+  int64_t start_sec() const { return start_sec_; }
+  int64_t end_sec() const { return end_sec_; }
+  int64_t interval_sec() const { return interval_sec_; }
+  size_t num_templates() const { return by_id_.size(); }
+
+  /// Folds one query-log record into the aggregates. Records outside the
+  /// window are ignored (late/early data).
+  void Accumulate(const QueryLogRecord& record);
+
+  /// Lookup; nullptr when the template never executed in the window.
+  const TemplateSeries* Find(uint64_t sql_id) const;
+
+  /// Stable iteration order (sorted by sql_id) for deterministic results.
+  std::vector<const TemplateSeries*> AllSorted() const;
+  std::vector<uint64_t> SqlIdsSorted() const;
+
+  /// Sum of total_response_ms across all templates, per interval. This is
+  /// the "Estimate by RT" proxy for the active session (Table III).
+  TimeSeries TotalResponseAcrossTemplates() const;
+
+  /// Re-aggregated copy at a coarser granularity (e.g. 60 s).
+  TemplateMetricsStore Resample(int64_t new_interval_sec) const;
+
+ private:
+  TemplateSeries* FindOrCreate(uint64_t sql_id);
+
+  int64_t start_sec_ = 0;
+  int64_t end_sec_ = 0;
+  int64_t interval_sec_ = 1;
+  std::unordered_map<uint64_t, TemplateSeries> by_id_;
+};
+
+}  // namespace pinsql
+
+#endif  // PINSQL_PIPELINE_TEMPLATE_METRICS_H_

@@ -1,0 +1,76 @@
+#include "repair/actions.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace pinsql::repair {
+
+const char* ActionTypeName(ActionType type) {
+  switch (type) {
+    case ActionType::kThrottle:
+      return "throttle";
+    case ActionType::kOptimize:
+      return "optimize";
+    case ActionType::kAutoScale:
+      return "autoscale";
+  }
+  return "unknown";
+}
+
+std::string RepairAction::ToString() const {
+  switch (type) {
+    case ActionType::kThrottle:
+      return StrFormat("throttle sql=%s max_qps=%.1f duration=%llds",
+                       HashToHex(sql_id).c_str(), throttle_max_qps,
+                       static_cast<long long>(throttle_duration_sec));
+    case ActionType::kOptimize:
+      return StrFormat("optimize sql=%s cpu_factor=%.2f rows_factor=%.2f",
+                       HashToHex(sql_id).c_str(), optimize_cpu_factor,
+                       optimize_rows_factor);
+    case ActionType::kAutoScale:
+      return StrFormat("autoscale add_cores=%.1f", autoscale_add_cores);
+  }
+  return "unknown";
+}
+
+void ActionExecutor::Execute(const RepairAction& action, double now_ms) {
+  switch (action.type) {
+    case ActionType::kThrottle:
+      engine_->SetThrottle(action.sql_id, action.throttle_max_qps);
+      throttles_.push_back(
+          {action.sql_id,
+           now_ms + 1000.0 * static_cast<double>(
+                                 action.throttle_duration_sec)});
+      break;
+    case ActionType::kOptimize:
+      engine_->SetCostMultiplier(action.sql_id, action.optimize_cpu_factor,
+                                 action.optimize_cpu_factor,
+                                 action.optimize_rows_factor);
+      break;
+    case ActionType::kAutoScale:
+      engine_->SetCpuCores(engine_->cpu_cores() +
+                           action.autoscale_add_cores);
+      engine_->SetIoCapacity(engine_->io_capacity_ms_per_sec() *
+                             action.autoscale_io_factor);
+      break;
+  }
+  audit_log_.push_back(
+      StrFormat("t=%.0fms %s", now_ms, action.ToString().c_str()));
+}
+
+void ActionExecutor::ExpireThrottles(double now_ms) {
+  auto it = throttles_.begin();
+  while (it != throttles_.end()) {
+    if (it->expires_ms <= now_ms) {
+      engine_->ClearThrottle(it->sql_id);
+      audit_log_.push_back(StrFormat("t=%.0fms unthrottle sql=%s", now_ms,
+                                     HashToHex(it->sql_id).c_str()));
+      it = throttles_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace pinsql::repair

@@ -1,0 +1,76 @@
+#ifndef PINSQL_REPAIR_ACTIONS_H_
+#define PINSQL_REPAIR_ACTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbsim/engine.h"
+
+namespace pinsql::repair {
+
+/// The three autonomous actions PinSQL ships (paper Sec. VII); others plug
+/// in by extending the enum and the executor.
+enum class ActionType {
+  kThrottle,   // rate-limit an R-SQL
+  kOptimize,   // report to the query optimizer (index / rewrite)
+  kAutoScale,  // upgrade the instance (add CPU cores)
+};
+
+const char* ActionTypeName(ActionType type);
+
+/// One concrete action against an R-SQL or the instance.
+struct RepairAction {
+  ActionType type = ActionType::kThrottle;
+  /// Target template; ignored for kAutoScale.
+  uint64_t sql_id = 0;
+
+  // kThrottle parameters.
+  double throttle_max_qps = 2.0;
+  int64_t throttle_duration_sec = 600;
+
+  // kOptimize parameters: remaining cost fractions after optimization
+  // (e.g. 0.1 = the optimized plan costs 10 % of the original).
+  double optimize_cpu_factor = 0.1;
+  double optimize_rows_factor = 0.1;
+
+  // kAutoScale parameters: a class upgrade adds CPU cores and multiplies
+  // the IO budget.
+  double autoscale_add_cores = 8.0;
+  double autoscale_io_factor = 2.0;
+
+  std::string ToString() const;
+};
+
+/// Applies actions to a simulated instance and expires throttles. In
+/// production these calls would go to the database's control plane; the
+/// simulator's knobs expose the same effects (rejected queries, cheaper
+/// plans, more cores).
+class ActionExecutor {
+ public:
+  explicit ActionExecutor(dbsim::Engine* engine) : engine_(engine) {}
+
+  /// Executes one action at simulation time now_ms.
+  void Execute(const RepairAction& action, double now_ms);
+
+  /// Lifts throttles whose duration elapsed. Call when simulation time
+  /// advances (e.g. once per simulated segment).
+  void ExpireThrottles(double now_ms);
+
+  /// Actions executed so far (audit log).
+  const std::vector<std::string>& audit_log() const { return audit_log_; }
+
+ private:
+  struct ActiveThrottle {
+    uint64_t sql_id;
+    double expires_ms;
+  };
+
+  dbsim::Engine* engine_;
+  std::vector<ActiveThrottle> throttles_;
+  std::vector<std::string> audit_log_;
+};
+
+}  // namespace pinsql::repair
+
+#endif  // PINSQL_REPAIR_ACTIONS_H_

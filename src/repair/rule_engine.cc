@@ -1,0 +1,178 @@
+#include "repair/rule_engine.h"
+
+#include <algorithm>
+
+#include "ts/tukey.h"
+#include "util/strings.h"
+
+namespace pinsql::repair {
+
+namespace {
+
+/// Evaluates a "<metric>.sudden_increase" template feature with Tukey's
+/// rule: does the metric have an upward outlier inside the anomaly period?
+bool TemplateFeatureHolds(const std::string& feature,
+                          const TemplateSeries& tpl, int64_t anomaly_start,
+                          int64_t anomaly_end) {
+  if (feature.empty() || feature == "*") return true;
+  const TimeSeries* series = nullptr;
+  if (StartsWith(feature, "examined_rows.")) {
+    series = &tpl.examined_rows;
+  } else if (StartsWith(feature, "execution_count.")) {
+    series = &tpl.execution_count;
+  } else if (StartsWith(feature, "total_response_ms.")) {
+    series = &tpl.total_response_ms;
+  } else {
+    return false;  // unknown feature never matches
+  }
+  if (!EndsWith(feature, ".sudden_increase")) return false;
+  const TimeSeries coarse = series->Resample(10, TimeSeries::Agg::kSum);
+  const int64_t step = coarse.interval_sec();
+  const size_t rel_begin = static_cast<size_t>(
+      std::max<int64_t>(0, (anomaly_start - coarse.start_time()) / step));
+  const size_t rel_end = static_cast<size_t>(std::max<int64_t>(
+      0, (anomaly_end - coarse.start_time() + step - 1) / step));
+  return UpwardAnomalyInPeriod(coarse.values(), rel_begin, rel_end, 3.0);
+}
+
+StatusOr<RepairRule> RuleFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("rule must be an object");
+  }
+  RepairRule rule;
+  rule.anomaly = json.GetStringOr("anomaly", "*");
+  rule.template_feature = json.GetStringOr("template_feature", "");
+  rule.auto_execute = json.GetBoolOr("auto_execute", false);
+  if (const Json* notify = json.Find("notify");
+      notify != nullptr && notify->is_array()) {
+    for (const Json& channel : notify->AsArray()) {
+      if (channel.is_string()) rule.notify.push_back(channel.AsString());
+    }
+  }
+
+  const std::string action = json.GetStringOr("action", "");
+  const Json* params = json.Find("params");
+  const Json empty = Json::MakeObject();
+  if (params == nullptr || !params->is_object()) params = &empty;
+  if (action == "throttle") {
+    rule.action.type = ActionType::kThrottle;
+    rule.action.throttle_max_qps =
+        params->GetNumberOr("max_qps", rule.action.throttle_max_qps);
+    rule.action.throttle_duration_sec = static_cast<int64_t>(
+        params->GetNumberOr("duration_sec",
+                            static_cast<double>(
+                                rule.action.throttle_duration_sec)));
+  } else if (action == "optimize") {
+    rule.action.type = ActionType::kOptimize;
+    rule.action.optimize_cpu_factor =
+        params->GetNumberOr("cpu_factor", rule.action.optimize_cpu_factor);
+    rule.action.optimize_rows_factor =
+        params->GetNumberOr("rows_factor", rule.action.optimize_rows_factor);
+  } else if (action == "autoscale") {
+    rule.action.type = ActionType::kAutoScale;
+    rule.action.autoscale_add_cores =
+        params->GetNumberOr("add_cores", rule.action.autoscale_add_cores);
+    rule.action.autoscale_io_factor =
+        params->GetNumberOr("io_factor", rule.action.autoscale_io_factor);
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown action '%s'", action.c_str()));
+  }
+  return rule;
+}
+
+}  // namespace
+
+RepairRuleEngine RepairRuleEngine::Default() {
+  std::vector<RepairRule> rules;
+  {
+    RepairRule throttle;
+    throttle.anomaly = "active_session.spike";
+    throttle.template_feature = "execution_count.sudden_increase";
+    throttle.action.type = ActionType::kThrottle;
+    rules.push_back(std::move(throttle));
+  }
+  for (const char* metric : {"cpu_usage.spike", "cpu_usage.level_shift",
+                             "iops_usage.spike"}) {
+    RepairRule optimize;
+    optimize.anomaly = metric;
+    optimize.template_feature = "examined_rows.sudden_increase";
+    optimize.action.type = ActionType::kOptimize;
+    rules.push_back(std::move(optimize));
+  }
+  return RepairRuleEngine(std::move(rules));
+}
+
+StatusOr<RepairRuleEngine> RepairRuleEngine::FromJson(const Json& json) {
+  const Json* rules_json = json.Find("rules");
+  if (rules_json == nullptr || !rules_json->is_array()) {
+    return Status::InvalidArgument("config needs a top-level rules array");
+  }
+  std::vector<RepairRule> rules;
+  for (const Json& rule_json : rules_json->AsArray()) {
+    StatusOr<RepairRule> rule = RuleFromJson(rule_json);
+    if (!rule.ok()) return rule.status();
+    rules.push_back(std::move(rule).value());
+  }
+  return RepairRuleEngine(std::move(rules));
+}
+
+StatusOr<RepairRuleEngine> RepairRuleEngine::FromJsonText(
+    std::string_view text) {
+  StatusOr<Json> json = Json::Parse(text);
+  if (!json.ok()) return json.status();
+  return FromJson(*json);
+}
+
+std::vector<Suggestion> RepairRuleEngine::Suggest(
+    const std::vector<anomaly::Phenomenon>& phenomena,
+    const std::vector<uint64_t>& rsql_ranking,
+    const TemplateMetricsStore& metrics, int64_t anomaly_start,
+    int64_t anomaly_end, size_t max_rsqls) const {
+  std::vector<Suggestion> out;
+  const size_t n_rsqls = std::min(max_rsqls, rsql_ranking.size());
+  for (const RepairRule& rule : rules_) {
+    bool anomaly_matched = false;
+    for (const anomaly::Phenomenon& p : phenomena) {
+      if (rule.anomaly == "*" || rule.anomaly == p.rule) {
+        anomaly_matched = true;
+        break;
+      }
+    }
+    if (!anomaly_matched) continue;
+
+    if (rule.action.type == ActionType::kAutoScale) {
+      Suggestion s;
+      s.action = rule.action;
+      s.matched_rule = rule.anomaly;
+      s.auto_execute = rule.auto_execute;
+      s.notify = rule.notify;
+      out.push_back(std::move(s));
+      continue;
+    }
+
+    for (size_t i = 0; i < n_rsqls; ++i) {
+      const uint64_t sql_id = rsql_ranking[i];
+      const TemplateSeries* tpl = metrics.Find(sql_id);
+      if (tpl == nullptr) continue;
+      if (!TemplateFeatureHolds(rule.template_feature, *tpl, anomaly_start,
+                                anomaly_end)) {
+        continue;
+      }
+      Suggestion s;
+      s.action = rule.action;
+      s.action.sql_id = sql_id;
+      s.sql_id = sql_id;
+      s.matched_rule = rule.anomaly +
+                       (rule.template_feature.empty()
+                            ? ""
+                            : " & " + rule.template_feature);
+      s.auto_execute = rule.auto_execute;
+      s.notify = rule.notify;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace pinsql::repair

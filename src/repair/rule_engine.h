@@ -1,0 +1,80 @@
+#ifndef PINSQL_REPAIR_RULE_ENGINE_H_
+#define PINSQL_REPAIR_RULE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anomaly/phenomenon.h"
+#include "pipeline/template_metrics.h"
+#include "repair/actions.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace pinsql::repair {
+
+/// One configured repair rule (paper Fig. 5): when an anomaly phenomenon
+/// matches `anomaly` and an R-SQL's metric matches `template_feature`,
+/// suggest `action`.
+struct RepairRule {
+  /// Phenomenon selector, "<metric>.<feature>" (e.g. "cpu_usage.spike"),
+  /// or "*" to match any phenomenon.
+  std::string anomaly = "*";
+  /// Template-metric precondition: "", "examined_rows.sudden_increase" or
+  /// "execution_count.sudden_increase" (Tukey's rule inside the anomaly
+  /// period).
+  std::string template_feature;
+  RepairAction action;
+  /// Execute automatically (paper: off by default, suggestions only).
+  bool auto_execute = false;
+  /// Notification channels (informational; surfaced in suggestions).
+  std::vector<std::string> notify;
+};
+
+/// A rule that fired for a specific R-SQL.
+struct Suggestion {
+  RepairAction action;
+  uint64_t sql_id = 0;
+  std::string matched_rule;  // "<anomaly> & <template_feature>"
+  bool auto_execute = false;
+  std::vector<std::string> notify;
+};
+
+/// Rule-driven repair recommendation (paper Sec. VII): PinSQL pinpoints
+/// the R-SQLs; this engine decides what to do with them based on the
+/// user's configuration.
+class RepairRuleEngine {
+ public:
+  RepairRuleEngine() = default;
+  explicit RepairRuleEngine(std::vector<RepairRule> rules)
+      : rules_(std::move(rules)) {}
+
+  /// The paper's default policy: throttle on active-session anomalies,
+  /// optimize on CPU/IO anomalies whose R-SQL shows an examined-rows
+  /// surge. AutoScale stays opt-in.
+  static RepairRuleEngine Default();
+
+  /// Parses {"rules": [{"anomaly": "...", "template_feature": "...",
+  /// "action": "throttle|optimize|autoscale", "params": {...},
+  /// "auto_execute": bool, "notify": ["dingtalk", ...]}, ...]}.
+  static StatusOr<RepairRuleEngine> FromJson(const Json& json);
+  /// Convenience: parse from JSON text.
+  static StatusOr<RepairRuleEngine> FromJsonText(std::string_view text);
+
+  const std::vector<RepairRule>& rules() const { return rules_; }
+
+  /// Matches every (phenomenon, R-SQL) pair against the rules. At most one
+  /// suggestion per (rule, sql_id) pair is produced.
+  std::vector<Suggestion> Suggest(
+      const std::vector<anomaly::Phenomenon>& phenomena,
+      const std::vector<uint64_t>& rsql_ranking,
+      const TemplateMetricsStore& metrics, int64_t anomaly_start,
+      int64_t anomaly_end, size_t max_rsqls = 3) const;
+
+ private:
+  std::vector<RepairRule> rules_;
+};
+
+}  // namespace pinsql::repair
+
+#endif  // PINSQL_REPAIR_RULE_ENGINE_H_

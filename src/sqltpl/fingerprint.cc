@@ -1,0 +1,208 @@
+#include "sqltpl/fingerprint.h"
+
+#include <algorithm>
+
+#include "sqltpl/tokenizer.h"
+#include "util/strings.h"
+
+namespace pinsql::sqltpl {
+
+namespace {
+
+StatementKind ClassifyLeadingWord(const std::vector<Token>& tokens) {
+  for (const Token& tok : tokens) {
+    if (tok.type != TokenType::kWord) continue;
+    const std::string w = AsciiToLower(tok.text);
+    if (w == "select") return StatementKind::kSelect;
+    if (w == "insert") return StatementKind::kInsert;
+    if (w == "update") return StatementKind::kUpdate;
+    if (w == "delete") return StatementKind::kDelete;
+    if (w == "replace") return StatementKind::kReplace;
+    if (w == "create" || w == "alter" || w == "drop" || w == "truncate") {
+      return StatementKind::kDdl;
+    }
+    if (w == "begin" || w == "commit" || w == "rollback" || w == "start") {
+      return StatementKind::kTransaction;
+    }
+    if (w == "set") return StatementKind::kSet;
+    if (w == "show") return StatementKind::kShow;
+    return StatementKind::kOther;
+  }
+  return StatementKind::kOther;
+}
+
+/// True if the lower-cased word introduces a table reference; the *next*
+/// identifier token is then a table name.
+bool IntroducesTable(const std::string& lower_word) {
+  return lower_word == "from" || lower_word == "join" ||
+         lower_word == "update" || lower_word == "into" ||
+         lower_word == "table";
+}
+
+void AddTable(std::vector<std::string>* tables, const std::string& name) {
+  if (name.empty()) return;
+  if (std::find(tables->begin(), tables->end(), name) != tables->end()) {
+    return;
+  }
+  tables->push_back(name);
+}
+
+}  // namespace
+
+const char* StatementKindName(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect:
+      return "SELECT";
+    case StatementKind::kInsert:
+      return "INSERT";
+    case StatementKind::kUpdate:
+      return "UPDATE";
+    case StatementKind::kDelete:
+      return "DELETE";
+    case StatementKind::kReplace:
+      return "REPLACE";
+    case StatementKind::kDdl:
+      return "DDL";
+    case StatementKind::kTransaction:
+      return "TRANSACTION";
+    case StatementKind::kSet:
+      return "SET";
+    case StatementKind::kShow:
+      return "SHOW";
+    case StatementKind::kOther:
+      return "OTHER";
+  }
+  return "OTHER";
+}
+
+TemplateInfo Fingerprint(std::string_view sql) {
+  TemplateInfo info;
+  const std::vector<Token> tokens = Tokenize(sql);
+  info.kind = ClassifyLeadingWord(tokens);
+
+  std::vector<std::string> pieces;
+  pieces.reserve(tokens.size());
+
+  bool expecting_table = false;     // previous word was FROM/JOIN/...
+  bool table_list_context = false;  // inside "FROM a, b" comma list
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    switch (tok.type) {
+      case TokenType::kNumber:
+      case TokenType::kString:
+      case TokenType::kPlaceholder: {
+        // Fold preceding unary +/- signs into the placeholder: "= -5" and
+        // "= - -5" both become "= ?". A sign *after* a value (column,
+        // placeholder, closing paren) is arithmetic and is kept.
+        while (!pieces.empty() &&
+               (pieces.back() == "-" || pieces.back() == "+")) {
+          const bool after_value =
+              pieces.size() >= 2 &&
+              (pieces[pieces.size() - 2] == "?" ||
+               pieces[pieces.size() - 2] == ")" ||
+               (!pieces[pieces.size() - 2].empty() &&
+                !IsSqlKeyword(pieces[pieces.size() - 2]) &&
+                (std::isalnum(static_cast<unsigned char>(
+                     pieces[pieces.size() - 2][0])) != 0 ||
+                 pieces[pieces.size() - 2][0] == '_')));
+          if (after_value) break;
+          pieces.pop_back();
+        }
+        pieces.emplace_back("?");
+        expecting_table = false;
+        break;
+      }
+      case TokenType::kWord: {
+        const std::string lower = AsciiToLower(tok.text);
+        if (expecting_table) {
+          // Possibly schema-qualified: db.tbl.
+          std::string name = tok.text;
+          if (i + 2 < tokens.size() && tokens[i + 1].text == "." &&
+              tokens[i + 2].type == TokenType::kWord) {
+            name = tokens[i + 2].text;
+          }
+          AddTable(&info.tables, AsciiToLower(name));
+          expecting_table = false;
+          table_list_context = true;
+        }
+        if (IntroducesTable(lower)) {
+          expecting_table = true;
+          table_list_context = false;
+        } else if (IsSqlKeyword(lower)) {
+          table_list_context = false;
+        }
+        pieces.push_back(IsSqlKeyword(lower) ? AsciiToUpper(lower)
+                                             : tok.text);
+        break;
+      }
+      case TokenType::kQuotedIdent: {
+        if (expecting_table) {
+          AddTable(&info.tables, AsciiToLower(tok.text));
+          expecting_table = false;
+          table_list_context = true;
+        }
+        pieces.push_back(tok.text);
+        break;
+      }
+      case TokenType::kPunctuation: {
+        if (tok.text == "," && table_list_context) {
+          // "FROM a, b": the identifier after the comma is also a table.
+          expecting_table = true;
+        } else if (tok.text != ".") {
+          table_list_context = false;
+        }
+        pieces.push_back(tok.text);
+        break;
+      }
+    }
+  }
+
+  // Collapse IN-lists and VALUES tuples: "( ?, ?, ? )" -> "( ? )" so that
+  // queries differing only in list arity share one template.
+  std::vector<std::string> collapsed;
+  collapsed.reserve(pieces.size());
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (pieces[i] == "(") {
+      // Scan ahead for a pure placeholder list.
+      size_t j = i + 1;
+      bool pure = false;
+      while (j + 1 < pieces.size() && pieces[j] == "?" &&
+             pieces[j + 1] == ",") {
+        j += 2;
+        pure = true;
+      }
+      if (pure && j < pieces.size() && pieces[j] == "?" &&
+          j + 1 < pieces.size() && pieces[j + 1] == ")") {
+        collapsed.emplace_back("(");
+        collapsed.emplace_back("?");
+        collapsed.emplace_back(")");
+        i = j + 1;
+        continue;
+      }
+    }
+    collapsed.push_back(pieces[i]);
+  }
+
+  // Render with spaces, but attach punctuation tightly where conventional.
+  std::string text;
+  for (size_t i = 0; i < collapsed.size(); ++i) {
+    const std::string& p = collapsed[i];
+    const bool no_space_before =
+        p == "," || p == ")" || p == ";" || p == ".";
+    const bool prev_no_space_after =
+        !text.empty() && (text.back() == '(' || text.back() == '.');
+    if (!text.empty() && !no_space_before && !prev_no_space_after) {
+      text.push_back(' ');
+    }
+    text.append(p);
+  }
+
+  info.template_text = std::move(text);
+  info.sql_id = Fnv1a64(info.template_text);
+  info.sql_id_hex = HashToHex(info.sql_id);
+  return info;
+}
+
+uint64_t SqlId(std::string_view sql) { return Fingerprint(sql).sql_id; }
+
+}  // namespace pinsql::sqltpl

@@ -1,0 +1,55 @@
+#ifndef PINSQL_SQLTPL_FINGERPRINT_H_
+#define PINSQL_SQLTPL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinsql::sqltpl {
+
+/// Coarse statement classification used by the lock model and the repair
+/// rule engine. DDL statements take exclusive metadata locks in the
+/// simulator (paper Sec. II, R-SQL category 3-i).
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kReplace,
+  kDdl,          // CREATE / ALTER / DROP / TRUNCATE
+  kTransaction,  // BEGIN / COMMIT / ROLLBACK
+  kSet,
+  kShow,
+  kOther,
+};
+
+const char* StatementKindName(StatementKind kind);
+
+/// Result of fingerprinting one SQL statement.
+struct TemplateInfo {
+  /// Normalized template text: literals replaced with '?', IN-lists
+  /// collapsed, keywords upper-cased, single-space separated.
+  std::string template_text;
+  /// FNV-1a hash of template_text: the SQL_ID (paper Fig. 1).
+  uint64_t sql_id = 0;
+  /// sql_id rendered as 16 upper-case hex chars.
+  std::string sql_id_hex;
+  StatementKind kind = StatementKind::kOther;
+  /// Tables referenced via FROM / JOIN / UPDATE / INTO clauses.
+  std::vector<std::string> tables;
+};
+
+/// Aggregates structurally-similar queries into a SQL template (paper
+/// Definition II.3): replaces hard-coded values with '?' so that e.g.
+///   SELECT * FROM user_table WHERE uid = 123456
+///   SELECT * FROM user_table WHERE uid = 654321
+/// map to the same template and SQL_ID.
+TemplateInfo Fingerprint(std::string_view sql);
+
+/// Convenience: just the SQL_ID for a statement.
+uint64_t SqlId(std::string_view sql);
+
+}  // namespace pinsql::sqltpl
+
+#endif  // PINSQL_SQLTPL_FINGERPRINT_H_

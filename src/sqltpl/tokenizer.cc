@@ -1,0 +1,167 @@
+#include "sqltpl/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace pinsql::sqltpl {
+
+namespace {
+
+bool IsWordStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '$' || c == '@';
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '$' || c == '@';
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+bool IsSqlKeyword(std::string_view word) {
+  static constexpr std::string_view kKeywords[] = {
+      "select",   "from",     "where",    "and",      "or",       "not",
+      "insert",   "into",     "values",   "update",   "set",      "delete",
+      "replace",  "create",   "alter",    "drop",     "truncate", "table",
+      "index",    "view",     "join",     "inner",    "left",     "right",
+      "outer",    "cross",    "on",       "using",    "group",    "by",
+      "having",   "order",    "asc",      "desc",     "limit",    "offset",
+      "union",    "all",      "distinct", "as",       "in",       "between",
+      "like",     "is",       "null",     "exists",   "case",     "when",
+      "then",     "else",     "end",      "begin",    "commit",   "rollback",
+      "for",      "lock",     "share",    "mode",     "show",     "status",
+      "explain",  "describe", "database", "column",   "add",      "primary",
+      "key",      "unique",   "foreign",  "default",  "if",       "ignore",
+      "force",    "straight_join",        "count",    "sum",      "avg",
+      "min",      "max"};
+  const std::string lower = AsciiToLower(word);
+  for (std::string_view k : kKeywords) {
+    if (lower == k) return true;
+  }
+  return false;
+}
+
+std::vector<Token> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      ++i;
+      continue;
+    }
+    // Line comments: "-- " (requires space per MySQL) or "#".
+    if (c == '#' || (c == '-' && i + 2 < n && sql[i + 1] == '-' &&
+                     (sql[i + 2] == ' ' || sql[i + 2] == '\t'))) {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    // Block comments.
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // String literals.
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      size_t start = i;
+      ++i;
+      while (i < n) {
+        if (sql[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (sql[i] == quote) {
+          // Doubled quote escape ('' or "").
+          if (i + 1 < n && sql[i + 1] == quote) {
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      tokens.push_back({TokenType::kString,
+                        std::string(sql.substr(start, i - start))});
+      continue;
+    }
+    // Backtick-quoted identifiers.
+    if (c == '`') {
+      ++i;
+      size_t start = i;
+      while (i < n && sql[i] != '`') ++i;
+      tokens.push_back({TokenType::kQuotedIdent,
+                        std::string(sql.substr(start, i - start))});
+      if (i < n) ++i;  // closing backtick
+      continue;
+    }
+    // Numbers (leading sign is handled as punctuation; the fingerprinter
+    // folds it into the placeholder).
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(sql[i + 1]))) {
+      size_t start = i;
+      if (c == '0' && i + 1 < n && (sql[i + 1] == 'x' || sql[i + 1] == 'X')) {
+        i += 2;
+        while (i < n &&
+               std::isxdigit(static_cast<unsigned char>(sql[i])) != 0) {
+          ++i;
+        }
+      } else {
+        while (i < n && (IsDigit(sql[i]) || sql[i] == '.')) ++i;
+        if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+          size_t j = i + 1;
+          if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+          if (j < n && IsDigit(sql[j])) {
+            i = j;
+            while (i < n && IsDigit(sql[i])) ++i;
+          }
+        }
+      }
+      tokens.push_back({TokenType::kNumber,
+                        std::string(sql.substr(start, i - start))});
+      continue;
+    }
+    // Words: keywords and identifiers.
+    if (IsWordStart(c)) {
+      size_t start = i;
+      while (i < n && IsWordChar(sql[i])) ++i;
+      tokens.push_back({TokenType::kWord,
+                        std::string(sql.substr(start, i - start))});
+      continue;
+    }
+    // Pre-existing placeholders.
+    if (c == '?') {
+      tokens.push_back({TokenType::kPlaceholder, "?"});
+      ++i;
+      continue;
+    }
+    // Everything else is punctuation, one char at a time except for the
+    // common two-char comparison operators.
+    if (i + 1 < n) {
+      const std::string_view two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+          two == ":=" || two == "||" || two == "&&") {
+        tokens.push_back({TokenType::kPunctuation, std::string(two)});
+        i += 2;
+        continue;
+      }
+    }
+    tokens.push_back({TokenType::kPunctuation, std::string(1, c)});
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace pinsql::sqltpl

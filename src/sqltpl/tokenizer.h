@@ -1,0 +1,40 @@
+#ifndef PINSQL_SQLTPL_TOKENIZER_H_
+#define PINSQL_SQLTPL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinsql::sqltpl {
+
+/// Lexical token classes produced by the SQL tokenizer. The tokenizer is
+/// deliberately permissive: its job is template fingerprinting (paper
+/// Definition II.3), not validation, so unknown characters become
+/// kPunctuation instead of errors.
+enum class TokenType {
+  kWord,         // keywords and identifiers (foo, user_table, SELECT)
+  kQuotedIdent,  // `backtick quoted` identifiers
+  kNumber,       // 123, -4.5e2, 0xFF
+  kString,       // 'abc', "abc"
+  kPunctuation,  // ( ) , . = < > + - * / ; etc.
+  kPlaceholder,  // ? already present in the input
+};
+
+struct Token {
+  TokenType type;
+  /// Token text. For kQuotedIdent the quotes are stripped; for kString the
+  /// raw quoted form is preserved (it is replaced wholesale anyway).
+  std::string text;
+};
+
+/// Tokenizes a SQL statement. Comments (`-- ...`, `# ...`, `/* ... */`) are
+/// skipped. Never fails: unterminated strings/comments extend to the end of
+/// the input.
+std::vector<Token> Tokenize(std::string_view sql);
+
+/// True if `word` is a SQL keyword (case-insensitive, common MySQL subset).
+bool IsSqlKeyword(std::string_view word);
+
+}  // namespace pinsql::sqltpl
+
+#endif  // PINSQL_SQLTPL_TOKENIZER_H_

@@ -1,0 +1,135 @@
+#include "ts/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pinsql {
+
+double Mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double Variance(const std::vector<double>& x) {
+  if (x.size() < 2) return 0.0;
+  const double m = Mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double Stddev(const std::vector<double>& x) { return std::sqrt(Variance(x)); }
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double PearsonCorrelation(const TimeSeries& x, const TimeSeries& y) {
+  return PearsonCorrelation(x.values(), y.values());
+}
+
+double WeightedPearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  const std::vector<double>& w) {
+  assert(x.size() == y.size());
+  assert(x.size() == w.size());
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+  double wsum = 0.0;
+  for (double wi : w) wsum += wi;
+  if (wsum <= 0.0) return 0.0;
+  double mx = 0.0;
+  double my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += w[i] * x[i];
+    my += w[i] * y[i];
+  }
+  mx /= wsum;
+  my /= wsum;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += w[i] * dx * dy;
+    sxx += w[i] * dx * dx;
+    syy += w[i] * dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+std::vector<double> SigmoidAnomalyWeights(int64_t ts, int64_t te,
+                                          int64_t interval_sec,
+                                          int64_t anomaly_start,
+                                          int64_t anomaly_end,
+                                          double smooth_factor) {
+  assert(interval_sec > 0);
+  assert(smooth_factor > 0.0);
+  std::vector<double> w;
+  w.reserve(static_cast<size_t>((te - ts) / interval_sec));
+  for (int64_t t = ts; t < te; t += interval_sec) {
+    const double a = Sigmoid(static_cast<double>(t - anomaly_start) /
+                             smooth_factor);
+    const double b =
+        Sigmoid(static_cast<double>(anomaly_end - t) / smooth_factor);
+    w.push_back(a + b - 1.0);
+  }
+  return w;
+}
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& x) {
+  std::vector<double> out(x.size(), 0.5);
+  if (x.empty()) return out;
+  double lo = x[0];
+  double hi = x[0];
+  for (double v : x) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return out;  // constant input -> all 0.5
+  for (size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - lo) / (hi - lo);
+  return out;
+}
+
+double MeanSquaredError(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+}  // namespace pinsql

@@ -1,0 +1,54 @@
+#ifndef PINSQL_TS_STATS_H_
+#define PINSQL_TS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace pinsql {
+
+/// Statistical primitives used by the PinSQL scoring pipeline (paper Sec. V
+/// and VI). All correlation functions return 0 when either input is
+/// constant (zero variance), which is the neutral value for PinSQL's
+/// [-1, 1]-ranged scores.
+
+double Mean(const std::vector<double>& x);
+double Variance(const std::vector<double>& x);
+double Stddev(const std::vector<double>& x);
+
+/// Pearson correlation coefficient corr(X, Y) = cov(X, Y) / (sigma_X
+/// sigma_Y). Inputs must have equal, non-zero length.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+double PearsonCorrelation(const TimeSeries& x, const TimeSeries& y);
+
+/// Weighted Pearson correlation with weights W (paper Sec. V, trend-level
+/// score): cov(X,Y;W) = sum_i w_i (x_i - m(X;W)) (y_i - m(Y;W)) / sum_i w_i.
+double WeightedPearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  const std::vector<double>& w);
+
+/// Sigmoid-based anomaly-window weight (paper Sec. V):
+///   W_t = sigmoid((t - a_s)/k_s) + sigmoid((a_e - t)/k_s) - 1
+/// for t in [t_s, t_e) stepping by interval_sec. As k_s -> 0 the weights
+/// become the indicator of [a_s, a_e); as k_s -> inf they become all-ones.
+std::vector<double> SigmoidAnomalyWeights(int64_t ts, int64_t te,
+                                          int64_t interval_sec,
+                                          int64_t anomaly_start,
+                                          int64_t anomaly_end,
+                                          double smooth_factor);
+
+/// Maps x linearly so that [lo, hi] -> [0, 1]; constant input maps to 0.5.
+std::vector<double> MinMaxNormalize(const std::vector<double>& x);
+
+/// Mean squared error between two equal-length vectors.
+double MeanSquaredError(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Numerically-stable logistic sigmoid.
+double Sigmoid(double x);
+
+}  // namespace pinsql
+
+#endif  // PINSQL_TS_STATS_H_

@@ -1,0 +1,123 @@
+#include "ts/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pinsql {
+
+TimeSeries::TimeSeries(int64_t start_time, int64_t interval_sec, size_t n)
+    : start_time_(start_time), interval_sec_(interval_sec), values_(n, 0.0) {
+  assert(interval_sec > 0);
+}
+
+TimeSeries::TimeSeries(int64_t start_time, int64_t interval_sec,
+                       std::vector<double> values)
+    : start_time_(start_time),
+      interval_sec_(interval_sec),
+      values_(std::move(values)) {
+  assert(interval_sec > 0);
+}
+
+size_t TimeSeries::IndexForTime(int64_t t) const {
+  assert(Covers(t));
+  return static_cast<size_t>((t - start_time_) / interval_sec_);
+}
+
+int64_t TimeSeries::TimeForIndex(size_t i) const {
+  return start_time_ + static_cast<int64_t>(i) * interval_sec_;
+}
+
+bool TimeSeries::Covers(int64_t t) const {
+  return t >= start_time_ && t < end_time();
+}
+
+double TimeSeries::AtTime(int64_t t) const { return values_[IndexForTime(t)]; }
+
+double& TimeSeries::AtTime(int64_t t) { return values_[IndexForTime(t)]; }
+
+void TimeSeries::AccumulateAt(int64_t t, double v) {
+  if (!Covers(t)) return;
+  values_[IndexForTime(t)] += v;
+}
+
+TimeSeries TimeSeries::Slice(int64_t t0, int64_t t1) const {
+  t0 = std::max(t0, start_time_);
+  t1 = std::min(t1, end_time());
+  if (t0 >= t1) return TimeSeries(t0, interval_sec_, 0);
+  const size_t i0 = IndexForTime(t0);
+  // t1 may equal end_time(); compute the exclusive end index directly.
+  const size_t i1 =
+      static_cast<size_t>((t1 - start_time_ + interval_sec_ - 1) /
+                          interval_sec_);
+  std::vector<double> vals(values_.begin() + static_cast<ptrdiff_t>(i0),
+                           values_.begin() + static_cast<ptrdiff_t>(i1));
+  return TimeSeries(TimeForIndex(i0), interval_sec_, std::move(vals));
+}
+
+TimeSeries TimeSeries::Resample(int64_t new_interval_sec, Agg agg) const {
+  assert(new_interval_sec >= interval_sec_);
+  assert(new_interval_sec % interval_sec_ == 0);
+  const size_t factor =
+      static_cast<size_t>(new_interval_sec / interval_sec_);
+  if (factor == 1) return *this;
+  const size_t n_out = (values_.size() + factor - 1) / factor;
+  std::vector<double> out(n_out, 0.0);
+  for (size_t i = 0; i < n_out; ++i) {
+    const size_t begin = i * factor;
+    const size_t end = std::min(begin + factor, values_.size());
+    double acc = 0.0;
+    double mx = values_[begin];
+    for (size_t j = begin; j < end; ++j) {
+      acc += values_[j];
+      mx = std::max(mx, values_[j]);
+    }
+    switch (agg) {
+      case Agg::kSum:
+        out[i] = acc;
+        break;
+      case Agg::kMean:
+        out[i] = acc / static_cast<double>(end - begin);
+        break;
+      case Agg::kMax:
+        out[i] = mx;
+        break;
+    }
+  }
+  return TimeSeries(start_time_, new_interval_sec, std::move(out));
+}
+
+TimeSeries& TimeSeries::AddInPlace(const TimeSeries& other) {
+  assert(other.start_time_ == start_time_);
+  assert(other.interval_sec_ == interval_sec_);
+  assert(other.values_.size() == values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+  return *this;
+}
+
+TimeSeries TimeSeries::DivideBy(const TimeSeries& other) const {
+  assert(other.values_.size() == values_.size());
+  TimeSeries out(start_time_, interval_sec_, values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out.values_[i] =
+        other.values_[i] == 0.0 ? 0.0 : values_[i] / other.values_[i];
+  }
+  return out;
+}
+
+double TimeSeries::Sum() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+double TimeSeries::Max() const {
+  double mx = values_.empty() ? 0.0 : values_[0];
+  for (double v : values_) mx = std::max(mx, v);
+  return mx;
+}
+
+double TimeSeries::Mean() const {
+  return values_.empty() ? 0.0 : Sum() / static_cast<double>(values_.size());
+}
+
+}  // namespace pinsql

@@ -1,0 +1,83 @@
+#ifndef PINSQL_TS_TIME_SERIES_H_
+#define PINSQL_TS_TIME_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pinsql {
+
+/// Fixed-interval time series (paper Definition II.1): observations
+/// x_1..x_N at timestamps start_time, start_time + interval, ... The paper
+/// uses 1 s or 1 min intervals; timestamps are UNIX-like seconds.
+///
+/// Both timestamp addressing (AtTime) and index addressing (operator[]) are
+/// provided, mirroring the paper's convention that X_{t1} == X_1.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// Creates a zero-filled series of `n` points.
+  TimeSeries(int64_t start_time, int64_t interval_sec, size_t n);
+  /// Wraps existing values.
+  TimeSeries(int64_t start_time, int64_t interval_sec,
+             std::vector<double> values);
+
+  int64_t start_time() const { return start_time_; }
+  int64_t interval_sec() const { return interval_sec_; }
+  /// One past the last covered timestamp: start + n * interval.
+  int64_t end_time() const {
+    return start_time_ + static_cast<int64_t>(values_.size()) * interval_sec_;
+  }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+
+  /// Index of the bucket containing timestamp `t`; callers must ensure `t`
+  /// is within [start_time, end_time).
+  size_t IndexForTime(int64_t t) const;
+  /// Timestamp of bucket `i`.
+  int64_t TimeForIndex(size_t i) const;
+  /// True iff `t` falls inside the covered range.
+  bool Covers(int64_t t) const;
+
+  /// Value at timestamp `t` (asserts Covers(t)).
+  double AtTime(int64_t t) const;
+  /// Mutable access at timestamp `t` (asserts Covers(t)).
+  double& AtTime(int64_t t);
+  /// Adds `v` into the bucket containing `t`; ignores out-of-range times.
+  void AccumulateAt(int64_t t, double v);
+
+  /// Sub-series covering [t0, t1); clamped to the available range.
+  TimeSeries Slice(int64_t t0, int64_t t1) const;
+
+  /// How values merge when re-bucketing to a coarser interval.
+  enum class Agg { kSum, kMean, kMax };
+  /// Re-buckets to `new_interval_sec` (must be a multiple of the current
+  /// interval). A trailing partial bucket is aggregated from the points
+  /// available.
+  TimeSeries Resample(int64_t new_interval_sec, Agg agg) const;
+
+  /// Element-wise helpers (require identical shape).
+  TimeSeries& AddInPlace(const TimeSeries& other);
+  /// Element-wise ratio this/other; zero denominators yield 0 (used for the
+  /// scale-trend score sessionQ_t / session_t).
+  TimeSeries DivideBy(const TimeSeries& other) const;
+
+  double Sum() const;
+  double Max() const;
+  double Mean() const;
+
+ private:
+  int64_t start_time_ = 0;
+  int64_t interval_sec_ = 1;
+  std::vector<double> values_;
+};
+
+}  // namespace pinsql
+
+#endif  // PINSQL_TS_TIME_SERIES_H_

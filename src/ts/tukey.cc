@@ -1,0 +1,94 @@
+#include "ts/tukey.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pinsql {
+
+double Quantile(std::vector<double> x, double q) {
+  assert(!x.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(x.begin(), x.end());
+  const double pos = q * static_cast<double>(x.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  if (lo == hi) return x[lo];
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] * (1.0 - frac) + x[hi] * frac;
+}
+
+TukeyFences ComputeTukeyFences(const std::vector<double>& x, double k) {
+  TukeyFences fences;
+  if (x.empty()) return fences;
+  const double q1 = Quantile(x, 0.25);
+  const double q3 = Quantile(x, 0.75);
+  const double iqr = q3 - q1;
+  fences.lower = q1 - k * iqr;
+  fences.upper = q3 + k * iqr;
+  return fences;
+}
+
+std::vector<size_t> TukeyOutlierIndices(const std::vector<double>& x,
+                                        double k) {
+  std::vector<size_t> out;
+  if (x.empty()) return out;
+  const TukeyFences fences = ComputeTukeyFences(x, k);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < fences.lower || x[i] > fences.upper) out.push_back(i);
+  }
+  return out;
+}
+
+bool HasUpwardTukeyAnomaly(const std::vector<double>& x, double k) {
+  if (x.empty()) return false;
+  const TukeyFences fences = ComputeTukeyFences(x, k);
+  for (double v : x) {
+    if (v > fences.upper) return true;
+  }
+  return false;
+}
+
+bool HasUpwardTukeyAnomaly(const TimeSeries& x, double k) {
+  return HasUpwardTukeyAnomaly(x.values(), k);
+}
+
+bool UpwardAnomalyInPeriod(const std::vector<double>& values,
+                           size_t rel_begin, size_t rel_end, double k,
+                           double min_ratio_over_q3) {
+  rel_end = std::min(rel_end, values.size());
+  if (rel_begin >= rel_end) return false;
+  std::vector<double> baseline;
+  baseline.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i < rel_begin || i >= rel_end) baseline.push_back(values[i]);
+  }
+  if (baseline.empty()) return false;
+  const TukeyFences fences = ComputeTukeyFences(baseline, k);
+  double threshold = fences.upper;
+  if (min_ratio_over_q3 > 0.0) {
+    const double q3 = Quantile(baseline, 0.75);
+    // No guard when the baseline is flat zero (e.g. a template that never
+    // ran before): any activity is material then.
+    if (q3 > 0.0) {
+      threshold = std::max(threshold, min_ratio_over_q3 * q3 + 1.0);
+    }
+  }
+  for (size_t i = rel_begin; i < rel_end; ++i) {
+    if (values[i] > threshold) return true;
+  }
+  return false;
+}
+
+bool WindowExceedsReferenceFences(const std::vector<double>& reference,
+                                  const std::vector<double>& window,
+                                  double k) {
+  if (reference.empty() || window.empty()) return false;
+  const TukeyFences fences = ComputeTukeyFences(reference, k);
+  for (double v : window) {
+    if (v > fences.upper) return true;
+  }
+  return false;
+}
+
+}  // namespace pinsql

@@ -1,0 +1,60 @@
+#ifndef PINSQL_TS_TUKEY_H_
+#define PINSQL_TS_TUKEY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace pinsql {
+
+/// Tukey's rule (boxplot / fence) outlier detection, used by PinSQL's
+/// history-trend verification (paper Sec. VI): a point is anomalous when it
+/// lies outside [Q1 - k * IQR, Q3 + k * IQR], with the classic k = 1.5 for
+/// "outliers" and k = 3 for "far out" points.
+struct TukeyFences {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Computes the fences from the data. `k` is the IQR multiplier.
+TukeyFences ComputeTukeyFences(const std::vector<double>& x, double k = 1.5);
+
+/// Linear-interpolated sample quantile, q in [0, 1].
+double Quantile(std::vector<double> x, double q);
+
+/// Indices of points violating the fences.
+std::vector<size_t> TukeyOutlierIndices(const std::vector<double>& x,
+                                        double k = 1.5);
+
+/// True if any point in `x` exceeds the *upper* fence. History verification
+/// only cares about sudden increases of #execution, so only upward
+/// excursions count.
+bool HasUpwardTukeyAnomaly(const std::vector<double>& x, double k = 1.5);
+bool HasUpwardTukeyAnomaly(const TimeSeries& x, double k = 1.5);
+
+/// History verification helper: true iff the fences are computed from the
+/// `reference` series but the violation is sought in `window` (i.e., the
+/// window contains values that would be upward outliers relative to the
+/// reference distribution).
+bool WindowExceedsReferenceFences(const std::vector<double>& reference,
+                                  const std::vector<double>& window,
+                                  double k = 1.5);
+
+/// True iff a value inside [rel_begin, rel_end) exceeds the upper Tukey
+/// fence computed from the *baseline* points outside that period. Using
+/// baseline-only fences matters when the suspect period spans a large
+/// share of the window: full-window fences would absorb the anomaly into
+/// Q3 and mask it.
+///
+/// `min_ratio_over_q3` > 0 adds a materiality guard: the violating value
+/// must also exceed that multiple of the baseline Q3 (plus a small
+/// absolute floor). This filters chance exceedances of near-fence traffic
+/// waves while letting genuine surges (several times baseline) through.
+bool UpwardAnomalyInPeriod(const std::vector<double>& values,
+                           size_t rel_begin, size_t rel_end, double k,
+                           double min_ratio_over_q3 = 0.0);
+
+}  // namespace pinsql
+
+#endif  // PINSQL_TS_TUKEY_H_

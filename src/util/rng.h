@@ -1,0 +1,87 @@
+#ifndef PINSQL_UTIL_RNG_H_
+#define PINSQL_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace pinsql {
+
+/// Deterministic random number generator used throughout the simulator,
+/// workload generators and evaluation harness. Every component takes an
+/// explicit Rng (or a seed) so that tests and benchmarks are reproducible
+/// bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    assert(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return Uniform01() < p;
+  }
+
+  /// Exponential inter-arrival sample with the given rate (events/unit).
+  double Exponential(double rate) {
+    assert(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Poisson sample with the given mean.
+  int64_t Poisson(double mean) {
+    assert(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Normal sample.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal sample parameterized by the *target* mean and a shape
+  /// sigma (of the underlying normal). Used for service-time draws.
+  double LogNormalWithMean(double mean, double sigma) {
+    assert(mean > 0.0);
+    const double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Derives an independent child RNG; stream is a caller-chosen label so
+  /// different subsystems get decorrelated streams from one master seed.
+  Rng Fork(uint64_t stream) {
+    // SplitMix64-style mixing of the base engine output with the stream id.
+    uint64_t z = engine_() + 0x9E3779B97F4A7C15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pinsql
+
+#endif  // PINSQL_UTIL_RNG_H_

@@ -1,0 +1,183 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pinsql::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+constexpr double kSecondsPerDay = 86400.0;
+
+double Diurnal(const BusinessCluster& cluster, int64_t sec) {
+  double mult = 1.0;
+  if (cluster.diurnal_amplitude != 0.0) {
+    const double phase = kTwoPi * static_cast<double>(sec) / kSecondsPerDay;
+    mult *= 1.0 + cluster.diurnal_amplitude * std::sin(phase);
+  }
+  if (cluster.osc_amplitude != 0.0 && cluster.osc_period_sec > 0.0) {
+    mult *= 1.0 + cluster.osc_amplitude *
+                      std::sin(kTwoPi * static_cast<double>(sec) /
+                                   cluster.osc_period_sec +
+                               cluster.osc_phase);
+  }
+  return std::max(mult, 0.0);
+}
+
+}  // namespace
+
+RatePlan::RatePlan(const Workload& workload,
+                   const std::vector<RateOverride>& overrides,
+                   int64_t start_sec, int64_t end_sec, uint64_t seed)
+    : workload_(workload), start_sec_(start_sec), end_sec_(end_sec) {
+  assert(end_sec >= start_sec);
+  const size_t n = static_cast<size_t>(end_sec - start_sec);
+
+  // Shared AR(1) multiplicative noise per cluster. Each cluster gets its
+  // own deterministic stream derived from (seed, cluster index).
+  Rng base(seed);
+  cluster_noise_.resize(workload.clusters.size());
+  for (size_t c = 0; c < workload.clusters.size(); ++c) {
+    Rng rng = base.Fork(c + 1);
+    const BusinessCluster& cluster = workload.clusters[c];
+    std::vector<double>& path = cluster_noise_[c];
+    path.resize(n);
+    double log_noise = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      log_noise = cluster.noise_rho * log_noise +
+                  rng.Normal(0.0, cluster.noise_sigma);
+      path[i] = std::exp(log_noise);
+    }
+  }
+
+  // Normalized per-cluster weight shares.
+  std::vector<double> cluster_weight(workload.clusters.size(), 0.0);
+  for (const TemplateDef& tpl : workload.templates) {
+    cluster_weight[tpl.cluster_idx] += tpl.weight;
+  }
+  weight_share_.resize(workload.templates.size());
+  for (size_t i = 0; i < workload.templates.size(); ++i) {
+    const TemplateDef& tpl = workload.templates[i];
+    weight_share_[i] = cluster_weight[tpl.cluster_idx] > 0.0
+                           ? tpl.weight / cluster_weight[tpl.cluster_idx]
+                           : 0.0;
+  }
+
+  overrides_.resize(workload.templates.size());
+  for (const RateOverride& ov : overrides) {
+    const int idx = workload.FindTemplateIndex(ov.sql_id);
+    if (idx >= 0) overrides_[static_cast<size_t>(idx)].push_back(ov);
+  }
+}
+
+double RatePlan::Rate(size_t template_idx, int64_t sec) const {
+  assert(template_idx < workload_.templates.size());
+  const TemplateDef& tpl = workload_.templates[template_idx];
+  const BusinessCluster& cluster = workload_.clusters[tpl.cluster_idx];
+  const size_t offset = static_cast<size_t>(sec - start_sec_);
+  double rate = cluster.base_qps * weight_share_[template_idx] *
+                Diurnal(cluster, sec) * cluster_noise_[tpl.cluster_idx][offset];
+  for (const RateOverride& ov : overrides_[template_idx]) {
+    if (sec >= ov.start_sec && sec < ov.end_sec) {
+      rate = rate * ov.multiplier + ov.add_qps;
+    }
+  }
+  return std::max(rate, 0.0);
+}
+
+dbsim::QuerySpec InstantiateSpec(const Workload& workload,
+                                 const TemplateDef& tpl, Rng* rng) {
+  dbsim::QuerySpec spec;
+  spec.sql_id = tpl.sql_id;
+  spec.cpu_ms = rng->LogNormalWithMean(tpl.cpu_ms_mean, tpl.cpu_sigma);
+  spec.io_ms =
+      tpl.io_ms_mean > 0.0 ? rng->LogNormalWithMean(tpl.io_ms_mean, 0.5)
+                           : 0.0;
+  spec.examined_rows = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::llround(rng->LogNormalWithMean(
+                 std::max(tpl.examined_rows_mean, 1.0), 0.3))));
+
+  // Every query holds a metadata lock on its table for its whole duration;
+  // DDL takes it exclusive (this is the MySQL behaviour that produces the
+  // "Waiting for table metadata lock" pile-ups of paper Sec. II).
+  dbsim::LockRequest mdl;
+  mdl.key = dbsim::MakeMdlKey(tpl.table_id);
+  mdl.mode = tpl.mdl_exclusive ? dbsim::LockMode::kExclusive
+                               : dbsim::LockMode::kShared;
+  spec.locks.push_back(mdl);
+
+  if (tpl.row_groups_touched > 0) {
+    uint32_t hot = 8;
+    for (const TableDef& table : workload.tables) {
+      if (table.id == tpl.table_id) {
+        hot = table.hot_row_groups;
+        break;
+      }
+    }
+    if (tpl.hot_group_limit > 0) hot = std::min(hot, tpl.hot_group_limit);
+    for (int g = 0; g < tpl.row_groups_touched; ++g) {
+      dbsim::LockRequest row;
+      row.key = dbsim::MakeRowKey(
+          tpl.table_id,
+          static_cast<uint32_t>(rng->UniformInt(0, hot - 1)));
+      row.mode = tpl.row_lock_mode;
+      spec.locks.push_back(row);
+    }
+  }
+  return spec;
+}
+
+std::vector<dbsim::QueryArrival> GenerateArrivals(
+    const Workload& workload, const std::vector<RateOverride>& overrides,
+    int64_t start_sec, int64_t end_sec, uint64_t seed) {
+  RatePlan plan(workload, overrides, start_sec, end_sec, seed);
+  Rng base(seed ^ 0xA5A5A5A5ULL);
+  std::vector<dbsim::QueryArrival> arrivals;
+  for (size_t i = 0; i < workload.templates.size(); ++i) {
+    Rng rng = base.Fork(i + 1);
+    const TemplateDef& tpl = workload.templates[i];
+    for (int64_t sec = start_sec; sec < end_sec; ++sec) {
+      const double rate = plan.Rate(i, sec);
+      if (rate <= 0.0) continue;
+      const int64_t count = rng.Poisson(rate);
+      for (int64_t k = 0; k < count; ++k) {
+        dbsim::QueryArrival arrival;
+        arrival.arrival_ms = sec * 1000 + rng.UniformInt(0, 999);
+        arrival.spec = InstantiateSpec(workload, tpl, &rng);
+        arrivals.push_back(std::move(arrival));
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const dbsim::QueryArrival& a, const dbsim::QueryArrival& b) {
+              return a.arrival_ms < b.arrival_ms;
+            });
+  return arrivals;
+}
+
+std::unordered_map<uint64_t, TimeSeries> GenerateExecutionCounts(
+    const Workload& workload, const std::vector<RateOverride>& overrides,
+    int64_t start_sec, int64_t end_sec, uint64_t seed) {
+  RatePlan plan(workload, overrides, start_sec, end_sec, seed);
+  Rng base(seed ^ 0xA5A5A5A5ULL);
+  std::unordered_map<uint64_t, TimeSeries> out;
+  const size_t n = static_cast<size_t>(end_sec - start_sec);
+  for (size_t i = 0; i < workload.templates.size(); ++i) {
+    Rng rng = base.Fork(i + 1);
+    const TemplateDef& tpl = workload.templates[i];
+    TimeSeries series(start_sec, 1, n);
+    for (int64_t sec = start_sec; sec < end_sec; ++sec) {
+      const double rate = plan.Rate(i, sec);
+      if (rate > 0.0) {
+        series.AtTime(sec) = static_cast<double>(rng.Poisson(rate));
+      }
+    }
+    out.emplace(tpl.sql_id, std::move(series));
+  }
+  return out;
+}
+
+}  // namespace pinsql::workload

@@ -1,0 +1,76 @@
+#ifndef PINSQL_WORKLOAD_ARRIVALS_H_
+#define PINSQL_WORKLOAD_ARRIVALS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dbsim/types.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace pinsql::workload {
+
+/// Temporary traffic change applied to one template during [start_sec,
+/// end_sec): rate' = rate * multiplier + add_qps. Anomaly injections are
+/// expressed as overrides (QPS spikes multiply; new/poor templates add).
+struct RateOverride {
+  uint64_t sql_id = 0;
+  int64_t start_sec = 0;
+  int64_t end_sec = 0;
+  double multiplier = 1.0;
+  double add_qps = 0.0;
+};
+
+/// Precomputed per-template arrival-rate curves over a window: cluster
+/// base rate x diurnal modulation x shared AR(1) cluster noise x template
+/// weight, plus overrides. The shared cluster noise is what gives
+/// same-business templates correlated #execution trends (paper Sec. VI).
+class RatePlan {
+ public:
+  /// `seed` drives the cluster-noise realization; use a different seed per
+  /// simulated window (today vs N-days-ago history).
+  RatePlan(const Workload& workload, const std::vector<RateOverride>& overrides,
+           int64_t start_sec, int64_t end_sec, uint64_t seed);
+
+  /// Arrival rate (QPS) of templates[template_idx] at second `sec`.
+  double Rate(size_t template_idx, int64_t sec) const;
+
+  int64_t start_sec() const { return start_sec_; }
+  int64_t end_sec() const { return end_sec_; }
+
+ private:
+  const Workload& workload_;
+  int64_t start_sec_;
+  int64_t end_sec_;
+  /// cluster_noise_[c][t - start_sec]: multiplicative noise path.
+  std::vector<std::vector<double>> cluster_noise_;
+  /// Normalized weight per template within its cluster.
+  std::vector<double> weight_share_;
+  /// Per-template overrides, indexed like workload.templates.
+  std::vector<std::vector<RateOverride>> overrides_;
+};
+
+/// Samples Poisson arrivals for every template over the window and
+/// instantiates full query specs (resource jitter, row-group lock sets).
+/// Results are sorted by arrival time.
+std::vector<dbsim::QueryArrival> GenerateArrivals(
+    const Workload& workload, const std::vector<RateOverride>& overrides,
+    int64_t start_sec, int64_t end_sec, uint64_t seed);
+
+/// Cheap path for history windows: only the per-second #execution counts
+/// (no specs, no simulation) — the history-trend verifier needs nothing
+/// else.
+std::unordered_map<uint64_t, TimeSeries> GenerateExecutionCounts(
+    const Workload& workload, const std::vector<RateOverride>& overrides,
+    int64_t start_sec, int64_t end_sec, uint64_t seed);
+
+/// Instantiates one query spec for the template (resource jitter + sampled
+/// lock set). Exposed for closed-loop drivers and tests.
+dbsim::QuerySpec InstantiateSpec(const Workload& workload,
+                                 const TemplateDef& tpl, Rng* rng);
+
+}  // namespace pinsql::workload
+
+#endif  // PINSQL_WORKLOAD_ARRIVALS_H_

@@ -1,0 +1,344 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace pinsql::workload {
+
+const char* AnomalyTypeName(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kBusinessSpike:
+      return "business_spike";
+    case AnomalyType::kPoorSql:
+      return "poor_sql";
+    case AnomalyType::kMdlLock:
+      return "mdl_lock";
+    case AnomalyType::kRowLock:
+      return "row_lock";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Baseline QPS of templates[idx]: cluster rate times normalized weight.
+double BaselineQps(const Workload& workload, size_t idx) {
+  const TemplateDef& tpl = workload.templates[idx];
+  double cluster_weight = 0.0;
+  for (const TemplateDef& other : workload.templates) {
+    if (other.cluster_idx == tpl.cluster_idx) cluster_weight += other.weight;
+  }
+  if (cluster_weight <= 0.0) return 0.0;
+  return workload.clusters[tpl.cluster_idx].base_qps * tpl.weight /
+         cluster_weight;
+}
+
+}  // namespace
+
+Workload MakeStandardWorkload(const ScenarioParams& params, Rng* rng) {
+  Workload w;
+  w.tables.reserve(static_cast<size_t>(params.num_tables));
+  for (int t = 0; t < params.num_tables; ++t) {
+    TableDef table;
+    table.name = StrFormat("tbl_%02d", t);
+    table.id = static_cast<uint32_t>(t);
+    table.hot_row_groups =
+        static_cast<uint32_t>(rng->UniformInt(6, 16));
+    w.tables.push_back(std::move(table));
+  }
+
+  for (int c = 0; c < params.num_clusters; ++c) {
+    BusinessCluster cluster;
+    cluster.name = StrFormat("business_%02d", c);
+    cluster.base_qps =
+        rng->Uniform(params.min_cluster_qps, params.max_cluster_qps);
+    cluster.diurnal_amplitude = rng->Uniform(0.1, 0.3);
+    cluster.noise_sigma = rng->Uniform(0.04, 0.09);
+    cluster.noise_rho = 0.97;
+    cluster.osc_amplitude = rng->Uniform(0.2, 0.45);
+    cluster.osc_period_sec = rng->Uniform(240.0, 900.0);
+    cluster.osc_phase = rng->Uniform(0.0, 6.28318);
+    w.clusters.push_back(std::move(cluster));
+
+    // Each business works against a small set of home tables (tables are
+    // shared across businesses, which is what makes lock anomalies span
+    // clusters).
+    const int num_home = static_cast<int>(rng->UniformInt(2, 4));
+    std::vector<uint32_t> home;
+    for (int h = 0; h < num_home; ++h) {
+      home.push_back(static_cast<uint32_t>(
+          rng->UniformInt(0, params.num_tables - 1)));
+    }
+
+    const int n_templates = static_cast<int>(
+        rng->UniformInt(params.min_templates_per_cluster,
+                        params.max_templates_per_cluster));
+    for (int i = 0; i < n_templates; ++i) {
+      const uint32_t table_id =
+          home[static_cast<size_t>(rng->UniformInt(0, num_home - 1))];
+      const std::string& table_name = w.tables[table_id].name;
+      const int variant = c * 100 + i;
+
+      TemplateDef proto;
+      proto.cluster_idx = static_cast<size_t>(c);
+      proto.weight = std::exp(rng->Normal(0.0, 1.0));  // heavy-tailed share
+      proto.table_id = table_id;
+
+      const double mix = rng->Uniform01();
+      TemplateDef def;
+      if (mix < 0.50) {
+        // Point select; some are locking reads (FOR SHARE semantics).
+        proto.cpu_ms_mean = rng->Uniform(1.0, 4.0);
+        proto.cpu_sigma = 0.35;
+        proto.examined_rows_mean = rng->Uniform(10.0, 200.0);
+        if (rng->Bernoulli(0.4)) {
+          proto.row_groups_touched = static_cast<int>(rng->UniformInt(1, 2));
+          proto.row_lock_mode = dbsim::LockMode::kShared;
+        }
+        def = MakeTemplate(MakeSelectSql(table_name, variant), proto);
+      } else if (mix < 0.65) {
+        // Range scan with IO.
+        proto.cpu_ms_mean = rng->Uniform(4.0, 15.0);
+        proto.cpu_sigma = 0.45;
+        proto.io_ms_mean = rng->Uniform(1.0, 5.0);
+        proto.examined_rows_mean = rng->Uniform(1000.0, 20000.0);
+        def = MakeTemplate(MakeSelectSql(table_name, variant + 1000), proto);
+      } else if (mix < 0.72) {
+        // Two-table join.
+        const uint32_t other =
+            home[static_cast<size_t>(rng->UniformInt(0, num_home - 1))];
+        proto.cpu_ms_mean = rng->Uniform(6.0, 20.0);
+        proto.cpu_sigma = 0.45;
+        proto.io_ms_mean = rng->Uniform(0.5, 3.0);
+        proto.examined_rows_mean = rng->Uniform(2000.0, 30000.0);
+        def = MakeTemplate(
+            MakeJoinSelectSql(table_name, w.tables[other].name, variant),
+            proto);
+      } else if (mix < 0.79) {
+        // Heavy reporting/batch scan: large *stable* response-time volume.
+        // These are the templates that sit on top of Top-RT pages while a
+        // smaller root cause hides below (paper challenge II).
+        proto.cpu_ms_mean = rng->Uniform(10.0, 30.0);
+        proto.cpu_sigma = 0.5;
+        proto.io_ms_mean = rng->Uniform(80.0, 250.0);
+        proto.examined_rows_mean = rng->Uniform(3e4, 2e5);
+        def = MakeTemplate(MakeSelectSql(table_name, variant + 2000), proto);
+      } else if (mix < 0.9) {
+        // Point update: exclusive row locks.
+        proto.cpu_ms_mean = rng->Uniform(2.0, 6.0);
+        proto.cpu_sigma = 0.4;
+        proto.examined_rows_mean = rng->Uniform(1.0, 50.0);
+        proto.row_groups_touched = static_cast<int>(rng->UniformInt(1, 2));
+        proto.row_lock_mode = dbsim::LockMode::kExclusive;
+        def = MakeTemplate(MakePointUpdateSql(table_name, variant), proto);
+      } else {
+        // Insert (distinct keys; no row-group contention modeled).
+        proto.cpu_ms_mean = rng->Uniform(1.0, 3.0);
+        proto.cpu_sigma = 0.3;
+        proto.examined_rows_mean = 1.0;
+        def = MakeTemplate(MakeInsertSql(table_name, variant), proto);
+      }
+      w.templates.push_back(std::move(def));
+    }
+  }
+  return w;
+}
+
+namespace {
+
+Injection MakeBusinessSpike(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kBusinessSpike;
+  // Rank templates by how much load they carry (qps x service demand,
+  // IO included) and spike one of the top carriers: a business surge hits
+  // a load-bearing endpoint, and a bounded multiplier then suffices to
+  // move the active session.
+  std::vector<std::pair<double, size_t>> carriers;
+  for (size_t i = 0; i < w->templates.size(); ++i) {
+    const TemplateDef& tpl = w->templates[i];
+    // Category-1 anomalies are resource anomalies from workload change;
+    // exclusive-locking templates would turn the surge into a lock convoy
+    // (that is category 3, injected separately).
+    if (tpl.mdl_exclusive ||
+        (tpl.row_groups_touched > 0 &&
+         tpl.row_lock_mode == dbsim::LockMode::kExclusive)) {
+      continue;
+    }
+    const double qps = BaselineQps(*w, i);
+    if (qps < 0.5) continue;
+    carriers.emplace_back(qps * (tpl.cpu_ms_mean + tpl.io_ms_mean), i);
+  }
+  assert(!carriers.empty());
+  std::sort(carriers.begin(), carriers.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const size_t pick = static_cast<size_t>(rng->UniformInt(
+      0, std::min<int64_t>(2, static_cast<int64_t>(carriers.size()) - 1)));
+  const size_t idx = carriers[pick].second;
+  const TemplateDef& tpl = w->templates[idx];
+  const double qps = BaselineQps(*w, idx);
+  // Large enough that the surge is visible in the active session (the
+  // paper's anomaly cases are all session anomalies).
+  const double target_concurrency = rng->Uniform(10.0, 22.0);
+  double mult = 1.0 + target_concurrency * 1000.0 /
+                          (qps * (tpl.cpu_ms_mean + tpl.io_ms_mean));
+  mult = std::clamp(mult, 4.0, 60.0);
+  RateOverride ov;
+  ov.sql_id = tpl.sql_id;
+  ov.start_sec = as;
+  ov.end_sec = ae;
+  ov.multiplier = mult;
+  inj.overrides.push_back(ov);
+  inj.root_cause_ids.push_back(tpl.sql_id);
+  return inj;
+}
+
+Injection MakePoorSql(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kPoorSql;
+  const uint32_t table_id = static_cast<uint32_t>(
+      rng->UniformInt(0, static_cast<int64_t>(w->tables.size()) - 1));
+  const uint32_t other_id = static_cast<uint32_t>(
+      rng->UniformInt(0, static_cast<int64_t>(w->tables.size()) - 1));
+  TemplateDef proto;
+  proto.cluster_idx = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(w->clusters.size()) - 1));
+  proto.weight = 0.0;  // traffic comes purely from the override
+  proto.table_id = table_id;
+  proto.cpu_ms_mean = rng->Uniform(150.0, 500.0);
+  proto.cpu_sigma = 0.3;
+  proto.io_ms_mean = rng->Uniform(5.0, 20.0);
+  proto.examined_rows_mean = rng->Uniform(1e5, 6e5);
+  const int variant = 900 + static_cast<int>(rng->UniformInt(0, 49));
+  TemplateDef def = MakeTemplate(
+      MakeJoinSelectSql(w->tables[table_id].name, w->tables[other_id].name,
+                        variant),
+      proto);
+  RateOverride ov;
+  ov.sql_id = def.sql_id;
+  ov.start_sec = as;
+  ov.end_sec = ae;
+  ov.add_qps = rng->Uniform(12.0, 22.0);
+  inj.overrides.push_back(ov);
+  inj.root_cause_ids.push_back(def.sql_id);
+  w->templates.push_back(std::move(def));
+  return inj;
+}
+
+/// Traffic (QPS) of templates on each table, weighted by whether they take
+/// row locks — used to pick a well-contended table.
+uint32_t PickHotTable(const Workload& w, bool require_locking_reads,
+                      Rng* rng) {
+  std::vector<double> score(w.tables.size(), 0.0);
+  for (size_t i = 0; i < w.templates.size(); ++i) {
+    const TemplateDef& tpl = w.templates[i];
+    const double qps = BaselineQps(w, i);
+    double weight = qps;
+    if (require_locking_reads) {
+      weight = (tpl.row_groups_touched > 0 &&
+                tpl.row_lock_mode == dbsim::LockMode::kShared)
+                   ? qps
+                   : 0.1 * qps;
+    }
+    score[tpl.table_id] += weight;
+  }
+  size_t best = 0;
+  for (size_t t = 1; t < score.size(); ++t) {
+    if (score[t] > score[best]) best = t;
+  }
+  (void)rng;
+  return static_cast<uint32_t>(best);
+}
+
+Injection MakeMdlLock(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kMdlLock;
+  const uint32_t table_id = PickHotTable(*w, /*require_locking_reads=*/false,
+                                         rng);
+  TemplateDef proto;
+  proto.cluster_idx = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(w->clusters.size()) - 1));
+  proto.weight = 0.0;
+  proto.table_id = table_id;
+  // A batched online-DDL job: each ALTER chunk holds the exclusive MDL for
+  // several seconds, and chunks keep coming for the whole anomaly.
+  proto.cpu_ms_mean = rng->Uniform(4000.0, 12000.0);
+  proto.cpu_sigma = 0.15;
+  proto.examined_rows_mean = 1.0;
+  proto.mdl_exclusive = true;
+  const int variant = 900 + static_cast<int>(rng->UniformInt(0, 49));
+  TemplateDef def =
+      MakeTemplate(MakeAlterSql(w->tables[table_id].name, variant), proto);
+  RateOverride ov;
+  ov.sql_id = def.sql_id;
+  ov.start_sec = as;
+  ov.end_sec = ae;
+  // ~one DDL chunk every 15-40 s.
+  ov.add_qps = 1.0 / rng->Uniform(15.0, 40.0);
+  inj.overrides.push_back(ov);
+  inj.root_cause_ids.push_back(def.sql_id);
+  w->templates.push_back(std::move(def));
+  return inj;
+}
+
+Injection MakeRowLock(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kRowLock;
+  const uint32_t table_id = PickHotTable(*w, /*require_locking_reads=*/true,
+                                         rng);
+  TemplateDef proto;
+  proto.cluster_idx = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(w->clusters.size()) - 1));
+  proto.weight = 0.0;
+  proto.table_id = table_id;
+  // A hot-row batch UPDATE: low rate but long-held exclusive locks on a
+  // concentrated key range. The *victims* (locking reads queueing behind
+  // the X locks) dominate the response-time ranking, which is exactly why
+  // Top-RT misses this root cause (paper Sec. I, challenge III).
+  proto.cpu_ms_mean = rng->Uniform(300.0, 600.0);
+  proto.cpu_sigma = 0.3;
+  proto.examined_rows_mean = rng->Uniform(2000.0, 20000.0);
+  proto.row_groups_touched = static_cast<int>(rng->UniformInt(3, 4));
+  proto.row_lock_mode = dbsim::LockMode::kExclusive;
+  proto.hot_group_limit = 5;  // concentrate the convoy on a hot key range
+  const int variant = 900 + static_cast<int>(rng->UniformInt(0, 49));
+  TemplateDef def = MakeTemplate(
+      MakePointUpdateSql(w->tables[table_id].name, variant), proto);
+  RateOverride ov;
+  ov.sql_id = def.sql_id;
+  ov.start_sec = as;
+  ov.end_sec = ae;
+  ov.add_qps = rng->Uniform(0.8, 3.5);
+  inj.overrides.push_back(ov);
+  inj.root_cause_ids.push_back(def.sql_id);
+  w->templates.push_back(std::move(def));
+  return inj;
+}
+
+}  // namespace
+
+Injection MakeInjection(AnomalyType type, Workload* workload, int64_t as_sec,
+                        int64_t ae_sec, Rng* rng) {
+  Injection inj;
+  switch (type) {
+    case AnomalyType::kBusinessSpike:
+      inj = MakeBusinessSpike(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kPoorSql:
+      inj = MakePoorSql(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kMdlLock:
+      inj = MakeMdlLock(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kRowLock:
+      inj = MakeRowLock(workload, as_sec, ae_sec, rng);
+      break;
+  }
+  inj.anomaly_start_sec = as_sec;
+  inj.anomaly_end_sec = ae_sec;
+  return inj;
+}
+
+}  // namespace pinsql::workload

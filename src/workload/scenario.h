@@ -1,0 +1,59 @@
+#ifndef PINSQL_WORKLOAD_SCENARIO_H_
+#define PINSQL_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/arrivals.h"
+#include "workload/workload.h"
+
+namespace pinsql::workload {
+
+/// The paper's three R-SQL categories (Sec. II), with the lock category
+/// split into its two sub-cases.
+enum class AnomalyType {
+  kBusinessSpike,  // category 1: business scenario change / QPS surge
+  kPoorSql,        // category 2: poor SQL statement, resource bottleneck
+  kMdlLock,        // category 3-i: DDL metadata-lock pile-up
+  kRowLock,        // category 3-ii: row-lock convoy
+};
+
+const char* AnomalyTypeName(AnomalyType type);
+
+/// Knobs for the synthetic instance workload.
+struct ScenarioParams {
+  int num_clusters = 5;
+  int min_templates_per_cluster = 8;
+  int max_templates_per_cluster = 24;
+  int num_tables = 10;
+  double min_cluster_qps = 20.0;
+  double max_cluster_qps = 70.0;
+};
+
+/// Builds a randomized multi-business workload: `num_clusters` businesses,
+/// each owning a mix of point selects, range selects, updates, inserts and
+/// join queries over a shared pool of tables. Some selects are locking
+/// reads (shared row locks), which is what lets UPDATE convoys block them.
+Workload MakeStandardWorkload(const ScenarioParams& params, Rng* rng);
+
+/// An injected anomaly: traffic overrides (and possibly new templates,
+/// already appended to the workload) plus the labeled root causes.
+struct Injection {
+  AnomalyType type = AnomalyType::kBusinessSpike;
+  int64_t anomaly_start_sec = 0;  // a_s
+  int64_t anomaly_end_sec = 0;    // a_e
+  std::vector<RateOverride> overrides;
+  std::vector<uint64_t> root_cause_ids;  // ground-truth R-SQLs
+};
+
+/// Creates an anomaly of the given type over [as_sec, ae_sec), mutating
+/// `workload` (new templates are appended for poor-SQL / DDL / row-lock
+/// bursts) and returning the overrides + ground truth.
+Injection MakeInjection(AnomalyType type, Workload* workload, int64_t as_sec,
+                        int64_t ae_sec, Rng* rng);
+
+}  // namespace pinsql::workload
+
+#endif  // PINSQL_WORKLOAD_SCENARIO_H_

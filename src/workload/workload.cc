@@ -1,0 +1,71 @@
+#include "workload/workload.h"
+
+#include "util/strings.h"
+
+namespace pinsql::workload {
+
+int Workload::FindTemplateIndex(uint64_t sql_id) const {
+  for (size_t i = 0; i < templates.size(); ++i) {
+    if (templates[i].sql_id == sql_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const TemplateDef* Workload::FindTemplate(uint64_t sql_id) const {
+  const int idx = FindTemplateIndex(sql_id);
+  return idx < 0 ? nullptr : &templates[static_cast<size_t>(idx)];
+}
+
+void Workload::RegisterTemplates(LogStore* store) const {
+  for (const TemplateDef& tpl : templates) {
+    const sqltpl::TemplateInfo info = sqltpl::Fingerprint(tpl.sql_pattern);
+    TemplateCatalogEntry entry;
+    entry.template_text = info.template_text;
+    entry.kind = info.kind;
+    entry.tables = info.tables;
+    store->RegisterTemplate(tpl.sql_id, std::move(entry));
+  }
+}
+
+TemplateDef MakeTemplate(std::string sql_pattern, const TemplateDef& proto) {
+  TemplateDef def = proto;
+  const sqltpl::TemplateInfo info = sqltpl::Fingerprint(sql_pattern);
+  def.sql_pattern = std::move(sql_pattern);
+  def.sql_id = info.sql_id;
+  def.kind = info.kind;
+  return def;
+}
+
+std::string MakeSelectSql(const std::string& table, int variant) {
+  return StrFormat(
+      "SELECT c0, c1, c%d FROM %s WHERE k%d = 42 AND status = 'active' "
+      "ORDER BY c0 LIMIT 20",
+      variant, table.c_str(), variant);
+}
+
+std::string MakePointUpdateSql(const std::string& table, int variant) {
+  return StrFormat(
+      "UPDATE %s SET v%d = v%d + 1, mtime = 1650000000 WHERE k%d = 42",
+      table.c_str(), variant, variant, variant);
+}
+
+std::string MakeInsertSql(const std::string& table, int variant) {
+  return StrFormat(
+      "INSERT INTO %s (k%d, v%d, status) VALUES (42, 7, 'new')",
+      table.c_str(), variant, variant);
+}
+
+std::string MakeJoinSelectSql(const std::string& left,
+                              const std::string& right, int variant) {
+  return StrFormat(
+      "SELECT a.c0, b.c%d FROM %s a JOIN %s b ON a.k0 = b.k0 "
+      "WHERE a.k%d = 42 LIMIT 50",
+      variant, left.c_str(), right.c_str(), variant);
+}
+
+std::string MakeAlterSql(const std::string& table, int variant) {
+  return StrFormat("ALTER TABLE %s ADD COLUMN extra%d BIGINT DEFAULT 0",
+                   table.c_str(), variant);
+}
+
+}  // namespace pinsql::workload

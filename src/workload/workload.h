@@ -1,0 +1,95 @@
+#ifndef PINSQL_WORKLOAD_WORKLOAD_H_
+#define PINSQL_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbsim/types.h"
+#include "logstore/log_store.h"
+#include "sqltpl/fingerprint.h"
+
+namespace pinsql::workload {
+
+/// A table of the simulated instance. Row locks are taken at row-group
+/// granularity; `hot_row_groups` is the size of the contended key range.
+struct TableDef {
+  std::string name;
+  uint32_t id = 0;
+  uint32_t hot_row_groups = 8;
+};
+
+/// A SQL template issued by the workload: its statement text, traffic
+/// share, resource demand and lock footprint.
+struct TemplateDef {
+  std::string sql_pattern;  // representative statement with literals
+  uint64_t sql_id = 0;      // fingerprint of sql_pattern
+  sqltpl::StatementKind kind = sqltpl::StatementKind::kSelect;
+
+  /// Traffic: which business cluster drives this template and its share of
+  /// the cluster rate (weights are normalized per cluster).
+  size_t cluster_idx = 0;
+  double weight = 1.0;
+
+  /// Resource demand per query (log-normal CPU jitter).
+  double cpu_ms_mean = 2.0;
+  double cpu_sigma = 0.4;
+  double io_ms_mean = 0.0;
+  double examined_rows_mean = 100.0;
+
+  /// Lock footprint.
+  uint32_t table_id = 0;
+  int row_groups_touched = 0;  // 0 = no row locks
+  dbsim::LockMode row_lock_mode = dbsim::LockMode::kShared;
+  bool mdl_exclusive = false;  // DDL: exclusive metadata lock
+  /// When > 0, row groups are sampled from [0, min(this, table range)):
+  /// a hot-spot template that concentrates its locks.
+  uint32_t hot_group_limit = 0;
+};
+
+/// One business (microservice call-graph, paper Fig. 4): its templates
+/// share one arrival-rate process, which is what makes their #execution
+/// trends cluster.
+struct BusinessCluster {
+  std::string name;
+  double base_qps = 50.0;        // total cluster arrival rate
+  double diurnal_amplitude = 0.2;  // daily sinusoidal modulation
+  double noise_sigma = 0.03;     // AR(1) log-rate innovation stddev
+  double noise_rho = 0.98;       // AR(1) persistence
+  /// Business-specific mid-scale oscillation (user-traffic waves). This is
+  /// the distinctive per-business trend PinSQL's clustering keys on.
+  double osc_amplitude = 0.3;
+  double osc_period_sec = 600.0;
+  double osc_phase = 0.0;
+};
+
+/// The full workload of one simulated database instance.
+struct Workload {
+  std::vector<TableDef> tables;
+  std::vector<TemplateDef> templates;
+  std::vector<BusinessCluster> clusters;
+
+  /// Index into `templates`, or -1.
+  int FindTemplateIndex(uint64_t sql_id) const;
+  const TemplateDef* FindTemplate(uint64_t sql_id) const;
+
+  /// Registers all templates' text/kind/tables in a log-store catalog.
+  void RegisterTemplates(LogStore* store) const;
+};
+
+/// Builds a TemplateDef whose sql_id/kind are derived by fingerprinting
+/// `sql_pattern`; the remaining fields start from the given prototype.
+TemplateDef MakeTemplate(std::string sql_pattern, const TemplateDef& proto);
+
+/// Statement-text helpers: produce distinct, realistic SQL for the
+/// synthetic catalog. `variant` differentiates templates on one table.
+std::string MakeSelectSql(const std::string& table, int variant);
+std::string MakePointUpdateSql(const std::string& table, int variant);
+std::string MakeInsertSql(const std::string& table, int variant);
+std::string MakeJoinSelectSql(const std::string& left,
+                              const std::string& right, int variant);
+std::string MakeAlterSql(const std::string& table, int variant);
+
+}  // namespace pinsql::workload
+
+#endif  // PINSQL_WORKLOAD_WORKLOAD_H_

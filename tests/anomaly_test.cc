@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "anomaly/detectors.h"
+#include "anomaly/phenomenon.h"
+#include "util/rng.h"
+
+namespace pinsql::anomaly {
+namespace {
+
+/// Baseline ~N(10, 1) series with optional injected segments.
+TimeSeries NoisySeries(int64_t start, size_t n, uint64_t seed,
+                       double mean = 10.0, double stddev = 1.0) {
+  Rng rng(seed);
+  TimeSeries ts(start, 1, n);
+  for (size_t i = 0; i < n; ++i) ts[i] = rng.Normal(mean, stddev);
+  return ts;
+}
+
+// ---------------------------------------------------------------- Features
+
+TEST(DetectorTest, CleanSeriesHasNoEvents) {
+  const TimeSeries ts = NoisySeries(0, 600, 1);
+  const auto events = DetectFeatures(ts, DetectorOptions{});
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(DetectorTest, SpikeUpDetectedAndBounded) {
+  TimeSeries ts = NoisySeries(0, 600, 2);
+  for (size_t i = 300; i < 330; ++i) ts[i] = 60.0;  // recovers -> spike
+  const auto events = DetectFeatures(ts, DetectorOptions{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, FeatureType::kSpikeUp);
+  EXPECT_NEAR(static_cast<double>(events[0].start_sec), 300.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(events[0].end_sec), 330.0, 2.0);
+  EXPECT_GT(events[0].severity, 6.0);
+}
+
+TEST(DetectorTest, SpikeDownDetected) {
+  TimeSeries ts = NoisySeries(0, 600, 3, 50.0, 2.0);
+  for (size_t i = 200; i < 220; ++i) ts[i] = 1.0;
+  const auto events = DetectFeatures(ts, DetectorOptions{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, FeatureType::kSpikeDown);
+}
+
+TEST(DetectorTest, LevelShiftWhenNoRecovery) {
+  TimeSeries ts = NoisySeries(0, 600, 4);
+  for (size_t i = 300; i < 600; i++) ts[i] = 80.0;  // stays high to the end
+  const auto events = DetectFeatures(ts, DetectorOptions{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, FeatureType::kLevelShiftUp);
+  EXPECT_EQ(events[0].end_sec, 600);
+}
+
+TEST(DetectorTest, LongRunClassifiedAsLevelShiftEvenIfRecovers) {
+  DetectorOptions options;
+  options.level_shift_min_sec = 100;
+  TimeSeries ts = NoisySeries(0, 600, 5);
+  for (size_t i = 200; i < 350; ++i) ts[i] = 70.0;  // 150 s > 100 s
+  const auto events = DetectFeatures(ts, options);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, FeatureType::kLevelShiftUp);
+}
+
+TEST(DetectorTest, BaselineFrozenDuringLongAnomaly) {
+  // A 200 s pile-up must stay one event: the contaminated points must not
+  // enter the baseline and "normalize" the anomaly away.
+  TimeSeries ts = NoisySeries(0, 700, 6);
+  for (size_t i = 400; i < 620; ++i) {
+    ts[i] = 60.0 + static_cast<double>(i - 400) * 0.2;  // growing pile-up
+  }
+  DetectorOptions options;
+  const auto events = DetectFeatures(ts, options);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LE(events[0].start_sec, 402);
+  EXPECT_GE(events[0].end_sec, 618);
+}
+
+TEST(DetectorTest, NoDetectionBeforeMinBaseline) {
+  DetectorOptions options;
+  options.min_baseline = 50;
+  TimeSeries ts = NoisySeries(0, 60, 7);
+  ts[10] = 1000.0;  // before the baseline warms up
+  const auto events = DetectFeatures(ts, options);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(DetectorTest, FlatBaselineUsesMadFloor) {
+  // Constant series then a small absolute bump: the MAD floor keeps the
+  // z-score finite and the small bump unflagged.
+  TimeSeries ts(0, 1, std::vector<double>(300, 5.0));
+  ts[200] = 5.4;
+  EXPECT_TRUE(DetectFeatures(ts, DetectorOptions{}).empty());
+  ts[210] = 50.0;
+  EXPECT_EQ(DetectFeatures(ts, DetectorOptions{}).size(), 1u);
+}
+
+TEST(DetectorTest, HasFeatureInRange) {
+  std::vector<FeatureEvent> events = {
+      {FeatureType::kSpikeUp, 100, 120, 8.0}};
+  EXPECT_TRUE(HasFeatureInRange(events, FeatureType::kSpikeUp, 110, 200));
+  EXPECT_FALSE(HasFeatureInRange(events, FeatureType::kSpikeUp, 120, 200));
+  EXPECT_FALSE(HasFeatureInRange(events, FeatureType::kSpikeDown, 100, 120));
+}
+
+TEST(DetectorTest, FeatureTypeNames) {
+  EXPECT_STREQ(FeatureTypeName(FeatureType::kSpikeUp), "spike_up");
+  EXPECT_STREQ(FeatureTypeName(FeatureType::kLevelShiftDown),
+               "level_shift_down");
+}
+
+// --------------------------------------------------------------- Phenomena
+
+TEST(PhenomenonTest, RuleMatching) {
+  PhenomenonRule spike{"active_session", "spike"};
+  EXPECT_TRUE(spike.Matches(FeatureType::kSpikeUp));
+  EXPECT_FALSE(spike.Matches(FeatureType::kSpikeDown));
+  EXPECT_FALSE(spike.Matches(FeatureType::kLevelShiftUp));
+  PhenomenonRule shift{"m", "level_shift"};
+  EXPECT_TRUE(shift.Matches(FeatureType::kLevelShiftUp));
+  PhenomenonRule down{"m", "spike_down"};
+  EXPECT_TRUE(down.Matches(FeatureType::kSpikeDown));
+  PhenomenonRule bogus{"m", "wiggle"};
+  EXPECT_FALSE(bogus.Matches(FeatureType::kSpikeUp));
+}
+
+TEST(PhenomenonTest, DetectsConfiguredMetricOnly) {
+  TimeSeries session = NoisySeries(0, 600, 8);
+  for (size_t i = 300; i < 330; ++i) session[i] = 80.0;
+  TimeSeries cpu = NoisySeries(0, 600, 9);
+  for (size_t i = 300; i < 330; ++i) cpu[i] = 95.0;
+
+  PhenomenonConfig config;
+  config.rules.push_back({"active_session", "spike"});
+  const std::map<std::string, const TimeSeries*> metrics = {
+      {"active_session", &session}, {"cpu_usage", &cpu}};
+  const auto phenomena = DetectPhenomena(metrics, config);
+  ASSERT_EQ(phenomena.size(), 1u);
+  EXPECT_EQ(phenomena[0].rule, "active_session.spike");
+}
+
+TEST(PhenomenonTest, MergesNearbyPhenomena) {
+  TimeSeries session = NoisySeries(0, 900, 10);
+  for (size_t i = 300; i < 320; ++i) session[i] = 80.0;
+  for (size_t i = 360; i < 380; ++i) session[i] = 80.0;  // 40 s gap
+  PhenomenonConfig config;
+  config.rules.push_back({"active_session", "spike"});
+  config.merge_gap_sec = 120;
+  const std::map<std::string, const TimeSeries*> metrics = {
+      {"active_session", &session}};
+  const auto phenomena = DetectPhenomena(metrics, config);
+  ASSERT_EQ(phenomena.size(), 1u);
+  EXPECT_LE(phenomena[0].start_sec, 302);
+  EXPECT_GE(phenomena[0].end_sec, 378);
+}
+
+TEST(PhenomenonTest, DropsTooShortPhenomena) {
+  TimeSeries session = NoisySeries(0, 600, 11);
+  for (size_t i = 300; i < 303; ++i) session[i] = 80.0;  // 3 s blip
+  PhenomenonConfig config;
+  config.rules.push_back({"active_session", "spike"});
+  config.min_duration_sec = 10;
+  const std::map<std::string, const TimeSeries*> metrics = {
+      {"active_session", &session}};
+  EXPECT_TRUE(DetectPhenomena(metrics, config).empty());
+}
+
+TEST(PhenomenonTest, ExtractAnomalyPeriodSpansAll) {
+  std::vector<Phenomenon> phenomena = {
+      {"a.spike", 100, 150, 8.0},
+      {"b.spike", 120, 200, 9.0},
+  };
+  int64_t as = 0;
+  int64_t ae = 0;
+  ASSERT_TRUE(ExtractAnomalyPeriod(phenomena, &as, &ae));
+  EXPECT_EQ(as, 100);
+  EXPECT_EQ(ae, 200);
+  EXPECT_FALSE(ExtractAnomalyPeriod({}, &as, &ae));
+}
+
+TEST(PhenomenonTest, DefaultConfigCoversThreeMetrics) {
+  const PhenomenonConfig config = PhenomenonConfig::Default();
+  EXPECT_EQ(config.rules.size(), 6u);
+}
+
+TEST(PhenomenonTest, FromJsonParsesRules) {
+  auto config = PhenomenonConfig::FromJson(
+      *Json::Parse(R"({"rules": ["active_session.spike",
+                                 "cpu_usage.level_shift"],
+                       "merge_gap_sec": 60, "threshold": 5})"));
+  ASSERT_TRUE(config.ok());
+  ASSERT_EQ(config->rules.size(), 2u);
+  EXPECT_EQ(config->rules[0].metric, "active_session");
+  EXPECT_EQ(config->rules[0].feature, "spike");
+  EXPECT_EQ(config->merge_gap_sec, 60);
+  EXPECT_DOUBLE_EQ(config->detector.threshold, 5.0);
+}
+
+TEST(PhenomenonTest, FromJsonRejectsMalformedRules) {
+  EXPECT_FALSE(PhenomenonConfig::FromJson(*Json::Parse("[]")).ok());
+  EXPECT_FALSE(
+      PhenomenonConfig::FromJson(*Json::Parse(R"({"rules": "x"})")).ok());
+  EXPECT_FALSE(
+      PhenomenonConfig::FromJson(*Json::Parse(R"({"rules": ["nodot"]})"))
+          .ok());
+  EXPECT_FALSE(
+      PhenomenonConfig::FromJson(*Json::Parse(R"({"rules": [42]})")).ok());
+}
+
+// Property: detection is invariant to the series' absolute offset time.
+class DetectorShiftInvarianceTest
+    : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DetectorShiftInvarianceTest, StartTimeIrrelevant) {
+  const int64_t origin = GetParam();
+  TimeSeries ts = NoisySeries(origin, 600, 12);
+  for (size_t i = 300; i < 340; ++i) ts[i] = 90.0;
+  const auto events = DetectFeatures(ts, DetectorOptions{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(events[0].start_sec - origin), 300.0, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Origins, DetectorShiftInvarianceTest,
+                         ::testing::Values(0, 1000, 100000, 1650000000));
+
+}  // namespace
+}  // namespace pinsql::anomaly

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "baselines/top_sql.h"
+#include "eval/metrics.h"
+
+namespace pinsql {
+namespace {
+
+QueryLogRecord Rec(int64_t arrival_ms, uint64_t sql_id, double response,
+                   int64_t rows) {
+  QueryLogRecord r;
+  r.arrival_ms = arrival_ms;
+  r.sql_id = sql_id;
+  r.response_ms = response;
+  r.examined_rows = rows;
+  return r;
+}
+
+TemplateMetricsStore MakeMetrics() {
+  // Template 1: many executions, cheap.  Template 2: few executions, slow.
+  // Template 3: medium executions, huge examined rows.
+  TemplateMetricsStore metrics(0, 100);
+  for (int64_t t = 0; t < 100; ++t) {
+    for (int k = 0; k < 50; ++k) {
+      metrics.Accumulate(Rec(t * 1000 + k, 1, 1.0, 10));
+    }
+    metrics.Accumulate(Rec(t * 1000 + 500, 2, 500.0, 100));
+    for (int k = 0; k < 5; ++k) {
+      metrics.Accumulate(Rec(t * 1000 + 600 + k, 3, 10.0, 50'000));
+    }
+  }
+  return metrics;
+}
+
+TEST(TopSqlTest, RanksByExecutionCount) {
+  const auto ranking = baselines::RankTopSql(
+      MakeMetrics(), baselines::TopSqlMetric::kExecutionCount, 0, 100);
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0], 1u);
+}
+
+TEST(TopSqlTest, RanksByResponseTime) {
+  const auto ranking = baselines::RankTopSql(
+      MakeMetrics(), baselines::TopSqlMetric::kResponseTime, 0, 100);
+  EXPECT_EQ(ranking[0], 2u);  // 500 ms/s beats 50 ms/s and 50 x 1 ms
+}
+
+TEST(TopSqlTest, RanksByExaminedRows) {
+  const auto ranking = baselines::RankTopSql(
+      MakeMetrics(), baselines::TopSqlMetric::kExaminedRows, 0, 100);
+  EXPECT_EQ(ranking[0], 3u);
+}
+
+TEST(TopSqlTest, AnomalyWindowRestrictsScoring) {
+  TemplateMetricsStore metrics(0, 100);
+  // Template 1 dominates before the window, template 2 inside it.
+  for (int64_t t = 0; t < 50; ++t) {
+    for (int k = 0; k < 100; ++k) {
+      metrics.Accumulate(Rec(t * 1000 + k, 1, 1.0, 1));
+    }
+  }
+  for (int64_t t = 50; t < 100; ++t) {
+    for (int k = 0; k < 10; ++k) {
+      metrics.Accumulate(Rec(t * 1000 + k, 2, 1.0, 1));
+    }
+    metrics.Accumulate(Rec(t * 1000 + 999, 1, 1.0, 1));
+  }
+  const auto ranking = baselines::RankTopSql(
+      metrics, baselines::TopSqlMetric::kExecutionCount, 50, 100);
+  EXPECT_EQ(ranking[0], 2u);
+}
+
+TEST(TopSqlTest, AllRankingsProduced) {
+  const auto all = baselines::RankAllTopSql(MakeMetrics(), 0, 100);
+  EXPECT_EQ(all.by_execution.size(), 3u);
+  EXPECT_EQ(all.by_response_time.size(), 3u);
+  EXPECT_EQ(all.by_examined_rows.size(), 3u);
+  EXPECT_EQ(all.by_execution[0], 1u);
+  EXPECT_EQ(all.by_response_time[0], 2u);
+  EXPECT_EQ(all.by_examined_rows[0], 3u);
+}
+
+TEST(TopSqlTest, MetricNames) {
+  EXPECT_STREQ(
+      baselines::TopSqlMetricName(baselines::TopSqlMetric::kExecutionCount),
+      "Top-EN");
+  EXPECT_STREQ(
+      baselines::TopSqlMetricName(baselines::TopSqlMetric::kResponseTime),
+      "Top-RT");
+  EXPECT_STREQ(
+      baselines::TopSqlMetricName(baselines::TopSqlMetric::kExaminedRows),
+      "Top-ER");
+}
+
+// -------------------------------------------------------------- Metrics
+
+TEST(RankMetricsTest, FirstHitRank) {
+  const std::vector<uint64_t> ranking = {5, 9, 2, 7};
+  EXPECT_EQ(eval::FirstHitRank(ranking, {9}), 2);
+  EXPECT_EQ(eval::FirstHitRank(ranking, {7, 2}), 3);
+  EXPECT_EQ(eval::FirstHitRank(ranking, {5}), 1);
+  EXPECT_EQ(eval::FirstHitRank(ranking, {100}), 0);
+  EXPECT_EQ(eval::FirstHitRank({}, {1}), 0);
+}
+
+TEST(RankMetricsTest, AccumulatorComputesHitsAndMrr) {
+  eval::RankAccumulator acc;
+  acc.Add(1);   // hits@1, @5, rr = 1
+  acc.Add(3);   // hits@5, rr = 1/3
+  acc.Add(10);  // rr = 1/10
+  acc.Add(0);   // miss
+  const eval::RankMetrics m = acc.Summary();
+  EXPECT_EQ(m.cases, 4u);
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 25.0);
+  EXPECT_DOUBLE_EQ(m.hits_at_5, 50.0);
+  EXPECT_NEAR(m.mrr, (1.0 + 1.0 / 3.0 + 0.1) / 4.0, 1e-12);
+}
+
+TEST(RankMetricsTest, EmptyAccumulator) {
+  const eval::RankMetrics m = eval::RankAccumulator().Summary();
+  EXPECT_EQ(m.cases, 0u);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.0);
+}
+
+}  // namespace
+}  // namespace pinsql

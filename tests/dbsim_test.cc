@@ -1,0 +1,527 @@
+#include <gtest/gtest.h>
+
+#include "dbsim/closed_loop.h"
+#include "dbsim/engine.h"
+#include "dbsim/lock_manager.h"
+#include "dbsim/monitor.h"
+#include "util/rng.h"
+
+namespace pinsql::dbsim {
+namespace {
+
+// ------------------------------------------------------------ Lock keys
+
+TEST(LockKeyTest, MdlAndRowKeysAreDisjoint) {
+  const uint64_t mdl = MakeMdlKey(5);
+  const uint64_t row = MakeRowKey(5, 0);
+  EXPECT_NE(mdl, row);
+  EXPECT_TRUE(IsMdlKey(mdl));
+  EXPECT_FALSE(IsMdlKey(row));
+  EXPECT_EQ(TableOfKey(mdl), 5u);
+  EXPECT_EQ(TableOfKey(row), 5u);
+}
+
+TEST(LockKeyTest, RowGroupsDistinct) {
+  EXPECT_NE(MakeRowKey(1, 0), MakeRowKey(1, 1));
+  EXPECT_NE(MakeRowKey(1, 0), MakeRowKey(2, 0));
+}
+
+// ---------------------------------------------------------- LockManager
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  const uint64_t key = MakeRowKey(1, 1);
+  EXPECT_TRUE(lm.Request(1, key, LockMode::kShared));
+  EXPECT_TRUE(lm.Request(2, key, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(1, key));
+  EXPECT_TRUE(lm.Holds(2, key));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksShared) {
+  LockManager lm;
+  const uint64_t key = MakeRowKey(1, 1);
+  EXPECT_TRUE(lm.Request(1, key, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Request(2, key, LockMode::kShared));
+  EXPECT_EQ(lm.WaiterCount(key), 1u);
+  std::vector<uint64_t> granted;
+  lm.Release(1, key, &granted);
+  EXPECT_EQ(granted, (std::vector<uint64_t>{2}));
+  EXPECT_TRUE(lm.Holds(2, key));
+}
+
+TEST(LockManagerTest, SharedBlocksExclusive) {
+  LockManager lm;
+  const uint64_t key = MakeRowKey(1, 1);
+  EXPECT_TRUE(lm.Request(1, key, LockMode::kShared));
+  EXPECT_FALSE(lm.Request(2, key, LockMode::kExclusive));
+  std::vector<uint64_t> granted;
+  lm.Release(1, key, &granted);
+  EXPECT_EQ(granted, (std::vector<uint64_t>{2}));
+}
+
+TEST(LockManagerTest, NoBargingPastQueuedExclusive) {
+  // S held; X queued; a later S must NOT jump the queue (this is what
+  // makes DDL pile-ups happen).
+  LockManager lm;
+  const uint64_t key = MakeMdlKey(1);
+  EXPECT_TRUE(lm.Request(1, key, LockMode::kShared));
+  EXPECT_FALSE(lm.Request(2, key, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Request(3, key, LockMode::kShared));
+  EXPECT_EQ(lm.WaiterCount(key), 2u);
+  std::vector<uint64_t> granted;
+  lm.Release(1, key, &granted);
+  // Only the exclusive head is granted.
+  EXPECT_EQ(granted, (std::vector<uint64_t>{2}));
+  granted.clear();
+  lm.Release(2, key, &granted);
+  EXPECT_EQ(granted, (std::vector<uint64_t>{3}));
+}
+
+TEST(LockManagerTest, ConsecutiveSharedGrantedTogether) {
+  LockManager lm;
+  const uint64_t key = MakeRowKey(1, 1);
+  EXPECT_TRUE(lm.Request(1, key, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Request(2, key, LockMode::kShared));
+  EXPECT_FALSE(lm.Request(3, key, LockMode::kShared));
+  EXPECT_FALSE(lm.Request(4, key, LockMode::kExclusive));
+  std::vector<uint64_t> granted;
+  lm.Release(1, key, &granted);
+  // Both shared waiters granted together; the exclusive one still waits.
+  EXPECT_EQ(granted, (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(lm.WaiterCount(key), 1u);
+}
+
+TEST(LockManagerTest, CancelWaitRemovesWaiter) {
+  LockManager lm;
+  const uint64_t key = MakeRowKey(1, 1);
+  EXPECT_TRUE(lm.Request(1, key, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Request(2, key, LockMode::kExclusive));
+  std::vector<uint64_t> granted;
+  EXPECT_TRUE(lm.CancelWait(2, key, &granted));
+  EXPECT_TRUE(granted.empty());
+  EXPECT_EQ(lm.WaiterCount(key), 0u);
+  EXPECT_FALSE(lm.CancelWait(2, key, &granted));
+}
+
+TEST(LockManagerTest, CancelHeadUnblocksCompatibleFollowers) {
+  LockManager lm;
+  const uint64_t key = MakeRowKey(1, 1);
+  EXPECT_TRUE(lm.Request(1, key, LockMode::kShared));
+  EXPECT_FALSE(lm.Request(2, key, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Request(3, key, LockMode::kShared));
+  std::vector<uint64_t> granted;
+  // Cancelling the exclusive head lets the shared follower in immediately
+  // (the original shared owner still holds the lock).
+  EXPECT_TRUE(lm.CancelWait(2, key, &granted));
+  EXPECT_EQ(granted, (std::vector<uint64_t>{3}));
+}
+
+TEST(LockManagerTest, StateIsCleanedUpWhenIdle) {
+  LockManager lm;
+  const uint64_t key = MakeRowKey(1, 1);
+  lm.Request(1, key, LockMode::kExclusive);
+  EXPECT_EQ(lm.ActiveKeyCount(), 1u);
+  std::vector<uint64_t> granted;
+  lm.Release(1, key, &granted);
+  EXPECT_EQ(lm.ActiveKeyCount(), 0u);
+}
+
+// ---------------------------------------------------------------- Engine
+
+QueryArrival MakeArrival(int64_t t_ms, uint64_t sql_id, double cpu_ms,
+                         std::vector<LockRequest> locks = {}) {
+  QueryArrival a;
+  a.arrival_ms = t_ms;
+  a.spec.sql_id = sql_id;
+  a.spec.cpu_ms = cpu_ms;
+  a.spec.examined_rows = 10;
+  a.spec.locks = std::move(locks);
+  return a;
+}
+
+TEST(EngineTest, SingleQueryLifecycle) {
+  Engine engine(SimConfig{});
+  engine.AddArrival(MakeArrival(1000, 42, 5.0));
+  engine.RunToCompletion();
+  ASSERT_EQ(engine.completed().size(), 1u);
+  const CompletedQuery& q = engine.completed()[0];
+  EXPECT_EQ(q.sql_id, 42u);
+  EXPECT_EQ(q.arrival_ms, 1000);
+  EXPECT_EQ(q.outcome, QueryOutcome::kCompleted);
+  EXPECT_NEAR(q.response_ms(), 5.0, 0.1);
+}
+
+TEST(EngineTest, LogStoreReceivesCompletedQueries) {
+  LogStore logs;
+  Engine engine(SimConfig{});
+  engine.AttachLogStore(&logs);
+  engine.AddArrival(MakeArrival(0, 1, 2.0));
+  engine.AddArrival(MakeArrival(10, 2, 2.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(logs.size(), 2u);
+  EXPECT_EQ(logs.SortedRecords()[0].sql_id, 1u);
+}
+
+TEST(EngineTest, ProcessorSharingSlowsOverload) {
+  // 100 concurrent queries on 4 cores must take much longer than alone.
+  SimConfig config;
+  config.cpu_cores = 4.0;
+  Engine engine(config);
+  for (int i = 0; i < 100; ++i) {
+    engine.AddArrival(MakeArrival(0, 1, 10.0));
+  }
+  engine.RunToCompletion();
+  double max_response = 0.0;
+  for (const auto& q : engine.completed()) {
+    max_response = std::max(max_response, q.response_ms());
+  }
+  // Last-started queries see slowdown ~100/4 = 25x.
+  EXPECT_GT(max_response, 100.0);
+}
+
+TEST(EngineTest, RowLockConflictSerializes) {
+  Engine engine(SimConfig{});
+  const uint64_t key = MakeRowKey(1, 1);
+  engine.AddArrival(MakeArrival(0, 1, 100.0, {{key, LockMode::kExclusive}}));
+  engine.AddArrival(MakeArrival(1, 2, 1.0, {{key, LockMode::kShared}}));
+  engine.RunToCompletion();
+  ASSERT_EQ(engine.completed().size(), 2u);
+  const CompletedQuery* blocked = nullptr;
+  for (const auto& q : engine.completed()) {
+    if (q.sql_id == 2) blocked = &q;
+  }
+  ASSERT_NE(blocked, nullptr);
+  EXPECT_TRUE(blocked->waited_row_lock);
+  EXPECT_FALSE(blocked->waited_mdl);
+  // It had to wait ~99 ms for the exclusive holder.
+  EXPECT_GT(blocked->response_ms(), 90.0);
+}
+
+TEST(EngineTest, MdlExclusiveBlocksTable) {
+  Engine engine(SimConfig{});
+  const uint64_t mdl = MakeMdlKey(3);
+  engine.AddArrival(MakeArrival(0, 1, 500.0, {{mdl, LockMode::kExclusive}}));
+  for (int i = 0; i < 5; ++i) {
+    engine.AddArrival(
+        MakeArrival(10 + i, 2, 1.0, {{mdl, LockMode::kShared}}));
+  }
+  engine.RunToCompletion();
+  size_t waited = 0;
+  for (const auto& q : engine.completed()) {
+    if (q.sql_id == 2 && q.waited_mdl) ++waited;
+  }
+  EXPECT_EQ(waited, 5u);
+}
+
+TEST(EngineTest, LockWaitTimeoutAborts) {
+  SimConfig config;
+  config.lock_wait_timeout_ms = 100.0;
+  Engine engine(config);
+  const uint64_t key = MakeRowKey(1, 1);
+  engine.AddArrival(MakeArrival(0, 1, 10'000.0, {{key, LockMode::kExclusive}}));
+  engine.AddArrival(MakeArrival(1, 2, 1.0, {{key, LockMode::kExclusive}}));
+  engine.RunToCompletion();
+  const CompletedQuery* aborted = nullptr;
+  for (const auto& q : engine.completed()) {
+    if (q.sql_id == 2) aborted = &q;
+  }
+  ASSERT_NE(aborted, nullptr);
+  EXPECT_EQ(aborted->outcome, QueryOutcome::kLockTimeout);
+  EXPECT_NEAR(aborted->response_ms(), 100.0, 1.0);
+  EXPECT_EQ(engine.timeout_count(), 1u);
+}
+
+TEST(EngineTest, ThrottleRejectsExcessArrivals) {
+  Engine engine(SimConfig{});
+  engine.SetThrottle(7, 2.0);
+  for (int i = 0; i < 10; ++i) {
+    engine.AddArrival(MakeArrival(i * 10, 7, 1.0));
+  }
+  engine.RunToCompletion();
+  size_t ok = 0;
+  size_t throttled = 0;
+  for (const auto& q : engine.completed()) {
+    if (q.outcome == QueryOutcome::kThrottled) {
+      ++throttled;
+    } else {
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok, 2u);  // 2 QPS limit, all arrivals in one second
+  EXPECT_EQ(throttled, 8u);
+  EXPECT_EQ(engine.throttled_count(), 8u);
+
+  engine.ClearThrottle(7);
+  engine.AddArrival(MakeArrival(5000, 7, 1.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.throttled_count(), 8u);
+}
+
+TEST(EngineTest, ThrottledQueriesNotLogged) {
+  LogStore logs;
+  Engine engine(SimConfig{});
+  engine.AttachLogStore(&logs);
+  engine.SetThrottle(7, 1.0);
+  engine.AddArrival(MakeArrival(0, 7, 1.0));
+  engine.AddArrival(MakeArrival(1, 7, 1.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(logs.size(), 1u);
+}
+
+TEST(EngineTest, CostMultiplierModelsOptimization) {
+  Engine engine(SimConfig{});
+  engine.AddArrival(MakeArrival(0, 7, 100.0));
+  engine.RunUntil(1000);
+  engine.SetCostMultiplier(7, 0.1, 0.1, 0.1);
+  engine.AddArrival(MakeArrival(2000, 7, 100.0));
+  engine.RunToCompletion();
+  ASSERT_EQ(engine.completed().size(), 2u);
+  EXPECT_NEAR(engine.completed()[0].response_ms(), 100.0, 1.0);
+  EXPECT_NEAR(engine.completed()[1].response_ms(), 10.0, 1.0);
+  EXPECT_EQ(engine.completed()[1].examined_rows, 1);
+}
+
+TEST(EngineTest, AutoScaleReducesSlowdown) {
+  auto run = [](double cores) {
+    SimConfig config;
+    config.cpu_cores = cores;
+    Engine engine(config);
+    for (int i = 0; i < 64; ++i) engine.AddArrival(MakeArrival(0, 1, 10.0));
+    engine.RunToCompletion();
+    double total = 0.0;
+    for (const auto& q : engine.completed()) total += q.response_ms();
+    return total / 64.0;
+  };
+  EXPECT_LT(run(32.0), run(4.0));
+}
+
+TEST(EngineTest, MonitoringOverheadShrinksCapacity) {
+  SimConfig config;
+  config.cpu_cores = 10.0;
+  Engine engine(config);
+  EXPECT_DOUBLE_EQ(engine.EffectiveCores(), 10.0);
+  engine.set_monitoring(MonitoringConfig::kPfsConIns);
+  EXPECT_NEAR(engine.EffectiveCores(), 7.2, 1e-9);
+}
+
+TEST(EngineTest, MonitoringOverheadOrdering) {
+  EXPECT_EQ(MonitoringOverheadFraction(MonitoringConfig::kNormal), 0.0);
+  EXPECT_LT(MonitoringOverheadFraction(MonitoringConfig::kPfs),
+            MonitoringOverheadFraction(MonitoringConfig::kPfsIns));
+  EXPECT_LT(MonitoringOverheadFraction(MonitoringConfig::kPfsCon),
+            MonitoringOverheadFraction(MonitoringConfig::kPfsConIns));
+}
+
+TEST(EngineTest, TakeCompletedDrains) {
+  Engine engine(SimConfig{});
+  engine.AddArrival(MakeArrival(0, 1, 1.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.TakeCompleted().size(), 1u);
+  EXPECT_TRUE(engine.completed().empty());
+}
+
+TEST(EngineTest, DuplicateLockKeysMerged) {
+  // A query naming the same row group twice must not self-deadlock.
+  Engine engine(SimConfig{});
+  const uint64_t key = MakeRowKey(1, 1);
+  engine.AddArrival(MakeArrival(0, 1, 1.0,
+                                {{key, LockMode::kShared},
+                                 {key, LockMode::kExclusive}}));
+  engine.RunToCompletion();
+  ASSERT_EQ(engine.completed().size(), 1u);
+  EXPECT_EQ(engine.completed()[0].outcome, QueryOutcome::kCompleted);
+}
+
+TEST(EngineTest, DeadlockFreeUnderOpposingLockOrders) {
+  // Locks are acquired in canonical key order, so opposite declaration
+  // orders cannot deadlock.
+  Engine engine(SimConfig{});
+  const uint64_t a = MakeRowKey(1, 1);
+  const uint64_t b = MakeRowKey(1, 2);
+  for (int i = 0; i < 50; ++i) {
+    engine.AddArrival(MakeArrival(i, 1, 5.0,
+                                  {{a, LockMode::kExclusive},
+                                   {b, LockMode::kExclusive}}));
+    engine.AddArrival(MakeArrival(i, 2, 5.0,
+                                  {{b, LockMode::kExclusive},
+                                   {a, LockMode::kExclusive}}));
+  }
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.completed().size(), 100u);
+  for (const auto& q : engine.completed()) {
+    EXPECT_EQ(q.outcome, QueryOutcome::kCompleted);
+  }
+}
+
+// --------------------------------------------------------------- Monitor
+
+TEST(MonitorTest, ActiveSessionCountsConcurrentQueries) {
+  // Two long overlapping queries -> active session 2 in the overlap.
+  std::vector<CompletedQuery> completed(2);
+  completed[0].arrival_ms = 0;
+  completed[0].service_start_ms = 0;
+  completed[0].completion_ms = 5000;
+  completed[1].arrival_ms = 1000;
+  completed[1].service_start_ms = 1000;
+  completed[1].completion_ms = 5000;
+  Rng rng(1);
+  const InstanceMetrics m =
+      ComputeInstanceMetrics(completed, 0, 6, 8.0, 8000.0, &rng);
+  EXPECT_EQ(m.active_session.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.active_session[2], 2.0);
+  EXPECT_DOUBLE_EQ(m.active_session[5], 0.0);
+}
+
+TEST(MonitorTest, ThrottledQueriesNotCounted) {
+  std::vector<CompletedQuery> completed(1);
+  completed[0].arrival_ms = 0;
+  completed[0].completion_ms = 5000;
+  completed[0].outcome = QueryOutcome::kThrottled;
+  Rng rng(1);
+  const InstanceMetrics m =
+      ComputeInstanceMetrics(completed, 0, 6, 8.0, 8000.0, &rng);
+  EXPECT_DOUBLE_EQ(m.active_session.Sum(), 0.0);
+}
+
+TEST(MonitorTest, CpuUsageReflectsWork) {
+  // One query consuming 4000 ms CPU over 1 s on 8 cores = 50 %.
+  std::vector<CompletedQuery> completed(1);
+  completed[0].arrival_ms = 0;
+  completed[0].service_start_ms = 0;
+  completed[0].completion_ms = 1000;
+  completed[0].cpu_ms = 4000;
+  Rng rng(1);
+  const InstanceMetrics m =
+      ComputeInstanceMetrics(completed, 0, 2, 8.0, 8000.0, &rng);
+  EXPECT_NEAR(m.cpu_usage[0], 50.0, 1e-6);
+  EXPECT_NEAR(m.cpu_usage[1], 0.0, 1e-6);
+}
+
+TEST(MonitorTest, CpuUsageClampedAt100) {
+  std::vector<CompletedQuery> completed(1);
+  completed[0].arrival_ms = 0;
+  completed[0].service_start_ms = 0;
+  completed[0].completion_ms = 1000;
+  completed[0].cpu_ms = 1e6;
+  Rng rng(1);
+  const InstanceMetrics m =
+      ComputeInstanceMetrics(completed, 0, 1, 8.0, 8000.0, &rng);
+  EXPECT_DOUBLE_EQ(m.cpu_usage[0], 100.0);
+}
+
+TEST(MonitorTest, LockWaitCountersAndQps) {
+  std::vector<CompletedQuery> completed(3);
+  completed[0].arrival_ms = 500;
+  completed[0].completion_ms = 700;
+  completed[0].waited_row_lock = true;
+  completed[1].arrival_ms = 1500;
+  completed[1].completion_ms = 1800;
+  completed[1].waited_mdl = true;
+  completed[2].arrival_ms = 1600;
+  completed[2].completion_ms = 2100;
+  Rng rng(1);
+  const InstanceMetrics m =
+      ComputeInstanceMetrics(completed, 0, 3, 8.0, 8000.0, &rng);
+  EXPECT_DOUBLE_EQ(m.row_lock_waits[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.mdl_waits[1], 1.0);
+  EXPECT_DOUBLE_EQ(m.qps[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.qps[1], 1.0);
+  EXPECT_DOUBLE_EQ(m.qps[2], 1.0);
+}
+
+TEST(MonitorTest, TrueTemplateSessionsIntegrateActiveTime) {
+  std::vector<CompletedQuery> completed(1);
+  completed[0].sql_id = 5;
+  completed[0].arrival_ms = 500;
+  completed[0].service_start_ms = 500;
+  completed[0].completion_ms = 2500;  // active 2 s spanning 3 seconds
+  const auto sessions = ComputeTrueTemplateSessions(completed, 0, 3);
+  ASSERT_EQ(sessions.size(), 1u);
+  const TimeSeries& s = sessions.at(5);
+  EXPECT_NEAR(s[0], 0.5, 1e-9);
+  EXPECT_NEAR(s[1], 1.0, 1e-9);
+  EXPECT_NEAR(s[2], 0.5, 1e-9);
+  const TimeSeries total = ComputeTrueInstanceSession(completed, 0, 3);
+  EXPECT_NEAR(total.Sum(), 2.0, 1e-9);
+}
+
+// ------------------------------------------------------------ ClosedLoop
+
+TEST(ClosedLoopTest, KeepsExactlyOneQueryInFlightPerThread) {
+  SimConfig config;
+  config.cpu_cores = 4.0;
+  Engine engine(config);
+  ClosedLoopDriver driver(
+      {{[](Rng* rng) {
+          QuerySpec spec;
+          spec.sql_id = 1;
+          spec.cpu_ms = rng->Uniform(0.5, 1.5);
+          return spec;
+        },
+        1.0}},
+      /*num_threads=*/8, /*stop_after_ms=*/1000.0, /*seed=*/3);
+  engine.SetArrivalDriver(&driver);
+  engine.AddArrivals(driver.InitialArrivals(0));
+  engine.RunToCompletion();
+  // Throughput-bound: roughly threads/response * duration completions.
+  EXPECT_GT(engine.completed().size(), 1000u);
+  EXPECT_EQ(engine.completed().size(), driver.issued());
+}
+
+TEST(ClosedLoopTest, MixWeightsRoughlyRespected) {
+  SimConfig config;
+  Engine engine(config);
+  auto make = [](uint64_t id) {
+    return [id](Rng*) {
+      QuerySpec spec;
+      spec.sql_id = id;
+      spec.cpu_ms = 1.0;
+      return spec;
+    };
+  };
+  ClosedLoopDriver driver({{make(1), 3.0}, {make(2), 1.0}},
+                          /*num_threads=*/4, /*stop_after_ms=*/2000.0,
+                          /*seed=*/5);
+  engine.SetArrivalDriver(&driver);
+  engine.AddArrivals(driver.InitialArrivals(0));
+  engine.RunToCompletion();
+  size_t ones = 0;
+  size_t twos = 0;
+  for (const auto& q : engine.completed()) {
+    if (q.sql_id == 1) ++ones;
+    if (q.sql_id == 2) ++twos;
+  }
+  const double ratio = static_cast<double>(ones) / static_cast<double>(twos);
+  EXPECT_NEAR(ratio, 3.0, 0.6);
+}
+
+TEST(ClosedLoopTest, QpsScalesWithEffectiveCapacity) {
+  // The Table IV mechanism: monitoring overhead cuts closed-loop QPS.
+  auto run_qps = [](MonitoringConfig monitoring) {
+    SimConfig config;
+    config.cpu_cores = 4.0;
+    config.monitoring = monitoring;
+    Engine engine(config);
+    ClosedLoopDriver driver(
+        {{[](Rng* rng) {
+            QuerySpec spec;
+            spec.sql_id = 1;
+            spec.cpu_ms = rng->Uniform(0.8, 1.2);
+            return spec;
+          },
+          1.0}},
+        /*num_threads=*/32, /*stop_after_ms=*/3000.0, /*seed=*/7);
+    engine.SetArrivalDriver(&driver);
+    engine.AddArrivals(driver.InitialArrivals(0));
+    engine.RunToCompletion();
+    return static_cast<double>(engine.completed().size()) / 3.0;
+  };
+  const double normal = run_qps(MonitoringConfig::kNormal);
+  const double heavy = run_qps(MonitoringConfig::kPfsConIns);
+  const double decline = (normal - heavy) / normal;
+  EXPECT_GT(decline, 0.15);
+  EXPECT_LT(decline, 0.45);
+}
+
+}  // namespace
+}  // namespace pinsql::dbsim

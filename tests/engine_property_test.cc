@@ -1,0 +1,141 @@
+/// Property-based tests of the simulation engine's conservation laws: for
+/// randomized workloads (parameterized over seeds), every arrival finishes
+/// exactly once, no lock or session leaks, responses are causal, and the
+/// monitor's views are consistent with the event stream.
+
+#include <gtest/gtest.h>
+
+#include "dbsim/engine.h"
+#include "dbsim/monitor.h"
+#include "util/rng.h"
+
+namespace pinsql::dbsim {
+namespace {
+
+std::vector<QueryArrival> RandomArrivals(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<QueryArrival> arrivals;
+  arrivals.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    QueryArrival a;
+    a.arrival_ms = rng.UniformInt(0, 60'000);
+    a.spec.sql_id = static_cast<uint64_t>(rng.UniformInt(1, 40));
+    a.spec.cpu_ms = rng.Uniform(0.5, 30.0);
+    a.spec.io_ms = rng.Bernoulli(0.3) ? rng.Uniform(0.5, 10.0) : 0.0;
+    a.spec.examined_rows = rng.UniformInt(1, 10'000);
+    const uint32_t table = static_cast<uint32_t>(rng.UniformInt(0, 4));
+    a.spec.locks.push_back(
+        {MakeMdlKey(table),
+         rng.Bernoulli(0.01) ? LockMode::kExclusive : LockMode::kShared});
+    const int row_locks = static_cast<int>(rng.UniformInt(0, 3));
+    for (int r = 0; r < row_locks; ++r) {
+      a.spec.locks.push_back(
+          {MakeRowKey(table, static_cast<uint32_t>(rng.UniformInt(0, 7))),
+           rng.Bernoulli(0.4) ? LockMode::kExclusive : LockMode::kShared});
+    }
+    arrivals.push_back(std::move(a));
+  }
+  return arrivals;
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnginePropertyTest, EveryArrivalFinishesExactlyOnce) {
+  SimConfig config;
+  config.cpu_cores = 4.0;
+  config.lock_wait_timeout_ms = 5'000.0;
+  Engine engine(config);
+  const auto arrivals = RandomArrivals(GetParam(), 3'000);
+  engine.AddArrivals(arrivals);
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.completed().size(), arrivals.size());
+  EXPECT_EQ(engine.ActiveCount(), 0u);
+  EXPECT_EQ(engine.InServiceCount(), 0u);
+}
+
+TEST_P(EnginePropertyTest, ResponsesAreCausalAndOrdered) {
+  SimConfig config;
+  config.lock_wait_timeout_ms = 5'000.0;
+  Engine engine(config);
+  engine.AddArrivals(RandomArrivals(GetParam() * 31 + 7, 2'000));
+  engine.RunToCompletion();
+  for (const CompletedQuery& q : engine.completed()) {
+    EXPECT_GE(q.completion_ms, static_cast<double>(q.arrival_ms));
+    EXPECT_GE(q.service_start_ms, static_cast<double>(q.arrival_ms));
+    EXPECT_LE(q.service_start_ms, q.completion_ms);
+    if (q.outcome == QueryOutcome::kCompleted) {
+      // Service lasted at least the raw CPU demand (slowdown >= 1).
+      EXPECT_GE(q.completion_ms - q.service_start_ms, q.cpu_ms - 1e-6);
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, TimeoutsRespectTheConfiguredBound) {
+  SimConfig config;
+  config.lock_wait_timeout_ms = 2'000.0;
+  Engine engine(config);
+  engine.AddArrivals(RandomArrivals(GetParam() * 97 + 1, 2'000));
+  engine.RunToCompletion();
+  for (const CompletedQuery& q : engine.completed()) {
+    if (q.outcome == QueryOutcome::kLockTimeout) {
+      // An aborted query waited (possibly through several sequential lock
+      // queues) and each wait is bounded by the timeout.
+      EXPECT_GE(q.response_ms(), config.lock_wait_timeout_ms - 1.0);
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, MonitorSessionsMatchEventStream) {
+  SimConfig config;
+  config.lock_wait_timeout_ms = 5'000.0;
+  Engine engine(config);
+  engine.AddArrivals(RandomArrivals(GetParam() * 13 + 3, 2'000));
+  engine.RunToCompletion();
+  const auto& completed = engine.completed();
+
+  // The integral of the true instance session must equal the total active
+  // time of all non-throttled queries.
+  const TimeSeries truth = ComputeTrueInstanceSession(completed, 0, 120);
+  double total_active_sec = 0.0;
+  for (const CompletedQuery& q : completed) {
+    if (q.outcome == QueryOutcome::kThrottled) continue;
+    const double begin =
+        std::max(0.0, static_cast<double>(q.arrival_ms));
+    const double end = std::min(q.completion_ms, 120'000.0);
+    total_active_sec += std::max(0.0, end - begin) / 1000.0;
+  }
+  EXPECT_NEAR(truth.Sum(), total_active_sec, total_active_sec * 1e-6 + 1e-6);
+
+  // Per-template truths sum to the instance truth.
+  const auto per_template = ComputeTrueTemplateSessions(completed, 0, 120);
+  TimeSeries sum(0, 1, 120);
+  for (const auto& [id, series] : per_template) sum.AddInPlace(series);
+  for (size_t i = 0; i < sum.size(); ++i) {
+    EXPECT_NEAR(sum[i], truth[i], 1e-6);
+  }
+}
+
+TEST_P(EnginePropertyTest, DeterministicReplay) {
+  const auto arrivals = RandomArrivals(GetParam() * 7 + 5, 1'000);
+  auto run = [&]() {
+    SimConfig config;
+    Engine engine(config);
+    engine.AddArrivals(arrivals);
+    engine.RunToCompletion();
+    return engine.TakeCompleted();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sql_id, b[i].sql_id);
+    EXPECT_DOUBLE_EQ(a[i].completion_ms, b[i].completion_ms);
+    EXPECT_EQ(a[i].outcome, b[i].outcome);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 23, 42));
+
+}  // namespace
+}  // namespace pinsql::dbsim

@@ -1,0 +1,177 @@
+/// Randomized robustness tests ("poor man's fuzzing", deterministic by
+/// seed): the JSON parser and the SQL tokenizer/fingerprinter sit on
+/// external inputs (user rule configs, arbitrary query text) and must
+/// never crash, loop, or break their invariants on garbage.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sqltpl/fingerprint.h"
+#include "sqltpl/tokenizer.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/rng.h"
+
+namespace pinsql {
+namespace {
+
+// ------------------------------------------------ JSON round-trip property
+
+/// Generates a random JSON value of bounded depth.
+Json RandomJson(Rng* rng, int depth) {
+  const int64_t kind = rng->UniformInt(0, depth > 0 ? 5 : 3);
+  switch (kind) {
+    case 0:
+      return Json();
+    case 1:
+      return Json(rng->Bernoulli(0.5));
+    case 2:
+      // Integers and "nice" doubles survive the printf round trip exactly.
+      if (rng->Bernoulli(0.5)) {
+        return Json(rng->UniformInt(-1'000'000, 1'000'000));
+      }
+      return Json(rng->Normal(0.0, 1e6));
+    case 3: {
+      std::string s;
+      const int64_t len = rng->UniformInt(0, 24);
+      for (int64_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters needing escapes.
+        const char* alphabet =
+            "abcXYZ019 _-\"\\\n\t/{}[],:";
+        s.push_back(alphabet[rng->UniformInt(0, 24)]);
+      }
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json arr = Json::MakeArray();
+      const int64_t n = rng->UniformInt(0, 5);
+      for (int64_t i = 0; i < n; ++i) {
+        arr.Append(RandomJson(rng, depth - 1));
+      }
+      return arr;
+    }
+    default: {
+      Json obj = Json::MakeObject();
+      const int64_t n = rng->UniformInt(0, 5);
+      for (int64_t i = 0; i < n; ++i) {
+        obj.Set("k" + std::to_string(rng->UniformInt(0, 99)),
+                RandomJson(rng, depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonRoundTripTest, DumpParseDumpIsStable) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const Json original = RandomJson(&rng, 4);
+    const std::string once = original.Dump();
+    const StatusOr<Json> parsed = Json::Parse(once);
+    ASSERT_TRUE(parsed.ok()) << once;
+    // Full equality can differ on float formatting; dump stability is the
+    // stronger practical property and implies parse-consistency.
+    EXPECT_EQ(parsed->Dump(), once);
+    // Pretty print parses back to the same compact form.
+    const StatusOr<Json> pretty = Json::Parse(original.Dump(true));
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(pretty->Dump(), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class JsonGarbageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonGarbageTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string garbage;
+    const int64_t len = rng.UniformInt(0, 64);
+    for (int64_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.UniformInt(1, 255)));
+    }
+    // Must terminate and either parse or return a ParseError; both fine.
+    const StatusOr<Json> result = Json::Parse(garbage);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(JsonGarbageTest, MutatedValidDocumentsNeverCrash) {
+  Rng rng(GetParam() * 1000 + 1);
+  const std::string base =
+      R"({"rules":[{"anomaly":"cpu_usage.spike","action":"optimize",)"
+      R"("params":{"cpu_factor":0.25},"notify":["a","b"]}],"n":-1.5e3})";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mutated = base;
+    const int64_t flips = rng.UniformInt(1, 4);
+    for (int64_t f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    (void)Json::Parse(mutated);  // must not crash or hang
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonGarbageTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+// ------------------------------------------- SQL fingerprint robustness
+
+class SqlGarbageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlGarbageTest, RandomSqlishTextNeverCrashes) {
+  Rng rng(GetParam());
+  const char* fragments[] = {
+      "SELECT", "FROM",  "WHERE", "'",  "\"", "`",  "(",    ")",
+      ",",      "123",   "0x",    "/*", "*/", "--", "\n",   "IN",
+      "JOIN",   "table", "a.b",   "?",  "=",  ";",  "\\",   "e10",
+      ".5",     "--x",   "# c",   "OR", "*",  "!=", "UPDATE"};
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string sql;
+    const int64_t n = rng.UniformInt(0, 30);
+    for (int64_t i = 0; i < n; ++i) {
+      sql += fragments[rng.UniformInt(0, 30)];
+      if (rng.Bernoulli(0.6)) sql += ' ';
+    }
+    const auto tokens = sqltpl::Tokenize(sql);
+    const auto info = sqltpl::Fingerprint(sql);
+    // Invariants: a non-empty template hashes consistently and
+    // re-fingerprinting the template text is a fixed point.
+    EXPECT_EQ(info.sql_id, Fnv1a64(info.template_text));
+    const auto again = sqltpl::Fingerprint(info.template_text);
+    EXPECT_EQ(again.template_text,
+              sqltpl::Fingerprint(again.template_text).template_text);
+    (void)tokens;
+  }
+}
+
+TEST_P(SqlGarbageTest, LiteralValuesNeverChangeTheTemplate) {
+  Rng rng(GetParam() * 7 + 5);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t a = rng.UniformInt(-1'000'000, 1'000'000);
+    const int64_t b = rng.UniformInt(-1'000'000, 1'000'000);
+    const std::string sql_a =
+        "UPDATE t SET v = " + std::to_string(a) +
+        " WHERE id = " + std::to_string(rng.UniformInt(0, 1 << 30)) +
+        " AND name = 'u" + std::to_string(a) + "'";
+    const std::string sql_b =
+        "UPDATE t SET v = " + std::to_string(b) +
+        " WHERE id = " + std::to_string(rng.UniformInt(0, 1 << 30)) +
+        " AND name = 'u" + std::to_string(b) + "'";
+    EXPECT_EQ(sqltpl::SqlId(sql_a), sqltpl::SqlId(sql_b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlGarbageTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace pinsql

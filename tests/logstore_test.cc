@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "logstore/log_store.h"
+
+namespace pinsql {
+namespace {
+
+QueryLogRecord Rec(int64_t arrival_ms, uint64_t sql_id, double response = 1.0,
+                   int64_t rows = 10) {
+  QueryLogRecord r;
+  r.arrival_ms = arrival_ms;
+  r.sql_id = sql_id;
+  r.response_ms = response;
+  r.examined_rows = rows;
+  return r;
+}
+
+TEST(LogStoreTest, AppendAndSize) {
+  LogStore store;
+  EXPECT_EQ(store.size(), 0u);
+  store.Append(Rec(10, 1));
+  store.Append(Rec(20, 2));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(LogStoreTest, OutOfOrderAppendsAreSortedOnScan) {
+  // Records arrive in completion order, which differs from arrival order.
+  LogStore store;
+  store.Append(Rec(30, 3));
+  store.Append(Rec(10, 1));
+  store.Append(Rec(20, 2));
+  const auto& sorted = store.SortedRecords();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].sql_id, 1u);
+  EXPECT_EQ(sorted[1].sql_id, 2u);
+  EXPECT_EQ(sorted[2].sql_id, 3u);
+}
+
+TEST(LogStoreTest, RangeIsHalfOpen) {
+  LogStore store;
+  for (int64_t t : {10, 20, 30, 40}) {
+    store.Append(Rec(t, static_cast<uint64_t>(t)));
+  }
+  const auto range = store.Range(20, 40);
+  ASSERT_EQ(range.size(), 2u);
+  EXPECT_EQ(range[0].arrival_ms, 20);
+  EXPECT_EQ(range[1].arrival_ms, 30);
+}
+
+TEST(LogStoreTest, ScanRangeVisitsInOrder) {
+  LogStore store;
+  store.Append(Rec(50, 5));
+  store.Append(Rec(10, 1));
+  std::vector<int64_t> seen;
+  store.ScanRange(0, 100,
+                  [&](const QueryLogRecord& r) { seen.push_back(r.arrival_ms); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{10, 50}));
+}
+
+TEST(LogStoreTest, TrimBeforeImplementsRetention) {
+  LogStore store;
+  for (int64_t t = 0; t < 100; t += 10) {
+    store.Append(Rec(t, 1));
+  }
+  const size_t dropped = store.TrimBefore(35);
+  EXPECT_EQ(dropped, 4u);
+  EXPECT_EQ(store.size(), 6u);
+  EXPECT_EQ(store.SortedRecords().front().arrival_ms, 40);
+}
+
+TEST(LogStoreTest, TrimEverything) {
+  LogStore store;
+  store.Append(Rec(5, 1));
+  EXPECT_EQ(store.TrimBefore(1000), 1u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.TrimBefore(1000), 0u);
+}
+
+TEST(LogStoreTest, TemplateCatalog) {
+  LogStore store;
+  TemplateCatalogEntry entry;
+  entry.template_text = "SELECT * FROM t WHERE id = ?";
+  entry.kind = sqltpl::StatementKind::kSelect;
+  entry.tables = {"t"};
+  store.RegisterTemplate(42, entry);
+  const TemplateCatalogEntry* found = store.FindTemplate(42);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->template_text, "SELECT * FROM t WHERE id = ?");
+  EXPECT_EQ(found->tables, (std::vector<std::string>{"t"}));
+  EXPECT_EQ(store.FindTemplate(43), nullptr);
+}
+
+TEST(LogStoreTest, RegisterTemplateIsIdempotent) {
+  LogStore store;
+  TemplateCatalogEntry a;
+  a.template_text = "first";
+  store.RegisterTemplate(1, a);
+  TemplateCatalogEntry b;
+  b.template_text = "second";
+  store.RegisterTemplate(1, b);  // ignored; first registration wins
+  EXPECT_EQ(store.FindTemplate(1)->template_text, "first");
+  EXPECT_EQ(store.catalog().size(), 1u);
+}
+
+TEST(LogStoreTest, AppendAfterScanKeepsOrderCorrect) {
+  LogStore store;
+  store.Append(Rec(10, 1));
+  store.Append(Rec(30, 3));
+  EXPECT_EQ(store.Range(0, 100).size(), 2u);
+  store.Append(Rec(20, 2));  // out of order after a sort
+  const auto range = store.Range(0, 100);
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[1].sql_id, 2u);
+}
+
+}  // namespace
+}  // namespace pinsql

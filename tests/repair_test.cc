@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "dbsim/engine.h"
+#include "repair/actions.h"
+#include "repair/rule_engine.h"
+#include "util/rng.h"
+
+namespace pinsql::repair {
+namespace {
+
+dbsim::QueryArrival MakeArrival(int64_t t_ms, uint64_t sql_id,
+                                double cpu_ms) {
+  dbsim::QueryArrival a;
+  a.arrival_ms = t_ms;
+  a.spec.sql_id = sql_id;
+  a.spec.cpu_ms = cpu_ms;
+  a.spec.examined_rows = 1000;
+  return a;
+}
+
+// ----------------------------------------------------------------- Actions
+
+TEST(ActionsTest, ThrottleAppliesAndExpires) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ActionExecutor executor(&engine);
+  RepairAction action;
+  action.type = ActionType::kThrottle;
+  action.sql_id = 7;
+  action.throttle_max_qps = 1.0;
+  action.throttle_duration_sec = 10;
+  executor.Execute(action, 0.0);
+
+  engine.AddArrival(MakeArrival(100, 7, 1.0));
+  engine.AddArrival(MakeArrival(200, 7, 1.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.throttled_count(), 1u);
+
+  executor.ExpireThrottles(11'000.0);
+  engine.AddArrival(MakeArrival(20'000, 7, 1.0));
+  engine.AddArrival(MakeArrival(20'100, 7, 1.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.throttled_count(), 1u);  // throttle lifted
+}
+
+TEST(ActionsTest, ExpireKeepsUnexpiredThrottles) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ActionExecutor executor(&engine);
+  RepairAction action;
+  action.type = ActionType::kThrottle;
+  action.sql_id = 7;
+  action.throttle_max_qps = 0.0;
+  action.throttle_duration_sec = 100;
+  executor.Execute(action, 0.0);
+  executor.ExpireThrottles(50'000.0);  // not yet expired
+  engine.AddArrival(MakeArrival(60'000, 7, 1.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.throttled_count(), 1u);
+}
+
+TEST(ActionsTest, OptimizeReducesCost) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ActionExecutor executor(&engine);
+  RepairAction action;
+  action.type = ActionType::kOptimize;
+  action.sql_id = 7;
+  action.optimize_cpu_factor = 0.2;
+  action.optimize_rows_factor = 0.1;
+  executor.Execute(action, 0.0);
+  engine.AddArrival(MakeArrival(0, 7, 100.0));
+  engine.RunToCompletion();
+  ASSERT_EQ(engine.completed().size(), 1u);
+  EXPECT_NEAR(engine.completed()[0].response_ms(), 20.0, 1.0);
+  EXPECT_EQ(engine.completed()[0].examined_rows, 100);
+}
+
+TEST(ActionsTest, AutoScaleAddsCores) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  const double before = engine.cpu_cores();
+  ActionExecutor executor(&engine);
+  RepairAction action;
+  action.type = ActionType::kAutoScale;
+  action.autoscale_add_cores = 8.0;
+  executor.Execute(action, 0.0);
+  EXPECT_DOUBLE_EQ(engine.cpu_cores(), before + 8.0);
+}
+
+TEST(ActionsTest, AuditLogRecordsEverything) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ActionExecutor executor(&engine);
+  RepairAction throttle;
+  throttle.type = ActionType::kThrottle;
+  throttle.sql_id = 1;
+  throttle.throttle_duration_sec = 1;
+  executor.Execute(throttle, 0.0);
+  executor.ExpireThrottles(5'000.0);
+  ASSERT_EQ(executor.audit_log().size(), 2u);
+  EXPECT_NE(executor.audit_log()[0].find("throttle"), std::string::npos);
+  EXPECT_NE(executor.audit_log()[1].find("unthrottle"), std::string::npos);
+}
+
+TEST(ActionsTest, ToStringMentionsParameters) {
+  RepairAction action;
+  action.type = ActionType::kOptimize;
+  action.sql_id = 0xAB;
+  EXPECT_NE(action.ToString().find("optimize"), std::string::npos);
+  EXPECT_NE(action.ToString().find("00000000000000AB"), std::string::npos);
+}
+
+// -------------------------------------------------------------- RuleEngine
+
+TemplateMetricsStore MetricsWithSurge(uint64_t sql_id, bool rows_surge) {
+  TemplateMetricsStore metrics(0, 200);
+  Rng rng(3);
+  for (int64_t t = 0; t < 200; ++t) {
+    const bool anomalous = t >= 100 && t < 150;
+    QueryLogRecord rec;
+    rec.arrival_ms = t * 1000 + 500;
+    rec.sql_id = sql_id;
+    rec.response_ms = 5.0;
+    rec.examined_rows =
+        (rows_surge && anomalous) ? 100'000 : rng.UniformInt(50, 150);
+    metrics.Accumulate(rec);
+  }
+  return metrics;
+}
+
+std::vector<anomaly::Phenomenon> CpuSpike() {
+  return {{"cpu_usage.spike", 100, 150, 20.0}};
+}
+
+TEST(RuleEngineTest, DefaultConfigSuggestsOptimizeOnCpuSpike) {
+  const RepairRuleEngine rules = RepairRuleEngine::Default();
+  const TemplateMetricsStore metrics = MetricsWithSurge(7, true);
+  const auto suggestions =
+      rules.Suggest(CpuSpike(), {7}, metrics, 100, 150);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].action.type, ActionType::kOptimize);
+  EXPECT_EQ(suggestions[0].sql_id, 7u);
+  EXPECT_FALSE(suggestions[0].auto_execute);
+}
+
+TEST(RuleEngineTest, TemplateFeatureGateBlocksWithoutSurge) {
+  const RepairRuleEngine rules = RepairRuleEngine::Default();
+  const TemplateMetricsStore metrics = MetricsWithSurge(7, false);
+  const auto suggestions =
+      rules.Suggest(CpuSpike(), {7}, metrics, 100, 150);
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST(RuleEngineTest, NoMatchingPhenomenonNoSuggestions) {
+  const RepairRuleEngine rules = RepairRuleEngine::Default();
+  const TemplateMetricsStore metrics = MetricsWithSurge(7, true);
+  const std::vector<anomaly::Phenomenon> phenomena = {
+      {"iops_usage.level_shift", 100, 150, 5.0}};
+  EXPECT_TRUE(rules.Suggest(phenomena, {7}, metrics, 100, 150).empty());
+}
+
+TEST(RuleEngineTest, FromJsonFullConfig) {
+  // The shape of paper Fig. 5.
+  auto rules = RepairRuleEngine::FromJsonText(R"({
+    "rules": [
+      {"anomaly": "cpu_usage.spike",
+       "template_feature": "examined_rows.sudden_increase",
+       "action": "optimize",
+       "params": {"cpu_factor": 0.25, "rows_factor": 0.2},
+       "auto_execute": true,
+       "notify": ["dingtalk", "sms"]},
+      {"anomaly": "active_session.spike",
+       "action": "throttle",
+       "params": {"max_qps": 5, "duration_sec": 120}},
+      {"anomaly": "*", "action": "autoscale",
+       "params": {"add_cores": 16}}
+    ]})");
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->rules().size(), 3u);
+  EXPECT_DOUBLE_EQ(rules->rules()[0].action.optimize_cpu_factor, 0.25);
+  EXPECT_TRUE(rules->rules()[0].auto_execute);
+  EXPECT_EQ(rules->rules()[0].notify,
+            (std::vector<std::string>{"dingtalk", "sms"}));
+  EXPECT_DOUBLE_EQ(rules->rules()[1].action.throttle_max_qps, 5.0);
+  EXPECT_EQ(rules->rules()[1].action.throttle_duration_sec, 120);
+  EXPECT_EQ(rules->rules()[2].action.type, ActionType::kAutoScale);
+}
+
+TEST(RuleEngineTest, FromJsonRejectsBadConfigs) {
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText("[]").ok());
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText(R"({"rules": [{}]})").ok());
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText(
+                   R"({"rules": [{"action": "reboot"}]})")
+                   .ok());
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText("{nonsense").ok());
+}
+
+TEST(RuleEngineTest, AutoScaleSuggestionHasNoTarget) {
+  auto rules = RepairRuleEngine::FromJsonText(
+      R"({"rules": [{"anomaly": "*", "action": "autoscale"}]})");
+  ASSERT_TRUE(rules.ok());
+  const TemplateMetricsStore metrics = MetricsWithSurge(7, true);
+  const auto suggestions =
+      rules->Suggest(CpuSpike(), {7}, metrics, 100, 150);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].sql_id, 0u);
+}
+
+TEST(RuleEngineTest, MaxRsqlsBoundsSuggestions) {
+  auto rules = RepairRuleEngine::FromJsonText(
+      R"({"rules": [{"anomaly": "*", "action": "throttle"}]})");
+  ASSERT_TRUE(rules.ok());
+  TemplateMetricsStore metrics(0, 200);
+  for (uint64_t id = 1; id <= 10; ++id) {
+    QueryLogRecord rec;
+    rec.arrival_ms = 500;
+    rec.sql_id = id;
+    rec.response_ms = 1.0;
+    metrics.Accumulate(rec);
+  }
+  std::vector<uint64_t> ranking = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto suggestions =
+      rules->Suggest(CpuSpike(), ranking, metrics, 100, 150,
+                     /*max_rsqls=*/2);
+  EXPECT_EQ(suggestions.size(), 2u);
+}
+
+TEST(RuleEngineTest, ExecutionCountFeature) {
+  auto rules = RepairRuleEngine::FromJsonText(R"({
+    "rules": [{"anomaly": "*",
+               "template_feature": "execution_count.sudden_increase",
+               "action": "throttle"}]})");
+  ASSERT_TRUE(rules.ok());
+  // Build metrics where executions surge during the anomaly.
+  TemplateMetricsStore metrics(0, 200);
+  Rng rng(5);
+  for (int64_t t = 0; t < 200; ++t) {
+    const int count = (t >= 100 && t < 150) ? 50 : 2;
+    for (int k = 0; k < count; ++k) {
+      QueryLogRecord rec;
+      rec.arrival_ms = t * 1000 + rng.UniformInt(0, 999);
+      rec.sql_id = 7;
+      rec.response_ms = 1.0;
+      metrics.Accumulate(rec);
+    }
+  }
+  EXPECT_EQ(rules->Suggest(CpuSpike(), {7}, metrics, 100, 150).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pinsql::repair

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "anomaly/pettitt.h"
+#include "core/report.h"
+#include "eval/case_generator.h"
+#include "eval/runner.h"
+#include "repair/rule_engine.h"
+#include "util/rng.h"
+
+namespace pinsql {
+namespace {
+
+// ---------------------------------------------------------------- Pettitt
+
+TEST(PettittTest, DetectsObviousLevelShift) {
+  std::vector<double> x;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) x.push_back(rng.Normal(10, 1));
+  for (int i = 0; i < 100; ++i) x.push_back(rng.Normal(30, 1));
+  const anomaly::PettittResult result = anomaly::PettittTest(x);
+  EXPECT_TRUE(result.significant());
+  EXPECT_TRUE(result.shifted_up());
+  EXPECT_NEAR(static_cast<double>(result.change_index), 99.0, 3.0);
+  EXPECT_NEAR(result.mean_before, 10.0, 0.6);
+  EXPECT_NEAR(result.mean_after, 30.0, 0.6);
+}
+
+TEST(PettittTest, DetectsDownShift) {
+  std::vector<double> x;
+  Rng rng(2);
+  for (int i = 0; i < 80; ++i) x.push_back(rng.Normal(50, 2));
+  for (int i = 0; i < 80; ++i) x.push_back(rng.Normal(20, 2));
+  const anomaly::PettittResult result = anomaly::PettittTest(x);
+  EXPECT_TRUE(result.significant());
+  EXPECT_FALSE(result.shifted_up());
+}
+
+TEST(PettittTest, StationarySeriesNotSignificant) {
+  std::vector<double> x;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) x.push_back(rng.Normal(10, 2));
+  EXPECT_FALSE(anomaly::PettittTest(x).significant());
+}
+
+TEST(PettittTest, DegenerateInputs) {
+  EXPECT_FALSE(anomaly::PettittTest(std::vector<double>{}).significant());
+  EXPECT_FALSE(anomaly::PettittTest(std::vector<double>{1.0}).significant());
+  EXPECT_FALSE(
+      anomaly::PettittTest(std::vector<double>(50, 3.0)).significant());
+}
+
+TEST(PettittTest, TimeSeriesOverload) {
+  TimeSeries ts(100, 1, 60);
+  for (size_t i = 0; i < 60; ++i) ts[i] = i < 30 ? 1.0 : 100.0;
+  const anomaly::PettittResult result = anomaly::PettittTest(ts);
+  EXPECT_TRUE(result.significant());
+  EXPECT_EQ(result.change_index, 29u);
+}
+
+class PettittPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PettittPropertyTest, ShiftMagnitudeDrivesSignificance) {
+  Rng rng(GetParam());
+  std::vector<double> base;
+  for (int i = 0; i < 120; ++i) base.push_back(rng.Normal(10, 1));
+  // Small shift (0.1 sigma): not significant; large shift (10 sigma): is.
+  std::vector<double> small = base;
+  std::vector<double> large = base;
+  for (int i = 60; i < 120; ++i) {
+    small[static_cast<size_t>(i)] += 0.1;
+    large[static_cast<size_t>(i)] += 10.0;
+  }
+  EXPECT_FALSE(anomaly::PettittTest(small).significant(0.01));
+  EXPECT_TRUE(anomaly::PettittTest(large).significant(0.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PettittPropertyTest,
+                         ::testing::Values(7, 8, 9, 10));
+
+// ----------------------------------------------------------------- Report
+
+TEST(ReportTest, BuildsFromRealDiagnosis) {
+  eval::CaseGenOptions options;
+  options.type = workload::AnomalyType::kPoorSql;
+  options.seed = 77;
+  const eval::AnomalyCaseData data = eval::GenerateCase(options);
+  const core::DiagnosisInput input = eval::MakeDiagnosisInput(data);
+  const core::DiagnosisResult result =
+      core::Diagnose(input, core::DiagnoserOptions{});
+  const auto suggestions = repair::RepairRuleEngine::Default().Suggest(
+      data.phenomena, result.rsql.ranking, result.metrics,
+      input.anomaly_start_sec, input.anomaly_end_sec);
+
+  const core::DiagnosisReport report = core::BuildReport(
+      result, data.logs, data.phenomena, input.anomaly_start_sec,
+      input.anomaly_end_sec, suggestions, /*top_k=*/3);
+
+  EXPECT_EQ(report.anomaly_start_sec, input.anomaly_start_sec);
+  EXPECT_LE(report.rsqls.size(), 3u);
+  ASSERT_FALSE(report.rsqls.empty());
+  EXPECT_EQ(report.rsqls[0].sql_id_hex.size(), 16u);
+  EXPECT_NE(report.rsqls[0].template_text, "<unknown>");
+  EXPECT_FALSE(report.phenomena.empty());
+
+  const std::string text = report.ToText();
+  EXPECT_NE(text.find("root-cause SQLs:"), std::string::npos);
+  EXPECT_NE(text.find(report.rsqls[0].sql_id_hex), std::string::npos);
+}
+
+TEST(ReportTest, JsonRoundTripsThroughParser) {
+  core::DiagnosisReport report;
+  report.anomaly_start_sec = 100;
+  report.anomaly_end_sec = 200;
+  report.diagnosis_seconds = 1.5;
+  report.phenomena = {"active_session.spike [100, 200) severity 9.0"};
+  core::DiagnosisReport::RankedTemplate t;
+  t.sql_id = 0xAB;
+  t.sql_id_hex = "00000000000000AB";
+  t.template_text = "SELECT * FROM t WHERE id = ?";
+  t.score = 0.9;
+  report.hsqls.push_back(t);
+  report.rsqls.push_back(t);
+  report.suggestions = {"[cpu_usage.spike] optimize sql=..AB"};
+
+  const Json json = report.ToJson();
+  const auto parsed = Json::Parse(json.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->GetNumberOr("anomaly_start", 0), 100.0);
+  const Json* rsqls = parsed->Find("rsqls");
+  ASSERT_NE(rsqls, nullptr);
+  ASSERT_EQ(rsqls->AsArray().size(), 1u);
+  EXPECT_EQ(rsqls->AsArray()[0].GetStringOr("sql_id", ""),
+            "00000000000000AB");
+}
+
+TEST(ReportTest, UnknownTemplatesRenderPlaceholders) {
+  core::DiagnosisResult result;
+  result.rsql.ranking = {123456789};
+  LogStore empty_catalog;
+  const core::DiagnosisReport report =
+      core::BuildReport(result, empty_catalog, {}, 0, 10, {});
+  ASSERT_EQ(report.rsqls.size(), 1u);
+  EXPECT_EQ(report.rsqls[0].template_text, "<unknown>");
+}
+
+}  // namespace
+}  // namespace pinsql

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "sqltpl/fingerprint.h"
+#include "sqltpl/tokenizer.h"
+
+namespace pinsql::sqltpl {
+namespace {
+
+// -------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, BasicSelect) {
+  const auto tokens = Tokenize("SELECT * FROM t WHERE id = 5");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].type, TokenType::kWord);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens.back().type, TokenType::kNumber);
+  EXPECT_EQ(tokens.back().text, "5");
+}
+
+TEST(TokenizerTest, StringLiterals) {
+  const auto tokens = Tokenize("x = 'ab''c' AND y = \"d\\\"e\"");
+  int strings = 0;
+  for (const auto& t : tokens) {
+    if (t.type == TokenType::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 2);
+}
+
+TEST(TokenizerTest, BacktickIdentifiers) {
+  const auto tokens = Tokenize("SELECT `weird col` FROM `order`");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].type, TokenType::kQuotedIdent);
+  EXPECT_EQ(tokens[1].text, "weird col");
+  EXPECT_EQ(tokens[3].text, "order");
+}
+
+TEST(TokenizerTest, NumberVariants) {
+  const auto tokens = Tokenize("1 2.5 0xFF 1e10 1.5e-3 .25");
+  ASSERT_EQ(tokens.size(), 6u);
+  for (const auto& t : tokens) EXPECT_EQ(t.type, TokenType::kNumber);
+}
+
+TEST(TokenizerTest, CommentsAreSkipped) {
+  const auto tokens = Tokenize(
+      "SELECT 1 -- trailing comment\n"
+      "/* block\ncomment */ FROM t # hash comment\n WHERE a=2");
+  std::string joined;
+  for (const auto& t : tokens) joined += t.text + " ";
+  EXPECT_EQ(joined, "SELECT 1 FROM t WHERE a = 2 ");
+}
+
+TEST(TokenizerTest, DoubleDashWithoutSpaceIsNotComment) {
+  // MySQL requires whitespace after "--"; "a--b" is arithmetic.
+  const auto tokens = Tokenize("SELECT a--1");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].text, "-");
+  EXPECT_EQ(tokens[3].text, "-");
+}
+
+TEST(TokenizerTest, TwoCharOperators) {
+  const auto tokens = Tokenize("a >= 1 AND b <> 2 AND c != 3");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[5].text, "<>");
+  EXPECT_EQ(tokens[9].text, "!=");
+}
+
+TEST(TokenizerTest, UnterminatedStringDoesNotCrash) {
+  const auto tokens = Tokenize("SELECT 'oops");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].type, TokenType::kString);
+}
+
+TEST(TokenizerTest, KeywordRecognitionIsCaseInsensitive) {
+  EXPECT_TRUE(IsSqlKeyword("select"));
+  EXPECT_TRUE(IsSqlKeyword("SeLeCt"));
+  EXPECT_TRUE(IsSqlKeyword("WHERE"));
+  EXPECT_FALSE(IsSqlKeyword("user_table"));
+}
+
+// ------------------------------------------------------------ Fingerprint
+
+TEST(FingerprintTest, PaperExampleCollapsesToOneTemplate) {
+  // Paper Definition II.3.
+  const auto a = Fingerprint("SELECT * FROM user_table WHERE uid = 123456");
+  const auto b = Fingerprint("SELECT * FROM user_table WHERE uid = 654321");
+  const auto c = Fingerprint("SELECT * FROM user_table WHERE uid = 123321");
+  EXPECT_EQ(a.sql_id, b.sql_id);
+  EXPECT_EQ(b.sql_id, c.sql_id);
+  EXPECT_EQ(a.template_text, "SELECT * FROM user_table WHERE uid = ?");
+}
+
+TEST(FingerprintTest, DifferentStructureDifferentTemplate) {
+  const auto a = Fingerprint("SELECT * FROM t WHERE a = 1");
+  const auto b = Fingerprint("SELECT * FROM t WHERE b = 1");
+  EXPECT_NE(a.sql_id, b.sql_id);
+}
+
+TEST(FingerprintTest, StringLiteralsBecomePlaceholders) {
+  const auto info =
+      Fingerprint("SELECT id FROM users WHERE name = 'alice' AND x = \"y\"");
+  EXPECT_EQ(info.template_text,
+            "SELECT id FROM users WHERE name = ? AND x = ?");
+}
+
+TEST(FingerprintTest, WhitespaceAndCaseNormalized) {
+  const auto a = Fingerprint("select  *\nfrom   t  where x=3");
+  const auto b = Fingerprint("SELECT * FROM t WHERE x = 99");
+  EXPECT_EQ(a.sql_id, b.sql_id);
+}
+
+TEST(FingerprintTest, InListCollapses) {
+  const auto a = Fingerprint("SELECT * FROM t WHERE id IN (1, 2, 3)");
+  const auto b = Fingerprint("SELECT * FROM t WHERE id IN (7)");
+  const auto c = Fingerprint("SELECT * FROM t WHERE id IN (1,2,3,4,5,6,7,8)");
+  EXPECT_EQ(a.sql_id, b.sql_id);
+  EXPECT_EQ(a.sql_id, c.sql_id);
+  EXPECT_EQ(a.template_text, "SELECT * FROM t WHERE id IN (?)");
+}
+
+TEST(FingerprintTest, NegativeNumbersFoldIntoPlaceholder) {
+  const auto a = Fingerprint("UPDATE t SET v = -5 WHERE id = 3");
+  const auto b = Fingerprint("UPDATE t SET v = 17 WHERE id = -9");
+  EXPECT_EQ(a.sql_id, b.sql_id);
+}
+
+TEST(FingerprintTest, ArithmeticExpressionKeepsOperator) {
+  // "v + 1" must not merge with "v" alone: the + binds to a column value.
+  const auto a = Fingerprint("UPDATE t SET v = v + 1 WHERE id = 3");
+  EXPECT_EQ(a.template_text, "UPDATE t SET v = v + ? WHERE id = ?");
+}
+
+TEST(FingerprintTest, StatementKinds) {
+  EXPECT_EQ(Fingerprint("SELECT 1").kind, StatementKind::kSelect);
+  EXPECT_EQ(Fingerprint("INSERT INTO t VALUES (1)").kind,
+            StatementKind::kInsert);
+  EXPECT_EQ(Fingerprint("UPDATE t SET a = 1").kind, StatementKind::kUpdate);
+  EXPECT_EQ(Fingerprint("DELETE FROM t WHERE a = 1").kind,
+            StatementKind::kDelete);
+  EXPECT_EQ(Fingerprint("REPLACE INTO t VALUES (1)").kind,
+            StatementKind::kReplace);
+  EXPECT_EQ(Fingerprint("ALTER TABLE t ADD COLUMN c INT").kind,
+            StatementKind::kDdl);
+  EXPECT_EQ(Fingerprint("CREATE INDEX i ON t (c)").kind,
+            StatementKind::kDdl);
+  EXPECT_EQ(Fingerprint("ROLLBACK").kind, StatementKind::kTransaction);
+  EXPECT_EQ(Fingerprint("SET autocommit = 1").kind, StatementKind::kSet);
+  EXPECT_EQ(Fingerprint("SHOW STATUS").kind, StatementKind::kShow);
+}
+
+TEST(FingerprintTest, StatementKindNamesAreStable) {
+  EXPECT_STREQ(StatementKindName(StatementKind::kSelect), "SELECT");
+  EXPECT_STREQ(StatementKindName(StatementKind::kDdl), "DDL");
+}
+
+TEST(FingerprintTest, TableExtractionFromClauses) {
+  const auto info = Fingerprint(
+      "SELECT a.x, b.y FROM orders a JOIN customers b ON a.cid = b.id "
+      "WHERE a.status = 'open'");
+  ASSERT_EQ(info.tables.size(), 2u);
+  EXPECT_EQ(info.tables[0], "orders");
+  EXPECT_EQ(info.tables[1], "customers");
+}
+
+TEST(FingerprintTest, TableExtractionUpdateInsert) {
+  EXPECT_EQ(Fingerprint("UPDATE sales SET v = 1").tables,
+            (std::vector<std::string>{"sales"}));
+  EXPECT_EQ(Fingerprint("INSERT INTO audit_log (a) VALUES (1)").tables,
+            (std::vector<std::string>{"audit_log"}));
+  EXPECT_EQ(Fingerprint("ALTER TABLE big_table ADD COLUMN c INT").tables,
+            (std::vector<std::string>{"big_table"}));
+}
+
+TEST(FingerprintTest, TableListWithCommas) {
+  const auto info = Fingerprint("SELECT * FROM a, b WHERE a.id = b.id");
+  EXPECT_EQ(info.tables, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FingerprintTest, SchemaQualifiedTable) {
+  const auto info = Fingerprint("SELECT * FROM mydb.orders WHERE id = 1");
+  ASSERT_EQ(info.tables.size(), 1u);
+  EXPECT_EQ(info.tables[0], "orders");
+}
+
+TEST(FingerprintTest, DuplicateTableListedOnce) {
+  const auto info =
+      Fingerprint("SELECT * FROM t a JOIN t b ON a.x = b.y");
+  EXPECT_EQ(info.tables, (std::vector<std::string>{"t"}));
+}
+
+TEST(FingerprintTest, SqlIdHexFormat) {
+  const auto info = Fingerprint("SELECT 1");
+  EXPECT_EQ(info.sql_id_hex.size(), 16u);
+  for (char c : info.sql_id_hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'A' && c <= 'F'));
+  }
+}
+
+TEST(FingerprintTest, ExistingPlaceholdersPreserved) {
+  const auto a = Fingerprint("SELECT * FROM t WHERE id = ?");
+  const auto b = Fingerprint("SELECT * FROM t WHERE id = 42");
+  EXPECT_EQ(a.sql_id, b.sql_id);
+}
+
+TEST(FingerprintTest, EmptyAndDegenerateInputs) {
+  EXPECT_EQ(Fingerprint("").template_text, "");
+  EXPECT_EQ(Fingerprint("   ").kind, StatementKind::kOther);
+  EXPECT_EQ(Fingerprint(";;;").kind, StatementKind::kOther);
+}
+
+// Property: fingerprinting is idempotent — re-fingerprinting a template
+// text yields the same template.
+class FingerprintIdempotenceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FingerprintIdempotenceTest, Idempotent) {
+  const auto once = Fingerprint(GetParam());
+  const auto twice = Fingerprint(once.template_text);
+  EXPECT_EQ(once.template_text, twice.template_text);
+  EXPECT_EQ(once.sql_id, twice.sql_id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, FingerprintIdempotenceTest,
+    ::testing::Values(
+        "SELECT * FROM user_table WHERE uid = 123456",
+        "UPDATE sales SET total = total + 3 WHERE region IN (1,2,3)",
+        "INSERT INTO logs (msg, ts) VALUES ('x', 1650000000)",
+        "SELECT a.c0, b.c1 FROM t1 a JOIN t2 b ON a.k = b.k LIMIT 5",
+        "ALTER TABLE big ADD COLUMN extra1 BIGINT DEFAULT 0",
+        "DELETE FROM t WHERE created < '2020-01-01'"));
+
+}  // namespace
+}  // namespace pinsql::sqltpl

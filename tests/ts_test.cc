@@ -1,0 +1,334 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ts/stats.h"
+#include "ts/time_series.h"
+#include "ts/tukey.h"
+#include "util/rng.h"
+
+namespace pinsql {
+namespace {
+
+// ------------------------------------------------------------- TimeSeries
+
+TEST(TimeSeriesTest, ConstructionAndIndexing) {
+  TimeSeries ts(100, 1, 5);
+  EXPECT_EQ(ts.size(), 5u);
+  EXPECT_EQ(ts.start_time(), 100);
+  EXPECT_EQ(ts.end_time(), 105);
+  EXPECT_TRUE(ts.Covers(100));
+  EXPECT_TRUE(ts.Covers(104));
+  EXPECT_FALSE(ts.Covers(105));
+  EXPECT_FALSE(ts.Covers(99));
+}
+
+TEST(TimeSeriesTest, TimestampAndIndexAccessAgree) {
+  // Paper Definition II.1: X_{t1} == X_1.
+  TimeSeries ts(100, 1, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ts.AtTime(101), ts[1]);
+  ts.AtTime(102) = 9.0;
+  EXPECT_DOUBLE_EQ(ts[2], 9.0);
+  EXPECT_EQ(ts.IndexForTime(102), 2u);
+  EXPECT_EQ(ts.TimeForIndex(2), 102);
+}
+
+TEST(TimeSeriesTest, MinuteInterval) {
+  TimeSeries ts(600, 60, 3);
+  EXPECT_EQ(ts.end_time(), 780);
+  EXPECT_EQ(ts.IndexForTime(659), 0u);
+  EXPECT_EQ(ts.IndexForTime(660), 1u);
+}
+
+TEST(TimeSeriesTest, AccumulateAtIgnoresOutOfRange) {
+  TimeSeries ts(0, 1, 3);
+  ts.AccumulateAt(1, 2.0);
+  ts.AccumulateAt(1, 3.0);
+  ts.AccumulateAt(-5, 100.0);
+  ts.AccumulateAt(3, 100.0);
+  EXPECT_DOUBLE_EQ(ts[1], 5.0);
+  EXPECT_DOUBLE_EQ(ts.Sum(), 5.0);
+}
+
+TEST(TimeSeriesTest, SliceClampsToRange) {
+  TimeSeries ts(10, 1, {0, 1, 2, 3, 4});
+  TimeSeries mid = ts.Slice(11, 14);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.start_time(), 11);
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid[2], 3.0);
+
+  TimeSeries all = ts.Slice(0, 100);
+  EXPECT_EQ(all.size(), 5u);
+
+  TimeSeries empty = ts.Slice(14, 14);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(TimeSeriesTest, ResampleSumMeanMax) {
+  TimeSeries ts(0, 1, {1, 2, 3, 4, 5, 6});
+  TimeSeries sum = ts.Resample(2, TimeSeries::Agg::kSum);
+  EXPECT_EQ(sum.size(), 3u);
+  EXPECT_EQ(sum.interval_sec(), 2);
+  EXPECT_DOUBLE_EQ(sum[0], 3.0);
+  EXPECT_DOUBLE_EQ(sum[2], 11.0);
+
+  TimeSeries mean = ts.Resample(3, TimeSeries::Agg::kMean);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 5.0);
+
+  TimeSeries mx = ts.Resample(6, TimeSeries::Agg::kMax);
+  EXPECT_DOUBLE_EQ(mx[0], 6.0);
+}
+
+TEST(TimeSeriesTest, ResampleHandlesPartialTrailingBucket) {
+  TimeSeries ts(0, 1, {1, 1, 1, 1, 1});
+  TimeSeries sum = ts.Resample(2, TimeSeries::Agg::kSum);
+  EXPECT_EQ(sum.size(), 3u);
+  EXPECT_DOUBLE_EQ(sum[2], 1.0);  // last bucket has one point
+  TimeSeries mean = ts.Resample(2, TimeSeries::Agg::kMean);
+  EXPECT_DOUBLE_EQ(mean[2], 1.0);
+}
+
+TEST(TimeSeriesTest, AddInPlaceAndDivide) {
+  TimeSeries a(0, 1, {1, 2, 3});
+  TimeSeries b(0, 1, {10, 0, 30});
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+  TimeSeries ratio = a.DivideBy(b);
+  EXPECT_DOUBLE_EQ(ratio[0], 1.1);
+  EXPECT_DOUBLE_EQ(ratio[1], 0.0);  // zero denominator -> 0
+  EXPECT_DOUBLE_EQ(ratio[2], 1.1);
+}
+
+TEST(TimeSeriesTest, SummaryStats) {
+  TimeSeries ts(0, 1, {2, 4, 6});
+  EXPECT_DOUBLE_EQ(ts.Sum(), 12.0);
+  EXPECT_DOUBLE_EQ(ts.Max(), 6.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 4.0);
+  TimeSeries empty;
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+}
+
+// ------------------------------------------------------------------ Stats
+
+TEST(StatsTest, MeanVarianceStddev) {
+  const std::vector<double> x = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(x), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(x), 4.0);
+  EXPECT_DOUBLE_EQ(Stddev(x), 2.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(y, x), 0.0);
+}
+
+TEST(StatsTest, PearsonIsScaleAndShiftInvariant) {
+  Rng rng(11);
+  std::vector<double> x(200);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal(0, 1);
+    y[i] = 3.0 * x[i] + rng.Normal(0, 0.5);
+  }
+  const double base = PearsonCorrelation(x, y);
+  std::vector<double> scaled = y;
+  for (double& v : scaled) v = 100.0 + 7.0 * v;
+  EXPECT_NEAR(PearsonCorrelation(x, scaled), base, 1e-12);
+}
+
+TEST(StatsTest, WeightedPearsonReducesToPlainWithUnitWeights) {
+  Rng rng(5);
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Uniform01();
+    y[i] = x[i] + rng.Normal(0, 0.2);
+  }
+  const std::vector<double> w(100, 1.0);
+  EXPECT_NEAR(WeightedPearsonCorrelation(x, y, w), PearsonCorrelation(x, y),
+              1e-12);
+}
+
+TEST(StatsTest, WeightedPearsonFocusesOnHighWeightRegion) {
+  // x and y agree on the first half and disagree on the second half.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(i);
+  }
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(50 - i);
+  }
+  std::vector<double> first_half(100, 0.0);
+  std::fill(first_half.begin(), first_half.begin() + 50, 1.0);
+  std::vector<double> second_half(100, 0.0);
+  std::fill(second_half.begin() + 50, second_half.end(), 1.0);
+  EXPECT_GT(WeightedPearsonCorrelation(x, y, first_half), 0.99);
+  EXPECT_LT(WeightedPearsonCorrelation(x, y, second_half), -0.99);
+}
+
+TEST(StatsTest, WeightedPearsonZeroWeightsReturnsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> w(3, 0.0);
+  EXPECT_DOUBLE_EQ(WeightedPearsonCorrelation(x, x, w), 0.0);
+}
+
+TEST(StatsTest, SigmoidSymmetry) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(StatsTest, SigmoidWeightsPeakInsideAnomalyPeriod) {
+  // Paper Eq. (1): weights ~1 inside [as, ae), lower outside.
+  const auto w = SigmoidAnomalyWeights(0, 200, 1, 100, 150, 10.0);
+  ASSERT_EQ(w.size(), 200u);
+  EXPECT_LT(w[0], 0.01);
+  EXPECT_GT(w[125], 0.8);  // sigma(2.5) + sigma(2.5) - 1 ~ 0.848
+  EXPECT_LT(w[199], 0.05);
+  // Smooth growth around the boundary: sigma(0) + sigma(5) - 1 ~ 0.49.
+  EXPECT_NEAR(w[100], 0.5, 0.02);
+  // Weights are non-negative whenever a_e > a_s.
+  for (double v : w) EXPECT_GE(v, 0.0);
+}
+
+TEST(StatsTest, SigmoidWeightsLimitBehaviour) {
+  // k_s -> 0: indicator of the anomaly period.
+  const auto sharp = SigmoidAnomalyWeights(0, 100, 1, 40, 60, 1e-3);
+  EXPECT_NEAR(sharp[39], 0.0, 1e-6);
+  EXPECT_NEAR(sharp[41], 1.0, 1e-6);
+  // k_s -> inf: all weights become equal (so the weighted Pearson reduces
+  // to the naive Pearson, which is the property the paper's Eq. (1) is
+  // really after — the pointwise limit is sigma(0)+sigma(0)-1 = 0).
+  const auto flat = SigmoidAnomalyWeights(0, 100, 1, 40, 60, 1e9);
+  for (double v : flat) EXPECT_NEAR(v, flat[0], 1e-9);
+}
+
+TEST(StatsTest, MinMaxNormalize) {
+  const auto out = MinMaxNormalize({2, 4, 6});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+  const auto constant = MinMaxNormalize({3, 3, 3});
+  for (double v : constant) EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(MinMaxNormalize({}).empty());
+}
+
+TEST(StatsTest, MeanSquaredError) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({0, 0}, {3, 4}), 12.5);
+}
+
+// ------------------------------------------------------------------ Tukey
+
+TEST(TukeyTest, QuantileInterpolation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({5}, 0.75), 5.0);
+}
+
+TEST(TukeyTest, FencesClassicExample) {
+  // Q1 = 2.5, Q3 = 7.5 -> IQR = 5; k = 1.5 -> [-5, 15].
+  const std::vector<double> x = {1, 2, 3, 4, 6, 7, 8, 9};
+  const TukeyFences f = ComputeTukeyFences(x, 1.5);
+  EXPECT_NEAR(f.lower, 2.75 - 1.5 * 4.5, 1e-9);
+  EXPECT_NEAR(f.upper, 7.25 + 1.5 * 4.5, 1e-9);
+}
+
+TEST(TukeyTest, OutlierIndices) {
+  std::vector<double> x(50, 10.0);
+  x[20] = 100.0;
+  x[30] = -80.0;
+  const auto idx = TukeyOutlierIndices(x, 1.5);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 20u);
+  EXPECT_EQ(idx[1], 30u);
+}
+
+TEST(TukeyTest, UpwardOnlyDetection) {
+  std::vector<double> x(50, 10.0);
+  x[5] = -100.0;  // downward excursion only
+  EXPECT_FALSE(HasUpwardTukeyAnomaly(x, 1.5));
+  x[6] = 200.0;
+  EXPECT_TRUE(HasUpwardTukeyAnomaly(x, 1.5));
+}
+
+TEST(TukeyTest, AllZeroSeriesFlagsAnySpike) {
+  // The degenerate case that matters for one-shot DDL templates: an
+  // all-zero history makes any execution an upward anomaly.
+  std::vector<double> x(100, 0.0);
+  EXPECT_FALSE(HasUpwardTukeyAnomaly(x, 3.0));
+  x[50] = 1.0;
+  EXPECT_TRUE(HasUpwardTukeyAnomaly(x, 3.0));
+}
+
+TEST(TukeyTest, WindowExceedsReferenceFences) {
+  std::vector<double> reference(100, 5.0);
+  for (size_t i = 0; i < reference.size(); i += 3) reference[i] = 6.0;
+  EXPECT_FALSE(
+      WindowExceedsReferenceFences(reference, {5.0, 6.0, 5.5}, 1.5));
+  EXPECT_TRUE(WindowExceedsReferenceFences(reference, {5.0, 60.0}, 1.5));
+  EXPECT_FALSE(WindowExceedsReferenceFences({}, {1.0}, 1.5));
+  EXPECT_FALSE(WindowExceedsReferenceFences({1.0}, {}, 1.5));
+}
+
+// Property sweep: for Gaussian data, Tukey k=3 should flag (almost)
+// nothing; a large injected spike is always flagged.
+class TukeyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TukeyPropertyTest, GaussianCleanSpikedFlagged) {
+  Rng rng(GetParam());
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.Normal(50.0, 5.0);
+  EXPECT_FALSE(HasUpwardTukeyAnomaly(x, 3.0));
+  x[137] = 50.0 + 5.0 * 40.0;
+  EXPECT_TRUE(HasUpwardTukeyAnomaly(x, 3.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TukeyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Property sweep: weighted Pearson with sigmoid weights recovers the
+// correlation of the emphasized window.
+class SigmoidWeightPropertyTest
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmoidWeightPropertyTest, EmphasisInterpolatesBetweenLimits) {
+  const double ks = GetParam();
+  const auto w = SigmoidAnomalyWeights(0, 300, 1, 100, 200, ks);
+  // Weights are in [-1, 1] shifted: actually in (-1, 1]; inside the
+  // anomaly they must dominate the outside.
+  double inside = 0.0;
+  double outside = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (i >= 100 && i < 200) {
+      inside += w[i];
+    } else {
+      outside += w[i];
+    }
+  }
+  EXPECT_GT(inside / 100.0, outside / 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmoothFactors, SigmoidWeightPropertyTest,
+                         ::testing::Values(1.0, 5.0, 30.0, 120.0));
+
+}  // namespace
+}  // namespace pinsql

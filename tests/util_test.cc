@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace pinsql {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kParseError, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  ASSERT_TRUE(v.ok());
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("\t \n"), "");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(AsciiToLower("SeLeCt * FROM T1"), "select * from t1");
+  EXPECT_EQ(AsciiToUpper("select"), "SELECT");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("SELECT 1", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+  EXPECT_TRUE(EndsWith("a.sudden_increase", ".sudden_increase"));
+  EXPECT_FALSE(EndsWith("x", "long_suffix"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, Fnv1a64KnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_NE(Fnv1a64("SELECT 1"), Fnv1a64("SELECT 2"));
+}
+
+TEST(StringsTest, HashToHexIsFixedWidthUppercase) {
+  EXPECT_EQ(HashToHex(0), "0000000000000000");
+  EXPECT_EQ(HashToHex(0xABCDEF0123456789ULL), "ABCDEF0123456789");
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+    const int64_t n = rng.UniformInt(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(2);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, PoissonMeanRoughlyCorrect) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, LogNormalMeanRoughlyCorrect) {
+  Rng rng(4);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.LogNormalWithMean(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RngTest, ForkDecorrelatesStreams) {
+  Rng base(5);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// ---------------------------------------------------------------- Json
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->AsBool(), true);
+  EXPECT_EQ(Json::Parse("false")->AsBool(), false);
+  EXPECT_DOUBLE_EQ(Json::Parse("3.5")->AsNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("-2e3")->AsNumber(), -2000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParseNestedDocument) {
+  auto doc = Json::Parse(R"({"a": [1, 2, {"b": "x"}], "c": null})");
+  ASSERT_TRUE(doc.ok());
+  const Json* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray().size(), 3u);
+  EXPECT_EQ(a->AsArray()[2].Find("b")->AsString(), "x");
+  EXPECT_TRUE(doc->Find("c")->is_null());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto doc = Json::Parse(R"("line\nbreak\t\"q\" \\ A")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "line\nbreak\t\"q\" \\ A");
+}
+
+TEST(JsonTest, UnicodeEscapeUtf8) {
+  auto doc = Json::Parse(R"("é中")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonTest, ParseErrorsAreReported) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("01a").ok());
+  EXPECT_FALSE(Json::Parse("1e").ok());
+}
+
+TEST(JsonTest, DeepNestingIsRejected) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, DumpCompactRoundTrip) {
+  const std::string text = R"({"a":[1,2.5,"x"],"b":{"c":true},"d":null})";
+  auto doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Dump(), text);
+  auto again = Json::Parse(doc->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(*again == *doc);
+}
+
+TEST(JsonTest, DumpPrettyParsesBack) {
+  auto doc = Json::Parse(R"({"a": [1, {"b": [2, 3]}], "c": "x"})");
+  ASSERT_TRUE(doc.ok());
+  const std::string pretty = doc->Dump(/*pretty=*/true);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto again = Json::Parse(pretty);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(*again == *doc);
+}
+
+TEST(JsonTest, BuilderApi) {
+  Json obj = Json::MakeObject();
+  obj.Set("n", 3).Set("s", "x");
+  Json arr = Json::MakeArray();
+  arr.Append(1).Append(2);
+  obj.Set("a", std::move(arr));
+  EXPECT_EQ(obj.Dump(), R"({"a":[1,2],"n":3,"s":"x"})");
+}
+
+TEST(JsonTest, TypedGettersWithDefaults) {
+  auto doc = Json::Parse(R"({"n": 4, "b": true, "s": "v"})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(doc->GetNumberOr("n", -1), 4.0);
+  EXPECT_DOUBLE_EQ(doc->GetNumberOr("missing", -1), -1.0);
+  EXPECT_TRUE(doc->GetBoolOr("b", false));
+  EXPECT_EQ(doc->GetStringOr("s", "d"), "v");
+  EXPECT_EQ(doc->GetStringOr("n", "d"), "d");  // type mismatch -> default
+}
+
+TEST(JsonTest, NumbersSerializeIntegersExactly) {
+  EXPECT_EQ(Json(5).Dump(), "5");
+  EXPECT_EQ(Json(-5).Dump(), "-5");
+  EXPECT_EQ(Json(int64_t{123456789012}).Dump(), "123456789012");
+}
+
+}  // namespace
+}  // namespace pinsql

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "ts/stats.h"
+#include "workload/arrivals.h"
+#include "workload/scenario.h"
+#include "workload/workload.h"
+
+namespace pinsql::workload {
+namespace {
+
+Workload TwoClusterWorkload() {
+  Workload w;
+  w.tables.push_back({"t0", 0, 8});
+  w.tables.push_back({"t1", 1, 8});
+  BusinessCluster c0;
+  c0.name = "c0";
+  c0.base_qps = 50.0;
+  c0.noise_sigma = 0.05;
+  c0.osc_amplitude = 0.4;
+  c0.osc_period_sec = 300.0;
+  BusinessCluster c1 = c0;
+  c1.name = "c1";
+  c1.osc_phase = 3.14159;  // anti-phase
+  w.clusters.push_back(c0);
+  w.clusters.push_back(c1);
+
+  TemplateDef proto;
+  proto.cpu_ms_mean = 2.0;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 2; ++i) {
+      proto.cluster_idx = static_cast<size_t>(c);
+      proto.weight = 1.0;
+      proto.table_id = static_cast<uint32_t>(c);
+      w.templates.push_back(MakeTemplate(
+          MakeSelectSql(w.tables[static_cast<size_t>(c)].name, c * 10 + i),
+          proto));
+    }
+  }
+  return w;
+}
+
+// --------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, MakeTemplateFingerprintsPattern) {
+  TemplateDef proto;
+  const TemplateDef def =
+      MakeTemplate("SELECT * FROM orders WHERE id = 42", proto);
+  EXPECT_NE(def.sql_id, 0u);
+  EXPECT_EQ(def.kind, sqltpl::StatementKind::kSelect);
+  const TemplateDef same =
+      MakeTemplate("SELECT * FROM orders WHERE id = 77", proto);
+  EXPECT_EQ(def.sql_id, same.sql_id);
+}
+
+TEST(WorkloadTest, SqlHelpersProduceDistinctTemplates) {
+  EXPECT_NE(sqltpl::SqlId(MakeSelectSql("t", 1)),
+            sqltpl::SqlId(MakeSelectSql("t", 2)));
+  EXPECT_NE(sqltpl::SqlId(MakeSelectSql("t", 1)),
+            sqltpl::SqlId(MakePointUpdateSql("t", 1)));
+  EXPECT_NE(sqltpl::SqlId(MakeInsertSql("a", 1)),
+            sqltpl::SqlId(MakeInsertSql("b", 1)));
+  EXPECT_EQ(sqltpl::Fingerprint(MakeAlterSql("t", 3)).kind,
+            sqltpl::StatementKind::kDdl);
+}
+
+TEST(WorkloadTest, FindTemplate) {
+  const Workload w = TwoClusterWorkload();
+  const uint64_t id = w.templates[2].sql_id;
+  EXPECT_EQ(w.FindTemplateIndex(id), 2);
+  EXPECT_EQ(w.FindTemplate(id), &w.templates[2]);
+  EXPECT_EQ(w.FindTemplate(0xDEADBEEF), nullptr);
+}
+
+TEST(WorkloadTest, RegisterTemplatesFillsCatalog) {
+  const Workload w = TwoClusterWorkload();
+  LogStore store;
+  w.RegisterTemplates(&store);
+  EXPECT_EQ(store.catalog().size(), w.templates.size());
+  const TemplateCatalogEntry* entry =
+      store.FindTemplate(w.templates[0].sql_id);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->tables, (std::vector<std::string>{"t0"}));
+}
+
+// --------------------------------------------------------------- RatePlan
+
+TEST(RatePlanTest, WeightSharesSplitClusterRate) {
+  const Workload w = TwoClusterWorkload();
+  RatePlan plan(w, {}, 0, 100, /*seed=*/1);
+  // Two equal-weight templates split the cluster's ~50 qps, modulated by
+  // oscillation/noise: each must stay within a sane band.
+  double sum = 0.0;
+  for (int64_t t = 0; t < 100; ++t) sum += plan.Rate(0, t) + plan.Rate(1, t);
+  const double mean_cluster_rate = sum / 100.0;
+  EXPECT_GT(mean_cluster_rate, 20.0);
+  EXPECT_LT(mean_cluster_rate, 90.0);
+}
+
+TEST(RatePlanTest, OverridesMultiplyAndAdd) {
+  const Workload w = TwoClusterWorkload();
+  RateOverride mult;
+  mult.sql_id = w.templates[0].sql_id;
+  mult.start_sec = 50;
+  mult.end_sec = 60;
+  mult.multiplier = 10.0;
+  RateOverride add;
+  add.sql_id = w.templates[1].sql_id;
+  add.start_sec = 50;
+  add.end_sec = 60;
+  add.add_qps = 123.0;
+  RatePlan plan(w, {mult, add}, 0, 100, 1);
+  EXPECT_NEAR(plan.Rate(0, 55) / plan.Rate(0, 49), 10.0, 3.0);
+  EXPECT_GT(plan.Rate(1, 55), 123.0);
+  EXPECT_LT(plan.Rate(1, 65), 60.0);
+}
+
+TEST(RatePlanTest, ZeroWeightTemplateHasZeroBaseRate) {
+  Workload w = TwoClusterWorkload();
+  TemplateDef proto;
+  proto.cluster_idx = 0;
+  proto.weight = 0.0;
+  w.templates.push_back(MakeTemplate("SELECT 1 FROM dual", proto));
+  RatePlan plan(w, {}, 0, 10, 1);
+  EXPECT_DOUBLE_EQ(plan.Rate(w.templates.size() - 1, 5), 0.0);
+}
+
+// ---------------------------------------------------------- Arrival gen
+
+TEST(ArrivalsTest, GenerateArrivalsSortedAndInWindow) {
+  const Workload w = TwoClusterWorkload();
+  const auto arrivals = GenerateArrivals(w, {}, 100, 160, 9);
+  ASSERT_GT(arrivals.size(), 1000u);  // ~100 qps * 60 s
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LE(arrivals[i - 1].arrival_ms, arrivals[i].arrival_ms);
+  }
+  EXPECT_GE(arrivals.front().arrival_ms, 100'000);
+  EXPECT_LT(arrivals.back().arrival_ms, 160'000);
+}
+
+TEST(ArrivalsTest, DeterministicForSameSeed) {
+  const Workload w = TwoClusterWorkload();
+  const auto a = GenerateArrivals(w, {}, 0, 30, 5);
+  const auto b = GenerateArrivals(w, {}, 0, 30, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms);
+    EXPECT_EQ(a[i].spec.sql_id, b[i].spec.sql_id);
+    EXPECT_DOUBLE_EQ(a[i].spec.cpu_ms, b[i].spec.cpu_ms);
+  }
+  const auto c = GenerateArrivals(w, {}, 0, 30, 6);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(ArrivalsTest, SpecsCarryMdlLock) {
+  const Workload w = TwoClusterWorkload();
+  const auto arrivals = GenerateArrivals(w, {}, 0, 10, 5);
+  ASSERT_FALSE(arrivals.empty());
+  for (const auto& a : arrivals) {
+    bool has_mdl = false;
+    for (const auto& lock : a.spec.locks) {
+      if (dbsim::IsMdlKey(lock.key)) has_mdl = true;
+    }
+    EXPECT_TRUE(has_mdl);
+  }
+}
+
+TEST(ArrivalsTest, HotGroupLimitNarrowsLockRange) {
+  Workload w = TwoClusterWorkload();
+  TemplateDef proto;
+  proto.cluster_idx = 0;
+  proto.weight = 5.0;
+  proto.table_id = 0;
+  proto.row_groups_touched = 1;
+  proto.row_lock_mode = dbsim::LockMode::kExclusive;
+  proto.hot_group_limit = 2;
+  w.templates.push_back(MakeTemplate("UPDATE t0 SET hot = 1", proto));
+  const uint64_t id = w.templates.back().sql_id;
+  const auto arrivals = GenerateArrivals(w, {}, 0, 60, 5);
+  for (const auto& a : arrivals) {
+    if (a.spec.sql_id != id) continue;
+    for (const auto& lock : a.spec.locks) {
+      if (!dbsim::IsMdlKey(lock.key)) {
+        const uint32_t group = static_cast<uint32_t>(lock.key & 0xFFFFFFFF);
+        EXPECT_LT(group, 2u);
+      }
+    }
+  }
+}
+
+TEST(ArrivalsTest, ExecutionCountsMatchRatesApproximately) {
+  const Workload w = TwoClusterWorkload();
+  const auto counts = GenerateExecutionCounts(w, {}, 0, 300, 5);
+  EXPECT_EQ(counts.size(), w.templates.size());
+  const TimeSeries& series = counts.at(w.templates[0].sql_id);
+  EXPECT_EQ(series.size(), 300u);
+  // Each template gets half the cluster's ~50 qps.
+  EXPECT_NEAR(series.Mean(), 25.0, 8.0);
+}
+
+TEST(ArrivalsTest, SameClusterTrendsCorrelateMoreThanCrossCluster) {
+  // The property the R-SQL clustering stage relies on (paper Sec. VI).
+  const Workload w = TwoClusterWorkload();
+  const auto counts = GenerateExecutionCounts(w, {}, 0, 900, 5);
+  auto at = [&](size_t i) {
+    return counts.at(w.templates[i].sql_id)
+        .Resample(30, TimeSeries::Agg::kSum)
+        .values();
+  };
+  const double same = PearsonCorrelation(at(0), at(1));
+  const double cross = PearsonCorrelation(at(0), at(2));
+  EXPECT_GT(same, 0.8);
+  EXPECT_LT(cross, same);
+}
+
+// ---------------------------------------------------------------- Scenario
+
+TEST(ScenarioTest, StandardWorkloadShape) {
+  Rng rng(77);
+  ScenarioParams params;
+  const Workload w = MakeStandardWorkload(params, &rng);
+  EXPECT_EQ(static_cast<int>(w.clusters.size()), params.num_clusters);
+  EXPECT_EQ(static_cast<int>(w.tables.size()), params.num_tables);
+  EXPECT_GE(static_cast<int>(w.templates.size()),
+            params.num_clusters * params.min_templates_per_cluster);
+  // All sql ids unique.
+  std::set<uint64_t> ids;
+  for (const auto& tpl : w.templates) ids.insert(tpl.sql_id);
+  EXPECT_EQ(ids.size(), w.templates.size());
+  // Every template's table exists.
+  for (const auto& tpl : w.templates) {
+    EXPECT_LT(tpl.table_id, w.tables.size());
+  }
+}
+
+TEST(ScenarioTest, WorkloadContainsLockingReadsAndUpdates) {
+  Rng rng(78);
+  const Workload w = MakeStandardWorkload(ScenarioParams{}, &rng);
+  int locking_reads = 0;
+  int updates = 0;
+  for (const auto& tpl : w.templates) {
+    if (tpl.row_groups_touched > 0 &&
+        tpl.row_lock_mode == dbsim::LockMode::kShared) {
+      ++locking_reads;
+    }
+    if (tpl.kind == sqltpl::StatementKind::kUpdate) ++updates;
+  }
+  EXPECT_GT(locking_reads, 0);
+  EXPECT_GT(updates, 0);
+}
+
+class InjectionTest
+    : public ::testing::TestWithParam<AnomalyType> {};
+
+TEST_P(InjectionTest, ProducesGroundTruthAndOverrides) {
+  Rng rng(79);
+  Workload w = MakeStandardWorkload(ScenarioParams{}, &rng);
+  const size_t before = w.templates.size();
+  const Injection inj = MakeInjection(GetParam(), &w, 600, 840, &rng);
+  EXPECT_EQ(inj.type, GetParam());
+  EXPECT_EQ(inj.anomaly_start_sec, 600);
+  EXPECT_EQ(inj.anomaly_end_sec, 840);
+  ASSERT_FALSE(inj.root_cause_ids.empty());
+  ASSERT_FALSE(inj.overrides.empty());
+  // Every root cause id resolves in the (possibly grown) workload.
+  for (uint64_t id : inj.root_cause_ids) {
+    EXPECT_NE(w.FindTemplate(id), nullptr);
+  }
+  // Overrides are confined to the anomaly period.
+  for (const auto& ov : inj.overrides) {
+    EXPECT_GE(ov.start_sec, 600);
+    EXPECT_LE(ov.end_sec, 840);
+  }
+  if (GetParam() == AnomalyType::kBusinessSpike) {
+    EXPECT_EQ(w.templates.size(), before);  // spikes reuse a template
+  } else {
+    EXPECT_EQ(w.templates.size(), before + 1);  // others inject one
+  }
+}
+
+TEST_P(InjectionTest, InjectedTemplateShapeMatchesType) {
+  Rng rng(80);
+  Workload w = MakeStandardWorkload(ScenarioParams{}, &rng);
+  const Injection inj = MakeInjection(GetParam(), &w, 600, 840, &rng);
+  const TemplateDef* tpl = w.FindTemplate(inj.root_cause_ids[0]);
+  ASSERT_NE(tpl, nullptr);
+  switch (GetParam()) {
+    case AnomalyType::kBusinessSpike:
+      EXPECT_GT(inj.overrides[0].multiplier, 1.0);
+      break;
+    case AnomalyType::kPoorSql:
+      EXPECT_GE(tpl->cpu_ms_mean, 100.0);
+      EXPECT_GE(tpl->examined_rows_mean, 1e4);
+      break;
+    case AnomalyType::kMdlLock:
+      EXPECT_TRUE(tpl->mdl_exclusive);
+      EXPECT_EQ(tpl->kind, sqltpl::StatementKind::kDdl);
+      break;
+    case AnomalyType::kRowLock:
+      EXPECT_EQ(tpl->row_lock_mode, dbsim::LockMode::kExclusive);
+      EXPECT_GT(tpl->row_groups_touched, 0);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, InjectionTest,
+                         ::testing::Values(AnomalyType::kBusinessSpike,
+                                           AnomalyType::kPoorSql,
+                                           AnomalyType::kMdlLock,
+                                           AnomalyType::kRowLock));
+
+TEST(ScenarioTest, AnomalyTypeNames) {
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kBusinessSpike),
+               "business_spike");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kPoorSql), "poor_sql");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kMdlLock), "mdl_lock");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kRowLock), "row_lock");
+}
+
+}  // namespace
+}  // namespace pinsql::workload

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_repair_case.cc" "bench/CMakeFiles/bench_fig8_repair_case.dir/bench_fig8_repair_case.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_repair_case.dir/bench_fig8_repair_case.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/pinsql_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/pinsql_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pinsql_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pinsql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/anomaly/CMakeFiles/pinsql_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pinsql_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbsim/CMakeFiles/pinsql_dbsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/pinsql_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/pinsql_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/logstore/CMakeFiles/pinsql_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqltpl/CMakeFiles/pinsql_sqltpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pinsql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

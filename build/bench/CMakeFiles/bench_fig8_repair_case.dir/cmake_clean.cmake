@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_repair_case.dir/bench_fig8_repair_case.cc.o"
+  "CMakeFiles/bench_fig8_repair_case.dir/bench_fig8_repair_case.cc.o.d"
+  "bench_fig8_repair_case"
+  "bench_fig8_repair_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_repair_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

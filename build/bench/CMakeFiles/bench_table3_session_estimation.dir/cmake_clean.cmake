@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_session_estimation.dir/bench_table3_session_estimation.cc.o"
+  "CMakeFiles/bench_table3_session_estimation.dir/bench_table3_session_estimation.cc.o.d"
+  "bench_table3_session_estimation"
+  "bench_table3_session_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_session_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

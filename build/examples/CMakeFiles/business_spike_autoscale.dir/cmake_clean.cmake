@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/business_spike_autoscale.dir/business_spike_autoscale.cpp.o"
+  "CMakeFiles/business_spike_autoscale.dir/business_spike_autoscale.cpp.o.d"
+  "business_spike_autoscale"
+  "business_spike_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/business_spike_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_contention_investigation.dir/lock_contention_investigation.cpp.o"
+  "CMakeFiles/lock_contention_investigation.dir/lock_contention_investigation.cpp.o.d"
+  "lock_contention_investigation"
+  "lock_contention_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_contention_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

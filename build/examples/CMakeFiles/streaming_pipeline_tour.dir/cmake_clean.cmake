@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_pipeline_tour.dir/streaming_pipeline_tour.cpp.o"
+  "CMakeFiles/streaming_pipeline_tour.dir/streaming_pipeline_tour.cpp.o.d"
+  "streaming_pipeline_tour"
+  "streaming_pipeline_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_pipeline_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

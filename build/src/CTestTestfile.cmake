@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ts")
+subdirs("sqltpl")
+subdirs("logstore")
+subdirs("pipeline")
+subdirs("dbsim")
+subdirs("workload")
+subdirs("anomaly")
+subdirs("core")
+subdirs("repair")
+subdirs("baselines")
+subdirs("eval")

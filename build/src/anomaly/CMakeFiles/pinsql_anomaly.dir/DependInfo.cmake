@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/detectors.cc" "src/anomaly/CMakeFiles/pinsql_anomaly.dir/detectors.cc.o" "gcc" "src/anomaly/CMakeFiles/pinsql_anomaly.dir/detectors.cc.o.d"
+  "/root/repo/src/anomaly/pettitt.cc" "src/anomaly/CMakeFiles/pinsql_anomaly.dir/pettitt.cc.o" "gcc" "src/anomaly/CMakeFiles/pinsql_anomaly.dir/pettitt.cc.o.d"
+  "/root/repo/src/anomaly/phenomenon.cc" "src/anomaly/CMakeFiles/pinsql_anomaly.dir/phenomenon.cc.o" "gcc" "src/anomaly/CMakeFiles/pinsql_anomaly.dir/phenomenon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/pinsql_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pinsql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

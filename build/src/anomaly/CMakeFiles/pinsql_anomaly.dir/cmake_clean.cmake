@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_anomaly.dir/detectors.cc.o"
+  "CMakeFiles/pinsql_anomaly.dir/detectors.cc.o.d"
+  "CMakeFiles/pinsql_anomaly.dir/pettitt.cc.o"
+  "CMakeFiles/pinsql_anomaly.dir/pettitt.cc.o.d"
+  "CMakeFiles/pinsql_anomaly.dir/phenomenon.cc.o"
+  "CMakeFiles/pinsql_anomaly.dir/phenomenon.cc.o.d"
+  "libpinsql_anomaly.a"
+  "libpinsql_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/top_sql.cc" "src/baselines/CMakeFiles/pinsql_baselines.dir/top_sql.cc.o" "gcc" "src/baselines/CMakeFiles/pinsql_baselines.dir/top_sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/pinsql_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/logstore/CMakeFiles/pinsql_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqltpl/CMakeFiles/pinsql_sqltpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/pinsql_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pinsql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_baselines.dir/top_sql.cc.o"
+  "CMakeFiles/pinsql_baselines.dir/top_sql.cc.o.d"
+  "libpinsql_baselines.a"
+  "libpinsql_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

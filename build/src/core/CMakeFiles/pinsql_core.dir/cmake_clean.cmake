@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_core.dir/diagnoser.cc.o"
+  "CMakeFiles/pinsql_core.dir/diagnoser.cc.o.d"
+  "CMakeFiles/pinsql_core.dir/hsql.cc.o"
+  "CMakeFiles/pinsql_core.dir/hsql.cc.o.d"
+  "CMakeFiles/pinsql_core.dir/report.cc.o"
+  "CMakeFiles/pinsql_core.dir/report.cc.o.d"
+  "CMakeFiles/pinsql_core.dir/rsql.cc.o"
+  "CMakeFiles/pinsql_core.dir/rsql.cc.o.d"
+  "CMakeFiles/pinsql_core.dir/session_estimator.cc.o"
+  "CMakeFiles/pinsql_core.dir/session_estimator.cc.o.d"
+  "libpinsql_core.a"
+  "libpinsql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbsim/closed_loop.cc" "src/dbsim/CMakeFiles/pinsql_dbsim.dir/closed_loop.cc.o" "gcc" "src/dbsim/CMakeFiles/pinsql_dbsim.dir/closed_loop.cc.o.d"
+  "/root/repo/src/dbsim/engine.cc" "src/dbsim/CMakeFiles/pinsql_dbsim.dir/engine.cc.o" "gcc" "src/dbsim/CMakeFiles/pinsql_dbsim.dir/engine.cc.o.d"
+  "/root/repo/src/dbsim/lock_manager.cc" "src/dbsim/CMakeFiles/pinsql_dbsim.dir/lock_manager.cc.o" "gcc" "src/dbsim/CMakeFiles/pinsql_dbsim.dir/lock_manager.cc.o.d"
+  "/root/repo/src/dbsim/monitor.cc" "src/dbsim/CMakeFiles/pinsql_dbsim.dir/monitor.cc.o" "gcc" "src/dbsim/CMakeFiles/pinsql_dbsim.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logstore/CMakeFiles/pinsql_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/pinsql_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqltpl/CMakeFiles/pinsql_sqltpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pinsql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_dbsim.dir/closed_loop.cc.o"
+  "CMakeFiles/pinsql_dbsim.dir/closed_loop.cc.o.d"
+  "CMakeFiles/pinsql_dbsim.dir/engine.cc.o"
+  "CMakeFiles/pinsql_dbsim.dir/engine.cc.o.d"
+  "CMakeFiles/pinsql_dbsim.dir/lock_manager.cc.o"
+  "CMakeFiles/pinsql_dbsim.dir/lock_manager.cc.o.d"
+  "CMakeFiles/pinsql_dbsim.dir/monitor.cc.o"
+  "CMakeFiles/pinsql_dbsim.dir/monitor.cc.o.d"
+  "libpinsql_dbsim.a"
+  "libpinsql_dbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_dbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

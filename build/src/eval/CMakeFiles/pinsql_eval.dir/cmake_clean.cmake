@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_eval.dir/case_generator.cc.o"
+  "CMakeFiles/pinsql_eval.dir/case_generator.cc.o.d"
+  "CMakeFiles/pinsql_eval.dir/metrics.cc.o"
+  "CMakeFiles/pinsql_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/pinsql_eval.dir/runner.cc.o"
+  "CMakeFiles/pinsql_eval.dir/runner.cc.o.d"
+  "libpinsql_eval.a"
+  "libpinsql_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

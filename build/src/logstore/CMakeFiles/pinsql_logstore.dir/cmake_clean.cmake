@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_logstore.dir/log_store.cc.o"
+  "CMakeFiles/pinsql_logstore.dir/log_store.cc.o.d"
+  "libpinsql_logstore.a"
+  "libpinsql_logstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_logstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpinsql_logstore.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_pipeline.dir/stream_aggregator.cc.o"
+  "CMakeFiles/pinsql_pipeline.dir/stream_aggregator.cc.o.d"
+  "CMakeFiles/pinsql_pipeline.dir/template_metrics.cc.o"
+  "CMakeFiles/pinsql_pipeline.dir/template_metrics.cc.o.d"
+  "libpinsql_pipeline.a"
+  "libpinsql_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_repair.dir/actions.cc.o"
+  "CMakeFiles/pinsql_repair.dir/actions.cc.o.d"
+  "CMakeFiles/pinsql_repair.dir/rule_engine.cc.o"
+  "CMakeFiles/pinsql_repair.dir/rule_engine.cc.o.d"
+  "libpinsql_repair.a"
+  "libpinsql_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

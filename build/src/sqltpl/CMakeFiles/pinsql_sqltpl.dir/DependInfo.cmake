@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqltpl/fingerprint.cc" "src/sqltpl/CMakeFiles/pinsql_sqltpl.dir/fingerprint.cc.o" "gcc" "src/sqltpl/CMakeFiles/pinsql_sqltpl.dir/fingerprint.cc.o.d"
+  "/root/repo/src/sqltpl/tokenizer.cc" "src/sqltpl/CMakeFiles/pinsql_sqltpl.dir/tokenizer.cc.o" "gcc" "src/sqltpl/CMakeFiles/pinsql_sqltpl.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pinsql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

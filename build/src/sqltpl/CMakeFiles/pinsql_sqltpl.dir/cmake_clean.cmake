@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_sqltpl.dir/fingerprint.cc.o"
+  "CMakeFiles/pinsql_sqltpl.dir/fingerprint.cc.o.d"
+  "CMakeFiles/pinsql_sqltpl.dir/tokenizer.cc.o"
+  "CMakeFiles/pinsql_sqltpl.dir/tokenizer.cc.o.d"
+  "libpinsql_sqltpl.a"
+  "libpinsql_sqltpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_sqltpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pinsql_sqltpl.
+# This may be replaced when dependencies are built.

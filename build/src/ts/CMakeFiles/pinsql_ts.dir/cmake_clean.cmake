@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_ts.dir/stats.cc.o"
+  "CMakeFiles/pinsql_ts.dir/stats.cc.o.d"
+  "CMakeFiles/pinsql_ts.dir/time_series.cc.o"
+  "CMakeFiles/pinsql_ts.dir/time_series.cc.o.d"
+  "CMakeFiles/pinsql_ts.dir/tukey.cc.o"
+  "CMakeFiles/pinsql_ts.dir/tukey.cc.o.d"
+  "libpinsql_ts.a"
+  "libpinsql_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_util.dir/json.cc.o"
+  "CMakeFiles/pinsql_util.dir/json.cc.o.d"
+  "CMakeFiles/pinsql_util.dir/status.cc.o"
+  "CMakeFiles/pinsql_util.dir/status.cc.o.d"
+  "CMakeFiles/pinsql_util.dir/strings.cc.o"
+  "CMakeFiles/pinsql_util.dir/strings.cc.o.d"
+  "libpinsql_util.a"
+  "libpinsql_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

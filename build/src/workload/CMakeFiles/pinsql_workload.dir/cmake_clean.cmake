@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsql_workload.dir/arrivals.cc.o"
+  "CMakeFiles/pinsql_workload.dir/arrivals.cc.o.d"
+  "CMakeFiles/pinsql_workload.dir/scenario.cc.o"
+  "CMakeFiles/pinsql_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/pinsql_workload.dir/workload.cc.o"
+  "CMakeFiles/pinsql_workload.dir/workload.cc.o.d"
+  "libpinsql_workload.a"
+  "libpinsql_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsql_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_property_test.dir/fuzz_property_test.cc.o"
+  "CMakeFiles/fuzz_property_test.dir/fuzz_property_test.cc.o.d"
+  "fuzz_property_test"
+  "fuzz_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

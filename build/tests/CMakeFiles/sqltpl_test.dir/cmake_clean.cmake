@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqltpl_test.dir/sqltpl_test.cc.o"
+  "CMakeFiles/sqltpl_test.dir/sqltpl_test.cc.o.d"
+  "sqltpl_test"
+  "sqltpl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqltpl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

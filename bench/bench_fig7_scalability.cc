@@ -6,8 +6,11 @@
 /// correlates with the anomaly period length more than with the template
 /// count.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "eval/runner.h"
 #include "ts/stats.h"
@@ -94,6 +97,70 @@ int main() {
     max_time = std::max(max_time, secs);
   }
 
+  // ---- Thread sweep (beyond the paper): parallel diagnosis engine -------
+  // One large synthetic case, diagnosed repeatedly with the same input and
+  // a varying DiagnoserOptions::num_threads. The parallel stages are
+  // bit-identical to the serial ones (tests/parallel_equivalence_test.cc
+  // proves it), so this axis measures pure speedup.
+  std::printf("\nTHREAD SWEEP: end-to-end diagnosis time vs num_threads "
+              "(large case)\n");
+  std::printf("  hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  pinsql::eval::CaseGenOptions large;
+  large.seed = seed + 991;
+  large.type = pinsql::workload::AnomalyType::kRowLock;
+  large.scenario.num_clusters = 28;
+  large.scenario.num_tables = 28;
+  large.scenario.min_cluster_qps = 360.0 / 28.0;
+  large.scenario.max_cluster_qps = 760.0 / 28.0;
+  large.anomaly_duration_sec = 480;
+  const pinsql::eval::AnomalyCaseData large_case =
+      pinsql::eval::GenerateCase(large);
+  const pinsql::core::DiagnosisInput large_input =
+      pinsql::eval::MakeDiagnosisInput(large_case);
+
+  std::printf("%10s %12s %10s\n", "threads", "time(s)", "speedup");
+  double serial_time = 0.0;
+  double best_speedup = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    pinsql::core::DiagnoserOptions options;
+    options.num_threads = threads;
+    // Best of 2 runs absorbs one-off warmup noise (page faults, pool
+    // spin-up).
+    double secs = 1e300;
+    for (int rep = 0; rep < 2; ++rep) {
+      const pinsql::core::DiagnosisResult result =
+          pinsql::core::Diagnose(large_input, options);
+      secs = std::min(secs, result.total_seconds);
+    }
+    if (threads == 1) serial_time = secs;
+    const double speedup = serial_time / secs;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("%10d %12.3f %9.2fx\n", threads, secs, speedup);
+  }
+
+  // Fleet mode: independent cases diagnosed concurrently by eval::Runner.
+  std::printf("\nFLEET SWEEP: evaluation batch wall-clock vs fleet "
+              "num_threads (12 cases)\n");
+  std::printf("%10s %12s %10s\n", "threads", "time(s)", "speedup");
+  double fleet_serial = 0.0;
+  for (const int threads : {1, 4}) {
+    pinsql::eval::EvalOptions eval_options;
+    eval_options.num_cases = 12;
+    eval_options.seed = seed;
+    eval_options.num_threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto scores =
+        pinsql::eval::RunOverallEvaluation(eval_options,
+                                           pinsql::core::DiagnoserOptions{});
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    (void)scores;
+    if (threads == 1) fleet_serial = secs;
+    std::printf("%10d %12.3f %9.2fx\n", threads, secs, fleet_serial / secs);
+  }
+
   const double corr_length =
       pinsql::PearsonCorrelation(lengths, times_by_length);
   std::printf("\nshape checks:\n");
@@ -102,5 +169,11 @@ int main() {
   std::printf("  time correlates with anomaly length (corr=%.2f > 0.8): "
               "%s\n",
               corr_length, corr_length > 0.8 ? "OK" : "VIOLATED");
+  std::printf("  8-thread diagnosis speedup %.2fx >= 2.5x: %s%s\n",
+              best_speedup, best_speedup >= 2.5 ? "OK" : "VIOLATED",
+              std::thread::hardware_concurrency() < 8
+                  ? " (machine has < 8 hardware threads; rerun on a "
+                    "multi-core host)"
+                  : "");
   return 0;
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <memory>
 
 #include "pipeline/stream_aggregator.h"
+#include "util/thread_pool.h"
 
 namespace pinsql::core {
 
@@ -49,27 +51,36 @@ DiagnosisResult Diagnose(const DiagnosisInput& input,
   const TimeSeries session =
       input.active_session.Slice(result.ts_sec, result.te_sec);
 
+  // One pool shared by every stage; null means every stage runs its
+  // bit-identical serial path.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(options.num_threads);
+  }
+
   const auto t_total = std::chrono::steady_clock::now();
 
   // Stage 1: individual active-session estimation.
   auto t0 = std::chrono::steady_clock::now();
-  result.estimate = EstimateSessions(*input.logs, session, result.ts_sec,
-                                     result.te_sec, options.estimator);
+  result.estimate =
+      EstimateSessions(*input.logs, session, result.ts_sec, result.te_sec,
+                       options.estimator, pool.get());
   result.estimate_seconds = SecondsSince(t0);
 
   // Stage 2: H-SQL identification.
   t0 = std::chrono::steady_clock::now();
   result.hsql_ranking = RankHighImpactSqls(
       result.estimate.per_template, session, input.anomaly_start_sec,
-      input.anomaly_end_sec, options.hsql);
+      input.anomaly_end_sec, options.hsql, pool.get());
   result.hsql_seconds = SecondsSince(t0);
 
   // Stage 3+4: R-SQL identification (clustering/filtering + history
   // verification + final ranking). Timed together around the call; the
   // clustering share is attributed via a second aggregate-only timing.
   t0 = std::chrono::steady_clock::now();
-  result.metrics =
-      AggregateWindow(*input.logs, result.ts_sec, result.te_sec);
+  result.metrics = AggregateWindow(*input.logs, result.ts_sec,
+                                   result.te_sec, /*interval_sec=*/1,
+                                   pool.get());
   std::map<std::string, const TimeSeries*> helpers;
   std::map<std::string, TimeSeries> sliced_helpers;
   for (const auto& [name, series] : input.helper_metrics) {
@@ -84,7 +95,7 @@ DiagnosisResult Diagnose(const DiagnosisInput& input,
   result.rsql = IdentifyRootCauseSqls(
       result.metrics, result.estimate.per_template, session, helpers,
       result.hsql_ranking, input.history, input.anomaly_start_sec,
-      input.anomaly_end_sec, options.rsql);
+      input.anomaly_end_sec, options.rsql, pool.get());
   result.verify_seconds = SecondsSince(t0);
 
   result.total_seconds = SecondsSince(t_total);

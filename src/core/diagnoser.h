@@ -22,6 +22,11 @@ struct DiagnoserOptions {
   SessionEstimatorOptions estimator;
   HsqlOptions hsql;
   RsqlOptions rsql;
+  /// Worker threads for the parallel stages (session estimation, window
+  /// aggregation, H-SQL scoring, clustering, verification). 1 = fully
+  /// serial; any value produces bit-identical results — see DESIGN.md
+  /// "Threading model" for why.
+  int num_threads = 1;
 };
 
 /// Everything PinSQL consumes for one anomaly case. The metric series must

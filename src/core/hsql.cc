@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "ts/stats.h"
 
@@ -10,7 +11,8 @@ namespace pinsql::core {
 std::vector<HsqlScore> RankHighImpactSqls(
     const std::unordered_map<uint64_t, TimeSeries>& template_sessions,
     const TimeSeries& instance_session, int64_t anomaly_start,
-    int64_t anomaly_end, const HsqlOptions& options) {
+    int64_t anomaly_end, const HsqlOptions& options,
+    util::ThreadPool* pool) {
   std::vector<HsqlScore> scores;
   if (template_sessions.empty()) return scores;
 
@@ -29,14 +31,22 @@ std::vector<HsqlScore> RankHighImpactSqls(
     weights.assign(session.size(), 1.0);
   }
 
-  // Raw per-template scores.
-  scores.reserve(template_sessions.size());
-  std::vector<double> raw_scale;
-  raw_scale.reserve(template_sessions.size());
+  // Raw per-template scores. Each template's scores are independent, so
+  // they shard across the pool; the slots are index-addressed in the
+  // map's iteration order, keeping the output identical to the serial
+  // loop regardless of thread interleaving.
+  std::vector<std::pair<uint64_t, const TimeSeries*>> items;
+  items.reserve(template_sessions.size());
   for (const auto& [sql_id, series] : template_sessions) {
+    items.emplace_back(sql_id, &series);
+  }
+  scores.resize(items.size());
+  std::vector<double> raw_scale(items.size(), 0.0);
+  util::ParallelFor(pool, items.size(), [&](size_t i) {
+    const TimeSeries& series = *items[i].second;
     assert(series.size() == instance_session.size());
     HsqlScore s;
-    s.sql_id = sql_id;
+    s.sql_id = items[i].first;
     s.trend =
         WeightedPearsonCorrelation(series.values(), session, weights);
     s.scale_trend =
@@ -48,9 +58,9 @@ std::vector<HsqlScore> RankHighImpactSqls(
          t < std::min(anomaly_end, te); ++t) {
       total += series.AtTime(t);
     }
-    raw_scale.push_back(total);
-    scores.push_back(s);
-  }
+    raw_scale[i] = total;
+    scores[i] = s;
+  });
 
   // Scale-level: min-max normalize the anomaly-period totals to [-1, 1].
   const std::vector<double> norm = MinMaxNormalize(raw_scale);

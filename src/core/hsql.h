@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ts/time_series.h"
+#include "util/thread_pool.h"
 
 namespace pinsql::core {
 
@@ -44,10 +45,15 @@ struct HsqlScore {
 /// `template_sessions` are the estimated individual active sessions over
 /// [ts, te); `instance_session` is the monitor's active_session over the
 /// same window; [anomaly_start, anomaly_end) is the detected period.
+///
+/// A non-null `pool` computes the per-template scores concurrently (each
+/// template's scores are independent); the fusion and sort stay serial,
+/// so the ranking is bit-identical to the single-threaded run.
 std::vector<HsqlScore> RankHighImpactSqls(
     const std::unordered_map<uint64_t, TimeSeries>& template_sessions,
     const TimeSeries& instance_session, int64_t anomaly_start,
-    int64_t anomaly_end, const HsqlOptions& options);
+    int64_t anomaly_end, const HsqlOptions& options,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace pinsql::core
 

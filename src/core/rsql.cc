@@ -66,7 +66,8 @@ RsqlResult IdentifyRootCauseSqls(
     const std::map<std::string, const TimeSeries*>& helper_metrics,
     const std::vector<HsqlScore>& hsql_scores,
     const HistoryProvider* history, int64_t anomaly_start,
-    int64_t anomaly_end, const RsqlOptions& options) {
+    int64_t anomaly_end, const RsqlOptions& options,
+    util::ThreadPool* pool) {
   RsqlResult result;
   const std::vector<const TemplateSeries*> templates = metrics.AllSorted();
   if (templates.empty()) return result;
@@ -74,33 +75,45 @@ RsqlResult IdentifyRootCauseSqls(
   // ---- SQL template clustering on #execution trends --------------------
   // Node layout: [0, T) templates, [T, T + M) metric helper nodes.
   const size_t num_templates = templates.size();
-  std::vector<std::vector<double>> node_series;
-  node_series.reserve(num_templates + helper_metrics.size() + 1);
+  std::vector<const TimeSeries*> node_sources;
+  node_sources.reserve(num_templates + helper_metrics.size());
   for (const TemplateSeries* tpl : templates) {
-    node_series.push_back(
-        tpl->execution_count
-            .Resample(options.cluster_interval_sec, TimeSeries::Agg::kSum)
-            .values());
+    node_sources.push_back(&tpl->execution_count);
   }
   if (options.use_metric_helper_nodes) {
     for (const auto& [name, series] : helper_metrics) {
       if (series == nullptr) continue;
-      node_series.push_back(
-          series->Resample(options.cluster_interval_sec,
-                           TimeSeries::Agg::kMean)
-              .values());
+      node_sources.push_back(series);
     }
   }
+  const size_t num_nodes = node_sources.size();
+  std::vector<std::vector<double>> node_series(num_nodes);
+  util::ParallelFor(pool, num_nodes, [&](size_t i) {
+    // Template nodes resample by sum (#execution), helpers by mean.
+    node_series[i] =
+        node_sources[i]
+            ->Resample(options.cluster_interval_sec,
+                       i < num_templates ? TimeSeries::Agg::kSum
+                                         : TimeSeries::Agg::kMean)
+            .values();
+  });
 
-  const size_t num_nodes = node_series.size();
+  // The O(nodes²) correlation pass is the diagnosis's dominant cost on
+  // template-heavy instances. Edges are *found* in parallel (row i owns
+  // pairs (i, j>i)) and *applied* serially in (i, j) order — connected
+  // components, and therefore clusters, match the serial run exactly.
   DisjointSets sets(num_nodes);
-  for (size_t i = 0; i < num_nodes; ++i) {
+  std::vector<std::vector<uint32_t>> edges(num_nodes);
+  util::ParallelFor(pool, num_nodes, [&](size_t i) {
     for (size_t j = i + 1; j < num_nodes; ++j) {
       if (PearsonCorrelation(node_series[i], node_series[j]) >
           options.cluster_tau) {
-        sets.Union(i, j);
+        edges[i].push_back(static_cast<uint32_t>(j));
       }
     }
+  });
+  for (size_t i = 0; i < num_nodes; ++i) {
+    for (const uint32_t j : edges[i]) sets.Union(i, j);
   }
 
   // Components -> clusters, keeping template members only (helper nodes
@@ -230,14 +243,33 @@ RsqlResult IdentifyRootCauseSqls(
         session_coarse.values());
   };
 
+  // Verifies `ids` concurrently (each verification touches only its own
+  // template's series) and appends the survivors to `out` in input order.
+  auto verify_many = [&](const std::vector<uint64_t>& ids,
+                         std::vector<uint64_t>* out) {
+    std::vector<char> passed(ids.size(), 0);
+    util::ParallelFor(pool, ids.size(), [&](size_t i) {
+      passed[i] = verify_one(ids[i]) ? 1 : 0;
+    });
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (passed[i] != 0) out->push_back(ids[i]);
+    }
+  };
+  auto rank_scores = [&](const std::vector<uint64_t>& ids) {
+    std::vector<double> scores(ids.size(), -2.0);
+    util::ParallelFor(pool, ids.size(), [&](size_t i) {
+      scores[i] = rank_score(ids[i]);
+    });
+    return scores;
+  };
+
   std::vector<uint64_t> verified;
   if (options.use_history_verification) {
-    for (uint64_t id : candidates) {
-      if (verify_one(id)) verified.push_back(id);
-    }
+    verify_many(candidates, &verified);
     double best_corr = -2.0;
-    for (uint64_t id : verified) best_corr = std::max(best_corr,
-                                                      rank_score(id));
+    for (const double corr : rank_scores(verified)) {
+      best_corr = std::max(best_corr, corr);
+    }
     if (verified.empty() || best_corr < options.widen_corr_threshold) {
       // Either every candidate in the selected clusters has a stable
       // execution trend (they are affected SQLs, not root causes), or the
@@ -248,10 +280,12 @@ RsqlResult IdentifyRootCauseSqls(
       // DESIGN.md.
       result.verification_fallback = true;
       std::unordered_set<uint64_t> seen(verified.begin(), verified.end());
+      std::vector<uint64_t> widened;
+      widened.reserve(templates.size());
       for (const TemplateSeries* tpl : templates) {
-        if (seen.count(tpl->sql_id) > 0) continue;
-        if (verify_one(tpl->sql_id)) verified.push_back(tpl->sql_id);
+        if (seen.count(tpl->sql_id) == 0) widened.push_back(tpl->sql_id);
       }
+      verify_many(widened, &verified);
     }
     result.verified = verified;
     if (verified.empty()) {
@@ -265,10 +299,11 @@ RsqlResult IdentifyRootCauseSqls(
   }
 
   // ---- Final ranking: corr(#execution, active session) -------------------
+  const std::vector<double> final_scores = rank_scores(verified);
   std::vector<std::pair<double, uint64_t>> ranked;
   ranked.reserve(verified.size());
-  for (uint64_t id : verified) {
-    ranked.emplace_back(rank_score(id), id);
+  for (size_t i = 0; i < verified.size(); ++i) {
+    ranked.emplace_back(final_scores[i], verified[i]);
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const std::pair<double, uint64_t>& a,

@@ -10,6 +10,7 @@
 #include "core/hsql.h"
 #include "pipeline/template_metrics.h"
 #include "ts/time_series.h"
+#include "util/thread_pool.h"
 
 namespace pinsql::core {
 
@@ -102,6 +103,12 @@ struct RsqlResult {
 /// by the cumulative session-correlation threshold, verifies candidates
 /// against 1/3/7-day-old history with Tukey's rule, and finally ranks the
 /// survivors by corr(#execution, active session).
+///
+/// A non-null `pool` parallelizes the embarrassingly-parallel pieces —
+/// node resampling, the O(nodes²) correlation-edge computation, the
+/// per-candidate history verification and the final rank scores. Edges
+/// are unioned and results folded in a fixed serial order, so the output
+/// is identical to the single-threaded run.
 RsqlResult IdentifyRootCauseSqls(
     const TemplateMetricsStore& metrics,
     const std::unordered_map<uint64_t, TimeSeries>& template_sessions,
@@ -109,7 +116,8 @@ RsqlResult IdentifyRootCauseSqls(
     const std::map<std::string, const TimeSeries*>& helper_metrics,
     const std::vector<HsqlScore>& hsql_scores,
     const HistoryProvider* history, int64_t anomaly_start,
-    int64_t anomaly_end, const RsqlOptions& options);
+    int64_t anomaly_end, const RsqlOptions& options,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace pinsql::core
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace pinsql::core {
 
@@ -15,12 +18,30 @@ double Overlap(double lo1, double hi1, double lo2, double hi2) {
   return std::max(0.0, hi - lo);
 }
 
+/// The seconds [first_sec, last_sec] a query overlaps inside the window;
+/// last_sec < first_sec when the query never intersects it.
+struct RecordSpan {
+  int64_t first_sec = 0;
+  int64_t last_sec = -1;
+};
+
+RecordSpan SpanOf(const QueryLogRecord& q, int64_t ts_sec, int64_t te_sec) {
+  const double q_lo = static_cast<double>(q.arrival_ms);
+  const double q_hi = q_lo + std::max(q.response_ms, 0.0);
+  RecordSpan span;
+  span.first_sec = std::max(ts_sec, q.arrival_ms / 1000);
+  span.last_sec = std::min(
+      te_sec - 1, static_cast<int64_t>(std::floor((q_hi - 1e-9) / 1000.0)));
+  return span;
+}
+
 }  // namespace
 
 SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
                                  const TimeSeries& observed_session,
                                  int64_t ts_sec, int64_t te_sec,
-                                 const SessionEstimatorOptions& options) {
+                                 const SessionEstimatorOptions& options,
+                                 util::ThreadPool* pool) {
   assert(te_sec > ts_sec);
   const size_t n = static_cast<size_t>(te_sec - ts_sec);
   SessionEstimate out;
@@ -28,6 +49,7 @@ SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
 
   if (options.mode == SessionEstimatorMode::kResponseTime) {
     // Proxy: individual session ~ total response time per second / 1000.
+    // Cheap single pass; not worth sharding.
     for (const QueryLogRecord& q : logs) {
       const int64_t sec = q.arrival_ms / 1000;
       if (sec < ts_sec || sec >= te_sec) continue;
@@ -44,27 +66,40 @@ SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
                     : 1;
   const double bucket_ms = 1000.0 / static_cast<double>(k);
 
-  // Pass 1: expected active session per (second, bucket).
+  // Index: for every second of the window, which records (by log index,
+  // ascending = arrival order) overlap it. Built serially so each
+  // second's contribution order matches the serial record-order loop;
+  // the expensive Overlap×K math below then shards per second.
+  std::vector<RecordSpan> spans(logs.size());
+  std::vector<std::vector<uint32_t>> records_by_sec(n);
+  for (size_t r = 0; r < logs.size(); ++r) {
+    spans[r] = SpanOf(logs[r], ts_sec, te_sec);
+    for (int64_t sec = spans[r].first_sec; sec <= spans[r].last_sec; ++sec) {
+      records_by_sec[static_cast<size_t>(sec - ts_sec)].push_back(
+          static_cast<uint32_t>(r));
+    }
+  }
+
+  // Pass 1: expected active session per (second, bucket). Each task owns
+  // one second's row of `expect`, so rows never race and every cell sums
+  // its records in arrival order — bit-identical to the serial fold.
   std::vector<double> expect(n * static_cast<size_t>(k), 0.0);
-  for (const QueryLogRecord& q : logs) {
-    const double q_lo = static_cast<double>(q.arrival_ms);
-    const double q_hi = q_lo + std::max(q.response_ms, 0.0);
-    const int64_t first_sec =
-        std::max(ts_sec, q.arrival_ms / 1000);
-    const int64_t last_sec = std::min(
-        te_sec - 1, static_cast<int64_t>(std::floor((q_hi - 1e-9) / 1000.0)));
-    for (int64_t sec = first_sec; sec <= last_sec; ++sec) {
-      const double sec_ms = static_cast<double>(sec) * 1000.0;
-      const size_t row = static_cast<size_t>(sec - ts_sec) *
-                         static_cast<size_t>(k);
+  util::ParallelFor(pool, n, [&](size_t i) {
+    const int64_t sec = ts_sec + static_cast<int64_t>(i);
+    const double sec_ms = static_cast<double>(sec) * 1000.0;
+    const size_t row = i * static_cast<size_t>(k);
+    for (const uint32_t r : records_by_sec[i]) {
+      const QueryLogRecord& q = logs[r];
+      const double q_lo = static_cast<double>(q.arrival_ms);
+      const double q_hi = q_lo + std::max(q.response_ms, 0.0);
       for (int b = 0; b < k; ++b) {
         const double b_lo = sec_ms + bucket_ms * b;
-        const double p = Overlap(q_lo, q_hi, b_lo, b_lo + bucket_ms) /
-                         bucket_ms;
+        const double p =
+            Overlap(q_lo, q_hi, b_lo, b_lo + bucket_ms) / bucket_ms;
         if (p > 0.0) expect[row + static_cast<size_t>(b)] += p;
       }
     }
-  }
+  });
 
   // Bucket selection: sel_t = argmin_b |observed_t - E[session_b]|.
   std::vector<int> sel(n, 0);
@@ -87,39 +122,61 @@ SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
     out.total[i] = expect[row + static_cast<size_t>(best)];
   }
 
-  // Pass 2: per-template sessions using the selected buckets.
-  for (const QueryLogRecord& q : logs) {
-    const double q_lo = static_cast<double>(q.arrival_ms);
-    const double q_hi = q_lo + std::max(q.response_ms, 0.0);
-    const int64_t first_sec = std::max(ts_sec, q.arrival_ms / 1000);
-    const int64_t last_sec = std::min(
-        te_sec - 1, static_cast<int64_t>(std::floor((q_hi - 1e-9) / 1000.0)));
-    if (last_sec < first_sec) continue;
-    auto [it, inserted] = out.per_template.try_emplace(q.sql_id);
-    if (inserted) it->second = TimeSeries(ts_sec, 1, n);
-    TimeSeries& series = it->second;
-    for (int64_t sec = first_sec; sec <= last_sec; ++sec) {
-      const size_t i = static_cast<size_t>(sec - ts_sec);
-      const double b_lo = static_cast<double>(sec) * 1000.0 +
-                          bucket_ms * sel[i];
-      const double p = Overlap(q_lo, q_hi, b_lo, b_lo + bucket_ms) /
-                       bucket_ms;
-      if (p > 0.0) series[i] += p;
-    }
+  // Group records by template, first-appearance order. The per_template
+  // map entries are created in exactly the order the serial loop would
+  // try_emplace them, so the map layout (and thus every downstream
+  // iteration order) matches the single-threaded run.
+  std::vector<std::pair<uint64_t, std::vector<uint32_t>>> tpl_records;
+  std::unordered_map<uint64_t, size_t> tpl_index;
+  for (size_t r = 0; r < logs.size(); ++r) {
+    if (spans[r].last_sec < spans[r].first_sec) continue;
+    auto [it, inserted] = tpl_index.try_emplace(logs[r].sql_id,
+                                                tpl_records.size());
+    if (inserted) tpl_records.emplace_back(logs[r].sql_id,
+                                           std::vector<uint32_t>{});
+    tpl_records[it->second].second.push_back(static_cast<uint32_t>(r));
   }
+  std::vector<TimeSeries*> tpl_series(tpl_records.size());
+  for (size_t t = 0; t < tpl_records.size(); ++t) {
+    auto [it, inserted] = out.per_template.try_emplace(
+        tpl_records[t].first, TimeSeries(ts_sec, 1, n));
+    tpl_series[t] = &it->second;
+  }
+
+  // Pass 2: per-template sessions using the selected buckets. Each task
+  // owns one template's series; records are visited in arrival order.
+  util::ParallelFor(pool, tpl_records.size(), [&](size_t t) {
+    TimeSeries& series = *tpl_series[t];
+    for (const uint32_t r : tpl_records[t].second) {
+      const QueryLogRecord& q = logs[r];
+      const double q_lo = static_cast<double>(q.arrival_ms);
+      const double q_hi = q_lo + std::max(q.response_ms, 0.0);
+      for (int64_t sec = spans[r].first_sec; sec <= spans[r].last_sec;
+           ++sec) {
+        const size_t i = static_cast<size_t>(sec - ts_sec);
+        const double b_lo =
+            static_cast<double>(sec) * 1000.0 + bucket_ms * sel[i];
+        const double p =
+            Overlap(q_lo, q_hi, b_lo, b_lo + bucket_ms) / bucket_ms;
+        if (p > 0.0) series[i] += p;
+      }
+    }
+  });
   return out;
 }
 
 SessionEstimate EstimateSessions(const LogStore& store,
                                  const TimeSeries& observed_session,
                                  int64_t ts_sec, int64_t te_sec,
-                                 const SessionEstimatorOptions& options) {
+                                 const SessionEstimatorOptions& options,
+                                 util::ThreadPool* pool) {
   // Include queries that *arrived* before the window but were still
   // running inside it: scan from well before ts (10 min suffices for the
   // workloads simulated here; queries rarely run longer).
   const std::vector<QueryLogRecord> logs =
       store.Range((ts_sec - 600) * 1000, te_sec * 1000);
-  return EstimateSessions(logs, observed_session, ts_sec, te_sec, options);
+  return EstimateSessions(logs, observed_session, ts_sec, te_sec, options,
+                          pool);
 }
 
 }  // namespace pinsql::core

@@ -8,6 +8,7 @@
 #include "logstore/log_store.h"
 #include "pipeline/template_metrics.h"
 #include "ts/time_series.h"
+#include "util/thread_pool.h"
 
 namespace pinsql::core {
 
@@ -44,16 +45,23 @@ struct SessionEstimate {
 /// taken as the sampling instant's bucket (sel_t), and the per-template
 /// session is the sum of P(observed(sel_t, q)) over the template's
 /// queries. `observed_session` must cover [ts_sec, te_sec).
+///
+/// A non-null `pool` parallelizes the expectation pass (sharded by second)
+/// and the per-template pass (sharded by template); both shards preserve
+/// the serial accumulation order per output cell, so the estimate is
+/// bit-identical to the single-threaded run.
 SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
                                  const TimeSeries& observed_session,
                                  int64_t ts_sec, int64_t te_sec,
-                                 const SessionEstimatorOptions& options);
+                                 const SessionEstimatorOptions& options,
+                                 util::ThreadPool* pool = nullptr);
 
 /// Convenience overload scanning a LogStore for the window's records.
 SessionEstimate EstimateSessions(const LogStore& store,
                                  const TimeSeries& observed_session,
                                  int64_t ts_sec, int64_t te_sec,
-                                 const SessionEstimatorOptions& options);
+                                 const SessionEstimatorOptions& options,
+                                 util::ThreadPool* pool = nullptr);
 
 }  // namespace pinsql::core
 

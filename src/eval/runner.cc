@@ -1,7 +1,10 @@
 #include "eval/runner.h"
 
 #include <chrono>
+#include <memory>
 #include <unordered_set>
+
+#include "util/thread_pool.h"
 
 namespace pinsql::eval {
 
@@ -70,6 +73,52 @@ MethodScores MethodAccumulator::Summary() const {
   return s;
 }
 
+namespace {
+
+/// Per-case measurements, accumulated after the (possibly concurrent)
+/// case runs so the fold order is always the case order.
+struct CaseOutcome {
+  int pin_rsql = 0;
+  int pin_hsql = 0;
+  double pin_seconds = 0.0;
+  int en_r = 0, en_h = 0, rt_r = 0, rt_h = 0, er_r = 0, er_h = 0;
+  double top_seconds = 0.0;
+};
+
+CaseOutcome RunOneCase(const EvalOptions& options,
+                       const core::DiagnoserOptions& diagnoser,
+                       size_t index) {
+  CaseGenOptions cg = options.case_options;
+  cg.seed = options.seed + static_cast<uint64_t>(index) * 1000003ULL;
+  cg.type = options.types[index % options.types.size()];
+  const AnomalyCaseData data = GenerateCase(cg);
+
+  CaseOutcome out;
+  const core::DiagnosisInput input = MakeDiagnosisInput(data);
+  const core::DiagnosisResult result = core::Diagnose(input, diagnoser);
+  out.pin_rsql = RsqlRank(result.rsql.ranking, data);
+  out.pin_hsql = HsqlRank(result.TopHsql(result.hsql_ranking.size()), data);
+  out.pin_seconds = result.total_seconds;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const baselines::TopSqlRankings tops = baselines::RankAllTopSql(
+      result.metrics, input.anomaly_start_sec, input.anomaly_end_sec);
+  out.top_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count() /
+      3.0;
+
+  out.en_r = RsqlRank(tops.by_execution, data);
+  out.en_h = HsqlRank(tops.by_execution, data);
+  out.rt_r = RsqlRank(tops.by_response_time, data);
+  out.rt_h = HsqlRank(tops.by_response_time, data);
+  out.er_r = RsqlRank(tops.by_examined_rows, data);
+  out.er_h = HsqlRank(tops.by_examined_rows, data);
+  return out;
+}
+
+}  // namespace
+
 std::vector<MethodScores> RunOverallEvaluation(
     const EvalOptions& options, const core::DiagnoserOptions& diagnoser) {
   MethodAccumulator pinsql("PinSQL");
@@ -78,30 +127,24 @@ std::vector<MethodScores> RunOverallEvaluation(
   MethodAccumulator top_er("Top-ER");
   MethodAccumulator top_all("Top-All");
 
-  ForEachCase(options, [&](size_t index, const AnomalyCaseData& data) {
-    (void)index;
-    const core::DiagnosisInput input = MakeDiagnosisInput(data);
-    const core::DiagnosisResult result = core::Diagnose(input, diagnoser);
-    pinsql.AddCase(result.rsql.ranking, result.TopHsql(result.hsql_ranking.size()),
-                   data, result.total_seconds);
+  // Fleet mode: each case is an independent instance (own generator seed,
+  // own logs/metrics), so cases fan out across the pool; outcomes land in
+  // index-addressed slots and are folded serially below.
+  const size_t num_cases = static_cast<size_t>(options.num_cases);
+  std::vector<CaseOutcome> outcomes(num_cases);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(options.num_threads);
+  }
+  util::ParallelFor(pool.get(), num_cases, [&](size_t index) {
+    outcomes[index] = RunOneCase(options, diagnoser, index);
+  });
 
-    const auto t0 = std::chrono::steady_clock::now();
-    const baselines::TopSqlRankings tops = baselines::RankAllTopSql(
-        result.metrics, input.anomaly_start_sec, input.anomaly_end_sec);
-    const double top_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count() /
-        3.0;
-
-    const int en_r = RsqlRank(tops.by_execution, data);
-    const int en_h = HsqlRank(tops.by_execution, data);
-    const int rt_r = RsqlRank(tops.by_response_time, data);
-    const int rt_h = HsqlRank(tops.by_response_time, data);
-    const int er_r = RsqlRank(tops.by_examined_rows, data);
-    const int er_h = HsqlRank(tops.by_examined_rows, data);
-    top_en.AddRanks(en_r, en_h, top_seconds);
-    top_rt.AddRanks(rt_r, rt_h, top_seconds);
-    top_er.AddRanks(er_r, er_h, top_seconds);
+  for (const CaseOutcome& out : outcomes) {
+    pinsql.AddRanks(out.pin_rsql, out.pin_hsql, out.pin_seconds);
+    top_en.AddRanks(out.en_r, out.en_h, out.top_seconds);
+    top_rt.AddRanks(out.rt_r, out.rt_h, out.top_seconds);
+    top_er.AddRanks(out.er_r, out.er_h, out.top_seconds);
 
     // Top-All: the best variant per case (paper Sec. VIII-A), 0 = miss.
     auto best = [](int a, int b) {
@@ -109,9 +152,10 @@ std::vector<MethodScores> RunOverallEvaluation(
       if (b == 0) return a;
       return std::min(a, b);
     };
-    top_all.AddRanks(best(best(en_r, rt_r), er_r),
-                     best(best(en_h, rt_h), er_h), top_seconds * 3.0);
-  });
+    top_all.AddRanks(best(best(out.en_r, out.rt_r), out.er_r),
+                     best(best(out.en_h, out.rt_h), out.er_h),
+                     out.top_seconds * 3.0);
+  }
 
   return {pinsql.Summary(), top_rt.Summary(), top_er.Summary(),
           top_en.Summary(), top_all.Summary()};

@@ -18,6 +18,11 @@ struct EvalOptions {
   int num_cases = 40;
   uint64_t seed = 42;
   CaseGenOptions case_options;
+  /// Fleet mode: cases are independent instances, so `num_threads > 1`
+  /// generates and diagnoses them concurrently (each worker holds at most
+  /// one case in memory). Per-case results are folded in case order, so
+  /// every score is identical to the serial run.
+  int num_threads = 1;
   /// Case-type cycle. Lock anomalies appear twice: they dominate the
   /// hard production cases the paper motivates (R-SQL != top consumer).
   std::vector<workload::AnomalyType> types = {

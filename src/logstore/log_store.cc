@@ -1,8 +1,41 @@
 #include "logstore/log_store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace pinsql {
+
+LogStore::LogStore(const LogStore& other) {
+  std::lock_guard<std::mutex> lock(other.sort_mu_);
+  records_ = other.records_;
+  sorted_ = other.sorted_;
+  catalog_ = other.catalog_;
+}
+
+LogStore& LogStore::operator=(const LogStore& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(sort_mu_, other.sort_mu_);
+  records_ = other.records_;
+  sorted_ = other.sorted_;
+  catalog_ = other.catalog_;
+  return *this;
+}
+
+LogStore::LogStore(LogStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.sort_mu_);
+  records_ = std::move(other.records_);
+  sorted_ = other.sorted_;
+  catalog_ = std::move(other.catalog_);
+}
+
+LogStore& LogStore::operator=(LogStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(sort_mu_, other.sort_mu_);
+  records_ = std::move(other.records_);
+  sorted_ = other.sorted_;
+  catalog_ = std::move(other.catalog_);
+  return *this;
+}
 
 void LogStore::Append(const QueryLogRecord& record) {
   if (!records_.empty() && record.arrival_ms < records_.back().arrival_ms) {
@@ -21,6 +54,7 @@ const TemplateCatalogEntry* LogStore::FindTemplate(uint64_t sql_id) const {
 }
 
 void LogStore::EnsureSorted() const {
+  std::lock_guard<std::mutex> lock(sort_mu_);
   if (sorted_) return;
   std::stable_sort(records_.begin(), records_.end(),
                    [](const QueryLogRecord& a, const QueryLogRecord& b) {

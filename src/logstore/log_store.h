@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,12 @@ struct TemplateCatalogEntry {
 class LogStore {
  public:
   LogStore() = default;
+  // The sort mutex is per-instance state, not data: copies/moves transfer
+  // the records and catalog and get their own fresh mutex.
+  LogStore(const LogStore& other);
+  LogStore& operator=(const LogStore& other);
+  LogStore(LogStore&& other) noexcept;
+  LogStore& operator=(LogStore&& other) noexcept;
 
   /// Appends one completed-query record.
   void Append(const QueryLogRecord& record);
@@ -67,8 +74,12 @@ class LogStore {
   const std::vector<QueryLogRecord>& SortedRecords() const;
 
  private:
+  /// Lazily sorts under a mutex so that concurrent *const* scans (the
+  /// parallel diagnosis stages all read one shared LogStore) are safe.
+  /// Writes (Append/TrimBefore) are still single-owner operations.
   void EnsureSorted() const;
 
+  mutable std::mutex sort_mu_;
   mutable std::vector<QueryLogRecord> records_;
   mutable bool sorted_ = true;
   std::unordered_map<uint64_t, TemplateCatalogEntry> catalog_;

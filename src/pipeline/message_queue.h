@@ -1,8 +1,10 @@
 #ifndef PINSQL_PIPELINE_MESSAGE_QUEUE_H_
 #define PINSQL_PIPELINE_MESSAGE_QUEUE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,9 +14,14 @@ namespace pinsql::pipeline {
 /// In-process stand-in for the Kafka layer of the paper's collection
 /// pipeline (Sec. IV-A): a topic is a set of partitions, producers publish
 /// records partitioned by key, and consumers poll per-partition with
-/// explicit offsets. Single-process and lock-free by design — the
-/// substitution keeps the data flow and ordering semantics (per-partition
-/// FIFO, at-least-once re-reads by rewinding offsets) without the cluster.
+/// explicit offsets.
+///
+/// Thread-safety: every partition is guarded by its own mutex, so any
+/// number of producers may Publish concurrently (multi-producer) and any
+/// number of readers may snapshot/poll concurrently. Per-partition FIFO
+/// order is the publish order under that partition's lock — records of one
+/// key never reorder. Offsets live in consumers, so concurrent consumers
+/// over *disjoint* partitions never contend on shared offset state.
 template <typename T>
 class Topic {
  public:
@@ -23,38 +30,84 @@ class Topic {
     assert(num_partitions > 0);
   }
 
+  Topic(const Topic&) = delete;
+  Topic& operator=(const Topic&) = delete;
+
   const std::string& name() const { return name_; }
   size_t num_partitions() const { return partitions_.size(); }
 
   /// Publishes a record to the partition selected by `key` (stable hash).
+  /// Safe to call from any number of threads.
   void Publish(uint64_t key, T record) {
-    partitions_[key % partitions_.size()].push_back(std::move(record));
+    Shard& shard = partitions_[key % partitions_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.records.push_back(std::move(record));
   }
 
-  /// Total records across partitions.
+  /// Records currently in partition `i`.
+  size_t PartitionSize(size_t i) const {
+    const Shard& shard = partitions_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.records.size();
+  }
+
+  /// Total records across partitions. A moving target while producers are
+  /// active (partitions are summed one lock at a time).
   size_t TotalSize() const {
     size_t n = 0;
-    for (const auto& p : partitions_) n += p.size();
+    for (size_t i = 0; i < partitions_.size(); ++i) n += PartitionSize(i);
     return n;
   }
 
-  const std::vector<T>& Partition(size_t i) const { return partitions_[i]; }
+  /// Snapshot copy of partition `i` (the records published so far, FIFO).
+  std::vector<T> Partition(size_t i) const {
+    const Shard& shard = partitions_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.records;
+  }
+
+  /// Copies up to `max_records` records of partition `p` starting at
+  /// `offset` into `out` (appended). Returns the number copied. This is
+  /// the consumer primitive: it never blocks producers for longer than the
+  /// copy and never observes a half-written record.
+  size_t ReadPartition(size_t p, size_t offset, size_t max_records,
+                       std::vector<T>* out) const {
+    const Shard& shard = partitions_[p];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (offset >= shard.records.size()) return 0;
+    const size_t n =
+        std::min(max_records, shard.records.size() - offset);
+    out->insert(out->end(), shard.records.begin() + offset,
+                shard.records.begin() + offset + n);
+    return n;
+  }
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<T> records;
+  };
+
   std::string name_;
-  std::vector<std::vector<T>> partitions_;
+  std::vector<Shard> partitions_;
 };
 
 /// Polling consumer with per-partition offsets (consumer-group semantics
 /// for a group of one). Poll drains up to `max_records` in round-robin
 /// partition order.
+///
+/// A Consumer instance is owned by one thread at a time; for parallel
+/// consumption give each thread its own Consumer over disjoint partitions
+/// (PollPartition) — the topic side is fully thread-safe.
 template <typename T>
 class Consumer {
  public:
   explicit Consumer(const Topic<T>* topic)
       : topic_(topic), offsets_(topic->num_partitions(), 0) {}
 
-  /// Returns up to max_records unread records and advances the offsets.
+  /// Returns up to max_records unread records and advances the offsets,
+  /// visiting partitions round-robin one record at a time (preserves the
+  /// seed's interleaving so serial consumers see identical batches).
   std::vector<T> Poll(size_t max_records) {
     std::vector<T> out;
     out.reserve(max_records);
@@ -62,9 +115,9 @@ class Consumer {
     while (out.size() < max_records && progress) {
       progress = false;
       for (size_t p = 0; p < topic_->num_partitions(); ++p) {
-        const auto& part = topic_->Partition(p);
-        if (offsets_[p] < part.size() && out.size() < max_records) {
-          out.push_back(part[offsets_[p]++]);
+        if (out.size() >= max_records) break;
+        if (topic_->ReadPartition(p, offsets_[p], 1, &out) > 0) {
+          ++offsets_[p];
           progress = true;
         }
       }
@@ -72,11 +125,21 @@ class Consumer {
     return out;
   }
 
-  /// Unread records remaining.
+  /// Drains up to max_records from one partition only (the per-partition
+  /// consumer-thread primitive). Appends nothing on an empty partition.
+  std::vector<T> PollPartition(size_t p, size_t max_records) {
+    std::vector<T> out;
+    const size_t n =
+        topic_->ReadPartition(p, offsets_[p], max_records, &out);
+    offsets_[p] += n;
+    return out;
+  }
+
+  /// Unread records remaining (approximate while producers are active).
   size_t Lag() const {
     size_t lag = 0;
     for (size_t p = 0; p < topic_->num_partitions(); ++p) {
-      lag += topic_->Partition(p).size() - offsets_[p];
+      lag += topic_->PartitionSize(p) - offsets_[p];
     }
     return lag;
   }

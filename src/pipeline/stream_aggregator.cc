@@ -1,5 +1,9 @@
 #include "pipeline/stream_aggregator.h"
 
+#include <mutex>
+#include <thread>
+#include <utility>
+
 namespace pinsql {
 
 StreamAggregator::StreamAggregator(pipeline::Topic<QueryLogRecord>* topic,
@@ -25,6 +29,69 @@ size_t StreamAggregator::PumpAll() {
   return total;
 }
 
+ParallelStreamAggregator::ParallelStreamAggregator(
+    pipeline::Topic<QueryLogRecord>* topic, int64_t start_sec,
+    int64_t end_sec)
+    : topic_(topic),
+      start_sec_(start_sec),
+      end_sec_(end_sec),
+      offsets_(topic->num_partitions(), 0),
+      merged_(start_sec, end_sec, /*interval_sec=*/1) {
+  shards_.reserve(topic->num_partitions());
+  for (size_t p = 0; p < topic->num_partitions(); ++p) {
+    shards_.emplace_back(start_sec, end_sec, /*interval_sec=*/1);
+  }
+}
+
+size_t ParallelStreamAggregator::PumpAll() {
+  const size_t num_partitions = topic_->num_partitions();
+  std::vector<size_t> consumed(num_partitions, 0);
+  std::mutex archive_mu;
+
+  auto drain_partition = [&](size_t p) {
+    std::vector<QueryLogRecord> batch;
+    while (true) {
+      batch.clear();
+      const size_t n =
+          topic_->ReadPartition(p, offsets_[p], /*max_records=*/4096,
+                                &batch);
+      if (n == 0) break;
+      offsets_[p] += n;
+      consumed[p] += n;
+      for (const QueryLogRecord& record : batch) {
+        shards_[p].Accumulate(record);
+      }
+      if (log_store_ != nullptr) {
+        std::lock_guard<std::mutex> lock(archive_mu);
+        for (const QueryLogRecord& record : batch) {
+          log_store_->Append(record);
+        }
+      }
+    }
+  };
+
+  // One consumer thread per partition (the Kafka consumer-group shape).
+  std::vector<std::thread> threads;
+  threads.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    threads.emplace_back(drain_partition, p);
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Deterministic merge: the view is rebuilt from scratch out of shard
+  // copies (partition order, each shard's templates in sql_id order). The
+  // shards themselves persist, so the next incremental pump continues each
+  // template's sequential sum instead of adding a partial to a partial.
+  size_t total = 0;
+  merged_ = TemplateMetricsStore(start_sec_, end_sec_, /*interval_sec=*/1);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    total += consumed[p];
+    TemplateMetricsStore copy = shards_[p];
+    merged_.MergeFrom(std::move(copy));
+  }
+  return total;
+}
+
 TemplateMetricsStore AggregateWindow(const LogStore& store, int64_t start_sec,
                                      int64_t end_sec, int64_t interval_sec) {
   TemplateMetricsStore metrics(start_sec, end_sec, interval_sec);
@@ -32,6 +99,38 @@ TemplateMetricsStore AggregateWindow(const LogStore& store, int64_t start_sec,
                   [&metrics](const QueryLogRecord& record) {
                     metrics.Accumulate(record);
                   });
+  return metrics;
+}
+
+TemplateMetricsStore AggregateWindow(const LogStore& store, int64_t start_sec,
+                                     int64_t end_sec, int64_t interval_sec,
+                                     util::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return AggregateWindow(store, start_sec, end_sec, interval_sec);
+  }
+  const size_t num_shards = static_cast<size_t>(pool->num_threads());
+  // Force the lazy sort once, outside the parallel region, so the shard
+  // scans below are pure concurrent reads.
+  (void)store.SortedRecords();
+
+  std::vector<TemplateMetricsStore> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards.emplace_back(start_sec, end_sec, interval_sec);
+  }
+  pool->ParallelFor(num_shards, [&](size_t s) {
+    store.ScanRange(start_sec * 1000, end_sec * 1000,
+                    [&, s](const QueryLogRecord& record) {
+                      if (record.sql_id % num_shards == s) {
+                        shards[s].Accumulate(record);
+                      }
+                    });
+  });
+
+  TemplateMetricsStore metrics(start_sec, end_sec, interval_sec);
+  for (size_t s = 0; s < num_shards; ++s) {
+    metrics.MergeFrom(std::move(shards[s]));
+  }
   return metrics;
 }
 

@@ -2,10 +2,12 @@
 #define PINSQL_PIPELINE_STREAM_AGGREGATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "logstore/log_store.h"
 #include "pipeline/message_queue.h"
 #include "pipeline/template_metrics.h"
+#include "util/thread_pool.h"
 
 namespace pinsql {
 
@@ -36,11 +38,63 @@ class StreamAggregator {
   LogStore* log_store_ = nullptr;
 };
 
+/// Multi-threaded Flink stand-in: one consumer thread per topic partition,
+/// each folding its partition into a private TemplateMetricsStore shard;
+/// PumpAll() joins the threads and merges the shards in partition order.
+///
+/// When producers key Publish() by sql_id (the pipeline's natural keying —
+/// it is what gives Kafka per-template ordering), every template lives in
+/// exactly one partition, so the shard merge moves disjoint series and the
+/// merged store is bit-identical to a serial StreamAggregator over the
+/// same topic. With any other keying the shards are summed element-wise
+/// deterministically (partition order), which may differ from the serial
+/// fold by floating-point rounding only.
+class ParallelStreamAggregator {
+ public:
+  ParallelStreamAggregator(pipeline::Topic<QueryLogRecord>* topic,
+                           int64_t start_sec, int64_t end_sec);
+
+  /// Optional: archive consumed records (appends are serialized across
+  /// consumer threads; the archive's arrival-time scan order is restored
+  /// by the LogStore's lazy sort).
+  void AttachLogStore(LogStore* store) { log_store_ = store; }
+
+  /// Drains every partition concurrently (one thread per partition) and
+  /// rebuilds the merged view. Returns records consumed. May be called
+  /// again after more records were published; already-consumed offsets and
+  /// the per-partition shards persist, so a template's cell is always one
+  /// sequential sum over its full record stream — incremental pumps stay
+  /// bit-identical to the serial aggregator, never `(partial) + (rest)`.
+  size_t PumpAll();
+
+  const TemplateMetricsStore& metrics() const { return merged_; }
+  TemplateMetricsStore& metrics() { return merged_; }
+
+ private:
+  pipeline::Topic<QueryLogRecord>* topic_;
+  int64_t start_sec_;
+  int64_t end_sec_;
+  std::vector<size_t> offsets_;  // per-partition consumed offsets
+  std::vector<TemplateMetricsStore> shards_;  // one per partition
+  TemplateMetricsStore merged_;
+  LogStore* log_store_ = nullptr;
+};
+
 /// Batch convenience used by the diagnosis path: aggregates the records of
 /// an existing LogStore over [start_sec, end_sec) without a queue.
 TemplateMetricsStore AggregateWindow(const LogStore& store, int64_t start_sec,
                                      int64_t end_sec,
                                      int64_t interval_sec = 1);
+
+/// Parallel variant: shards templates across the pool (shard = sql_id
+/// modulo pool size), each shard scanning the window and accumulating only
+/// its own templates, then merges the disjoint shards in shard order. The
+/// per-template series see their records in the same arrival order as the
+/// serial scan, so the result is bit-identical to AggregateWindow. Falls
+/// back to the serial path when `pool` is null or single-threaded.
+TemplateMetricsStore AggregateWindow(const LogStore& store, int64_t start_sec,
+                                     int64_t end_sec, int64_t interval_sec,
+                                     util::ThreadPool* pool);
 
 }  // namespace pinsql
 

@@ -63,10 +63,35 @@ TimeSeries TemplateMetricsStore::TotalResponseAcrossTemplates() const {
   const size_t n =
       static_cast<size_t>((end_sec_ - start_sec_) / interval_sec_);
   TimeSeries total(start_sec_, interval_sec_, n);
-  for (const auto& [id, series] : by_id_) {
-    total.AddInPlace(series.total_response_ms);
+  // Summed in sql_id order, not hash-map order: the result must not depend
+  // on how the store was assembled (serial scan vs merged parallel shards
+  // produce different map layouts for identical contents).
+  for (const TemplateSeries* series : AllSorted()) {
+    total.AddInPlace(series->total_response_ms);
   }
   return total;
+}
+
+void TemplateMetricsStore::MergeFrom(TemplateMetricsStore&& shard) {
+  assert(shard.start_sec_ == start_sec_);
+  assert(shard.end_sec_ == end_sec_);
+  assert(shard.interval_sec_ == interval_sec_);
+  // Insert in sql_id order so the merged map layout is a function of the
+  // contents only, never of shard-internal hash-map ordering.
+  for (uint64_t id : shard.SqlIdsSorted()) {
+    auto shard_it = shard.by_id_.find(id);
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) {
+      by_id_.emplace(id, std::move(shard_it->second));
+    } else {
+      it->second.execution_count.AddInPlace(
+          shard_it->second.execution_count);
+      it->second.total_response_ms.AddInPlace(
+          shard_it->second.total_response_ms);
+      it->second.examined_rows.AddInPlace(shard_it->second.examined_rows);
+    }
+  }
+  shard.by_id_.clear();
 }
 
 TemplateMetricsStore TemplateMetricsStore::Resample(

@@ -53,6 +53,15 @@ class TemplateMetricsStore {
   /// Re-aggregated copy at a coarser granularity (e.g. 60 s).
   TemplateMetricsStore Resample(int64_t new_interval_sec) const;
 
+  /// Folds a shard produced over the same window/interval into this store:
+  /// templates unknown here are moved in, overlapping templates have their
+  /// series summed element-wise. Shards merged in a fixed order yield a
+  /// deterministic result; shards with *disjoint* template sets (the
+  /// sql_id-sharded parallel aggregation paths) merge with no floating-
+  /// point additions at all, so the merged store is bit-identical to the
+  /// serial aggregation.
+  void MergeFrom(TemplateMetricsStore&& shard);
+
  private:
   TemplateSeries* FindOrCreate(uint64_t sql_id);
 

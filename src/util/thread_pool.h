@@ -1,0 +1,68 @@
+#ifndef PINSQL_UTIL_THREAD_POOL_H_
+#define PINSQL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pinsql::util {
+
+/// Fixed-size worker pool behind every parallel stage of the diagnosis
+/// engine. Design constraints (see DESIGN.md "Threading model"):
+///
+///  - `ParallelFor` is deadlock-free under nesting: the calling thread
+///    claims iterations itself, so a pool thread running a task that calls
+///    `ParallelFor` again never blocks on a queue slot that only it could
+///    free. Helper tasks that are scheduled after the loop drained simply
+///    find no remaining iterations and return.
+///  - The first exception thrown by an iteration aborts the remaining
+///    (unstarted) iterations and is rethrown on the calling thread;
+///    `Submit` stores task exceptions in the returned future.
+///  - Destruction drains: queued tasks still run before the workers join,
+///    so shutdown with pending work loses nothing.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1). With one
+  /// thread the pool degenerates to serial execution on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues one task; the future carries its completion or exception.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n), blocking until all iterations
+  /// finished. Iterations may run on any thread including the caller;
+  /// writes must therefore target disjoint, index-addressed slots for the
+  /// result to be deterministic. Rethrows the first iteration exception.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Serial fallback shared by every `options.num_threads`-gated call site:
+/// a null pool (or a single-thread pool) runs the loop inline, which is
+/// the bit-identical num_threads=1 baseline.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace pinsql::util
+
+#endif  // PINSQL_UTIL_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 /// never crash, loop, or break their invariants on garbage.
 
 #include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -37,9 +38,10 @@ Json RandomJson(Rng* rng, int depth) {
       const int64_t len = rng->UniformInt(0, 24);
       for (int64_t i = 0; i < len; ++i) {
         // Printable ASCII plus the characters needing escapes.
-        const char* alphabet =
+        constexpr std::string_view alphabet =
             "abcXYZ019 _-\"\\\n\t/{}[],:";
-        s.push_back(alphabet[rng->UniformInt(0, 24)]);
+        s.push_back(alphabet[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(alphabet.size()) - 1))]);
       }
       return Json(std::move(s));
     }

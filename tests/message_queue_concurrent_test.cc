@@ -1,0 +1,221 @@
+// Concurrency hammer for the pipeline's Kafka stand-in and the thread
+// pool: multi-producer publish must lose nothing, duplicate nothing, and
+// keep per-partition FIFO order; the pool must survive exceptions, nested
+// ParallelFor, and shutdown with work still queued.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "pipeline/message_queue.h"
+#include "util/thread_pool.h"
+
+namespace pinsql {
+namespace {
+
+// Each published value encodes (producer, sequence) so the consumer side
+// can check exactly which records arrived and in what order.
+uint64_t Encode(uint64_t producer, uint64_t seq) {
+  return (producer << 32) | seq;
+}
+uint64_t ProducerOf(uint64_t value) { return value >> 32; }
+uint64_t SeqOf(uint64_t value) { return value & 0xffffffffULL; }
+
+constexpr size_t kPartitions = 5;
+constexpr size_t kProducers = 8;
+constexpr size_t kPerProducer = 4000;
+
+void HammerPublish(pipeline::Topic<uint64_t>* topic) {
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (size_t producer = 0; producer < kProducers; ++producer) {
+    producers.emplace_back([topic, producer] {
+      for (size_t seq = 0; seq < kPerProducer; ++seq) {
+        // Key varies per record, so each producer sprays all partitions.
+        topic->Publish(producer * 31 + seq * 7,
+                       Encode(producer, seq));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+}
+
+/// No record lost, none duplicated, and within every partition each
+/// producer's sequence numbers appear strictly increasing (per-partition
+/// FIFO: a producer's publishes to one partition keep their order).
+void CheckIntegrity(const std::vector<std::vector<uint64_t>>& by_partition) {
+  size_t total = 0;
+  std::unordered_set<uint64_t> seen;
+  for (size_t p = 0; p < by_partition.size(); ++p) {
+    std::vector<uint64_t> last_seq(kProducers, 0);
+    std::vector<bool> any(kProducers, false);
+    for (const uint64_t value : by_partition[p]) {
+      ++total;
+      EXPECT_TRUE(seen.insert(value).second)
+          << "duplicate record " << value << " in partition " << p;
+      const uint64_t producer = ProducerOf(value);
+      const uint64_t seq = SeqOf(value);
+      ASSERT_LT(producer, kProducers);
+      if (any[producer]) {
+        EXPECT_GT(seq, last_seq[producer])
+            << "producer " << producer << " reordered in partition " << p;
+      }
+      any[producer] = true;
+      last_seq[producer] = seq;
+    }
+  }
+  EXPECT_EQ(total, kProducers * kPerProducer);
+  EXPECT_EQ(seen.size(), kProducers * kPerProducer);
+}
+
+TEST(TopicConcurrentTest, MultiProducerLosesNothing) {
+  pipeline::Topic<uint64_t> topic("hammer", kPartitions);
+  HammerPublish(&topic);
+
+  EXPECT_EQ(topic.TotalSize(), kProducers * kPerProducer);
+  std::vector<std::vector<uint64_t>> by_partition;
+  for (size_t p = 0; p < topic.num_partitions(); ++p) {
+    by_partition.push_back(topic.Partition(p));
+  }
+  CheckIntegrity(by_partition);
+}
+
+TEST(TopicConcurrentTest, ConcurrentConsumersOverDisjointPartitions) {
+  pipeline::Topic<uint64_t> topic("hammer", kPartitions);
+
+  // Producers and per-partition consumer threads run at the same time;
+  // consumers poll in small batches until producers finish and the
+  // partition is drained.
+  std::atomic<bool> producing{true};
+  std::vector<std::vector<uint64_t>> by_partition(kPartitions);
+  std::vector<std::thread> consumers;
+  for (size_t p = 0; p < kPartitions; ++p) {
+    consumers.emplace_back([&topic, &producing, &by_partition, p] {
+      pipeline::Consumer<uint64_t> consumer(&topic);
+      while (true) {
+        const std::vector<uint64_t> batch = consumer.PollPartition(p, 64);
+        by_partition[p].insert(by_partition[p].end(), batch.begin(),
+                               batch.end());
+        if (batch.empty() && !producing.load(std::memory_order_acquire)) {
+          // One final poll after the producers are done catches records
+          // published between the empty poll and the flag read.
+          const std::vector<uint64_t> tail =
+              consumer.PollPartition(p, kProducers * kPerProducer);
+          by_partition[p].insert(by_partition[p].end(), tail.begin(),
+                                 tail.end());
+          return;
+        }
+      }
+    });
+  }
+
+  HammerPublish(&topic);
+  producing.store(false, std::memory_order_release);
+  for (std::thread& t : consumers) t.join();
+
+  CheckIntegrity(by_partition);
+}
+
+TEST(TopicConcurrentTest, RoundRobinPollSeesEverything) {
+  pipeline::Topic<uint64_t> topic("hammer", kPartitions);
+  HammerPublish(&topic);
+
+  pipeline::Consumer<uint64_t> consumer(&topic);
+  std::vector<std::vector<uint64_t>> by_partition(kPartitions);
+  size_t polled = 0;
+  while (true) {
+    const std::vector<uint64_t> batch = consumer.Poll(97);
+    if (batch.empty()) break;
+    polled += batch.size();
+    // Poll interleaves partitions; re-split by key-independent content is
+    // impossible here, so just count and dedup globally.
+    for (const uint64_t value : batch) by_partition[0].push_back(value);
+  }
+  EXPECT_EQ(polled, kProducers * kPerProducer);
+  EXPECT_EQ(consumer.Lag(), 0u);
+  std::unordered_set<uint64_t> seen(by_partition[0].begin(),
+                                    by_partition[0].end());
+  EXPECT_EQ(seen.size(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndReportsExceptions) {
+  util::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&ran] { ++ran; }));
+  }
+  std::future<void> failing =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  util::ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&executed](size_t i) {
+                         ++executed;
+                         if (i == 3) throw std::runtime_error("iteration 3");
+                       }),
+      std::runtime_error);
+  // The abort flag stops unstarted iterations, so not all 1000 ran — but
+  // the pool must stay usable afterwards.
+  std::atomic<int> after{0};
+  pool.ParallelFor(64, [&after](size_t) { ++after; });
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // 2 threads, 4 outer iterations each spawning an inner loop: with a
+  // naive blocking implementation the workers would all wait on inner
+  // loops that no free thread can service. Caller participation makes
+  // this complete.
+  util::ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&pool, &inner_total](size_t) {
+    pool.ParallelFor(8, [&inner_total](size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, ShutdownWithPendingWorkDrainsQueue) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++ran;
+      }));
+    }
+    // Destructor runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(ran.load(), 200);
+  for (std::future<void>& f : futures) {
+    EXPECT_NO_THROW(f.get());
+  }
+}
+
+}  // namespace
+}  // namespace pinsql

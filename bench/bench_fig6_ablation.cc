@@ -103,7 +103,7 @@ int main() {
             pinsql::eval::MakeDiagnosisInput(data);
         for (size_t v = 0; v < variants.size(); ++v) {
           const pinsql::core::DiagnosisResult result =
-              pinsql::core::Diagnose(input, variants[v].options);
+              pinsql::core::Diagnose(input, variants[v].options).value();
           accumulators[v].AddCase(
               result.rsql.ranking,
               result.TopHsql(result.hsql_ranking.size()), data,

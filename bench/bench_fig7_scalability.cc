@@ -36,7 +36,8 @@ double RunOneCase(const pinsql::eval::CaseGenOptions& options,
     input.anomaly_end_sec = data.injected_ae;
   }
   const pinsql::core::DiagnosisResult result =
-      pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{});
+      pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{})
+          .value();
   *num_templates = result.metrics.num_templates();
   *anomaly_len = input.anomaly_end_sec - input.anomaly_start_sec;
   return result.total_seconds;
@@ -130,7 +131,7 @@ int main() {
     double secs = 1e300;
     for (int rep = 0; rep < 2; ++rep) {
       const pinsql::core::DiagnosisResult result =
-          pinsql::core::Diagnose(large_input, options);
+          pinsql::core::Diagnose(large_input, options).value();
       secs = std::min(secs, result.total_seconds);
     }
     if (threads == 1) serial_time = secs;

@@ -120,6 +120,10 @@ int main() {
   // ---- Phase 4: PinSQL diagnoses and optimizes the R-SQL -------------------
   const pinsql::dbsim::InstanceMetrics so_far = metrics_until(kPinSqlRuns);
   pinsql::core::DiagnosisInput input;
+  // No stored history in this scenario: the empty provider makes every
+  // verification window vacuously clean.
+  pinsql::core::MapHistoryProvider empty_history;
+  input.history = &empty_history;
   input.logs = &logs;
   input.active_session = so_far.active_session;
   input.helper_metrics["cpu_usage"] = so_far.cpu_usage;
@@ -143,7 +147,8 @@ int main() {
   input.anomaly_start_sec = std::max<int64_t>(as, kDayStart + 60);
   input.anomaly_end_sec = std::min<int64_t>(ae, kPinSqlRuns);
   const pinsql::core::DiagnosisResult diagnosis =
-      pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{});
+      pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{})
+          .value();
   const uint64_t pinpointed =
       diagnosis.rsql.ranking.empty() ? 0 : diagnosis.rsql.ranking[0];
 

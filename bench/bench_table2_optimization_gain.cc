@@ -89,7 +89,8 @@ int main() {
     const pinsql::core::DiagnosisInput input =
         pinsql::eval::MakeDiagnosisInput(data);
     const pinsql::core::DiagnosisResult result =
-        pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{});
+        pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{})
+            .value();
     const auto window = pinsql::AggregateWindow(
         data.logs, data.window_start_sec, data.window_end_sec);
 

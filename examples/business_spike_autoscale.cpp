@@ -41,8 +41,14 @@ int main(int argc, char** argv) {
   // 1. Pinpoint the surging template.
   const pinsql::core::DiagnosisInput input =
       pinsql::eval::MakeDiagnosisInput(data);
-  const pinsql::core::DiagnosisResult result =
+  const pinsql::StatusOr<pinsql::core::DiagnosisResult> status_or =
       pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{});
+  if (!status_or.ok()) {
+    std::printf("diagnosis rejected: %s\n",
+                status_or.status().ToString().c_str());
+    return 1;
+  }
+  const pinsql::core::DiagnosisResult& result = *status_or;
   if (result.rsql.ranking.empty()) {
     std::printf("no R-SQL found\n");
     return 1;

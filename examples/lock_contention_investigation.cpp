@@ -62,8 +62,14 @@ int main(int argc, char** argv) {
   // What a Top-SQL page would show: the blocked victims.
   const pinsql::core::DiagnosisInput input =
       pinsql::eval::MakeDiagnosisInput(data);
-  const pinsql::core::DiagnosisResult result =
+  const pinsql::StatusOr<pinsql::core::DiagnosisResult> status_or =
       pinsql::core::Diagnose(input, pinsql::core::DiagnoserOptions{});
+  if (!status_or.ok()) {
+    std::printf("diagnosis rejected: %s\n",
+                status_or.status().ToString().c_str());
+    return 1;
+  }
+  const pinsql::core::DiagnosisResult& result = *status_or;
   const auto tops = pinsql::baselines::RankAllTopSql(
       result.metrics, input.anomaly_start_sec, input.anomaly_end_sec);
   std::printf("\nTop-RT page (what a DBA sees first):\n");

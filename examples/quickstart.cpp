@@ -93,8 +93,14 @@ int main(int argc, char** argv) {
   const pinsql::core::DiagnosisInput input =
       pinsql::eval::MakeDiagnosisInput(data);
   pinsql::core::DiagnoserOptions diag_options;
-  const pinsql::core::DiagnosisResult result =
+  const pinsql::StatusOr<pinsql::core::DiagnosisResult> status_or =
       pinsql::core::Diagnose(input, diag_options);
+  if (!status_or.ok()) {
+    std::printf("diagnosis rejected: %s\n",
+                status_or.status().ToString().c_str());
+    return 1;
+  }
+  const pinsql::core::DiagnosisResult& result = *status_or;
 
   std::printf("\nground truth R-SQLs:\n");
   for (uint64_t id : data.rsql_truth) PrintTemplate(data, id, 0.0);

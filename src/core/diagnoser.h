@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/hsql.h"
 #include "core/rsql.h"
@@ -11,6 +12,7 @@
 #include "logstore/log_store.h"
 #include "pipeline/template_metrics.h"
 #include "ts/time_series.h"
+#include "util/status.h"
 
 namespace pinsql::core {
 
@@ -29,8 +31,11 @@ struct DiagnoserOptions {
   int num_threads = 1;
 };
 
-/// Everything PinSQL consumes for one anomaly case. The metric series must
-/// cover at least [anomaly_start - delta_s, anomaly_end).
+/// Everything PinSQL consumes for one anomaly case. The metric series
+/// should cover [anomaly_start - delta_s, anomaly_end); partial coverage
+/// degrades the diagnosis (recorded in DataQuality) and zero overlap with
+/// the anomaly period is rejected. `logs` and `history` must be non-null
+/// (pass an empty MapHistoryProvider when no history exists).
 struct DiagnosisInput {
   const LogStore* logs = nullptr;
   TimeSeries active_session;
@@ -42,6 +47,47 @@ struct DiagnosisInput {
   const HistoryProvider* history = nullptr;
 };
 
+/// Data-quality accounting for one diagnosis run: which telemetry faults
+/// the inputs carried and which stages ran degraded (DESIGN.md §5). A
+/// pristine run has confidence 1.0 and no notes.
+struct DataQuality {
+  /// Active-session points inside the diagnosis window, and how many of
+  /// them were telemetry gaps (non-finite).
+  size_t session_points = 0;
+  size_t session_gap_points = 0;
+  /// Same accounting summed over the accepted helper-metric series.
+  size_t helper_points = 0;
+  size_t helper_gap_points = 0;
+  /// Helper series dropped because their shape was unusable (wrong
+  /// interval, no overlap with the window).
+  size_t helpers_dropped = 0;
+  /// Finite-but-impossible metric values (negative counts, overflow
+  /// artefacts) converted to gaps before analysis. Counted here and again
+  /// in the gap counters above.
+  size_t metric_points_sanitized = 0;
+  /// Query-log records that aggregated into the diagnosis window.
+  size_t log_records = 0;
+  /// The lookback [a_s - delta_s, ...) was not fully covered by metrics.
+  bool lookback_truncated = false;
+  /// The metrics end before the anomaly does.
+  bool anomaly_tail_truncated = false;
+  /// History verification accounting: (candidate, lookback-day) pairs
+  /// consulted, windows the provider had no series for, and windows too
+  /// short to cover the relative anomaly period. Verification proceeds on
+  /// whichever windows survive.
+  size_t history_windows_checked = 0;
+  size_t history_windows_missing = 0;
+  size_t history_windows_truncated = 0;
+  /// Human-readable degradation notes, one per absorbed fault class.
+  std::vector<std::string> notes;
+  /// 1.0 for pristine inputs; multiplied down per degradation class. A
+  /// consumer should treat a low-confidence ranking as a hint, not a
+  /// verdict.
+  double confidence = 1.0;
+
+  bool degraded() const { return !notes.empty(); }
+};
+
 /// Full diagnosis output, including per-stage wall-clock timings (the
 /// paper reports them in Sec. VIII-B).
 struct DiagnosisResult {
@@ -51,6 +97,7 @@ struct DiagnosisResult {
   RsqlResult rsql;
   SessionEstimate estimate;
   TemplateMetricsStore metrics;
+  DataQuality data_quality;
 
   double estimate_seconds = 0.0;
   double hsql_seconds = 0.0;
@@ -66,8 +113,14 @@ struct DiagnosisResult {
 /// Runs the full PinSQL root-cause analysis for one anomaly case: estimate
 /// individual active sessions -> rank H-SQLs -> cluster/filter/verify ->
 /// rank R-SQLs.
-DiagnosisResult Diagnose(const DiagnosisInput& input,
-                         const DiagnoserOptions& options);
+///
+/// Malformed inputs (null logs/history, inverted or empty anomaly bounds,
+/// metrics that miss the anomaly period entirely) return InvalidArgument
+/// instead of undefined behaviour. Damaged-but-usable inputs (metric gaps,
+/// truncated windows, missing history) are absorbed and accounted for in
+/// DiagnosisResult::data_quality.
+StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
+                                   const DiagnoserOptions& options);
 
 }  // namespace pinsql::core
 

@@ -40,6 +40,7 @@ DiagnosisReport BuildReport(
   report.anomaly_end_sec = anomaly_end_sec;
   report.diagnosis_seconds = result.total_seconds;
   report.verification_fallback = result.rsql.verification_fallback;
+  report.data_quality = result.data_quality;
 
   for (const anomaly::Phenomenon& p : phenomena) {
     report.phenomena.push_back(
@@ -82,6 +83,34 @@ Json DiagnosisReport::ToJson() const {
   Json s = Json::MakeArray();
   for (const std::string& line : suggestions) s.Append(line);
   obj.Set("suggestions", std::move(s));
+  Json quality = Json::MakeObject();
+  quality.Set("confidence", data_quality.confidence);
+  quality.Set("degraded", data_quality.degraded());
+  quality.Set("session_points",
+              static_cast<int64_t>(data_quality.session_points));
+  quality.Set("session_gap_points",
+              static_cast<int64_t>(data_quality.session_gap_points));
+  quality.Set("helper_gap_points",
+              static_cast<int64_t>(data_quality.helper_gap_points));
+  quality.Set("helpers_dropped",
+              static_cast<int64_t>(data_quality.helpers_dropped));
+  quality.Set("metric_points_sanitized",
+              static_cast<int64_t>(data_quality.metric_points_sanitized));
+  quality.Set("log_records",
+              static_cast<int64_t>(data_quality.log_records));
+  quality.Set("lookback_truncated", data_quality.lookback_truncated);
+  quality.Set("anomaly_tail_truncated",
+              data_quality.anomaly_tail_truncated);
+  quality.Set("history_windows_checked",
+              static_cast<int64_t>(data_quality.history_windows_checked));
+  quality.Set("history_windows_missing",
+              static_cast<int64_t>(data_quality.history_windows_missing));
+  quality.Set("history_windows_truncated",
+              static_cast<int64_t>(data_quality.history_windows_truncated));
+  Json notes = Json::MakeArray();
+  for (const std::string& note : data_quality.notes) notes.Append(note);
+  quality.Set("notes", std::move(notes));
+  obj.Set("data_quality", std::move(quality));
   return obj;
 }
 
@@ -111,6 +140,15 @@ std::string DiagnosisReport::ToText() const {
   out += "suggested actions:\n";
   if (suggestions.empty()) out += "  (none)\n";
   for (const std::string& s : suggestions) out += "  - " + s + "\n";
+  if (data_quality.degraded()) {
+    out += StrFormat("data quality: DEGRADED (confidence %.2f)\n",
+                     data_quality.confidence);
+    for (const std::string& note : data_quality.notes) {
+      out += "  ! " + note + "\n";
+    }
+  } else {
+    out += "data quality: clean\n";
+  }
   return out;
 }
 

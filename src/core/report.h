@@ -32,6 +32,9 @@ struct DiagnosisReport {
   std::vector<std::string> suggestions;
   double diagnosis_seconds = 0.0;
   bool verification_fallback = false;
+  /// Telemetry health of the inputs this diagnosis consumed: faults seen,
+  /// stages degraded, and the resulting confidence caveat.
+  DataQuality data_quality;
 
   /// Machine-readable rendering (stable key order).
   Json ToJson() const;

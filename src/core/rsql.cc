@@ -1,6 +1,7 @@
 #include "core/rsql.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <numeric>
 #include <unordered_set>
@@ -19,6 +20,17 @@ const TimeSeries* MapHistoryProvider::ExecutionHistory(uint64_t sql_id,
                                                        int days_ago) const {
   auto it = data_.find({sql_id, days_ago});
   return it == data_.end() ? nullptr : &it->second;
+}
+
+void MapHistoryProvider::ForEach(
+    const std::function<void(uint64_t, int, const TimeSeries&)>& fn) const {
+  for (const auto& [key, series] : data_) {
+    fn(key.first, key.second, series);
+  }
+}
+
+bool MapHistoryProvider::Erase(uint64_t sql_id, int days_ago) {
+  return data_.erase({sql_id, days_ago}) > 0;
 }
 
 namespace {
@@ -98,6 +110,12 @@ RsqlResult IdentifyRootCauseSqls(
             .values();
   });
 
+  // Minimum-overlap guard for gap-aware correlations: at least half the
+  // window must survive as valid pairs, else the score is the neutral 0.
+  // Gap-free inputs always satisfy it, so clean runs are unaffected.
+  const size_t min_cluster_pairs =
+      std::max<size_t>(2, node_series.empty() ? 0 : node_series[0].size() / 2);
+
   // The O(nodes²) correlation pass is the diagnosis's dominant cost on
   // template-heavy instances. Edges are *found* in parallel (row i owns
   // pairs (i, j>i)) and *applied* serially in (i, j) order — connected
@@ -106,8 +124,8 @@ RsqlResult IdentifyRootCauseSqls(
   std::vector<std::vector<uint32_t>> edges(num_nodes);
   util::ParallelFor(pool, num_nodes, [&](size_t i) {
     for (size_t j = i + 1; j < num_nodes; ++j) {
-      if (PearsonCorrelation(node_series[i], node_series[j]) >
-          options.cluster_tau) {
+      if (PearsonCorrelation(node_series[i], node_series[j],
+                             min_cluster_pairs) > options.cluster_tau) {
         edges[i].push_back(static_cast<uint32_t>(j));
       }
     }
@@ -190,6 +208,15 @@ RsqlResult IdentifyRootCauseSqls(
   }
 
   // ---- History trend verification ----------------------------------------
+  // Lossy-history accounting. The paper assumes all three lookback windows
+  // (1/3/7 days) exist and are complete; production history retrieval is
+  // best-effort, so verification falls back to whichever windows survive
+  // and records how many did not. Counters are relaxed atomics: verify_one
+  // runs under ParallelFor and only the totals matter (sums are
+  // order-independent, so the result stays deterministic).
+  std::atomic<size_t> hist_checked{0};
+  std::atomic<size_t> hist_missing{0};
+  std::atomic<size_t> hist_truncated{0};
   auto verify_one = [&](uint64_t id) -> bool {
     const TemplateSeries* tpl = metrics.Find(id);
     if (tpl == nullptr) return false;
@@ -213,13 +240,25 @@ RsqlResult IdentifyRootCauseSqls(
                options.verify_interval_sec));
     if (history != nullptr) {
       for (int days : options.history_days) {
+        hist_checked.fetch_add(1, std::memory_order_relaxed);
         const TimeSeries* h = history->ExecutionHistory(id, days);
-        if (h == nullptr) continue;  // new template: vacuously clean
+        if (h == nullptr) {
+          // New template or dropped window: vacuously clean.
+          hist_missing.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         // Rule (ii) is deliberately more conservative (larger k) than rule
         // (i): ordinary traffic waves in an anomaly-free history window
         // must not masquerade as "this template was already anomalous".
         const TimeSeries h_resampled =
             h->Resample(options.verify_interval_sec, TimeSeries::Agg::kSum);
+        if (h_resampled.size() <= rel_begin) {
+          // Truncated window: it ends before the relative anomaly period
+          // even starts, so it carries no evidence either way. Skip it
+          // instead of treating absence of data as absence of anomaly.
+          hist_truncated.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         if (UpwardAnomalyInPeriod(h_resampled.values(), rel_begin, rel_end,
                                   options.history_tukey_k)) {
           return false;
@@ -233,6 +272,8 @@ RsqlResult IdentifyRootCauseSqls(
   // compared at a coarser granularity to suppress per-second Poisson noise.
   const TimeSeries session_coarse = instance_session.Resample(
       options.rank_interval_sec, TimeSeries::Agg::kMean);
+  const size_t min_rank_pairs =
+      std::max<size_t>(2, session_coarse.size() / 2);
   auto rank_score = [&](uint64_t id) {
     const TemplateSeries* tpl = metrics.Find(id);
     if (tpl == nullptr) return -2.0;
@@ -240,7 +281,7 @@ RsqlResult IdentifyRootCauseSqls(
         tpl->execution_count
             .Resample(options.rank_interval_sec, TimeSeries::Agg::kSum)
             .values(),
-        session_coarse.values());
+        session_coarse.values(), min_rank_pairs);
   };
 
   // Verifies `ids` concurrently (each verification touches only its own
@@ -297,6 +338,9 @@ RsqlResult IdentifyRootCauseSqls(
     verified = candidates;
     result.verified = verified;
   }
+  result.history_windows_checked = hist_checked.load();
+  result.history_windows_missing = hist_missing.load();
+  result.history_windows_truncated = hist_truncated.load();
 
   // ---- Final ranking: corr(#execution, active session) -------------------
   const std::vector<double> final_scores = rank_scores(verified);

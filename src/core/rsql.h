@@ -2,6 +2,7 @@
 #define PINSQL_CORE_RSQL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -26,12 +27,21 @@ class HistoryProvider {
 };
 
 /// Simple map-backed HistoryProvider used by tests and the evaluation
-/// harness.
+/// harness. The mutation surface (ForEach/Erase) also serves the fault
+/// injectors, which perturb stored windows to model lossy history
+/// retrieval.
 class MapHistoryProvider : public HistoryProvider {
  public:
   void Put(uint64_t sql_id, int days_ago, TimeSeries series);
   const TimeSeries* ExecutionHistory(uint64_t sql_id,
                                      int days_ago) const override;
+
+  size_t size() const { return data_.size(); }
+  /// Visits every stored window in sorted (sql_id, days_ago) order.
+  void ForEach(const std::function<void(uint64_t sql_id, int days_ago,
+                                        const TimeSeries& series)>& fn) const;
+  /// Removes one window; returns false when absent.
+  bool Erase(uint64_t sql_id, int days_ago);
 
  private:
   std::map<std::pair<uint64_t, int>, TimeSeries> data_;
@@ -95,6 +105,15 @@ struct RsqlResult {
   /// True when verification rejected every candidate and the unverified
   /// candidate list was used as a fallback.
   bool verification_fallback = false;
+  /// History verification accounting: (candidate, lookback-day) pairs
+  /// consulted, windows with no stored series, and windows too short to
+  /// cover the relative anomaly period. The paper checks 3 windows per
+  /// candidate; under lossy history the check gracefully falls back to
+  /// whichever windows survive, and these counters record how many did
+  /// not.
+  size_t history_windows_checked = 0;
+  size_t history_windows_missing = 0;
+  size_t history_windows_truncated = 0;
 };
 
 /// Pinpoints R-SQLs (paper Sec. VI): clusters templates by #execution

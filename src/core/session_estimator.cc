@@ -105,8 +105,20 @@ SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
   std::vector<int> sel(n, 0);
   for (size_t i = 0; i < n; ++i) {
     const int64_t sec = ts_sec + static_cast<int64_t>(i);
-    const double observed =
+    double observed =
         observed_session.Covers(sec) ? observed_session.AtTime(sec) : 0.0;
+    if (!std::isfinite(observed)) {
+      // Monitoring gap: no SHOW STATUS sample to localize the offset
+      // against this second. Fall back to the expectation over the whole
+      // second (the no-bucket estimator's behaviour), which selects the
+      // bucket closest to the second's mean expectation.
+      const size_t row_for_mean = i * static_cast<size_t>(k);
+      double mean = 0.0;
+      for (int b = 0; b < k; ++b) {
+        mean += expect[row_for_mean + static_cast<size_t>(b)];
+      }
+      observed = mean / static_cast<double>(k);
+    }
     const size_t row = i * static_cast<size_t>(k);
     int best = 0;
     double best_err = std::fabs(observed - expect[row]);

@@ -1,0 +1,114 @@
+#include "eval/chaos.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace pinsql::eval {
+
+faults::InjectionStats ApplyCaseFaults(const faults::FaultPlan& plan,
+                                       AnomalyCaseData* data) {
+  faults::InjectionStats stats;
+  if (data == nullptr || plan.severity <= 0.0) return stats;
+
+  // Distinct salts per series: a real collector loses SHOW STATUS samples
+  // and OS metrics independently.
+  faults::InjectMetricFaults(plan, 1, &data->metrics.active_session, &stats);
+  faults::InjectMetricFaults(plan, 2, &data->metrics.cpu_usage, &stats);
+  faults::InjectMetricFaults(plan, 3, &data->metrics.iops_usage, &stats);
+  faults::InjectMetricFaults(plan, 4, &data->metrics.row_lock_waits, &stats);
+  faults::InjectMetricFaults(plan, 5, &data->metrics.mdl_waits, &stats);
+
+  std::vector<QueryLogRecord> records = data->logs.SortedRecords();
+  records = faults::InjectLogFaults(plan, std::move(records), &stats);
+  data->logs.ReplaceRecords(std::move(records));
+
+  faults::InjectHistoryFaults(plan, &data->history, &stats);
+  return stats;
+}
+
+namespace {
+
+struct ChaosCaseOutcome {
+  int rsql_rank = 0;
+  int hsql_rank = 0;
+  bool failed = false;
+  bool degraded = false;
+  double confidence = 1.0;
+  faults::InjectionStats injected;
+};
+
+ChaosCaseOutcome RunOneChaosCase(const ChaosOptions& options,
+                                 const core::DiagnoserOptions& diagnoser,
+                                 double severity, size_t index) {
+  CaseGenOptions cg = options.eval.case_options;
+  cg.seed = options.eval.seed + static_cast<uint64_t>(index) * 1000003ULL;
+  cg.type = options.eval.types[index % options.eval.types.size()];
+  AnomalyCaseData data = GenerateCase(cg);
+
+  // Per-case injection seed: same case index -> same perturbation at a
+  // given severity, regardless of thread interleaving.
+  faults::FaultPlan plan = options.plan.WithSeverity(severity);
+  plan.seed = options.plan.seed + static_cast<uint64_t>(index) * 7919ULL;
+
+  ChaosCaseOutcome out;
+  out.injected = ApplyCaseFaults(plan, &data);
+
+  const core::DiagnosisInput input = MakeDiagnosisInput(data);
+  StatusOr<core::DiagnosisResult> result = core::Diagnose(input, diagnoser);
+  if (!result.ok()) {
+    // Unusable telemetry: a clean refusal is the graceful outcome; score
+    // it as a miss so the accuracy curve absorbs the failure.
+    out.failed = true;
+    out.confidence = 0.0;
+    return out;
+  }
+  out.rsql_rank = RsqlRank(result->rsql.ranking, data);
+  out.hsql_rank = HsqlRank(result->TopHsql(result->hsql_ranking.size()), data);
+  out.degraded = result->data_quality.degraded();
+  out.confidence = result->data_quality.confidence;
+  return out;
+}
+
+}  // namespace
+
+std::vector<ChaosPoint> RunChaosEvaluation(
+    const ChaosOptions& options, const core::DiagnoserOptions& diagnoser) {
+  std::vector<ChaosPoint> curve;
+  const size_t num_cases = static_cast<size_t>(options.eval.num_cases);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options.eval.num_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(options.eval.num_threads);
+  }
+
+  for (double severity : options.severities) {
+    std::vector<ChaosCaseOutcome> outcomes(num_cases);
+    util::ParallelFor(pool.get(), num_cases, [&](size_t index) {
+      outcomes[index] = RunOneChaosCase(options, diagnoser, severity, index);
+    });
+
+    ChaosPoint point;
+    point.severity = severity;
+    RankAccumulator rsql;
+    RankAccumulator hsql;
+    double confidence_sum = 0.0;
+    for (const ChaosCaseOutcome& out : outcomes) {
+      rsql.Add(out.rsql_rank);
+      hsql.Add(out.hsql_rank);
+      if (out.failed) ++point.failed;
+      if (out.degraded) ++point.degraded;
+      confidence_sum += out.confidence;
+      point.injected.MergeFrom(out.injected);
+    }
+    point.rsql = rsql.Summary();
+    point.hsql = hsql.Summary();
+    point.cases = num_cases;
+    point.mean_confidence =
+        num_cases == 0 ? 1.0 : confidence_sum / static_cast<double>(num_cases);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace pinsql::eval

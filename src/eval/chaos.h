@@ -1,0 +1,58 @@
+#ifndef PINSQL_EVAL_CHAOS_H_
+#define PINSQL_EVAL_CHAOS_H_
+
+#include <vector>
+
+#include "core/diagnoser.h"
+#include "eval/case_generator.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "faults/fault_injector.h"
+
+namespace pinsql::eval {
+
+/// ChaosADAC: the ADAC-style evaluation batch re-run under telemetry fault
+/// injection. Each severity in `severities` replays the *same* generated
+/// cases (same seeds as RunOverallEvaluation) with faults of that severity
+/// applied to metrics, query logs and history before diagnosis. Severity
+/// 0 must reproduce the unfaulted scores exactly.
+struct ChaosOptions {
+  EvalOptions eval;
+  /// Fault classes + injection seed; `plan.severity` is ignored (the sweep
+  /// overrides it per point).
+  faults::FaultPlan plan;
+  std::vector<double> severities = {0.0, 0.1, 0.3, 0.5};
+};
+
+/// Scores of one severity sweep point.
+struct ChaosPoint {
+  double severity = 0.0;
+  RankMetrics rsql;
+  RankMetrics hsql;
+  size_t cases = 0;
+  /// Diagnoses that returned a clean error Status (counted as misses).
+  size_t failed = 0;
+  /// Diagnoses whose DataQuality carried degradation notes.
+  size_t degraded = 0;
+  double mean_confidence = 0.0;
+  /// What the injectors actually perturbed, summed over the batch.
+  faults::InjectionStats injected;
+};
+
+/// Applies one fault plan to a generated case in place (metrics, logs and
+/// history); returns what was perturbed. Distinct salts keep the five
+/// metric series from failing in lockstep.
+faults::InjectionStats ApplyCaseFaults(const faults::FaultPlan& plan,
+                                       AnomalyCaseData* data);
+
+/// Runs the severity sweep. Honors `options.eval.num_threads` (fleet
+/// mode); per-case outcomes are folded in case order, so results are
+/// independent of thread count. Never throws or aborts on injected
+/// faults: a diagnosis either succeeds (possibly degraded) or yields a
+/// clean error Status counted in `failed`.
+std::vector<ChaosPoint> RunChaosEvaluation(
+    const ChaosOptions& options, const core::DiagnoserOptions& diagnoser);
+
+}  // namespace pinsql::eval
+
+#endif  // PINSQL_EVAL_CHAOS_H_

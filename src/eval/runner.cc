@@ -95,7 +95,12 @@ CaseOutcome RunOneCase(const EvalOptions& options,
 
   CaseOutcome out;
   const core::DiagnosisInput input = MakeDiagnosisInput(data);
-  const core::DiagnosisResult result = core::Diagnose(input, diagnoser);
+  // Generated cases are well-formed, so a non-ok Status here means the
+  // harness produced unusable telemetry; score the case as a full miss.
+  const StatusOr<core::DiagnosisResult> status_or =
+      core::Diagnose(input, diagnoser);
+  if (!status_or.ok()) return out;
+  const core::DiagnosisResult& result = *status_or;
   out.pin_rsql = RsqlRank(result.rsql.ranking, data);
   out.pin_hsql = HsqlRank(result.TopHsql(result.hsql_ranking.size()), data);
   out.pin_seconds = result.total_seconds;

@@ -1,0 +1,279 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace pinsql::faults {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Per-class base rates at severity 1.0; every rate scales linearly with
+// the plan severity. Tuned so a 0.3-severity sweep visibly degrades
+// accuracy without flat-lining it.
+constexpr double kGapRateAtFull = 0.25;        // per metric point
+constexpr double kGarbageRateAtFull = 0.08;    // per metric point
+constexpr double kBlackoutFracAtFull = 0.30;   // of the series length
+constexpr double kDropRateAtFull = 0.40;       // per log record
+constexpr double kDuplicateRateAtFull = 0.15;  // per log record
+constexpr double kReorderRateAtFull = 0.30;    // per log record
+constexpr double kLateRateAtFull = 0.20;       // per log record
+constexpr int64_t kMaxLatenessMs = 30000;      // late arrival horizon
+constexpr int64_t kMaxReorderJitterMs = 3000;  // reorder shuffle horizon
+constexpr double kHistoryTruncRateAtFull = 0.6;  // per stored window
+constexpr double kHistoryDropRateAtFull = 0.4;   // per stored window
+constexpr int64_t kMaxClockSkewMsAtFull = 20000;
+
+// Salt labels keeping the per-concern streams decorrelated.
+enum : uint64_t {
+  kStreamGap = 0x67617073,       // "gaps"
+  kStreamBlackout = 0x626c6b74,  // "blkt"
+  kStreamGarbage = 0x67726267,   // "grbg"
+  kStreamLogs = 0x6c6f6773,      // "logs"
+  kStreamHistory = 0x68697374,   // "hist"
+};
+
+Rng MakeStream(const FaultPlan& plan, uint64_t salt, uint64_t stream) {
+  Rng base(plan.seed ^ (salt * 0x9E3779B97F4A7C15ULL));
+  return base.Fork(stream);
+}
+
+}  // namespace
+
+const char* FaultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kMetricGap: return "metric_gap";
+    case FaultClass::kMetricBlackout: return "metric_blackout";
+    case FaultClass::kMetricGarbage: return "metric_garbage";
+    case FaultClass::kLogDrop: return "log_drop";
+    case FaultClass::kLogDuplicate: return "log_duplicate";
+    case FaultClass::kLogReorder: return "log_reorder";
+    case FaultClass::kLogLate: return "log_late";
+    case FaultClass::kHistoryTruncate: return "history_truncate";
+    case FaultClass::kHistoryDrop: return "history_drop";
+    case FaultClass::kClockSkew: return "clock_skew";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::Enabled(FaultClass c) const {
+  if (severity <= 0.0) return false;
+  return std::find(classes.begin(), classes.end(), c) != classes.end();
+}
+
+FaultPlan FaultPlan::WithSeverity(double s) const {
+  FaultPlan out = *this;
+  out.severity = s;
+  return out;
+}
+
+FaultPlan FaultPlan::Only(FaultClass c) const {
+  FaultPlan out = *this;
+  out.classes = {c};
+  return out;
+}
+
+size_t InjectionStats::total() const {
+  return metric_points_gapped + metric_points_blacked_out +
+         metric_points_garbled + log_records_dropped + log_records_duplicated +
+         log_records_reordered + log_records_delayed +
+         history_windows_truncated + history_windows_dropped +
+         (clock_skew_ms != 0 ? 1 : 0);
+}
+
+InjectionStats& InjectionStats::MergeFrom(const InjectionStats& other) {
+  metric_points_gapped += other.metric_points_gapped;
+  metric_points_blacked_out += other.metric_points_blacked_out;
+  metric_points_garbled += other.metric_points_garbled;
+  log_records_dropped += other.log_records_dropped;
+  log_records_duplicated += other.log_records_duplicated;
+  log_records_reordered += other.log_records_reordered;
+  log_records_delayed += other.log_records_delayed;
+  history_windows_truncated += other.history_windows_truncated;
+  history_windows_dropped += other.history_windows_dropped;
+  if (other.clock_skew_ms != 0) clock_skew_ms = other.clock_skew_ms;
+  return *this;
+}
+
+std::string InjectionStats::ToString() const {
+  return StrFormat(
+      "gaps=%zu blackout=%zu garbage=%zu drop=%zu dup=%zu reorder=%zu "
+      "late=%zu hist_trunc=%zu hist_drop=%zu skew_ms=%lld",
+      metric_points_gapped, metric_points_blacked_out, metric_points_garbled,
+      log_records_dropped, log_records_duplicated, log_records_reordered,
+      log_records_delayed, history_windows_truncated, history_windows_dropped,
+      static_cast<long long>(clock_skew_ms));
+}
+
+void InjectMetricFaults(const FaultPlan& plan, uint64_t salt,
+                        TimeSeries* series, InjectionStats* stats) {
+  if (plan.severity <= 0.0 || series == nullptr || series->empty()) return;
+  const double sev = std::min(plan.severity, 1.0);
+  std::vector<double>& v = series->values();
+  const size_t n = v.size();
+
+  if (plan.Enabled(FaultClass::kMetricGap)) {
+    Rng rng = MakeStream(plan, salt, kStreamGap);
+    const double p = kGapRateAtFull * sev;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(p) && std::isfinite(v[i])) {
+        v[i] = kNaN;
+        if (stats != nullptr) ++stats->metric_points_gapped;
+      }
+    }
+  }
+
+  if (plan.Enabled(FaultClass::kMetricBlackout)) {
+    Rng rng = MakeStream(plan, salt, kStreamBlackout);
+    // One outage with probability = severity; its length grows with
+    // severity too, so mild plans lose a sliver and harsh plans a third.
+    if (rng.Bernoulli(sev)) {
+      const size_t len = std::max<size_t>(
+          1, static_cast<size_t>(
+                 std::llround(kBlackoutFracAtFull * sev *
+                              static_cast<double>(n))));
+      const size_t start = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n - 1)));
+      for (size_t i = start; i < std::min(n, start + len); ++i) {
+        if (std::isfinite(v[i])) {
+          v[i] = kNaN;
+          if (stats != nullptr) ++stats->metric_points_blacked_out;
+        }
+      }
+    }
+  }
+
+  if (plan.Enabled(FaultClass::kMetricGarbage)) {
+    Rng rng = MakeStream(plan, salt, kStreamGarbage);
+    const double p = kGarbageRateAtFull * sev;
+    for (size_t i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(p)) continue;
+      // Collector corruption modes: counter wrap (huge negative) and float
+      // overflow (+Inf) are detectable by a sanity bound; the third mode is
+      // a plausible-magnitude mis-scale (unit confusion, partial read) that
+      // no bound can tell from a genuine spike — that one must be absorbed
+      // by gap-aware statistics, not filtered.
+      switch (rng.UniformInt(0, 2)) {
+        case 0: v[i] = -1e18; break;
+        case 1: v[i] = std::numeric_limits<double>::infinity(); break;
+        default:
+          v[i] = (std::isfinite(v[i]) ? std::fabs(v[i]) + 1.0 : 1.0) *
+                     rng.Uniform(3.0, 40.0) +
+                 rng.Uniform(0.0, 50.0);
+      }
+      if (stats != nullptr) ++stats->metric_points_garbled;
+    }
+  }
+}
+
+std::vector<QueryLogRecord> InjectLogFaults(const FaultPlan& plan,
+                                            std::vector<QueryLogRecord> records,
+                                            InjectionStats* stats) {
+  if (plan.severity <= 0.0 || records.empty()) return records;
+  const double sev = std::min(plan.severity, 1.0);
+  Rng rng = MakeStream(plan, /*salt=*/0, kStreamLogs);
+
+  int64_t skew_ms = 0;
+  if (plan.Enabled(FaultClass::kClockSkew)) {
+    const int64_t bound = static_cast<int64_t>(
+        std::llround(kMaxClockSkewMsAtFull * sev));
+    if (bound > 0) skew_ms = rng.UniformInt(-bound, bound);
+    if (stats != nullptr) stats->clock_skew_ms = skew_ms;
+  }
+
+  std::vector<QueryLogRecord> out;
+  out.reserve(records.size());
+  for (const QueryLogRecord& rec : records) {
+    if (plan.Enabled(FaultClass::kLogDrop) &&
+        rng.Bernoulli(kDropRateAtFull * sev)) {
+      if (stats != nullptr) ++stats->log_records_dropped;
+      continue;
+    }
+    QueryLogRecord kept = rec;
+    kept.arrival_ms += skew_ms;
+    if (plan.Enabled(FaultClass::kLogLate) &&
+        rng.Bernoulli(kLateRateAtFull * sev)) {
+      kept.arrival_ms += rng.UniformInt(
+          1, std::max<int64_t>(1, static_cast<int64_t>(
+                                      std::llround(kMaxLatenessMs * sev))));
+      if (stats != nullptr) ++stats->log_records_delayed;
+    }
+    if (plan.Enabled(FaultClass::kLogReorder) &&
+        rng.Bernoulli(kReorderRateAtFull * sev)) {
+      const int64_t jitter = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(kMaxReorderJitterMs * sev)));
+      kept.arrival_ms += rng.UniformInt(-jitter, jitter);
+      if (stats != nullptr) ++stats->log_records_reordered;
+    }
+    out.push_back(kept);
+    if (plan.Enabled(FaultClass::kLogDuplicate) &&
+        rng.Bernoulli(kDuplicateRateAtFull * sev)) {
+      out.push_back(kept);  // at-least-once delivery: exact replay
+      if (stats != nullptr) ++stats->log_records_duplicated;
+    }
+  }
+  return out;
+}
+
+void InjectHistoryFaults(const FaultPlan& plan,
+                         core::MapHistoryProvider* history,
+                         InjectionStats* stats) {
+  if (plan.severity <= 0.0 || history == nullptr || history->size() == 0) {
+    return;
+  }
+  const double sev = std::min(plan.severity, 1.0);
+  Rng rng = MakeStream(plan, /*salt=*/0, kStreamHistory);
+
+  // Collect the decisions first: Erase during ForEach would invalidate
+  // the underlying map iteration.
+  struct Decision {
+    uint64_t sql_id;
+    int days_ago;
+    bool drop;
+    double keep_frac;  // for truncation
+  };
+  std::vector<Decision> decisions;
+  history->ForEach([&](uint64_t sql_id, int days_ago, const TimeSeries&) {
+    Decision d{sql_id, days_ago, false, 1.0};
+    if (plan.Enabled(FaultClass::kHistoryDrop) &&
+        rng.Bernoulli(kHistoryDropRateAtFull * sev)) {
+      d.drop = true;
+    } else if (plan.Enabled(FaultClass::kHistoryTruncate) &&
+               rng.Bernoulli(kHistoryTruncRateAtFull * sev)) {
+      // Keep between 10% and 70% of the window: short enough that the
+      // relative anomaly period usually falls off the end.
+      d.keep_frac = rng.Uniform(0.1, 0.7);
+    }
+    decisions.push_back(d);
+  });
+
+  for (const Decision& d : decisions) {
+    if (d.drop) {
+      if (history->Erase(d.sql_id, d.days_ago) && stats != nullptr) {
+        ++stats->history_windows_dropped;
+      }
+      continue;
+    }
+    if (d.keep_frac >= 1.0) continue;
+    const TimeSeries* s = history->ExecutionHistory(d.sql_id, d.days_ago);
+    if (s == nullptr || s->empty()) continue;
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(d.keep_frac *
+                                            static_cast<double>(s->size()))));
+    if (keep >= s->size()) continue;
+    std::vector<double> head(s->values().begin(),
+                             s->values().begin() + static_cast<long>(keep));
+    history->Put(d.sql_id, d.days_ago,
+                 TimeSeries(s->start_time(), s->interval_sec(),
+                            std::move(head)));
+    if (stats != nullptr) ++stats->history_windows_truncated;
+  }
+}
+
+}  // namespace pinsql::faults

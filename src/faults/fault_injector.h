@@ -1,0 +1,101 @@
+#ifndef PINSQL_FAULTS_FAULT_INJECTOR_H_
+#define PINSQL_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rsql.h"
+#include "logstore/log_store.h"
+#include "ts/time_series.h"
+
+namespace pinsql::faults {
+
+/// Telemetry fault classes observed in production collection pipelines
+/// (Kafka/Flink lag and loss, SHOW STATUS sampling outages, best-effort
+/// history retrieval, unsynchronized collector clocks). Chaos-style
+/// perturbation with these classes validates that the diagnosis chain
+/// degrades gracefully instead of crashing or silently lying.
+enum class FaultClass {
+  kMetricGap,        // isolated per-second samples lost (NaN)
+  kMetricBlackout,   // contiguous monitoring outage (NaN run)
+  kMetricGarbage,    // corrupt values: Inf / negative / wild spikes
+  kLogDrop,          // query-log records lost in transit
+  kLogDuplicate,     // at-least-once delivery duplicates
+  kLogReorder,       // shuffled arrival order within a jitter horizon
+  kLogLate,          // records delayed by seconds (arrive after the fact)
+  kHistoryTruncate,  // history windows cut short by retention/retrieval
+  kHistoryDrop,      // history windows missing entirely
+  kClockSkew,        // log clock skewed against the metric clock
+};
+
+/// All classes, in declaration order (for sweeps and tests).
+inline constexpr FaultClass kAllFaultClasses[] = {
+    FaultClass::kMetricGap,       FaultClass::kMetricBlackout,
+    FaultClass::kMetricGarbage,   FaultClass::kLogDrop,
+    FaultClass::kLogDuplicate,    FaultClass::kLogReorder,
+    FaultClass::kLogLate,         FaultClass::kHistoryTruncate,
+    FaultClass::kHistoryDrop,     FaultClass::kClockSkew,
+};
+
+const char* FaultClassName(FaultClass c);
+
+/// One seeded, configurable fault plan. `severity` in [0, 1] is the master
+/// knob: every per-class rate scales linearly with it, and severity 0 is a
+/// guaranteed no-op (injection leaves the inputs bit-identical). Identical
+/// (seed, severity, classes) plans perturb identically.
+struct FaultPlan {
+  uint64_t seed = 1;
+  double severity = 0.0;
+  /// Classes that fire; defaults to all of them.
+  std::vector<FaultClass> classes = {
+      std::begin(kAllFaultClasses), std::end(kAllFaultClasses)};
+
+  bool Enabled(FaultClass c) const;
+  /// Copy with a different severity (sweep convenience).
+  FaultPlan WithSeverity(double s) const;
+  /// Copy restricted to a single class.
+  FaultPlan Only(FaultClass c) const;
+};
+
+/// Counts of what an injection pass actually perturbed. total() == 0 means
+/// the inputs are untouched (guaranteed at severity 0).
+struct InjectionStats {
+  size_t metric_points_gapped = 0;
+  size_t metric_points_blacked_out = 0;
+  size_t metric_points_garbled = 0;
+  size_t log_records_dropped = 0;
+  size_t log_records_duplicated = 0;
+  size_t log_records_reordered = 0;
+  size_t log_records_delayed = 0;
+  size_t history_windows_truncated = 0;
+  size_t history_windows_dropped = 0;
+  int64_t clock_skew_ms = 0;
+
+  size_t total() const;
+  InjectionStats& MergeFrom(const InjectionStats& other);
+  std::string ToString() const;
+};
+
+/// Perturbs one metric series in place with gaps, blackouts and garbage
+/// values. `salt` decorrelates different series under one plan (so the
+/// active session and cpu_usage don't black out in lockstep).
+void InjectMetricFaults(const FaultPlan& plan, uint64_t salt,
+                        TimeSeries* series, InjectionStats* stats);
+
+/// Perturbs query-log records: drops, duplicates, reorders, delays and
+/// clock-skews them. Returns the perturbed record set (order may differ
+/// from input; LogStore re-sorts lazily).
+std::vector<QueryLogRecord> InjectLogFaults(const FaultPlan& plan,
+                                            std::vector<QueryLogRecord> records,
+                                            InjectionStats* stats);
+
+/// Perturbs stored history windows: truncates some, drops others.
+void InjectHistoryFaults(const FaultPlan& plan,
+                         core::MapHistoryProvider* history,
+                         InjectionStats* stats);
+
+}  // namespace pinsql::faults
+
+#endif  // PINSQL_FAULTS_FAULT_INJECTOR_H_

@@ -95,6 +95,12 @@ size_t LogStore::TrimBefore(int64_t cutoff_ms) {
   return dropped;
 }
 
+void LogStore::ReplaceRecords(std::vector<QueryLogRecord> records) {
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  records_ = std::move(records);
+  sorted_ = false;
+}
+
 const std::vector<QueryLogRecord>& LogStore::SortedRecords() const {
   EnsureSorted();
   return records_;

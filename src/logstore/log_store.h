@@ -70,6 +70,12 @@ class LogStore {
   /// the number of dropped records.
   size_t TrimBefore(int64_t cutoff_ms);
 
+  /// Replaces the full record set, keeping the template catalog. Used by
+  /// the telemetry fault injectors (and tests) to rewrite a store's
+  /// records with dropped/duplicated/reordered/skewed copies. The records
+  /// may arrive in any order; scans re-sort lazily as usual.
+  void ReplaceRecords(std::vector<QueryLogRecord> records);
+
   /// All records, arrival-ordered.
   const std::vector<QueryLogRecord>& SortedRecords() const;
 

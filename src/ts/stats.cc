@@ -6,33 +6,54 @@
 namespace pinsql {
 
 double Mean(const std::vector<double>& x) {
-  if (x.empty()) return 0.0;
   double acc = 0.0;
-  for (double v : x) acc += v;
-  return acc / static_cast<double>(x.size());
+  size_t finite = 0;
+  for (double v : x) {
+    if (!std::isfinite(v)) continue;
+    acc += v;
+    ++finite;
+  }
+  return finite == 0 ? 0.0 : acc / static_cast<double>(finite);
 }
 
 double Variance(const std::vector<double>& x) {
-  if (x.size() < 2) return 0.0;
   const double m = Mean(x);
   double acc = 0.0;
-  for (double v : x) acc += (v - m) * (v - m);
-  return acc / static_cast<double>(x.size());
+  size_t finite = 0;
+  for (double v : x) {
+    if (!std::isfinite(v)) continue;
+    acc += (v - m) * (v - m);
+    ++finite;
+  }
+  return finite < 2 ? 0.0 : acc / static_cast<double>(finite);
 }
 
 double Stddev(const std::vector<double>& x) { return std::sqrt(Variance(x)); }
 
 double PearsonCorrelation(const std::vector<double>& x,
-                          const std::vector<double>& y) {
+                          const std::vector<double>& y,
+                          size_t min_valid_pairs) {
   assert(x.size() == y.size());
   const size_t n = x.size();
-  if (n == 0) return 0.0;
-  const double mx = Mean(x);
-  const double my = Mean(y);
+  // Pass 1: pairwise-complete means. A pair is valid only when both sides
+  // carry a real sample.
+  double mx = 0.0;
+  double my = 0.0;
+  size_t valid = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) continue;
+    mx += x[i];
+    my += y[i];
+    ++valid;
+  }
+  if (valid < std::max<size_t>(min_valid_pairs, 2)) return 0.0;
+  mx /= static_cast<double>(valid);
+  my /= static_cast<double>(valid);
   double sxy = 0.0;
   double sxx = 0.0;
   double syy = 0.0;
   for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) continue;
     const double dx = x[i] - mx;
     const double dy = y[i] - my;
     sxy += dx * dy;
@@ -49,17 +70,27 @@ double PearsonCorrelation(const TimeSeries& x, const TimeSeries& y) {
 
 double WeightedPearsonCorrelation(const std::vector<double>& x,
                                   const std::vector<double>& y,
-                                  const std::vector<double>& w) {
+                                  const std::vector<double>& w,
+                                  size_t min_valid_pairs) {
   assert(x.size() == y.size());
   assert(x.size() == w.size());
   const size_t n = x.size();
-  if (n == 0) return 0.0;
+  auto valid_at = [&](size_t i) {
+    return std::isfinite(x[i]) && std::isfinite(y[i]) && std::isfinite(w[i]);
+  };
   double wsum = 0.0;
-  for (double wi : w) wsum += wi;
+  size_t valid = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!valid_at(i)) continue;
+    wsum += w[i];
+    ++valid;
+  }
+  if (valid < std::max<size_t>(min_valid_pairs, 2)) return 0.0;
   if (wsum <= 0.0) return 0.0;
   double mx = 0.0;
   double my = 0.0;
   for (size_t i = 0; i < n; ++i) {
+    if (!valid_at(i)) continue;
     mx += w[i] * x[i];
     my += w[i] * y[i];
   }
@@ -69,6 +100,7 @@ double WeightedPearsonCorrelation(const std::vector<double>& x,
   double sxx = 0.0;
   double syy = 0.0;
   for (size_t i = 0; i < n; ++i) {
+    if (!valid_at(i)) continue;
     const double dx = x[i] - mx;
     const double dy = y[i] - my;
     sxy += w[i] * dx * dy;
@@ -109,14 +141,19 @@ std::vector<double> SigmoidAnomalyWeights(int64_t ts, int64_t te,
 std::vector<double> MinMaxNormalize(const std::vector<double>& x) {
   std::vector<double> out(x.size(), 0.5);
   if (x.empty()) return out;
-  double lo = x[0];
-  double hi = x[0];
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t finite = 0;
   for (double v : x) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
+    if (!std::isfinite(v)) continue;
+    lo = finite == 0 ? v : std::min(lo, v);
+    hi = finite == 0 ? v : std::max(hi, v);
+    ++finite;
   }
-  if (hi <= lo) return out;  // constant input -> all 0.5
-  for (size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - lo) / (hi - lo);
+  if (finite == 0 || hi <= lo) return out;  // constant/gap input -> all 0.5
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::isfinite(x[i])) out[i] = (x[i] - lo) / (hi - lo);
+  }
   return out;
 }
 

@@ -12,22 +12,35 @@ namespace pinsql {
 /// and VI). All correlation functions return 0 when either input is
 /// constant (zero variance), which is the neutral value for PinSQL's
 /// [-1, 1]-ranged scores.
+///
+/// Gap-awareness: production telemetry loses samples (Kafka lag, SHOW
+/// STATUS blackouts), represented here as non-finite values. Every
+/// function below skips non-finite points — pairwise-complete for the
+/// correlations — so a gap degrades a statistic instead of poisoning the
+/// whole score. On gap-free inputs the results are bit-identical to the
+/// plain formulas.
 
 double Mean(const std::vector<double>& x);
 double Variance(const std::vector<double>& x);
 double Stddev(const std::vector<double>& x);
 
 /// Pearson correlation coefficient corr(X, Y) = cov(X, Y) / (sigma_X
-/// sigma_Y). Inputs must have equal, non-zero length.
+/// sigma_Y). Inputs must have equal length. Pairs where either value is
+/// non-finite are skipped; fewer than `min_valid_pairs` surviving pairs
+/// return the neutral 0 (minimum-overlap guard: a correlation computed
+/// from a handful of points that survived a blackout is noise).
 double PearsonCorrelation(const std::vector<double>& x,
-                          const std::vector<double>& y);
+                          const std::vector<double>& y,
+                          size_t min_valid_pairs = 2);
 double PearsonCorrelation(const TimeSeries& x, const TimeSeries& y);
 
 /// Weighted Pearson correlation with weights W (paper Sec. V, trend-level
 /// score): cov(X,Y;W) = sum_i w_i (x_i - m(X;W)) (y_i - m(Y;W)) / sum_i w_i.
+/// Pairs with a non-finite x, y or w are skipped (same guard as above).
 double WeightedPearsonCorrelation(const std::vector<double>& x,
                                   const std::vector<double>& y,
-                                  const std::vector<double>& w);
+                                  const std::vector<double>& w,
+                                  size_t min_valid_pairs = 2);
 
 /// Sigmoid-based anomaly-window weight (paper Sec. V):
 ///   W_t = sigmoid((t - a_s)/k_s) + sigmoid((a_e - t)/k_s) - 1

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 namespace pinsql {
 
@@ -66,17 +68,26 @@ TimeSeries TimeSeries::Resample(int64_t new_interval_sec, Agg agg) const {
     const size_t begin = i * factor;
     const size_t end = std::min(begin + factor, values_.size());
     double acc = 0.0;
-    double mx = values_[begin];
+    double mx = 0.0;
+    size_t finite = 0;
     for (size_t j = begin; j < end; ++j) {
-      acc += values_[j];
-      mx = std::max(mx, values_[j]);
+      const double v = values_[j];
+      if (!std::isfinite(v)) continue;  // gap: contributes nothing
+      acc += v;
+      mx = finite == 0 ? v : std::max(mx, v);
+      ++finite;
+    }
+    if (finite == 0) {
+      // Whole bucket lost: the gap survives resampling.
+      out[i] = std::numeric_limits<double>::quiet_NaN();
+      continue;
     }
     switch (agg) {
       case Agg::kSum:
         out[i] = acc;
         break;
       case Agg::kMean:
-        out[i] = acc / static_cast<double>(end - begin);
+        out[i] = acc / static_cast<double>(finite);
         break;
       case Agg::kMax:
         out[i] = mx;
@@ -104,20 +115,50 @@ TimeSeries TimeSeries::DivideBy(const TimeSeries& other) const {
   return out;
 }
 
+size_t TimeSeries::CountNonFinite() const {
+  size_t count = 0;
+  for (double v : values_) {
+    if (!std::isfinite(v)) ++count;
+  }
+  return count;
+}
+
+TimeSeries TimeSeries::FillGaps(double fill) const {
+  TimeSeries out = *this;
+  for (double& v : out.values_) {
+    if (!std::isfinite(v)) v = fill;
+  }
+  return out;
+}
+
 double TimeSeries::Sum() const {
   double acc = 0.0;
-  for (double v : values_) acc += v;
+  for (double v : values_) {
+    if (std::isfinite(v)) acc += v;
+  }
   return acc;
 }
 
 double TimeSeries::Max() const {
-  double mx = values_.empty() ? 0.0 : values_[0];
-  for (double v : values_) mx = std::max(mx, v);
+  double mx = 0.0;
+  size_t finite = 0;
+  for (double v : values_) {
+    if (!std::isfinite(v)) continue;
+    mx = finite == 0 ? v : std::max(mx, v);
+    ++finite;
+  }
   return mx;
 }
 
 double TimeSeries::Mean() const {
-  return values_.empty() ? 0.0 : Sum() / static_cast<double>(values_.size());
+  double acc = 0.0;
+  size_t finite = 0;
+  for (double v : values_) {
+    if (!std::isfinite(v)) continue;
+    acc += v;
+    ++finite;
+  }
+  return finite == 0 ? 0.0 : acc / static_cast<double>(finite);
 }
 
 }  // namespace pinsql

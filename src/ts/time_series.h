@@ -31,6 +31,14 @@ class TimeSeries {
   size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
+  /// Telemetry gaps are represented as non-finite values (NaN for a lost
+  /// sample, +/-Inf for corrupt ones). Counts the gapped points.
+  size_t CountNonFinite() const;
+  /// True iff at least one point is a gap.
+  bool HasGaps() const { return CountNonFinite() > 0; }
+  /// Copy with every non-finite point replaced by `fill`.
+  TimeSeries FillGaps(double fill) const;
+
   const std::vector<double>& values() const { return values_; }
   std::vector<double>& values() { return values_; }
 
@@ -59,7 +67,8 @@ class TimeSeries {
   enum class Agg { kSum, kMean, kMax };
   /// Re-buckets to `new_interval_sec` (must be a multiple of the current
   /// interval). A trailing partial bucket is aggregated from the points
-  /// available.
+  /// available. Gap-aware: non-finite points are skipped within a bucket;
+  /// a bucket with no finite point at all stays a gap (NaN).
   TimeSeries Resample(int64_t new_interval_sec, Agg agg) const;
 
   /// Element-wise helpers (require identical shape).
@@ -68,6 +77,8 @@ class TimeSeries {
   /// scale-trend score sessionQ_t / session_t).
   TimeSeries DivideBy(const TimeSeries& other) const;
 
+  /// Reductions skip non-finite points so that metric gaps degrade a
+  /// statistic instead of poisoning it; an all-gap series reduces to 0.
   double Sum() const;
   double Max() const;
   double Mean() const;

@@ -7,8 +7,13 @@
 namespace pinsql {
 
 double Quantile(std::vector<double> x, double q) {
-  assert(!x.empty());
   assert(q >= 0.0 && q <= 1.0);
+  // Drop telemetry gaps (non-finite points): sorting NaN violates strict
+  // weak ordering, and a gap carries no distributional information.
+  x.erase(std::remove_if(x.begin(), x.end(),
+                         [](double v) { return !std::isfinite(v); }),
+          x.end());
+  if (x.empty()) return 0.0;
   std::sort(x.begin(), x.end());
   const double pos = q * static_cast<double>(x.size() - 1);
   const size_t lo = static_cast<size_t>(std::floor(pos));

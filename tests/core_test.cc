@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "core/diagnoser.h"
 #include "core/hsql.h"
 #include "core/rsql.h"
 #include "core/session_estimator.h"
+#include "logstore/log_store.h"
 #include "ts/stats.h"
 #include "util/rng.h"
 
@@ -480,6 +482,118 @@ TEST(RsqlTest, EmptyMetricsYieldEmptyResult) {
       RsqlOptions{});
   EXPECT_TRUE(result.ranking.empty());
   EXPECT_TRUE(result.clusters.empty());
+}
+
+// --------------------------------------------- Diagnose input validation
+
+/// Minimal well-formed input: a few records, a 1 s session series covering
+/// the anomaly, an empty (but non-null) history provider.
+struct ValidInputFixture {
+  LogStore logs;
+  MapHistoryProvider history;
+  DiagnosisInput input;
+
+  ValidInputFixture() {
+    for (int64_t t = 0; t < 100; ++t) {
+      logs.Append(Rec(t * 1000 + 100, 50.0, 1 + (t % 3)));
+    }
+    input.logs = &logs;
+    input.history = &history;
+    input.active_session = TimeSeries(0, 1, 100);
+    for (size_t i = 0; i < 100; ++i) {
+      input.active_session[i] = i < 60 ? 1.0 : 5.0;
+    }
+    input.anomaly_start_sec = 60;
+    input.anomaly_end_sec = 90;
+  }
+};
+
+TEST(DiagnoseValidationTest, WellFormedInputSucceeds) {
+  ValidInputFixture f;
+  DiagnoserOptions options;
+  options.delta_s_sec = 60;  // lookback exactly covered by the metrics
+  const StatusOr<DiagnosisResult> result = Diagnose(f.input, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->data_quality.degraded());
+  EXPECT_EQ(result->data_quality.confidence, 1.0);
+}
+
+TEST(DiagnoseValidationTest, NullLogsRejected) {
+  ValidInputFixture f;
+  f.input.logs = nullptr;
+  const StatusOr<DiagnosisResult> result =
+      Diagnose(f.input, DiagnoserOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("logs"), std::string::npos);
+}
+
+TEST(DiagnoseValidationTest, NullHistoryRejected) {
+  ValidInputFixture f;
+  f.input.history = nullptr;
+  const StatusOr<DiagnosisResult> result =
+      Diagnose(f.input, DiagnoserOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The message must point at the remedy, not just the nullptr.
+  EXPECT_NE(result.status().message().find("MapHistoryProvider"),
+            std::string::npos);
+}
+
+TEST(DiagnoseValidationTest, InvertedAnomalyBoundsRejected) {
+  ValidInputFixture f;
+  f.input.anomaly_start_sec = 90;
+  f.input.anomaly_end_sec = 60;
+  EXPECT_EQ(Diagnose(f.input, DiagnoserOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DiagnoseValidationTest, EmptyAnomalyPeriodRejected) {
+  ValidInputFixture f;
+  f.input.anomaly_start_sec = 60;
+  f.input.anomaly_end_sec = 60;
+  EXPECT_EQ(Diagnose(f.input, DiagnoserOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DiagnoseValidationTest, EmptySessionSeriesRejected) {
+  ValidInputFixture f;
+  f.input.active_session = TimeSeries();
+  EXPECT_EQ(Diagnose(f.input, DiagnoserOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DiagnoseValidationTest, NonOneSecondSessionIntervalRejected) {
+  ValidInputFixture f;
+  f.input.active_session = TimeSeries(0, 10, 10);
+  EXPECT_EQ(Diagnose(f.input, DiagnoserOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DiagnoseValidationTest, SeriesMissingAnomalyPeriodRejected) {
+  ValidInputFixture f;
+  // Metrics end before the anomaly begins.
+  f.input.anomaly_start_sec = 200;
+  f.input.anomaly_end_sec = 230;
+  const StatusOr<DiagnosisResult> result =
+      Diagnose(f.input, DiagnoserOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("does not intersect"),
+            std::string::npos);
+}
+
+TEST(DiagnoseValidationTest, PartialLookbackDegradesInsteadOfRejecting) {
+  ValidInputFixture f;
+  // delta_s = 600 but metrics begin at t=0: the lookback is truncated,
+  // which must degrade (with a note), not reject.
+  DiagnoserOptions options;
+  options.delta_s_sec = 600;
+  const StatusOr<DiagnosisResult> truncated = Diagnose(f.input, options);
+  ASSERT_TRUE(truncated.ok()) << truncated.status().ToString();
+  EXPECT_TRUE(truncated->data_quality.lookback_truncated);
+  EXPECT_TRUE(truncated->data_quality.degraded());
+  EXPECT_LT(truncated->data_quality.confidence, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,399 @@
+// Tentpole suite for the telemetry fault-injection subsystem and the
+// diagnosis chain's graceful degradation. The two contracts under test:
+//
+//  1. Severity 0 is a guaranteed no-op: for every fault class, injection
+//     leaves metrics/logs/history bit-identical and the diagnosis output
+//     matches the unfaulted run exactly.
+//  2. Any non-zero severity degrades, never crashes: Diagnose returns ok
+//     (with DataQuality populated) or a clean error Status — for every
+//     fault class, severity in {0.1, 0.3, 0.5}, anomaly type, and
+//     num_threads in {1, 4}. The suite runs under ASan and TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/diagnoser.h"
+#include "eval/case_generator.h"
+#include "eval/chaos.h"
+#include "eval/runner.h"
+#include "faults/fault_injector.h"
+
+namespace pinsql {
+namespace {
+
+eval::CaseGenOptions SmallCase(workload::AnomalyType type) {
+  eval::CaseGenOptions options;
+  options.seed = 20260807;
+  options.type = type;
+  options.pre_anomaly_sec = 300;
+  options.anomaly_duration_sec = 150;
+  options.post_anomaly_sec = 30;
+  options.scenario.num_clusters = 4;
+  return options;
+}
+
+/// Case generation is the expensive part of every test here; cache one
+/// pristine case per anomaly type and hand out copies.
+const eval::AnomalyCaseData& CachedCase(workload::AnomalyType type) {
+  static std::map<workload::AnomalyType, eval::AnomalyCaseData> cache;
+  auto it = cache.find(type);
+  if (it == cache.end()) {
+    it = cache.emplace(type, eval::GenerateCase(SmallCase(type))).first;
+  }
+  return it->second;
+}
+
+void ExpectSeriesIdentical(const TimeSeries& a, const TimeSeries& b) {
+  ASSERT_EQ(a.start_time(), b.start_time());
+  ASSERT_EQ(a.interval_sec(), b.interval_sec());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical, including NaN-ness (none expected on clean input).
+    ASSERT_EQ(std::isnan(a[i]), std::isnan(b[i])) << "index " << i;
+    if (!std::isnan(a[i])) ASSERT_EQ(a[i], b[i]) << "index " << i;
+  }
+}
+
+void ExpectRecordsIdentical(const std::vector<QueryLogRecord>& a,
+                            const std::vector<QueryLogRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].arrival_ms, b[i].arrival_ms) << "record " << i;
+    ASSERT_EQ(a[i].sql_id, b[i].sql_id) << "record " << i;
+    ASSERT_EQ(a[i].response_ms, b[i].response_ms) << "record " << i;
+    ASSERT_EQ(a[i].examined_rows, b[i].examined_rows) << "record " << i;
+  }
+}
+
+std::vector<std::tuple<uint64_t, int, std::vector<double>>> HistorySnapshot(
+    const core::MapHistoryProvider& history) {
+  std::vector<std::tuple<uint64_t, int, std::vector<double>>> out;
+  history.ForEach([&](uint64_t sql_id, int days_ago, const TimeSeries& s) {
+    out.emplace_back(sql_id, days_ago, s.values());
+  });
+  return out;
+}
+
+// ------------------------------------------------------ severity-0 no-op
+
+class SeverityZeroTest : public ::testing::TestWithParam<faults::FaultClass> {
+};
+
+TEST_P(SeverityZeroTest, InjectionIsBitIdenticalNoOp) {
+  eval::AnomalyCaseData data = CachedCase(workload::AnomalyType::kRowLock);
+  const eval::AnomalyCaseData& pristine =
+      CachedCase(workload::AnomalyType::kRowLock);
+
+  faults::FaultPlan plan;
+  plan.seed = 99;
+  plan.severity = 0.0;
+  plan = plan.Only(GetParam());
+
+  const faults::InjectionStats stats = eval::ApplyCaseFaults(plan, &data);
+  EXPECT_EQ(stats.total(), 0u);
+  ExpectSeriesIdentical(data.metrics.active_session,
+                        pristine.metrics.active_session);
+  ExpectSeriesIdentical(data.metrics.cpu_usage, pristine.metrics.cpu_usage);
+  ExpectRecordsIdentical(data.logs.SortedRecords(),
+                         pristine.logs.SortedRecords());
+  EXPECT_EQ(HistorySnapshot(data.history), HistorySnapshot(pristine.history));
+}
+
+TEST_P(SeverityZeroTest, DiagnosisMatchesUnfaultedRunExactly) {
+  eval::AnomalyCaseData faulted = CachedCase(workload::AnomalyType::kPoorSql);
+  faults::FaultPlan plan;
+  plan.seed = 7;
+  plan.severity = 0.0;
+  plan = plan.Only(GetParam());
+  eval::ApplyCaseFaults(plan, &faulted);
+
+  const core::DiagnoserOptions options;
+  const StatusOr<core::DiagnosisResult> clean = core::Diagnose(
+      eval::MakeDiagnosisInput(CachedCase(workload::AnomalyType::kPoorSql)),
+      options);
+  const StatusOr<core::DiagnosisResult> after =
+      core::Diagnose(eval::MakeDiagnosisInput(faulted), options);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(clean->rsql.ranking, after->rsql.ranking);
+  ASSERT_EQ(clean->hsql_ranking.size(), after->hsql_ranking.size());
+  for (size_t i = 0; i < clean->hsql_ranking.size(); ++i) {
+    EXPECT_EQ(clean->hsql_ranking[i].sql_id, after->hsql_ranking[i].sql_id);
+    EXPECT_EQ(clean->hsql_ranking[i].impact, after->hsql_ranking[i].impact);
+  }
+  EXPECT_EQ(clean->data_quality.confidence, after->data_quality.confidence);
+  EXPECT_EQ(clean->data_quality.notes, after->data_quality.notes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFaultClasses, SeverityZeroTest,
+                         ::testing::ValuesIn(std::begin(
+                                                 faults::kAllFaultClasses),
+                                             std::end(
+                                                 faults::kAllFaultClasses)));
+
+// ------------------------------------------------- injector determinism
+
+TEST(FaultInjectorTest, SamePlanPerturbsIdentically) {
+  eval::AnomalyCaseData a = CachedCase(workload::AnomalyType::kMdlLock);
+  eval::AnomalyCaseData b = CachedCase(workload::AnomalyType::kMdlLock);
+  faults::FaultPlan plan;
+  plan.seed = 31337;
+  plan.severity = 0.4;
+  const faults::InjectionStats sa = eval::ApplyCaseFaults(plan, &a);
+  const faults::InjectionStats sb = eval::ApplyCaseFaults(plan, &b);
+  EXPECT_EQ(sa.total(), sb.total());
+  EXPECT_EQ(sa.ToString(), sb.ToString());
+  ExpectRecordsIdentical(a.logs.SortedRecords(), b.logs.SortedRecords());
+  ASSERT_EQ(a.metrics.active_session.size(), b.metrics.active_session.size());
+  for (size_t i = 0; i < a.metrics.active_session.size(); ++i) {
+    const double va = a.metrics.active_session[i];
+    const double vb = b.metrics.active_session[i];
+    ASSERT_EQ(std::isnan(va), std::isnan(vb)) << "index " << i;
+    if (!std::isnan(va)) ASSERT_EQ(va, vb) << "index " << i;
+  }
+}
+
+TEST(FaultInjectorTest, LogFaultStatsMatchRecordCounts) {
+  const eval::AnomalyCaseData& data =
+      CachedCase(workload::AnomalyType::kRowLock);
+  std::vector<QueryLogRecord> records = data.logs.SortedRecords();
+  const size_t before = records.size();
+
+  faults::FaultPlan plan;
+  plan.seed = 5;
+  plan.severity = 0.5;
+  faults::InjectionStats stats;
+  const std::vector<QueryLogRecord> after =
+      faults::InjectLogFaults(plan, std::move(records), &stats);
+  EXPECT_EQ(after.size(),
+            before - stats.log_records_dropped + stats.log_records_duplicated);
+  EXPECT_GT(stats.log_records_dropped, 0u);
+  EXPECT_GT(stats.log_records_duplicated, 0u);
+}
+
+TEST(FaultInjectorTest, HistoryFaultsDropAndTruncateWindows) {
+  eval::AnomalyCaseData data = CachedCase(workload::AnomalyType::kPoorSql);
+  const size_t windows_before = data.history.size();
+  ASSERT_GT(windows_before, 0u);
+  const auto pristine = HistorySnapshot(data.history);
+
+  faults::FaultPlan plan;
+  plan.seed = 11;
+  plan.severity = 0.6;
+  faults::InjectionStats stats;
+  faults::InjectHistoryFaults(plan, &data.history, &stats);
+  EXPECT_EQ(data.history.size(), windows_before - stats.history_windows_dropped);
+  EXPECT_GT(stats.history_windows_dropped, 0u);
+  EXPECT_GT(stats.history_windows_truncated, 0u);
+
+  // Every surviving window is a prefix of its pristine self.
+  size_t shorter = 0;
+  for (const auto& [sql_id, days_ago, values] : pristine) {
+    const TimeSeries* now = data.history.ExecutionHistory(sql_id, days_ago);
+    if (now == nullptr) continue;
+    ASSERT_LE(now->size(), values.size());
+    for (size_t i = 0; i < now->size(); ++i) {
+      ASSERT_EQ((*now)[i], values[i]);
+    }
+    if (now->size() < values.size()) ++shorter;
+  }
+  EXPECT_EQ(shorter, stats.history_windows_truncated);
+}
+
+TEST(FaultInjectorTest, SeverityScalesPerturbationVolume) {
+  faults::FaultPlan mild;
+  mild.seed = 21;
+  mild.severity = 0.1;
+  faults::FaultPlan harsh = mild.WithSeverity(0.8);
+
+  eval::AnomalyCaseData a = CachedCase(workload::AnomalyType::kBusinessSpike);
+  eval::AnomalyCaseData b = CachedCase(workload::AnomalyType::kBusinessSpike);
+  const faults::InjectionStats sa = eval::ApplyCaseFaults(mild, &a);
+  const faults::InjectionStats sb = eval::ApplyCaseFaults(harsh, &b);
+  EXPECT_GT(sa.total(), 0u);
+  EXPECT_GT(sb.total(), sa.total());
+  EXPECT_GT(sb.log_records_dropped, sa.log_records_dropped);
+  EXPECT_GT(sb.metric_points_gapped, sa.metric_points_gapped);
+}
+
+// ------------------------------------------- graceful degradation sweep
+
+struct DegradationParam {
+  workload::AnomalyType type;
+  double severity;
+  int num_threads;
+};
+
+class DegradationTest : public ::testing::TestWithParam<DegradationParam> {};
+
+TEST_P(DegradationTest, AllClassesEnabledNeverCrashes) {
+  const DegradationParam& p = GetParam();
+  eval::AnomalyCaseData data = CachedCase(p.type);
+  faults::FaultPlan plan;
+  plan.seed = 404;
+  plan.severity = p.severity;
+  const faults::InjectionStats stats = eval::ApplyCaseFaults(plan, &data);
+  EXPECT_GT(stats.total(), 0u);
+
+  core::DiagnoserOptions options;
+  options.num_threads = p.num_threads;
+  const StatusOr<core::DiagnosisResult> result =
+      core::Diagnose(eval::MakeDiagnosisInput(data), options);
+  if (!result.ok()) {
+    // A clean refusal is an acceptable degradation outcome; an empty
+    // message or an OK code here would mean a malformed Status.
+    EXPECT_NE(result.status().code(), StatusCode::kOk);
+    EXPECT_FALSE(result.status().message().empty());
+    return;
+  }
+  const core::DataQuality& dq = result->data_quality;
+  EXPECT_TRUE(dq.degraded());
+  EXPECT_GT(dq.session_points, 0u);
+  EXPECT_GE(dq.confidence, 0.0);
+  EXPECT_LT(dq.confidence, 1.0);
+  // Injected gaps must be visible in the accounting (gap points, garbage
+  // sanitization, dropped helpers or truncated history — at least one).
+  EXPECT_GT(dq.session_gap_points + dq.helper_gap_points +
+                dq.metric_points_sanitized + dq.history_windows_missing +
+                dq.history_windows_truncated,
+            0u);
+}
+
+std::vector<DegradationParam> DegradationGrid() {
+  std::vector<DegradationParam> grid;
+  for (workload::AnomalyType type :
+       {workload::AnomalyType::kBusinessSpike, workload::AnomalyType::kPoorSql,
+        workload::AnomalyType::kMdlLock, workload::AnomalyType::kRowLock}) {
+    for (double severity : {0.1, 0.3, 0.5}) {
+      for (int threads : {1, 4}) {
+        grid.push_back({type, severity, threads});
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DegradationTest,
+                         ::testing::ValuesIn(DegradationGrid()));
+
+class PerClassDegradationTest
+    : public ::testing::TestWithParam<faults::FaultClass> {};
+
+TEST_P(PerClassDegradationTest, SingleClassAtMidSeverityNeverCrashes) {
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    eval::AnomalyCaseData data = CachedCase(workload::AnomalyType::kMdlLock);
+    faults::FaultPlan plan;
+    plan.seed = 17;
+    plan.severity = 0.3;
+    plan = plan.Only(GetParam());
+    eval::ApplyCaseFaults(plan, &data);
+
+    core::DiagnoserOptions options;
+    options.num_threads = threads;
+    const StatusOr<core::DiagnosisResult> result =
+        core::Diagnose(eval::MakeDiagnosisInput(data), options);
+    if (result.ok()) {
+      EXPECT_GE(result->data_quality.confidence, 0.0);
+      EXPECT_LE(result->data_quality.confidence, 1.0);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFaultClasses, PerClassDegradationTest,
+                         ::testing::ValuesIn(std::begin(
+                                                 faults::kAllFaultClasses),
+                                             std::end(
+                                                 faults::kAllFaultClasses)));
+
+// --------------------------------------------------- extreme blackouts
+
+TEST(DegradationExtremesTest, FullyGappedSessionSeriesDoesNotCrash) {
+  eval::AnomalyCaseData data = CachedCase(workload::AnomalyType::kRowLock);
+  for (size_t i = 0; i < data.metrics.active_session.size(); ++i) {
+    data.metrics.active_session[i] = std::nan("");
+  }
+  const StatusOr<core::DiagnosisResult> result =
+      core::Diagnose(eval::MakeDiagnosisInput(data),
+                     core::DiagnoserOptions{});
+  if (result.ok()) {
+    EXPECT_TRUE(result->data_quality.degraded());
+    EXPECT_EQ(result->data_quality.session_gap_points,
+              result->data_quality.session_points);
+  } else {
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+TEST(DegradationExtremesTest, SeverityOneEverythingEnabledDoesNotCrash) {
+  for (workload::AnomalyType type :
+       {workload::AnomalyType::kBusinessSpike,
+        workload::AnomalyType::kMdlLock}) {
+    eval::AnomalyCaseData data = CachedCase(type);
+    faults::FaultPlan plan;
+    plan.seed = 1;
+    plan.severity = 1.0;
+    eval::ApplyCaseFaults(plan, &data);
+    const StatusOr<core::DiagnosisResult> result =
+        core::Diagnose(eval::MakeDiagnosisInput(data),
+                       core::DiagnoserOptions{});
+    if (result.ok()) {
+      EXPECT_TRUE(result->data_quality.degraded());
+      EXPECT_LT(result->data_quality.confidence, 1.0);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+// --------------------------------------------------------- chaos harness
+
+TEST(ChaosEvaluationTest, SeverityZeroPointMatchesCleanEvaluation) {
+  eval::ChaosOptions chaos;
+  chaos.eval.num_cases = 3;
+  chaos.eval.seed = 7;
+  chaos.eval.case_options = SmallCase(workload::AnomalyType::kRowLock);
+  chaos.severities = {0.0};
+
+  const std::vector<eval::ChaosPoint> curve =
+      eval::RunChaosEvaluation(chaos, core::DiagnoserOptions{});
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].injected.total(), 0u);
+  EXPECT_EQ(curve[0].failed, 0u);
+
+  const std::vector<eval::MethodScores> clean =
+      eval::RunOverallEvaluation(chaos.eval, core::DiagnoserOptions{});
+  EXPECT_EQ(curve[0].rsql.hits_at_1, clean[0].rsql.hits_at_1);
+  EXPECT_EQ(curve[0].rsql.mrr, clean[0].rsql.mrr);
+  EXPECT_EQ(curve[0].hsql.hits_at_1, clean[0].hsql.hits_at_1);
+}
+
+TEST(ChaosEvaluationTest, FleetModeMatchesSerial) {
+  eval::ChaosOptions serial;
+  serial.eval.num_cases = 3;
+  serial.eval.seed = 13;
+  serial.eval.case_options = SmallCase(workload::AnomalyType::kMdlLock);
+  serial.eval.num_threads = 1;
+  serial.severities = {0.3};
+  eval::ChaosOptions fleet = serial;
+  fleet.eval.num_threads = 4;
+
+  const auto a = eval::RunChaosEvaluation(serial, core::DiagnoserOptions{});
+  const auto b = eval::RunChaosEvaluation(fleet, core::DiagnoserOptions{});
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].rsql.hits_at_1, b[0].rsql.hits_at_1);
+  EXPECT_EQ(a[0].rsql.mrr, b[0].rsql.mrr);
+  EXPECT_EQ(a[0].failed, b[0].failed);
+  EXPECT_EQ(a[0].degraded, b[0].degraded);
+  EXPECT_EQ(a[0].injected.ToString(), b[0].injected.ToString());
+}
+
+}  // namespace
+}  // namespace pinsql

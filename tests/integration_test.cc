@@ -29,8 +29,10 @@ TEST_P(EndToEndTest, PinpointsInjectedRootCauseInTop5) {
   ASSERT_FALSE(data.hsql_truth.empty());
 
   const core::DiagnosisInput input = eval::MakeDiagnosisInput(data);
-  const core::DiagnosisResult result =
+  const StatusOr<core::DiagnosisResult> status_or =
       core::Diagnose(input, core::DiagnoserOptions{});
+  ASSERT_TRUE(status_or.ok()) << status_or.status().ToString();
+  const core::DiagnosisResult& result = *status_or;
 
   // R-SQL within top-5 and H-SQL within top-5 (the paper reports ~84 % and
   // ~99 % Hits@5; a fixed seed must not flake).
@@ -98,9 +100,11 @@ TEST(EndToEndTest, DiagnosisTimingsPopulated) {
   eval::CaseGenOptions options;
   options.seed = 5;
   const eval::AnomalyCaseData data = eval::GenerateCase(options);
-  const core::DiagnosisResult result =
+  const StatusOr<core::DiagnosisResult> status_or =
       core::Diagnose(eval::MakeDiagnosisInput(data),
                      core::DiagnoserOptions{});
+  ASSERT_TRUE(status_or.ok()) << status_or.status().ToString();
+  const core::DiagnosisResult& result = *status_or;
   EXPECT_GT(result.total_seconds, 0.0);
   EXPECT_GT(result.estimate_seconds, 0.0);
   EXPECT_LE(result.estimate_seconds + result.hsql_seconds +
@@ -116,8 +120,10 @@ TEST(EndToEndTest, RepairSuggestionTargetsRootCause) {
   options.seed = 77;
   const eval::AnomalyCaseData data = eval::GenerateCase(options);
   const core::DiagnosisInput input = eval::MakeDiagnosisInput(data);
-  const core::DiagnosisResult result =
+  const StatusOr<core::DiagnosisResult> status_or =
       core::Diagnose(input, core::DiagnoserOptions{});
+  ASSERT_TRUE(status_or.ok()) << status_or.status().ToString();
+  const core::DiagnosisResult& result = *status_or;
   const auto suggestions = repair::RepairRuleEngine::Default().Suggest(
       data.phenomena, result.rsql.ranking, result.metrics,
       input.anomaly_start_sec, input.anomaly_end_sec);

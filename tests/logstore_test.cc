@@ -113,5 +113,92 @@ TEST(LogStoreTest, AppendAfterScanKeepsOrderCorrect) {
   EXPECT_EQ(range[1].sql_id, 2u);
 }
 
+// Boundary behaviour: retention trims and scans at exactly a record's
+// timestamp, and operations on empty / fully-trimmed stores.
+
+TEST(LogStoreTest, TrimExactlyAtRecordTimestampKeepsIt) {
+  LogStore store;
+  store.Append(Rec(10, 1));
+  store.Append(Rec(20, 2));
+  store.Append(Rec(30, 3));
+  // TrimBefore drops arrival_ms < cutoff; a record exactly at the cutoff
+  // survives (retention is half-open, like Range).
+  EXPECT_EQ(store.TrimBefore(20), 1u);
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.SortedRecords()[0].arrival_ms, 20);
+  // Trimming again at the same cutoff is a no-op.
+  EXPECT_EQ(store.TrimBefore(20), 0u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(LogStoreTest, ScanOverEmptyStore) {
+  LogStore store;
+  size_t visited = 0;
+  store.ScanRange(0, 1000, [&](const QueryLogRecord&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_TRUE(store.Range(0, 1000).empty());
+  EXPECT_TRUE(store.SortedRecords().empty());
+  EXPECT_EQ(store.TrimBefore(1000), 0u);
+}
+
+TEST(LogStoreTest, ScanOverFullyTrimmedStore) {
+  LogStore store;
+  store.Append(Rec(10, 1));
+  store.Append(Rec(20, 2));
+  EXPECT_EQ(store.TrimBefore(1000), 2u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Range(0, 1000).empty());
+  // The store keeps working after total retention expiry.
+  store.Append(Rec(2000, 3));
+  ASSERT_EQ(store.Range(0, 3000).size(), 1u);
+  EXPECT_EQ(store.Range(0, 3000)[0].sql_id, 3u);
+}
+
+TEST(LogStoreTest, EmptyAndInvertedRanges) {
+  LogStore store;
+  store.Append(Rec(10, 1));
+  store.Append(Rec(20, 2));
+  EXPECT_TRUE(store.Range(15, 15).empty());   // empty window
+  EXPECT_TRUE(store.Range(20, 10).empty());   // inverted window
+  EXPECT_TRUE(store.Range(100, 200).empty()); // past the last record
+  EXPECT_TRUE(store.Range(-50, 0).empty());   // before the first record
+}
+
+TEST(LogStoreTest, OutOfOrderAppendsInterleavedWithTrims) {
+  LogStore store;
+  store.Append(Rec(50, 5));
+  store.Append(Rec(10, 1));  // out of order
+  EXPECT_EQ(store.TrimBefore(20), 1u);  // sorts, then trims the t=10 record
+  store.Append(Rec(5, 9));  // arrives late, already older than the cutoff
+  store.Append(Rec(60, 6));
+  const auto range = store.Range(0, 100);
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0].sql_id, 9u);
+  EXPECT_EQ(range[1].sql_id, 5u);
+  EXPECT_EQ(range[2].sql_id, 6u);
+}
+
+TEST(LogStoreTest, ReplaceRecordsKeepsCatalogAndResorts) {
+  LogStore store;
+  TemplateCatalogEntry entry;
+  entry.template_text = "SELECT * FROM t WHERE id = ?";
+  store.RegisterTemplate(7, entry);
+  store.Append(Rec(10, 1));
+  EXPECT_EQ(store.Range(0, 100).size(), 1u);  // force a sort first
+
+  store.ReplaceRecords({Rec(30, 3), Rec(20, 2)});  // unsorted replacement
+  const auto range = store.Range(0, 100);
+  ASSERT_EQ(range.size(), 2u);
+  EXPECT_EQ(range[0].sql_id, 2u);
+  EXPECT_EQ(range[1].sql_id, 3u);
+  ASSERT_NE(store.FindTemplate(7), nullptr);
+  EXPECT_EQ(store.FindTemplate(7)->template_text,
+            "SELECT * FROM t WHERE id = ?");
+
+  store.ReplaceRecords({});  // replace with nothing
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Range(0, 100).empty());
+}
+
 }  // namespace
 }  // namespace pinsql

@@ -106,15 +106,18 @@ TEST_P(DiagnoseEquivalenceTest, ParallelMatchesSerialExactly) {
 
   core::DiagnoserOptions serial_options;
   serial_options.num_threads = 1;
-  const core::DiagnosisResult serial = core::Diagnose(input, serial_options);
+  const StatusOr<core::DiagnosisResult> serial =
+      core::Diagnose(input, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
 
   for (const int threads : {2, 4, 8}) {
     SCOPED_TRACE("num_threads=" + std::to_string(threads));
     core::DiagnoserOptions parallel_options;
     parallel_options.num_threads = threads;
-    const core::DiagnosisResult parallel =
+    const StatusOr<core::DiagnosisResult> parallel =
         core::Diagnose(input, parallel_options);
-    ExpectDiagnosisEq(serial, parallel);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectDiagnosisEq(*serial, *parallel);
   }
 }
 
@@ -241,7 +244,8 @@ TEST(DeterminismRegressionTest, RepeatedDiagnosisRendersIdenticalJson) {
   options.num_threads = 4;
 
   auto render = [&]() {
-    const core::DiagnosisResult result = core::Diagnose(input, options);
+    const core::DiagnosisResult result =
+        std::move(core::Diagnose(input, options)).value();
     core::DiagnosisReport report = core::BuildReport(
         result, data.logs, data.phenomena, input.anomaly_start_sec,
         input.anomaly_end_sec, /*suggestions=*/{});

@@ -85,8 +85,10 @@ TEST(ReportTest, BuildsFromRealDiagnosis) {
   options.seed = 77;
   const eval::AnomalyCaseData data = eval::GenerateCase(options);
   const core::DiagnosisInput input = eval::MakeDiagnosisInput(data);
-  const core::DiagnosisResult result =
+  const StatusOr<core::DiagnosisResult> status_or =
       core::Diagnose(input, core::DiagnoserOptions{});
+  ASSERT_TRUE(status_or.ok()) << status_or.status().ToString();
+  const core::DiagnosisResult& result = *status_or;
   const auto suggestions = repair::RepairRuleEngine::Default().Suggest(
       data.phenomena, result.rsql.ranking, result.metrics,
       input.anomaly_start_sec, input.anomaly_end_sec);

@@ -211,6 +211,65 @@ TEST(JsonTest, DeepNestingIsRejected) {
   EXPECT_FALSE(Json::Parse(deep).ok());
 }
 
+// Hardening: hostile/truncated documents must yield a parse-error Status,
+// never a crash or runaway recursion. Run under ASan in CI.
+
+TEST(JsonTest, TruncatedDocumentsAreParseErrors) {
+  const char* full = R"({"a":[1,{"b":"c\u00e9"},true],"d":null})";
+  const std::string text(full);
+  // Every proper prefix of a valid document is itself invalid.
+  for (size_t len = 0; len < text.size(); ++len) {
+    const auto parsed = Json::Parse(text.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError)
+        << "prefix length " << len;
+  }
+  EXPECT_TRUE(Json::Parse(text).ok());
+}
+
+TEST(JsonTest, DeepMixedAndObjectNestingRejected) {
+  // Alternating object/array nesting (the worst case for naive depth
+  // accounting) and deep object chains both hit the depth limit cleanly.
+  std::string mixed;
+  for (int i = 0; i < 300; ++i) mixed += "[{\"k\":";
+  mixed += "1";
+  for (int i = 0; i < 300; ++i) mixed += "}]";
+  EXPECT_FALSE(Json::Parse(mixed).ok());
+
+  std::string objects;
+  for (int i = 0; i < 400; ++i) objects += "{\"a\":";
+  objects += "null";
+  objects += std::string(400, '}');
+  EXPECT_FALSE(Json::Parse(objects).ok());
+
+  // Just under the limit parses fine: the guard is a limit, not a ban.
+  std::string shallow(100, '[');
+  shallow += "1";
+  shallow += std::string(100, ']');
+  EXPECT_TRUE(Json::Parse(shallow).ok());
+}
+
+TEST(JsonTest, BadEscapesAreParseErrors) {
+  EXPECT_FALSE(Json::Parse("\"\\q\"").ok());       // unknown escape
+  EXPECT_FALSE(Json::Parse("\"\\u12\"").ok());     // short unicode escape
+  EXPECT_FALSE(Json::Parse("\"\\u12zz\"").ok());   // non-hex unicode escape
+  EXPECT_FALSE(Json::Parse("\"\\").ok());          // escape at end of input
+  EXPECT_FALSE(Json::Parse("\"a\\").ok());
+  EXPECT_FALSE(Json::Parse("{\"k\\").ok());        // escape inside a key
+}
+
+TEST(JsonTest, HostileInputsNeverCrash) {
+  // None of these need to parse; they must all return, not crash.
+  const std::string nul_bytes("[\"a\0b\"]", 7);
+  for (const std::string& text :
+       {std::string("[[[[[\"\\"), std::string("{\"\":{\"\":{\"\":"),
+        std::string("-"), std::string("+1"), std::string("\x80\xff"),
+        std::string("[1e999999]"), nul_bytes,
+        std::string(10000, '"'), std::string(10000, '\\')}) {
+    (void)Json::Parse(text);
+  }
+}
+
 TEST(JsonTest, DumpCompactRoundTrip) {
   const std::string text = R"({"a":[1,2.5,"x"],"b":{"c":true},"d":null})";
   auto doc = Json::Parse(text);

@@ -13,6 +13,7 @@
 /// Paper reference: throttling the Top SQL does not resolve the anomaly
 /// fundamentally; optimizing the R-SQL does.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -25,6 +26,7 @@
 #include "pipeline/stream_aggregator.h"
 #include "repair/actions.h"
 #include "repair/rule_engine.h"
+#include "repair/supervisor.h"
 #include "util/strings.h"
 #include "workload/arrivals.h"
 #include "workload/scenario.h"
@@ -83,7 +85,12 @@ int main() {
   sim.cpu_cores = 8.0;
   Engine engine(sim);
   engine.AttachLogStore(&logs);
-  pinsql::repair::ActionExecutor executor(&engine);
+  // Supervised execution: with no fault hook (a perfect control plane)
+  // every engine mutation is exactly the plain ActionExecutor sequence,
+  // plus verification windows that confirm each action helped.
+  pinsql::repair::SupervisorOptions sup_options;
+  sup_options.seed = 20220514;
+  pinsql::repair::RepairSupervisor supervisor(&engine, sup_options);
   engine.AddArrivals(pinsql::workload::GenerateArrivals(
       workload, injection.overrides, kDayStart, kDayEnd, 991));
 
@@ -93,6 +100,18 @@ int main() {
     return pinsql::dbsim::ComputeInstanceMetrics(
         engine.completed(), kDayStart, t_sec, engine.EffectiveCores(),
         sim.io_capacity_ms_per_sec, &rng_copy);
+  };
+  // Advances the simulation to t_end in 100 s segments, feeding the
+  // supervisor the active-session mean of each segment (throttle expiry,
+  // verification windows, breaker cooldowns).
+  auto run_supervised_until = [&](int64_t t_end) {
+    int64_t t = static_cast<int64_t>(engine.now_ms() / 1000.0);
+    while (t < t_end) {
+      t = std::min<int64_t>(t + 100, t_end);
+      engine.RunUntil(t * 1000.0);
+      const auto m = metrics_until(t);
+      supervisor.Tick(t * 1000.0, MeanSession(m, t - 100, t));
+    }
   };
 
   // ---- Phase 1: anomaly untreated -----------------------------------------
@@ -110,12 +129,13 @@ int main() {
   throttle.sql_id = throttled_sql;
   throttle.throttle_max_qps = 1.0;
   throttle.throttle_duration_sec = kThrottleOff - kThrottleOn;
-  executor.Execute(throttle, kThrottleOn * 1000.0);
-  engine.RunUntil(kThrottleOff * 1000.0);
+  const auto at_throttle = metrics_until(kThrottleOn);
+  supervisor.Apply(throttle, kThrottleOn * 1000.0,
+                   MeanSession(at_throttle, kThrottleOn - 100, kThrottleOn));
+  run_supervised_until(kThrottleOff);
 
-  // ---- Phase 3: throttle lifted, anomaly returns ---------------------------
-  executor.ExpireThrottles(kThrottleOff * 1000.0);
-  engine.RunUntil(kPinSqlRuns * 1000.0);
+  // ---- Phase 3: throttle expires, anomaly returns --------------------------
+  run_supervised_until(kPinSqlRuns);
 
   // ---- Phase 4: PinSQL diagnoses and optimizes the R-SQL -------------------
   const pinsql::dbsim::InstanceMetrics so_far = metrics_until(kPinSqlRuns);
@@ -157,8 +177,9 @@ int main() {
   optimize.sql_id = pinpointed;
   optimize.optimize_cpu_factor = 0.08;
   optimize.optimize_rows_factor = 0.08;
-  executor.Execute(optimize, kOptimizeAt * 1000.0);
-  engine.RunUntil(kDayEnd * 1000.0);
+  supervisor.Apply(optimize, kOptimizeAt * 1000.0,
+                   MeanSession(so_far, kPinSqlRuns - 100, kPinSqlRuns));
+  run_supervised_until(kDayEnd);
   engine.RunToCompletion();
 
   // ---- Report ---------------------------------------------------------------
@@ -215,8 +236,15 @@ int main() {
                repaired < 3.0 * baseline + 2.0)
                   ? "OK"
                   : "VIOLATED");
-  for (const std::string& line : executor.audit_log()) {
-    std::printf("  audit: %s\n", line.c_str());
+  std::printf("  both actions passed their verification windows "
+              "(%zu verified, %zu rollbacks): %s\n",
+              supervisor.stats().verified, supervisor.stats().rollbacks,
+              (supervisor.stats().verified == 2 &&
+               supervisor.stats().rollbacks == 0)
+                  ? "OK"
+                  : "VIOLATED");
+  for (const pinsql::repair::RepairEvent& e : supervisor.events()) {
+    std::printf("  audit: %s\n", e.ToString().c_str());
   }
   return 0;
 }

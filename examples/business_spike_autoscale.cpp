@@ -17,6 +17,7 @@
 #include "eval/case_generator.h"
 #include "eval/runner.h"
 #include "repair/rule_engine.h"
+#include "repair/supervisor.h"
 #include "util/strings.h"
 #include "workload/arrivals.h"
 
@@ -92,13 +93,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 3. Replay the same surge on a scaled-up instance.
+  // 3. Replay the same surge on a scaled-up instance. Auto-executed
+  //    actions go through the RepairSupervisor: guardrails can refuse an
+  //    over-sized scale-up, and the verification window decides afterwards
+  //    whether the scaling actually absorbed the surge.
   pinsql::dbsim::Engine engine(options.sim);
   pinsql::LogStore logs;
   engine.AttachLogStore(&logs);
-  pinsql::repair::ActionExecutor executor(&engine);
+  pinsql::repair::SupervisorOptions sup_options;
+  sup_options.seed = seed;
+  pinsql::repair::RepairSupervisor supervisor(&engine, sup_options);
   for (const auto& s : suggestions) {
-    if (s.auto_execute) executor.Execute(s.action, 0.0);
+    if (!s.auto_execute) continue;
+    const auto outcome = supervisor.Apply(s.action, 0.0, before_mean);
+    if (!outcome.ok()) {
+      std::printf("  supervisor refused: %s\n",
+                  outcome.status().ToString().c_str());
+    }
   }
   engine.AddArrivals(pinsql::workload::GenerateArrivals(
       data.workload, data.overrides, data.window_start_sec,
@@ -118,5 +129,14 @@ int main(int argc, char** argv) {
   std::printf("%s\n", after_mean < before_mean
                           ? "AutoScale absorbed the surge."
                           : "surge unchanged (already CPU-light)");
+
+  // 4. Settle the verification window against the post-replay sessions:
+  //    an ineffective scale-up is rolled back automatically.
+  supervisor.Tick(1000.0 * static_cast<double>(data.window_end_sec),
+                  after_mean);
+  std::printf("\nsupervised repair audit trail:\n");
+  for (const auto& event : supervisor.events()) {
+    std::printf("  %s\n", event.ToString().c_str());
+  }
   return 0;
 }

@@ -111,6 +111,11 @@ Json DiagnosisReport::ToJson() const {
   for (const std::string& note : data_quality.notes) notes.Append(note);
   quality.Set("notes", std::move(notes));
   obj.Set("data_quality", std::move(quality));
+  Json events = Json::MakeArray();
+  for (const repair::RepairEvent& e : repair_events) {
+    events.Append(e.ToJson());
+  }
+  obj.Set("repair_events", std::move(events));
   return obj;
 }
 
@@ -140,6 +145,12 @@ std::string DiagnosisReport::ToText() const {
   out += "suggested actions:\n";
   if (suggestions.empty()) out += "  (none)\n";
   for (const std::string& s : suggestions) out += "  - " + s + "\n";
+  if (!repair_events.empty()) {
+    out += "repair audit trail:\n";
+    for (const repair::RepairEvent& e : repair_events) {
+      out += "  * " + e.ToString() + "\n";
+    }
+  }
   if (data_quality.degraded()) {
     out += StrFormat("data quality: DEGRADED (confidence %.2f)\n",
                      data_quality.confidence);

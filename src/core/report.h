@@ -7,6 +7,7 @@
 #include "anomaly/phenomenon.h"
 #include "core/diagnoser.h"
 #include "logstore/log_store.h"
+#include "repair/events.h"
 #include "repair/rule_engine.h"
 #include "util/json.h"
 
@@ -35,6 +36,10 @@ struct DiagnosisReport {
   /// Telemetry health of the inputs this diagnosis consumed: faults seen,
   /// stages degraded, and the resulting confidence caveat.
   DataQuality data_quality;
+  /// Supervised-repair audit trail for this case (attempts, outcomes,
+  /// retries, rollbacks, breaker transitions). Populated by the caller
+  /// from RepairSupervisor::events() when actions were executed.
+  std::vector<repair::RepairEvent> repair_events;
 
   /// Machine-readable rendering (stable key order).
   Json ToJson() const;

@@ -131,6 +131,22 @@ void Engine::SetCostMultiplier(uint64_t sql_id, double cpu_factor,
                                              rows_factor};
 }
 
+Engine::CostFactors Engine::GetCostMultiplier(uint64_t sql_id) const {
+  auto it = cost_multipliers_.find(sql_id);
+  if (it == cost_multipliers_.end()) return CostFactors{};
+  return CostFactors{it->second.cpu, it->second.io, it->second.rows};
+}
+
+bool Engine::IsThrottled(uint64_t sql_id) const {
+  return throttles_.find(sql_id) != throttles_.end();
+}
+
+double Engine::ThrottleMaxQps(uint64_t sql_id) const {
+  auto it = throttles_.find(sql_id);
+  assert(it != throttles_.end());
+  return it->second.max_qps;
+}
+
 void Engine::SetCpuCores(double cores) {
   assert(cores > 0.0);
   config_.cpu_cores = cores;

@@ -78,6 +78,21 @@ class Engine {
   void SetCostMultiplier(uint64_t sql_id, double cpu_factor,
                          double io_factor, double rows_factor);
 
+  /// Current demand scaling of a template (all 1.0 when untouched). The
+  /// repair supervisor snapshots this before an optimize action so a failed
+  /// verification window can restore the exact prior state.
+  struct CostFactors {
+    double cpu = 1.0;
+    double io = 1.0;
+    double rows = 1.0;
+  };
+  CostFactors GetCostMultiplier(uint64_t sql_id) const;
+
+  /// Whether a throttle is currently installed for the template, and its
+  /// cap (valid only when IsThrottled returns true).
+  bool IsThrottled(uint64_t sql_id) const;
+  double ThrottleMaxQps(uint64_t sql_id) const;
+
   /// Instance auto-scaling.
   void SetCpuCores(double cores);
   double cpu_cores() const { return config_.cpu_cores; }

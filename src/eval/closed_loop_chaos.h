@@ -1,0 +1,84 @@
+#ifndef PINSQL_EVAL_CLOSED_LOOP_CHAOS_H_
+#define PINSQL_EVAL_CLOSED_LOOP_CHAOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/action_faults.h"
+#include "repair/supervisor.h"
+
+namespace pinsql::eval {
+
+/// ClosedLoopChaos: the full autonomy loop — dbsim scenario -> anomaly
+/// detection -> Diagnose() -> supervised repair -> recovery check — re-run
+/// under action-layer fault injection. Each severity replays the *same*
+/// seeded cases with the repair control plane failing at that severity;
+/// severity 0 is the perfect-control-plane reference.
+struct ClosedLoopOptions {
+  int num_cases = 6;
+  uint64_t seed = 42;
+  /// Fleet mode: cases are independent; results are folded in case order,
+  /// so scores are identical to the serial run.
+  int num_threads = 1;
+
+  /// Action-fault plan; `plan.severity` is overridden per sweep point.
+  faults::ActionFaultPlan plan;
+  std::vector<double> severities = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  /// Supervisor policies; `supervisor.seed` is re-derived per case.
+  repair::SupervisorOptions supervisor;
+
+  /// The harness re-applies the repair after a failed or rolled-back
+  /// action (the "closed loop"), up to this many attempted lifecycles.
+  int max_repair_rounds = 4;
+
+  // Compressed-day timeline (seconds).
+  int64_t anomaly_start_sec = 300;
+  int64_t repair_at_sec = 600;   // diagnosis runs on metrics up to here
+  int64_t day_end_sec = 1100;
+  int64_t tick_interval_sec = 30;
+};
+
+/// One case under one severity.
+struct ClosedLoopCaseOutcome {
+  bool diagnosed_correctly = false;
+  bool recovered = false;
+  /// Seconds from the first successful application to the first tick back
+  /// under the recovery threshold; < 0 when the case never recovered.
+  double time_to_recover_sec = -1.0;
+  bool any_rollback = false;
+  bool events_consistent = true;
+  repair::SupervisorStats stats;
+  faults::ActionFaultStats injected;
+  double baseline_session = 0.0;
+  double anomaly_session = 0.0;
+  double final_session = 0.0;
+};
+
+/// Aggregates of one severity sweep point.
+struct ClosedLoopPoint {
+  double severity = 0.0;
+  size_t cases = 0;
+  size_t recovered = 0;
+  size_t diagnosed_correctly = 0;
+  size_t cases_with_rollback = 0;
+  size_t events_consistent = 0;
+  /// Mean over recovered cases; < 0 when none recovered.
+  double mean_time_to_recover_sec = -1.0;
+  repair::SupervisorStats stats;     // summed over cases
+  faults::ActionFaultStats injected; // summed over cases
+};
+
+/// Runs one case (deterministic in (options, severity, index)).
+ClosedLoopCaseOutcome RunClosedLoopCase(const ClosedLoopOptions& options,
+                                        double severity, size_t index);
+
+/// Runs the severity sweep. Never throws or aborts on injected action
+/// faults: every action lifecycle terminates in a typed RepairEvent
+/// outcome, and the per-case accounting is cross-checked.
+std::vector<ClosedLoopPoint> RunClosedLoopChaos(
+    const ClosedLoopOptions& options);
+
+}  // namespace pinsql::eval
+
+#endif  // PINSQL_EVAL_CLOSED_LOOP_CHAOS_H_

@@ -1,0 +1,53 @@
+#include "faults/action_faults.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace pinsql::faults {
+
+std::string ActionFaultStats::ToString() const {
+  return StrFormat("attempts=%zu failed=%zu delayed=%zu partial=%zu",
+                   attempts_seen, attempts_failed, applications_delayed,
+                   applications_partial);
+}
+
+repair::ActionFaultDecision ActionFaultInjector::OnAttempt(
+    const repair::RepairAction& action, uint64_t ticket, int attempt,
+    double now_ms) {
+  (void)action;
+  (void)now_ms;
+  ++stats_.attempts_seen;
+  repair::ActionFaultDecision decision;
+  const double s = std::clamp(plan_.severity, 0.0, 1.0);
+  if (s <= 0.0) return decision;
+
+  // One fresh engine per (seed, ticket, attempt): the decision depends only
+  // on the plan and the attempt's identity, never on injector call order.
+  uint64_t z = plan_.seed ^ (ticket * 0x9E3779B97F4A7C15ULL +
+                             static_cast<uint64_t>(attempt));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  Rng rng(z ^ (z >> 31));
+
+  if (rng.Bernoulli(s * plan_.fail_rate)) {
+    decision.fail = true;
+    ++stats_.attempts_failed;
+    return decision;
+  }
+  if (rng.Bernoulli(s * plan_.delay_rate)) {
+    decision.delay_ms = rng.Uniform(0.0, s * plan_.max_delay_ms);
+    ++stats_.applications_delayed;
+  }
+  if (rng.Bernoulli(s * plan_.partial_rate)) {
+    // Higher severity pulls the floor down toward min_partial_fraction.
+    const double floor =
+        1.0 - s * (1.0 - plan_.min_partial_fraction);
+    decision.partial_fraction = rng.Uniform(floor, 1.0);
+    ++stats_.applications_partial;
+  }
+  return decision;
+}
+
+}  // namespace pinsql::faults

@@ -1,0 +1,69 @@
+#ifndef PINSQL_FAULTS_ACTION_FAULTS_H_
+#define PINSQL_FAULTS_ACTION_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "repair/supervisor.h"
+
+namespace pinsql::faults {
+
+/// Seeded fault plan for the repair control plane, mirroring FaultPlan's
+/// contract: `severity` in [0, 1] scales every rate linearly and severity 0
+/// is a guaranteed no-op (the supervised path is bit-identical to the
+/// direct one). Identical (seed, severity) plans perturb identically.
+struct ActionFaultPlan {
+  uint64_t seed = 1;
+  double severity = 0.0;
+
+  /// Per-attempt probabilities at severity 1 (scaled down linearly).
+  double fail_rate = 0.55;     // transient control-plane failure
+  double delay_rate = 0.35;    // application lands late
+  double partial_rate = 0.35;  // action lands at reduced strength
+
+  /// Delay magnitude at severity 1: Uniform(0, max_delay_ms). With the
+  /// default retry budget of 2000 ms this makes some delays absorbable and
+  /// some attempt-fatal, exactly the gray zone worth testing.
+  double max_delay_ms = 5000.0;
+  /// Weakest partial application at severity 1: fraction drawn from
+  /// Uniform(min_partial_fraction, 1).
+  double min_partial_fraction = 0.15;
+
+  ActionFaultPlan WithSeverity(double s) const {
+    ActionFaultPlan copy = *this;
+    copy.severity = s;
+    return copy;
+  }
+};
+
+/// What the injector actually did (summed over a supervisor's lifetime).
+struct ActionFaultStats {
+  size_t attempts_seen = 0;
+  size_t attempts_failed = 0;
+  size_t applications_delayed = 0;
+  size_t applications_partial = 0;
+  std::string ToString() const;
+};
+
+/// Chaos hook for RepairSupervisor: decides per (ticket, attempt) whether
+/// the control plane drops, delays or weakens the action. Stateless apart
+/// from counters — every decision derives from (plan.seed, ticket,
+/// attempt), so outcomes are independent of call order and thread count.
+class ActionFaultInjector : public repair::ActionFaultHook {
+ public:
+  explicit ActionFaultInjector(ActionFaultPlan plan) : plan_(plan) {}
+
+  repair::ActionFaultDecision OnAttempt(const repair::RepairAction& action,
+                                        uint64_t ticket, int attempt,
+                                        double now_ms) override;
+
+  const ActionFaultStats& stats() const { return stats_; }
+
+ private:
+  ActionFaultPlan plan_;
+  ActionFaultStats stats_;
+};
+
+}  // namespace pinsql::faults
+
+#endif  // PINSQL_FAULTS_ACTION_FAULTS_H_

@@ -1,6 +1,7 @@
 #include "repair/actions.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/strings.h"
 
@@ -25,27 +26,66 @@ std::string RepairAction::ToString() const {
                        HashToHex(sql_id).c_str(), throttle_max_qps,
                        static_cast<long long>(throttle_duration_sec));
     case ActionType::kOptimize:
-      return StrFormat("optimize sql=%s cpu_factor=%.2f rows_factor=%.2f",
-                       HashToHex(sql_id).c_str(), optimize_cpu_factor,
-                       optimize_rows_factor);
+      return StrFormat(
+          "optimize sql=%s cpu_factor=%.2f io_factor=%.2f rows_factor=%.2f",
+          HashToHex(sql_id).c_str(), optimize_cpu_factor,
+          effective_io_factor(), optimize_rows_factor);
     case ActionType::kAutoScale:
       return StrFormat("autoscale add_cores=%.1f", autoscale_add_cores);
   }
   return "unknown";
 }
 
-void ActionExecutor::Execute(const RepairAction& action, double now_ms) {
+RepairAction ScaleActionEffect(const RepairAction& action, double fraction) {
+  assert(fraction > 0.0 && fraction <= 1.0);
+  RepairAction out = action;
+  if (fraction >= 1.0) return out;
   switch (action.type) {
     case ActionType::kThrottle:
-      engine_->SetThrottle(action.sql_id, action.throttle_max_qps);
-      throttles_.push_back(
-          {action.sql_id,
-           now_ms + 1000.0 * static_cast<double>(
-                                 action.throttle_duration_sec)});
+      // A weaker throttle admits proportionally more traffic.
+      out.throttle_max_qps = action.throttle_max_qps / fraction;
       break;
     case ActionType::kOptimize:
+      // Cost fractions interpolate toward 1 (no optimization).
+      out.optimize_cpu_factor =
+          1.0 - fraction * (1.0 - action.optimize_cpu_factor);
+      out.optimize_io_factor =
+          1.0 - fraction * (1.0 - action.effective_io_factor());
+      out.optimize_rows_factor =
+          1.0 - fraction * (1.0 - action.optimize_rows_factor);
+      break;
+    case ActionType::kAutoScale:
+      out.autoscale_add_cores = fraction * action.autoscale_add_cores;
+      out.autoscale_io_factor =
+          1.0 + fraction * (action.autoscale_io_factor - 1.0);
+      break;
+  }
+  return out;
+}
+
+void ActionExecutor::Execute(const RepairAction& action, double now_ms) {
+  switch (action.type) {
+    case ActionType::kThrottle: {
+      engine_->SetThrottle(action.sql_id, action.throttle_max_qps);
+      const double expires_ms =
+          now_ms +
+          1000.0 * static_cast<double>(action.throttle_duration_sec);
+      // Re-throttle replaces the existing entry: keeping both would let the
+      // earlier entry's expiry lift the newer throttle prematurely.
+      auto it = std::find_if(throttles_.begin(), throttles_.end(),
+                             [&](const ActiveThrottle& t) {
+                               return t.sql_id == action.sql_id;
+                             });
+      if (it != throttles_.end()) {
+        it->expires_ms = expires_ms;
+      } else {
+        throttles_.push_back({action.sql_id, expires_ms});
+      }
+      break;
+    }
+    case ActionType::kOptimize:
       engine_->SetCostMultiplier(action.sql_id, action.optimize_cpu_factor,
-                                 action.optimize_cpu_factor,
+                                 action.effective_io_factor(),
                                  action.optimize_rows_factor);
       break;
     case ActionType::kAutoScale:
@@ -59,18 +99,33 @@ void ActionExecutor::Execute(const RepairAction& action, double now_ms) {
       StrFormat("t=%.0fms %s", now_ms, action.ToString().c_str()));
 }
 
-void ActionExecutor::ExpireThrottles(double now_ms) {
+std::vector<uint64_t> ActionExecutor::ExpireThrottles(double now_ms) {
+  std::vector<uint64_t> expired;
   auto it = throttles_.begin();
   while (it != throttles_.end()) {
     if (it->expires_ms <= now_ms) {
       engine_->ClearThrottle(it->sql_id);
       audit_log_.push_back(StrFormat("t=%.0fms unthrottle sql=%s", now_ms,
                                      HashToHex(it->sql_id).c_str()));
+      expired.push_back(it->sql_id);
       it = throttles_.erase(it);
     } else {
       ++it;
     }
   }
+  return expired;
+}
+
+bool ActionExecutor::CancelThrottle(uint64_t sql_id, double now_ms) {
+  auto it = std::find_if(
+      throttles_.begin(), throttles_.end(),
+      [&](const ActiveThrottle& t) { return t.sql_id == sql_id; });
+  if (it == throttles_.end()) return false;
+  engine_->ClearThrottle(sql_id);
+  audit_log_.push_back(StrFormat("t=%.0fms unthrottle sql=%s (cancelled)",
+                                 now_ms, HashToHex(sql_id).c_str()));
+  throttles_.erase(it);
+  return true;
 }
 
 }  // namespace pinsql::repair

@@ -19,6 +19,9 @@ enum class ActionType {
 
 const char* ActionTypeName(ActionType type);
 
+/// Sentinel for optimize_io_factor: follow optimize_cpu_factor.
+inline constexpr double kFollowCpuFactor = -1.0;
+
 /// One concrete action against an R-SQL or the instance.
 struct RepairAction {
   ActionType type = ActionType::kThrottle;
@@ -30,8 +33,11 @@ struct RepairAction {
   int64_t throttle_duration_sec = 600;
 
   // kOptimize parameters: remaining cost fractions after optimization
-  // (e.g. 0.1 = the optimized plan costs 10 % of the original).
+  // (e.g. 0.1 = the optimized plan costs 10 % of the original). The IO
+  // fraction defaults to the CPU fraction (kFollowCpuFactor) so existing
+  // configs keep their behavior; set it explicitly for IO-bound plans.
   double optimize_cpu_factor = 0.1;
+  double optimize_io_factor = kFollowCpuFactor;
   double optimize_rows_factor = 0.1;
 
   // kAutoScale parameters: a class upgrade adds CPU cores and multiplies
@@ -39,8 +45,22 @@ struct RepairAction {
   double autoscale_add_cores = 8.0;
   double autoscale_io_factor = 2.0;
 
+  /// The IO cost fraction actually applied (resolves the follow-CPU
+  /// sentinel).
+  double effective_io_factor() const {
+    return optimize_io_factor < 0.0 ? optimize_cpu_factor
+                                    : optimize_io_factor;
+  }
+
   std::string ToString() const;
 };
+
+/// Weakens an action to `fraction` of its intended effect (models partial
+/// application by a flaky control plane). fraction=1 returns the action
+/// unchanged; fraction->0 approaches a no-op: a partial throttle admits
+/// more QPS, a partial optimization leaves cost fractions closer to 1, a
+/// partial autoscale adds fewer cores.
+RepairAction ScaleActionEffect(const RepairAction& action, double fraction);
 
 /// Applies actions to a simulated instance and expires throttles. In
 /// production these calls would go to the database's control plane; the
@@ -50,12 +70,21 @@ class ActionExecutor {
  public:
   explicit ActionExecutor(dbsim::Engine* engine) : engine_(engine) {}
 
-  /// Executes one action at simulation time now_ms.
+  /// Executes one action at simulation time now_ms. Re-throttling an
+  /// already-throttled template replaces the existing entry (new cap, new
+  /// expiry) instead of stacking a second one.
   void Execute(const RepairAction& action, double now_ms);
 
-  /// Lifts throttles whose duration elapsed. Call when simulation time
-  /// advances (e.g. once per simulated segment).
-  void ExpireThrottles(double now_ms);
+  /// Lifts throttles whose duration elapsed and returns their sql_ids.
+  /// Call when simulation time advances (e.g. once per simulated segment).
+  std::vector<uint64_t> ExpireThrottles(double now_ms);
+
+  /// Lifts a throttle before its expiry (rollback / manual un-throttle).
+  /// Returns false when the template is not throttled.
+  bool CancelThrottle(uint64_t sql_id, double now_ms);
+
+  /// Throttles currently installed (guardrail accounting).
+  size_t ActiveThrottleCount() const { return throttles_.size(); }
 
   /// Actions executed so far (audit log).
   const std::vector<std::string>& audit_log() const { return audit_log_; }

@@ -62,23 +62,97 @@ StatusOr<RepairRule> RuleFromJson(const Json& json) {
         params->GetNumberOr("duration_sec",
                             static_cast<double>(
                                 rule.action.throttle_duration_sec)));
+    if (rule.action.throttle_max_qps < 0.0) {
+      return Status::OutOfRange(StrFormat(
+          "throttle max_qps must be >= 0, got %.3f",
+          rule.action.throttle_max_qps));
+    }
+    if (rule.action.throttle_duration_sec <= 0) {
+      return Status::OutOfRange(StrFormat(
+          "throttle duration_sec must be positive, got %lld",
+          static_cast<long long>(rule.action.throttle_duration_sec)));
+    }
   } else if (action == "optimize") {
     rule.action.type = ActionType::kOptimize;
     rule.action.optimize_cpu_factor =
         params->GetNumberOr("cpu_factor", rule.action.optimize_cpu_factor);
+    // The IO fraction follows the CPU fraction unless given explicitly. An
+    // explicit value is validated as given: a negative io_factor must not
+    // silently alias into the follow-CPU sentinel.
+    rule.action.optimize_io_factor =
+        params->GetNumberOr("io_factor", kFollowCpuFactor);
+    if (params->Find("io_factor") != nullptr &&
+        (rule.action.optimize_io_factor <= 0.0 ||
+         rule.action.optimize_io_factor > 1.0)) {
+      return Status::OutOfRange(StrFormat(
+          "optimize io_factor must be in (0, 1], got %.3f",
+          rule.action.optimize_io_factor));
+    }
     rule.action.optimize_rows_factor =
         params->GetNumberOr("rows_factor", rule.action.optimize_rows_factor);
+    for (const double factor : {rule.action.optimize_cpu_factor,
+                                rule.action.effective_io_factor(),
+                                rule.action.optimize_rows_factor}) {
+      if (factor <= 0.0 || factor > 1.0) {
+        return Status::OutOfRange(StrFormat(
+            "optimize cost fractions must be in (0, 1], got %.3f", factor));
+      }
+    }
   } else if (action == "autoscale") {
     rule.action.type = ActionType::kAutoScale;
     rule.action.autoscale_add_cores =
         params->GetNumberOr("add_cores", rule.action.autoscale_add_cores);
     rule.action.autoscale_io_factor =
         params->GetNumberOr("io_factor", rule.action.autoscale_io_factor);
+    if (rule.action.autoscale_add_cores <= 0.0) {
+      return Status::OutOfRange(StrFormat(
+          "autoscale add_cores must be positive, got %.3f",
+          rule.action.autoscale_add_cores));
+    }
+    if (rule.action.autoscale_io_factor <= 0.0) {
+      return Status::OutOfRange(StrFormat(
+          "autoscale io_factor must be positive, got %.3f",
+          rule.action.autoscale_io_factor));
+    }
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown action '%s'", action.c_str()));
   }
   return rule;
+}
+
+Json RuleToJson(const RepairRule& rule) {
+  Json obj = Json::MakeObject();
+  obj.Set("anomaly", rule.anomaly);
+  if (!rule.template_feature.empty()) {
+    obj.Set("template_feature", rule.template_feature);
+  }
+  obj.Set("action", ActionTypeName(rule.action.type));
+  Json params = Json::MakeObject();
+  switch (rule.action.type) {
+    case ActionType::kThrottle:
+      params.Set("max_qps", rule.action.throttle_max_qps);
+      params.Set("duration_sec",
+                 static_cast<int64_t>(rule.action.throttle_duration_sec));
+      break;
+    case ActionType::kOptimize:
+      params.Set("cpu_factor", rule.action.optimize_cpu_factor);
+      params.Set("io_factor", rule.action.effective_io_factor());
+      params.Set("rows_factor", rule.action.optimize_rows_factor);
+      break;
+    case ActionType::kAutoScale:
+      params.Set("add_cores", rule.action.autoscale_add_cores);
+      params.Set("io_factor", rule.action.autoscale_io_factor);
+      break;
+  }
+  obj.Set("params", std::move(params));
+  obj.Set("auto_execute", rule.auto_execute);
+  if (!rule.notify.empty()) {
+    Json notify = Json::MakeArray();
+    for (const std::string& channel : rule.notify) notify.Append(channel);
+    obj.Set("notify", std::move(notify));
+  }
+  return obj;
 }
 
 }  // namespace
@@ -122,6 +196,14 @@ StatusOr<RepairRuleEngine> RepairRuleEngine::FromJsonText(
   StatusOr<Json> json = Json::Parse(text);
   if (!json.ok()) return json.status();
   return FromJson(*json);
+}
+
+Json RepairRuleEngine::ToJson() const {
+  Json rules = Json::MakeArray();
+  for (const RepairRule& rule : rules_) rules.Append(RuleToJson(rule));
+  Json obj = Json::MakeObject();
+  obj.Set("rules", std::move(rules));
+  return obj;
 }
 
 std::vector<Suggestion> RepairRuleEngine::Suggest(

@@ -61,6 +61,10 @@ class RepairRuleEngine {
   /// Convenience: parse from JSON text.
   static StatusOr<RepairRuleEngine> FromJsonText(std::string_view text);
 
+  /// Serializes the configuration back to the FromJson schema (round-trip
+  /// safe: FromJson(ToJson()) reproduces the effective policy).
+  Json ToJson() const;
+
   const std::vector<RepairRule>& rules() const { return rules_; }
 
   /// Matches every (phenomenon, R-SQL) pair against the rules. At most one

@@ -1,0 +1,414 @@
+#include "repair/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace pinsql::repair {
+
+namespace {
+
+/// Absolute slack on verification comparisons: metrics like active session
+/// hover near zero on a healthy instance, where pure relative margins are
+/// meaningless.
+constexpr double kVerifyAbsSlack = 0.5;
+
+}  // namespace
+
+GuardrailPolicy GuardrailPolicy::Strict() {
+  GuardrailPolicy p;
+  p.max_concurrent_throttles = 2;
+  p.min_throttle_qps = 0.5;
+  p.max_throttle_duration_sec = 3600;
+  p.min_optimize_factor = 0.02;
+  p.max_added_cores_total = 16.0;
+  p.per_sql_cooldown_sec = 300;
+  return p;
+}
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+RepairSupervisor::RepairSupervisor(dbsim::Engine* engine,
+                                   SupervisorOptions options,
+                                   ActionFaultHook* fault_hook)
+    : engine_(engine),
+      options_(options),
+      fault_hook_(fault_hook),
+      executor_(engine) {}
+
+void RepairSupervisor::Emit(double time_ms, RepairEventKind kind,
+                            const RepairAction& action, uint64_t ticket,
+                            int attempt, std::string detail) {
+  RepairEvent e;
+  e.time_ms = time_ms;
+  e.kind = kind;
+  e.action = action.type;
+  e.sql_id = action.sql_id;
+  e.ticket = ticket;
+  e.attempt = attempt;
+  e.detail = std::move(detail);
+  events_.push_back(std::move(e));
+}
+
+RepairSupervisor::Breaker& RepairSupervisor::BreakerFor(ActionType type) {
+  return breakers_[type];
+}
+
+void RepairSupervisor::CoolBreaker(ActionType type, double now_ms) {
+  Breaker& br = breakers_[type];
+  if (br.state == BreakerState::kOpen &&
+      now_ms >= br.opened_at_ms + options_.breaker.open_cooldown_ms) {
+    br.state = BreakerState::kHalfOpen;
+    RepairAction probe;
+    probe.type = type;
+    probe.sql_id = 0;
+    Emit(now_ms, RepairEventKind::kBreakerHalfOpen, probe, 0, 0,
+         "cooldown elapsed; one trial admitted");
+  }
+}
+
+BreakerState RepairSupervisor::breaker_state(ActionType type) const {
+  auto it = breakers_.find(type);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+std::string RepairSupervisor::DefaultKey(const RepairAction& action) const {
+  return StrFormat("%s:%s", ActionTypeName(action.type),
+                   HashToHex(action.sql_id).c_str());
+}
+
+double RepairSupervisor::JitterFactor(uint64_t ticket, int attempt) {
+  const double j = options_.retry.jitter_fraction;
+  if (j <= 0.0) return 1.0;
+  // Stateless seeded draw: (seed, ticket, attempt) fully determine the
+  // jitter, independent of call order and thread count.
+  const uint64_t mix = options_.seed +
+                       ticket * 0x9E3779B97F4A7C15ULL +
+                       static_cast<uint64_t>(attempt) * 0xBF58476D1CE4E5B9ULL;
+  Rng rng(mix);
+  return 1.0 + j * rng.Uniform(-1.0, 1.0);
+}
+
+Status RepairSupervisor::Preflight(const RepairAction& action,
+                                   double now_ms) const {
+  const GuardrailPolicy& g = options_.guardrails;
+  switch (action.type) {
+    case ActionType::kThrottle:
+      if (action.throttle_max_qps < g.min_throttle_qps) {
+        return Status::FailedPrecondition(StrFormat(
+            "throttle cap %.2f qps below policy floor %.2f qps",
+            action.throttle_max_qps, g.min_throttle_qps));
+      }
+      if (action.throttle_duration_sec <= 0 ||
+          action.throttle_duration_sec > g.max_throttle_duration_sec) {
+        return Status::FailedPrecondition(StrFormat(
+            "throttle duration %llds outside (0, %llds]",
+            static_cast<long long>(action.throttle_duration_sec),
+            static_cast<long long>(g.max_throttle_duration_sec)));
+      }
+      // Replacing an installed throttle does not add a concurrent one.
+      if (!engine_->IsThrottled(action.sql_id) &&
+          executor_.ActiveThrottleCount() >= g.max_concurrent_throttles) {
+        return Status::FailedPrecondition(StrFormat(
+            "%zu throttles already active (policy max %zu)",
+            executor_.ActiveThrottleCount(), g.max_concurrent_throttles));
+      }
+      break;
+    case ActionType::kOptimize: {
+      const double cpu = action.optimize_cpu_factor;
+      const double io = action.effective_io_factor();
+      const double rows = action.optimize_rows_factor;
+      if (cpu < g.min_optimize_factor || cpu > 1.0 ||
+          io < g.min_optimize_factor || io > 1.0 ||
+          rows < g.min_optimize_factor || rows > 1.0) {
+        return Status::FailedPrecondition(StrFormat(
+            "optimize factors (cpu=%.3f io=%.3f rows=%.3f) outside "
+            "[%.3f, 1]",
+            cpu, io, rows, g.min_optimize_factor));
+      }
+      break;
+    }
+    case ActionType::kAutoScale:
+      if (action.autoscale_add_cores <= 0.0) {
+        return Status::FailedPrecondition("autoscale must add cores");
+      }
+      if (added_cores_total_ + action.autoscale_add_cores >
+          g.max_added_cores_total) {
+        return Status::FailedPrecondition(StrFormat(
+            "adding %.1f cores would exceed the %.1f-core budget "
+            "(%.1f already added)",
+            action.autoscale_add_cores, g.max_added_cores_total,
+            added_cores_total_));
+      }
+      break;
+  }
+  if (g.per_sql_cooldown_sec > 0) {
+    auto it = last_applied_ms_.find(action.sql_id);
+    if (it != last_applied_ms_.end() &&
+        now_ms <
+            it->second + 1000.0 * static_cast<double>(g.per_sql_cooldown_sec)) {
+      return Status::FailedPrecondition(StrFormat(
+          "sql %s in cooldown until t=%.0fms",
+          HashToHex(action.sql_id).c_str(),
+          it->second + 1000.0 * static_cast<double>(g.per_sql_cooldown_sec)));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<ApplyOutcome> RepairSupervisor::Apply(
+    const RepairAction& action, double now_ms, double observed_metric,
+    const std::string& idempotency_key) {
+  const uint64_t ticket = ++last_ticket_;
+  const std::string key =
+      idempotency_key.empty() ? DefaultKey(action) : idempotency_key;
+
+  // Idempotency: while an action with this key is still active, a repeat
+  // diagnosis trigger must not double-apply.
+  for (const ActiveAction& a : active_) {
+    if (a.key == key) {
+      ++stats_.duplicates_suppressed;
+      Emit(now_ms, RepairEventKind::kDuplicate, action, ticket, 0,
+           StrFormat("key '%s' already active (ticket %llu)", key.c_str(),
+                     static_cast<unsigned long long>(a.ticket)));
+      ApplyOutcome out;
+      out.code = ApplyOutcome::Code::kDuplicate;
+      out.ticket = a.ticket;
+      out.attempts = 0;
+      out.applied_ms = a.applied_ms;
+      return out;
+    }
+  }
+
+  // Circuit breaker.
+  CoolBreaker(action.type, now_ms);
+  Breaker& br = BreakerFor(action.type);
+  if (br.state == BreakerState::kOpen) {
+    ++stats_.breaker_rejected;
+    Emit(now_ms, RepairEventKind::kBreakerRejected, action, ticket, 0,
+         StrFormat("breaker open until t=%.0fms",
+                   br.opened_at_ms + options_.breaker.open_cooldown_ms));
+    return Status::FailedPrecondition(StrFormat(
+        "%s breaker open", ActionTypeName(action.type)));
+  }
+
+  // Guardrails.
+  if (Status preflight = Preflight(action, now_ms); !preflight.ok()) {
+    ++stats_.rejected;
+    Emit(now_ms, RepairEventKind::kRejected, action, ticket, 0,
+         preflight.message());
+    return preflight;
+  }
+
+  // Fault-tolerant execution: bounded retries with exponential backoff and
+  // deterministic jitter. Backoff is bookkept (events) rather than simulated.
+  const RetryPolicy& retry = options_.retry;
+  double backoff_ms = retry.initial_backoff_ms;
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    Emit(now_ms, RepairEventKind::kAttempt, action, ticket, attempt, "");
+    ActionFaultDecision decision;
+    if (fault_hook_ != nullptr) {
+      decision = fault_hook_->OnAttempt(action, ticket, attempt, now_ms);
+    }
+    if (decision.fail) {
+      Emit(now_ms, RepairEventKind::kAttemptFailed, action, ticket, attempt,
+           "transient control-plane failure");
+    } else if (decision.delay_ms > retry.attempt_timeout_ms) {
+      Emit(now_ms, RepairEventKind::kAttemptFailed, action, ticket, attempt,
+           StrFormat("application timed out (%.0fms > %.0fms budget)",
+                     decision.delay_ms, retry.attempt_timeout_ms));
+    } else {
+      // Success: land the (possibly partial, possibly delayed) action.
+      const double fraction =
+          std::clamp(decision.partial_fraction, 1e-3, 1.0);
+      const bool partial = fraction < 1.0;
+      const RepairAction effective = ScaleActionEffect(action, fraction);
+
+      ActiveAction active;
+      active.ticket = ticket;
+      active.key = key;
+      active.requested = action;
+      active.effective = effective;
+      active.applied_ms = now_ms + decision.delay_ms;
+      active.prior_cost = engine_->GetCostMultiplier(action.sql_id);
+      active.prior_cores = engine_->cpu_cores();
+      active.prior_io_capacity = engine_->io_capacity_ms_per_sec();
+
+      executor_.Execute(effective, active.applied_ms);
+      if (action.type == ActionType::kAutoScale) {
+        added_cores_total_ += effective.autoscale_add_cores;
+      }
+      last_applied_ms_[action.sql_id] = active.applied_ms;
+
+      if (options_.verify.enabled && observed_metric >= 0.0) {
+        active.verify_pending = true;
+        active.baseline_metric = observed_metric;
+        active.verify_deadline_ms =
+            active.applied_ms +
+            1000.0 * static_cast<double>(options_.verify.window_sec);
+      }
+
+      std::string detail;
+      if (partial) {
+        detail += StrFormat("partial application %.2f", fraction);
+      }
+      if (decision.delay_ms > 0.0) {
+        if (!detail.empty()) detail += ", ";
+        detail += StrFormat("applied %.0fms late", decision.delay_ms);
+      }
+      Emit(active.applied_ms, RepairEventKind::kApplied, action, ticket,
+           attempt, detail);
+      active_.push_back(std::move(active));
+
+      ++stats_.applied;
+      if (partial) ++stats_.partial_applications;
+      br.consecutive_failures = 0;
+      if (br.state == BreakerState::kHalfOpen) {
+        br.state = BreakerState::kClosed;
+        Emit(now_ms, RepairEventKind::kBreakerClosed, action, 0, 0,
+             "half-open trial succeeded");
+      }
+
+      ApplyOutcome out;
+      out.code = ApplyOutcome::Code::kApplied;
+      out.ticket = ticket;
+      out.attempts = attempt;
+      out.partial = partial;
+      out.applied_ms = now_ms + decision.delay_ms;
+      return out;
+    }
+
+    if (attempt < retry.max_attempts) {
+      ++stats_.retries;
+      const double jittered = backoff_ms * JitterFactor(ticket, attempt);
+      Emit(now_ms, RepairEventKind::kRetryScheduled, action, ticket, attempt,
+           StrFormat("backoff %.0fms", jittered));
+      backoff_ms *= retry.backoff_multiplier;
+    }
+  }
+
+  // Every attempt exhausted.
+  ++stats_.failed;
+  Emit(now_ms, RepairEventKind::kFailed, action, ticket,
+       retry.max_attempts,
+       StrFormat("gave up after %d attempts", retry.max_attempts));
+  ++br.consecutive_failures;
+  if (br.state == BreakerState::kHalfOpen ||
+      br.consecutive_failures >= options_.breaker.open_after_failures) {
+    br.state = BreakerState::kOpen;
+    br.opened_at_ms = now_ms;
+    br.consecutive_failures = 0;
+    ++stats_.breaker_opens;
+    Emit(now_ms, RepairEventKind::kBreakerOpened, action, 0, 0,
+         StrFormat("cooling down for %.0fms",
+                   options_.breaker.open_cooldown_ms));
+  }
+  return Status::Internal(StrFormat(
+      "%s on sql %s failed after %d attempts", ActionTypeName(action.type),
+      HashToHex(action.sql_id).c_str(), retry.max_attempts));
+}
+
+void RepairSupervisor::Rollback(const ActiveAction& action, double now_ms,
+                                const std::string& reason) {
+  switch (action.effective.type) {
+    case ActionType::kThrottle:
+      executor_.CancelThrottle(action.effective.sql_id, now_ms);
+      break;
+    case ActionType::kOptimize:
+      engine_->SetCostMultiplier(action.effective.sql_id,
+                                 action.prior_cost.cpu,
+                                 action.prior_cost.io,
+                                 action.prior_cost.rows);
+      break;
+    case ActionType::kAutoScale:
+      engine_->SetCpuCores(action.prior_cores);
+      engine_->SetIoCapacity(action.prior_io_capacity);
+      added_cores_total_ -= action.effective.autoscale_add_cores;
+      break;
+  }
+  ++stats_.rollbacks;
+  Emit(now_ms, RepairEventKind::kRolledBack, action.requested, action.ticket,
+       0, reason);
+}
+
+void RepairSupervisor::Tick(double now_ms, double anomaly_metric) {
+  for (auto& [type, br] : breakers_) CoolBreaker(type, now_ms);
+
+  // Normal throttle expiry retires the matching active actions (and frees
+  // their idempotency keys).
+  const std::vector<uint64_t> expired = executor_.ExpireThrottles(now_ms);
+  for (uint64_t sql_id : expired) {
+    auto it = std::find_if(active_.begin(), active_.end(),
+                           [&](const ActiveAction& a) {
+                             return a.effective.type == ActionType::kThrottle &&
+                                    a.effective.sql_id == sql_id;
+                           });
+    if (it != active_.end()) {
+      Emit(now_ms, RepairEventKind::kExpired, it->requested, it->ticket, 0,
+           "throttle duration elapsed");
+      active_.erase(it);
+    }
+  }
+
+  // Verification windows. Iterate by index: Rollback mutates engine state
+  // only, but we erase from active_ below.
+  const VerificationPolicy& verify = options_.verify;
+  for (size_t i = 0; i < active_.size();) {
+    ActiveAction& a = active_[i];
+    if (!a.verify_pending || now_ms <= a.applied_ms) {
+      ++i;
+      continue;
+    }
+    const double baseline = a.baseline_metric;
+    bool rolled_back = false;
+    if (anomaly_metric >
+        baseline * verify.regression_factor + kVerifyAbsSlack) {
+      // The action made things worse: do not wait out the window.
+      Rollback(a, now_ms,
+               StrFormat("regression: metric %.1f > %.2fx baseline %.1f",
+                         anomaly_metric, verify.regression_factor, baseline));
+      rolled_back = true;
+    } else if (now_ms >= a.verify_deadline_ms) {
+      const double pass_below =
+          baseline * (1.0 - verify.improvement_margin) + kVerifyAbsSlack;
+      if (anomaly_metric <= pass_below) {
+        Emit(now_ms, RepairEventKind::kVerified, a.requested, a.ticket, 0,
+             StrFormat("metric %.1f improved vs baseline %.1f",
+                       anomaly_metric, baseline));
+        ++stats_.verified;
+        a.verify_pending = false;
+      } else {
+        Rollback(a, now_ms,
+                 StrFormat("no improvement: metric %.1f vs baseline %.1f "
+                           "(needed <= %.1f)",
+                           anomaly_metric, baseline, pass_below));
+        rolled_back = true;
+      }
+    }
+    if (rolled_back) {
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+Json RepairSupervisor::EventsJson() const {
+  Json arr = Json::MakeArray();
+  for (const RepairEvent& e : events_) arr.Append(e.ToJson());
+  return arr;
+}
+
+}  // namespace pinsql::repair

@@ -1,0 +1,230 @@
+#ifndef PINSQL_REPAIR_SUPERVISOR_H_
+#define PINSQL_REPAIR_SUPERVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "repair/actions.h"
+#include "repair/events.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace pinsql::repair {
+
+/// Per-attempt perturbation decided by an action-layer fault hook: the
+/// control plane can fail transiently, apply late, or apply partially.
+/// The default-constructed decision is a clean, full, immediate success.
+struct ActionFaultDecision {
+  bool fail = false;              // transient failure: the attempt is lost
+  double delay_ms = 0.0;          // application lands this much late
+  double partial_fraction = 1.0;  // (0, 1]: action lands at reduced strength
+};
+
+/// Consulted by the supervisor before every execution attempt. Implemented
+/// by faults::ActionFaultInjector (seeded chaos); a null hook means the
+/// control plane is perfect. (ticket, attempt) identify the attempt, so
+/// stateless implementations stay deterministic under any call order.
+class ActionFaultHook {
+ public:
+  virtual ~ActionFaultHook() = default;
+  virtual ActionFaultDecision OnAttempt(const RepairAction& action,
+                                        uint64_t ticket, int attempt,
+                                        double now_ms) = 0;
+};
+
+/// Preflight policy limits, checked before any attempt. The defaults are
+/// permissive enough for the paper's case studies; Strict() models a
+/// cautious production tenant.
+struct GuardrailPolicy {
+  /// Reject a new throttle when this many are already installed.
+  size_t max_concurrent_throttles = 8;
+  /// A throttle below this cap would starve the tenant outright.
+  double min_throttle_qps = 0.1;
+  /// Throttle durations must be positive and bounded.
+  int64_t max_throttle_duration_sec = 24 * 3600;
+  /// Optimize cost fractions must stay in [min_optimize_factor, 1].
+  double min_optimize_factor = 0.005;
+  /// Total cores the supervisor may add across all autoscales.
+  double max_added_cores_total = 64.0;
+  /// Refuse a second action on the same sql_id within this many seconds of
+  /// the previous successful application (0 disables the cooldown).
+  int64_t per_sql_cooldown_sec = 0;
+
+  static GuardrailPolicy Strict();
+};
+
+/// Bounded retries with exponential backoff and seeded jitter. Backoff is
+/// bookkeeping time (recorded in events), not simulation time: attempts of
+/// one Apply() resolve synchronously against the engine.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double initial_backoff_ms = 200.0;
+  double backoff_multiplier = 2.0;
+  /// Jitter fraction j: each backoff is scaled by a deterministic factor
+  /// drawn uniformly from [1-j, 1+j] (seeded by ticket and attempt).
+  double jitter_fraction = 0.2;
+  /// An application delayed beyond this budget counts as a failed attempt.
+  double attempt_timeout_ms = 2000.0;
+};
+
+/// Per-action-type circuit breaker: opens after repeated exhausted
+/// lifecycles, rejects while open, admits one trial after a cooldown.
+struct BreakerPolicy {
+  int open_after_failures = 3;
+  double open_cooldown_ms = 120'000.0;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+const char* BreakerStateName(BreakerState state);
+
+/// Post-action verification: after an application, the supervisor watches
+/// the anomaly metric (fed via Tick) for `window_sec`; if the metric fails
+/// to improve by `improvement_margin` relative to the at-apply baseline —
+/// or regresses past `regression_factor` at any tick inside the window —
+/// the action is rolled back.
+struct VerificationPolicy {
+  int64_t window_sec = 120;
+  double improvement_margin = 0.05;
+  double regression_factor = 1.25;
+  /// Disables verification (and hence rollback) entirely.
+  bool enabled = true;
+};
+
+struct SupervisorOptions {
+  GuardrailPolicy guardrails;
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  VerificationPolicy verify;
+  /// Seeds the backoff jitter stream; fixed seed => fully deterministic
+  /// retry timing.
+  uint64_t seed = 1;
+};
+
+/// Result of a successful (or suppressed-duplicate) Apply().
+struct ApplyOutcome {
+  enum class Code { kApplied, kDuplicate };
+  Code code = Code::kApplied;
+  uint64_t ticket = 0;
+  int attempts = 1;
+  /// The action actually landed weaker than requested.
+  bool partial = false;
+  /// Effective application time (now_ms + injected delay, if any).
+  double applied_ms = 0.0;
+};
+
+/// Counters summarizing a supervisor's lifetime (all derivable from the
+/// event stream; kept separately for cheap assertions and benches).
+struct SupervisorStats {
+  size_t applied = 0;
+  size_t partial_applications = 0;
+  size_t duplicates_suppressed = 0;
+  size_t rejected = 0;
+  size_t breaker_rejected = 0;
+  size_t failed = 0;
+  size_t attempts = 0;
+  size_t retries = 0;
+  size_t rollbacks = 0;
+  size_t verified = 0;
+  size_t breaker_opens = 0;
+};
+
+/// Closed-loop repair supervisor: wraps ActionExecutor in the full safety
+/// lifecycle — preflight guardrails, fault-tolerant execution with retry /
+/// backoff and a per-action-type circuit breaker, post-action verification
+/// windows with automatic rollback, idempotency suppression, and a typed
+/// event audit trail.
+///
+/// Time is simulation time, driven by the caller: Apply() at the moment an
+/// action is decided, Tick() whenever the simulation advances (it expires
+/// throttles, settles verification windows and cools breakers). With no
+/// fault hook and default policies the engine mutations are exactly the
+/// plain ActionExecutor sequence, so the unsupervised path is the severity-0
+/// special case.
+class RepairSupervisor {
+ public:
+  RepairSupervisor(dbsim::Engine* engine, SupervisorOptions options,
+                   ActionFaultHook* fault_hook = nullptr);
+
+  /// Runs the full lifecycle for one action at sim time now_ms.
+  /// `observed_metric` is the current value of the anomaly metric the
+  /// action is meant to improve (e.g. active-session mean); it baselines
+  /// the verification window. Pass a negative value to skip verification
+  /// for this action. `idempotency_key` suppresses duplicates while an
+  /// action with the same key is still active (empty = derived from the
+  /// action type and sql_id).
+  ///
+  /// Errors: FailedPrecondition (guardrail, with the reason),
+  /// kFailedPrecondition with "breaker open" (circuit open), kInternal
+  /// (every attempt exhausted).
+  StatusOr<ApplyOutcome> Apply(const RepairAction& action, double now_ms,
+                               double observed_metric = -1.0,
+                               const std::string& idempotency_key = "");
+
+  /// Preflight guardrail check only (no side effects, no events). Public
+  /// so callers can probe policy before committing to an action.
+  Status Preflight(const RepairAction& action, double now_ms) const;
+
+  /// Advances supervised time: expires throttles, re-evaluates pending
+  /// verification windows against `anomaly_metric`, transitions breakers
+  /// out of open after their cooldown.
+  void Tick(double now_ms, double anomaly_metric);
+
+  const std::vector<RepairEvent>& events() const { return events_; }
+  Json EventsJson() const;
+  const SupervisorStats& stats() const { return stats_; }
+  BreakerState breaker_state(ActionType type) const;
+  /// Actions applied and not yet rolled back / expired.
+  size_t active_actions() const { return active_.size(); }
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    double opened_at_ms = 0.0;
+  };
+  struct ActiveAction {
+    uint64_t ticket = 0;
+    std::string key;
+    RepairAction requested;   // as asked for
+    RepairAction effective;   // as landed (after partial application)
+    double applied_ms = 0.0;
+    // Verification state.
+    bool verify_pending = false;
+    double baseline_metric = 0.0;
+    double verify_deadline_ms = 0.0;
+    // Rollback snapshots.
+    dbsim::Engine::CostFactors prior_cost;
+    double prior_cores = 0.0;
+    double prior_io_capacity = 0.0;
+  };
+
+  void Emit(double time_ms, RepairEventKind kind, const RepairAction& action,
+            uint64_t ticket, int attempt, std::string detail);
+  Breaker& BreakerFor(ActionType type);
+  /// Open -> half-open transition once the cooldown elapsed.
+  void CoolBreaker(ActionType type, double now_ms);
+  void Rollback(const ActiveAction& action, double now_ms,
+                const std::string& reason);
+  /// Deterministic jitter factor in [1-j, 1+j] for (ticket, attempt).
+  double JitterFactor(uint64_t ticket, int attempt);
+  std::string DefaultKey(const RepairAction& action) const;
+
+  dbsim::Engine* engine_;
+  SupervisorOptions options_;
+  ActionFaultHook* fault_hook_;
+  ActionExecutor executor_;
+
+  std::vector<RepairEvent> events_;
+  SupervisorStats stats_;
+  std::map<ActionType, Breaker> breakers_;
+  std::vector<ActiveAction> active_;
+  std::map<uint64_t, double> last_applied_ms_;  // per sql_id (cooldown)
+  double added_cores_total_ = 0.0;
+  uint64_t last_ticket_ = 0;
+};
+
+}  // namespace pinsql::repair
+
+#endif  // PINSQL_REPAIR_SUPERVISOR_H_

@@ -1,0 +1,564 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dbsim/engine.h"
+#include "faults/action_faults.h"
+#include "repair/actions.h"
+#include "repair/events.h"
+#include "repair/supervisor.h"
+
+namespace pinsql::repair {
+namespace {
+
+dbsim::QueryArrival MakeArrival(int64_t t_ms, uint64_t sql_id,
+                                double cpu_ms) {
+  dbsim::QueryArrival a;
+  a.arrival_ms = t_ms;
+  a.spec.sql_id = sql_id;
+  a.spec.cpu_ms = cpu_ms;
+  a.spec.examined_rows = 1000;
+  return a;
+}
+
+RepairAction Throttle(uint64_t sql_id, double max_qps = 1.0,
+                      int64_t duration_sec = 600) {
+  RepairAction action;
+  action.type = ActionType::kThrottle;
+  action.sql_id = sql_id;
+  action.throttle_max_qps = max_qps;
+  action.throttle_duration_sec = duration_sec;
+  return action;
+}
+
+RepairAction Optimize(uint64_t sql_id, double factor = 0.1) {
+  RepairAction action;
+  action.type = ActionType::kOptimize;
+  action.sql_id = sql_id;
+  action.optimize_cpu_factor = factor;
+  action.optimize_rows_factor = factor;
+  return action;
+}
+
+RepairAction AutoScale(double add_cores) {
+  RepairAction action;
+  action.type = ActionType::kAutoScale;
+  action.autoscale_add_cores = add_cores;
+  return action;
+}
+
+/// Replays a fixed per-attempt script; clean decisions once it runs out.
+class ScriptedHook : public ActionFaultHook {
+ public:
+  explicit ScriptedHook(std::vector<ActionFaultDecision> script)
+      : script_(std::move(script)) {}
+
+  ActionFaultDecision OnAttempt(const RepairAction&, uint64_t, int,
+                                double) override {
+    if (next_ >= script_.size()) return ActionFaultDecision{};
+    return script_[next_++];
+  }
+
+  size_t calls() const { return next_; }
+
+ private:
+  std::vector<ActionFaultDecision> script_;
+  size_t next_ = 0;
+};
+
+ActionFaultDecision Fail() {
+  ActionFaultDecision d;
+  d.fail = true;
+  return d;
+}
+
+ActionFaultDecision Delayed(double delay_ms) {
+  ActionFaultDecision d;
+  d.delay_ms = delay_ms;
+  return d;
+}
+
+ActionFaultDecision Partial(double fraction) {
+  ActionFaultDecision d;
+  d.partial_fraction = fraction;
+  return d;
+}
+
+size_t CountKind(const std::vector<RepairEvent>& events,
+                 RepairEventKind kind) {
+  size_t n = 0;
+  for (const RepairEvent& e : events) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------- Guardrails
+
+TEST(SupervisorGuardrailTest, RejectsWithReasons) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  SupervisorOptions options;
+  options.guardrails = GuardrailPolicy::Strict();
+  RepairSupervisor supervisor(&engine, options);
+
+  // Throttle cap below the policy floor.
+  auto starved = supervisor.Apply(Throttle(7, 0.01), 0.0);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(starved.status().message().find("floor"), std::string::npos);
+
+  // Throttle duration beyond the policy bound.
+  auto endless = supervisor.Apply(Throttle(7, 1.0, 100'000), 0.0);
+  ASSERT_FALSE(endless.ok());
+  EXPECT_NE(endless.status().message().find("duration"), std::string::npos);
+
+  // Optimize factor below the minimum.
+  auto too_aggressive = supervisor.Apply(Optimize(7, 0.001), 0.0);
+  ASSERT_FALSE(too_aggressive.ok());
+  EXPECT_NE(too_aggressive.status().message().find("optimize"),
+            std::string::npos);
+
+  // Autoscale beyond the core budget (Strict: 16 cores total).
+  auto too_big = supervisor.Apply(AutoScale(32.0), 0.0);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_NE(too_big.status().message().find("budget"), std::string::npos);
+
+  // Every rejection produced a typed event and left the engine untouched.
+  EXPECT_EQ(supervisor.stats().rejected, 4u);
+  EXPECT_EQ(CountKind(supervisor.events(), RepairEventKind::kRejected), 4u);
+  EXPECT_EQ(supervisor.stats().applied, 0u);
+  EXPECT_FALSE(engine.IsThrottled(7));
+}
+
+TEST(SupervisorGuardrailTest, ConcurrentThrottleCapCountsReplacements) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  SupervisorOptions options;
+  options.guardrails.max_concurrent_throttles = 2;
+  RepairSupervisor supervisor(&engine, options);
+
+  EXPECT_TRUE(supervisor.Apply(Throttle(1), 0.0).ok());
+  EXPECT_TRUE(supervisor.Apply(Throttle(2), 0.0).ok());
+  // Third distinct target: over the cap.
+  auto third = supervisor.Apply(Throttle(3), 0.0);
+  ASSERT_FALSE(third.ok());
+  EXPECT_NE(third.status().message().find("already active"),
+            std::string::npos);
+  // Re-throttling an installed target replaces, not stacks: allowed. Use a
+  // distinct idempotency key so the duplicate guard does not suppress it.
+  EXPECT_TRUE(supervisor.Apply(Throttle(2, 0.5), 10'000.0, -1.0,
+                               "re-throttle").ok());
+}
+
+TEST(SupervisorGuardrailTest, PerSqlCooldownBlocksRepeats) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  SupervisorOptions options;
+  options.guardrails.per_sql_cooldown_sec = 300;
+  RepairSupervisor supervisor(&engine, options);
+
+  ASSERT_TRUE(supervisor.Apply(Optimize(7), 0.0).ok());
+  // A different action on the same sql inside the cooldown is refused.
+  auto too_soon = supervisor.Apply(Throttle(7), 100'000.0);
+  ASSERT_FALSE(too_soon.ok());
+  EXPECT_NE(too_soon.status().message().find("cooldown"), std::string::npos);
+  // After the cooldown it goes through.
+  EXPECT_TRUE(supervisor.Apply(Throttle(7), 400'000.0).ok());
+}
+
+// ------------------------------------------------------- Retry / backoff
+
+TEST(SupervisorRetryTest, RetriesTransientFailuresThenSucceeds) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ScriptedHook hook({Fail(), Fail()});
+  RepairSupervisor supervisor(&engine, SupervisorOptions{}, &hook);
+
+  auto outcome = supervisor.Apply(Throttle(7), 0.0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->attempts, 3);
+  EXPECT_TRUE(engine.IsThrottled(7));
+  EXPECT_EQ(supervisor.stats().retries, 2u);
+  EXPECT_EQ(supervisor.stats().applied, 1u);
+  EXPECT_EQ(supervisor.stats().failed, 0u);
+  const auto& events = supervisor.events();
+  EXPECT_EQ(CountKind(events, RepairEventKind::kAttempt), 3u);
+  EXPECT_EQ(CountKind(events, RepairEventKind::kAttemptFailed), 2u);
+  EXPECT_EQ(CountKind(events, RepairEventKind::kRetryScheduled), 2u);
+  EXPECT_EQ(CountKind(events, RepairEventKind::kApplied), 1u);
+  EXPECT_TRUE(EventAccountingConsistent(events));
+}
+
+TEST(SupervisorRetryTest, DelayBeyondTimeoutCountsAsFailure) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  SupervisorOptions options;
+  options.retry.attempt_timeout_ms = 1000.0;
+  // First application would land 3 s late (attempt-fatal); the retry lands
+  // 500 ms late (absorbable).
+  ScriptedHook hook({Delayed(3000.0), Delayed(500.0)});
+  RepairSupervisor supervisor(&engine, options, &hook);
+
+  auto outcome = supervisor.Apply(Optimize(7), 10'000.0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->attempts, 2);
+  EXPECT_DOUBLE_EQ(outcome->applied_ms, 10'500.0);
+  EXPECT_EQ(CountKind(supervisor.events(),
+                      RepairEventKind::kAttemptFailed), 1u);
+}
+
+TEST(SupervisorRetryTest, PartialApplicationIsTrackedAndScaled) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ScriptedHook hook({Partial(0.5)});
+  RepairSupervisor supervisor(&engine, SupervisorOptions{}, &hook);
+
+  auto outcome = supervisor.Apply(Optimize(7, 0.2), 0.0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->partial);
+  EXPECT_EQ(supervisor.stats().partial_applications, 1u);
+  // Half-strength optimization: cost fraction lands halfway toward 1.
+  EXPECT_DOUBLE_EQ(engine.GetCostMultiplier(7).cpu, 0.6);
+}
+
+TEST(SupervisorRetryTest, BackoffJitterIsDeterministicPerSeed) {
+  const auto backoff_details = [](uint64_t seed) {
+    dbsim::Engine engine(dbsim::SimConfig{});
+    SupervisorOptions options;
+    options.seed = seed;
+    ScriptedHook hook({Fail(), Fail(), Fail(), Fail()});
+    RepairSupervisor supervisor(&engine, options, &hook);
+    supervisor.Apply(Throttle(7), 0.0);   // exhausts 3 attempts
+    supervisor.Apply(Throttle(8), 0.0);   // next ticket, fresh jitter
+    std::vector<std::string> details;
+    for (const RepairEvent& e : supervisor.events()) {
+      if (e.kind == RepairEventKind::kRetryScheduled) {
+        details.push_back(e.detail);
+      }
+    }
+    return details;
+  };
+
+  const auto a = backoff_details(1);
+  const auto b = backoff_details(1);
+  const auto c = backoff_details(99);
+  ASSERT_EQ(a.size(), 3u);  // two retries for ticket 1, one for ticket 2
+  EXPECT_EQ(a, b);          // same seed: bit-identical backoff schedule
+  EXPECT_NE(a, c);          // different seed: different jitter
+  // Exponential growth shows through the jitter (200 ms -> 400 ms base
+  // with +-20 % jitter keeps the second backoff strictly above the first).
+  EXPECT_NE(a[0], a[1]);
+}
+
+// ------------------------------------------------------- Circuit breaker
+
+TEST(SupervisorBreakerTest, OpensHalfOpensAndCloses) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  SupervisorOptions options;
+  options.retry.max_attempts = 2;
+  options.breaker.open_after_failures = 2;
+  options.breaker.open_cooldown_ms = 10'000.0;
+  // 2 exhausted lifecycles (2 attempts each) open the breaker; the trial
+  // after the cooldown succeeds and closes it.
+  ScriptedHook hook({Fail(), Fail(), Fail(), Fail()});
+  RepairSupervisor supervisor(&engine, options, &hook);
+
+  EXPECT_FALSE(supervisor.Apply(Optimize(7), 0.0).ok());
+  EXPECT_EQ(supervisor.breaker_state(ActionType::kOptimize),
+            BreakerState::kClosed);
+  EXPECT_FALSE(supervisor.Apply(Optimize(7), 1'000.0).ok());
+  EXPECT_EQ(supervisor.breaker_state(ActionType::kOptimize),
+            BreakerState::kOpen);
+  EXPECT_EQ(supervisor.stats().breaker_opens, 1u);
+
+  // While open: rejected without an attempt. Breakers are per action type,
+  // so a throttle still goes through.
+  auto rejected = supervisor.Apply(Optimize(7), 2'000.0);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("breaker open"),
+            std::string::npos);
+  EXPECT_EQ(supervisor.stats().breaker_rejected, 1u);
+  EXPECT_TRUE(supervisor.Apply(Throttle(9), 2'000.0).ok());
+
+  // Cooldown elapses on Tick: half-open, one trial admitted.
+  supervisor.Tick(12'000.0, 0.0);
+  EXPECT_EQ(supervisor.breaker_state(ActionType::kOptimize),
+            BreakerState::kHalfOpen);
+  EXPECT_TRUE(supervisor.Apply(Optimize(7), 12'000.0).ok());
+  EXPECT_EQ(supervisor.breaker_state(ActionType::kOptimize),
+            BreakerState::kClosed);
+  EXPECT_EQ(CountKind(supervisor.events(),
+                      RepairEventKind::kBreakerClosed), 1u);
+}
+
+TEST(SupervisorBreakerTest, HalfOpenFailureReopens) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  SupervisorOptions options;
+  options.retry.max_attempts = 1;
+  options.breaker.open_after_failures = 1;
+  options.breaker.open_cooldown_ms = 10'000.0;
+  ScriptedHook hook({Fail(), Fail()});
+  RepairSupervisor supervisor(&engine, options, &hook);
+
+  EXPECT_FALSE(supervisor.Apply(Optimize(7), 0.0).ok());  // opens
+  EXPECT_EQ(supervisor.breaker_state(ActionType::kOptimize),
+            BreakerState::kOpen);
+  // The half-open trial fails: straight back to open, regardless of the
+  // consecutive-failure threshold.
+  EXPECT_FALSE(supervisor.Apply(Optimize(7), 15'000.0).ok());
+  EXPECT_EQ(supervisor.breaker_state(ActionType::kOptimize),
+            BreakerState::kOpen);
+  EXPECT_EQ(supervisor.stats().breaker_opens, 2u);
+}
+
+// ------------------------------------------- Verification and rollback
+
+TEST(SupervisorVerifyTest, NoImprovementRollsBackOptimize) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  RepairSupervisor supervisor(&engine, SupervisorOptions{});
+
+  ASSERT_TRUE(supervisor.Apply(Optimize(7, 0.1), 0.0, /*metric=*/100.0).ok());
+  EXPECT_DOUBLE_EQ(engine.GetCostMultiplier(7).cpu, 0.1);
+  EXPECT_EQ(supervisor.active_actions(), 1u);
+
+  // Inside the window, metric flat: no decision yet.
+  supervisor.Tick(60'000.0, 100.0);
+  EXPECT_EQ(supervisor.stats().rollbacks, 0u);
+
+  // Window elapses without the 5 % improvement: automatic rollback
+  // restores the pre-action cost multipliers.
+  supervisor.Tick(120'000.0, 100.0);
+  EXPECT_EQ(supervisor.stats().rollbacks, 1u);
+  EXPECT_EQ(supervisor.active_actions(), 0u);
+  EXPECT_DOUBLE_EQ(engine.GetCostMultiplier(7).cpu, 1.0);
+  EXPECT_DOUBLE_EQ(engine.GetCostMultiplier(7).io, 1.0);
+  EXPECT_DOUBLE_EQ(engine.GetCostMultiplier(7).rows, 1.0);
+  EXPECT_EQ(CountKind(supervisor.events(),
+                      RepairEventKind::kRolledBack), 1u);
+  EXPECT_TRUE(EventAccountingConsistent(supervisor.events()));
+}
+
+TEST(SupervisorVerifyTest, RegressionRollsBackThrottleEarly) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  RepairSupervisor supervisor(&engine, SupervisorOptions{});
+
+  ASSERT_TRUE(supervisor.Apply(Throttle(7), 0.0, /*metric=*/10.0).ok());
+  EXPECT_TRUE(engine.IsThrottled(7));
+
+  // The metric regresses past 1.25x baseline well before the deadline:
+  // roll back immediately instead of waiting out the window.
+  supervisor.Tick(30'000.0, 50.0);
+  EXPECT_EQ(supervisor.stats().rollbacks, 1u);
+  EXPECT_FALSE(engine.IsThrottled(7));
+  EXPECT_EQ(supervisor.active_actions(), 0u);
+}
+
+TEST(SupervisorVerifyTest, RollbackRestoresAutoscaleAndFreesBudget) {
+  dbsim::SimConfig sim;
+  sim.cpu_cores = 8.0;
+  dbsim::Engine engine(sim);
+  const double io_before = engine.io_capacity_ms_per_sec();
+  SupervisorOptions options;
+  options.guardrails.max_added_cores_total = 8.0;
+  RepairSupervisor supervisor(&engine, options);
+
+  ASSERT_TRUE(supervisor.Apply(AutoScale(8.0), 0.0, /*metric=*/100.0).ok());
+  EXPECT_DOUBLE_EQ(engine.cpu_cores(), 16.0);
+  // The budget is exhausted while the action is live.
+  EXPECT_FALSE(supervisor.Preflight(AutoScale(8.0), 1'000.0).ok());
+
+  supervisor.Tick(120'000.0, 100.0);  // no improvement: rollback
+  EXPECT_DOUBLE_EQ(engine.cpu_cores(), 8.0);
+  EXPECT_DOUBLE_EQ(engine.io_capacity_ms_per_sec(), io_before);
+  // Rolling back returns the scaled cores to the budget.
+  EXPECT_TRUE(supervisor.Preflight(AutoScale(8.0), 130'000.0).ok());
+}
+
+TEST(SupervisorVerifyTest, ImprovementVerifiesAndKeepsEffect) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  RepairSupervisor supervisor(&engine, SupervisorOptions{});
+
+  ASSERT_TRUE(supervisor.Apply(Optimize(7, 0.1), 0.0, /*metric=*/100.0).ok());
+  supervisor.Tick(120'000.0, 5.0);  // clear improvement
+  EXPECT_EQ(supervisor.stats().verified, 1u);
+  EXPECT_EQ(supervisor.stats().rollbacks, 0u);
+  EXPECT_DOUBLE_EQ(engine.GetCostMultiplier(7).cpu, 0.1);  // effect kept
+  EXPECT_TRUE(EventAccountingConsistent(supervisor.events()));
+}
+
+TEST(SupervisorVerifyTest, NegativeMetricSkipsVerification) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  RepairSupervisor supervisor(&engine, SupervisorOptions{});
+  ASSERT_TRUE(supervisor.Apply(Optimize(7, 0.1), 0.0, -1.0).ok());
+  supervisor.Tick(500'000.0, 1e9);  // would be a blatant regression
+  EXPECT_EQ(supervisor.stats().rollbacks, 0u);
+  EXPECT_DOUBLE_EQ(engine.GetCostMultiplier(7).cpu, 0.1);
+}
+
+// ------------------------------------------------------------ Idempotency
+
+TEST(SupervisorIdempotencyTest, DuplicateKeySuppressedWhileActive) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  RepairSupervisor supervisor(&engine, SupervisorOptions{});
+
+  auto first = supervisor.Apply(Throttle(7, 1.0, 100), 0.0);
+  ASSERT_TRUE(first.ok());
+  // A repeat diagnosis trigger fires the same action: suppressed, and the
+  // outcome points back at the live ticket.
+  auto repeat = supervisor.Apply(Throttle(7, 1.0, 100), 5'000.0);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat->code, ApplyOutcome::Code::kDuplicate);
+  EXPECT_EQ(repeat->ticket, first->ticket);
+  EXPECT_EQ(supervisor.stats().applied, 1u);
+  EXPECT_EQ(supervisor.stats().duplicates_suppressed, 1u);
+
+  // Normal expiry frees the key: the action can be applied again.
+  supervisor.Tick(100'000.0, 0.0);
+  EXPECT_EQ(supervisor.active_actions(), 0u);
+  auto again = supervisor.Apply(Throttle(7, 1.0, 100), 101'000.0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->code, ApplyOutcome::Code::kApplied);
+}
+
+// ---------------------------------------------- Severity-0 equivalence
+
+TEST(SupervisorEquivalenceTest, NullHookMatchesDirectExecutorExactly) {
+  const auto run = [](bool supervised) {
+    dbsim::Engine engine(dbsim::SimConfig{});
+    for (int64_t t = 0; t < 60'000; t += 50) {
+      engine.AddArrival(MakeArrival(t, 7, 20.0));
+      engine.AddArrival(MakeArrival(t + 25, 8, 5.0));
+    }
+    RepairAction throttle = Throttle(7, 1.0, 30);
+    RepairAction optimize = Optimize(7, 0.2);
+    if (supervised) {
+      RepairSupervisor supervisor(&engine, SupervisorOptions{});
+      supervisor.Apply(throttle, 10'000.0, -1.0);
+      engine.RunUntil(40'000.0);
+      supervisor.Tick(40'000.0, 0.0);  // throttle expired at 40 s
+      supervisor.Apply(optimize, 45'000.0, -1.0);
+      engine.RunToCompletion();
+    } else {
+      ActionExecutor executor(&engine);
+      executor.Execute(throttle, 10'000.0);
+      engine.RunUntil(40'000.0);
+      executor.ExpireThrottles(40'000.0);
+      executor.Execute(optimize, 45'000.0);
+      engine.RunToCompletion();
+    }
+    double total_response = 0.0;
+    for (const auto& q : engine.completed()) {
+      total_response += q.response_ms();
+    }
+    return std::make_tuple(engine.completed().size(),
+                           engine.throttled_count(), total_response);
+  };
+
+  EXPECT_EQ(run(/*supervised=*/true), run(/*supervised=*/false));
+}
+
+// ------------------------------------------------------ Event accounting
+
+TEST(EventAccountingTest, DetectsLostAndDoubleSettledTickets) {
+  std::vector<RepairEvent> events;
+  RepairEvent attempt;
+  attempt.kind = RepairEventKind::kAttempt;
+  attempt.ticket = 1;
+  attempt.attempt = 1;
+  events.push_back(attempt);
+  // Attempted but never settled: inconsistent.
+  EXPECT_FALSE(EventAccountingConsistent(events));
+
+  RepairEvent applied = attempt;
+  applied.kind = RepairEventKind::kApplied;
+  events.push_back(applied);
+  EXPECT_TRUE(EventAccountingConsistent(events));
+
+  // A rollback for a ticket that was never applied: inconsistent.
+  RepairEvent phantom;
+  phantom.kind = RepairEventKind::kRolledBack;
+  phantom.ticket = 42;
+  EXPECT_FALSE(EventAccountingConsistent({phantom}));
+
+  // Verified AND rolled back: inconsistent.
+  RepairEvent verified = applied;
+  verified.kind = RepairEventKind::kVerified;
+  RepairEvent rolled = applied;
+  rolled.kind = RepairEventKind::kRolledBack;
+  EXPECT_FALSE(EventAccountingConsistent(
+      {attempt, applied, verified, rolled}));
+}
+
+// ------------------------------------------------- Action fault injector
+
+TEST(ActionFaultInjectorTest, SeverityZeroIsANoOp) {
+  faults::ActionFaultPlan plan;
+  plan.severity = 0.0;
+  faults::ActionFaultInjector injector(plan);
+  RepairAction action = Optimize(7);
+  for (uint64_t ticket = 1; ticket <= 20; ++ticket) {
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      const auto d = injector.OnAttempt(action, ticket, attempt, 0.0);
+      EXPECT_FALSE(d.fail);
+      EXPECT_DOUBLE_EQ(d.delay_ms, 0.0);
+      EXPECT_DOUBLE_EQ(d.partial_fraction, 1.0);
+    }
+  }
+  EXPECT_EQ(injector.stats().attempts_failed, 0u);
+  EXPECT_EQ(injector.stats().applications_delayed, 0u);
+  EXPECT_EQ(injector.stats().applications_partial, 0u);
+}
+
+TEST(ActionFaultInjectorTest, DecisionsAreCallOrderIndependent) {
+  faults::ActionFaultPlan plan;
+  plan.seed = 11;
+  plan.severity = 1.0;
+  RepairAction action = Throttle(7);
+
+  faults::ActionFaultInjector forward(plan);
+  faults::ActionFaultInjector backward(plan);
+  std::vector<std::tuple<bool, double, double>> a;
+  std::vector<std::tuple<bool, double, double>> b;
+  for (uint64_t ticket = 1; ticket <= 10; ++ticket) {
+    const auto d = forward.OnAttempt(action, ticket, 1, 0.0);
+    a.emplace_back(d.fail, d.delay_ms, d.partial_fraction);
+  }
+  for (uint64_t ticket = 10; ticket >= 1; --ticket) {
+    const auto d = backward.OnAttempt(action, ticket, 1, 0.0);
+    b.emplace_back(d.fail, d.delay_ms, d.partial_fraction);
+  }
+  std::reverse(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+
+  // At full severity across 10 tickets something must have fired.
+  EXPECT_GT(forward.stats().attempts_failed +
+                forward.stats().applications_delayed +
+                forward.stats().applications_partial,
+            0u);
+}
+
+TEST(ActionFaultInjectorTest, SupervisorUnderChaosKeepsAccounting) {
+  faults::ActionFaultPlan plan;
+  plan.seed = 3;
+  plan.severity = 1.0;
+  faults::ActionFaultInjector injector(plan);
+  dbsim::Engine engine(dbsim::SimConfig{});
+  SupervisorOptions options;
+  options.seed = 5;
+  RepairSupervisor supervisor(&engine, options, &injector);
+
+  double now_ms = 0.0;
+  for (uint64_t sql = 1; sql <= 12; ++sql) {
+    supervisor.Apply(Optimize(sql), now_ms, 100.0);
+    now_ms += 10'000.0;
+    supervisor.Tick(now_ms, 100.0);
+  }
+  supervisor.Tick(now_ms + 300'000.0, 100.0);
+
+  const auto& stats = supervisor.stats();
+  EXPECT_EQ(stats.applied + stats.failed + stats.breaker_rejected +
+                stats.rejected + stats.duplicates_suppressed,
+            12u);
+  EXPECT_TRUE(EventAccountingConsistent(supervisor.events()));
+}
+
+}  // namespace
+}  // namespace pinsql::repair

@@ -84,6 +84,109 @@ TEST(ActionsTest, AutoScaleAddsCores) {
   EXPECT_DOUBLE_EQ(engine.cpu_cores(), before + 8.0);
 }
 
+TEST(ActionsTest, ReThrottleReplacesExistingEntry) {
+  // Regression: re-throttling a template used to stack a second entry, so
+  // the older entry's earlier expiry lifted the extended throttle early.
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ActionExecutor executor(&engine);
+  RepairAction action;
+  action.type = ActionType::kThrottle;
+  action.sql_id = 7;
+  action.throttle_max_qps = 0.0;
+  action.throttle_duration_sec = 10;
+  executor.Execute(action, 0.0);       // expires at t=10s
+  executor.Execute(action, 5'000.0);   // extended: expires at t=15s
+  EXPECT_EQ(executor.ActiveThrottleCount(), 1u);
+
+  // The original expiry must not lift the extended throttle.
+  EXPECT_TRUE(executor.ExpireThrottles(11'000.0).empty());
+  engine.AddArrival(MakeArrival(12'000, 7, 1.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.throttled_count(), 1u);
+
+  const auto expired = executor.ExpireThrottles(15'000.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 7u);
+  EXPECT_EQ(executor.ActiveThrottleCount(), 0u);
+}
+
+TEST(ActionsTest, CancelThrottleLiftsEarly) {
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ActionExecutor executor(&engine);
+  RepairAction action;
+  action.type = ActionType::kThrottle;
+  action.sql_id = 7;
+  action.throttle_max_qps = 0.0;
+  action.throttle_duration_sec = 600;
+  executor.Execute(action, 0.0);
+  EXPECT_TRUE(executor.CancelThrottle(7, 1'000.0));
+  EXPECT_EQ(executor.ActiveThrottleCount(), 0u);
+  EXPECT_FALSE(executor.CancelThrottle(7, 1'000.0));  // already lifted
+  engine.AddArrival(MakeArrival(2'000, 7, 1.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.throttled_count(), 0u);
+}
+
+TEST(ActionsTest, OptimizeIoFactorFollowsCpuByDefault) {
+  RepairAction action;
+  action.type = ActionType::kOptimize;
+  action.optimize_cpu_factor = 0.3;
+  EXPECT_DOUBLE_EQ(action.effective_io_factor(), 0.3);
+
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ActionExecutor executor(&engine);
+  action.sql_id = 7;
+  executor.Execute(action, 0.0);
+  const auto factors = engine.GetCostMultiplier(7);
+  EXPECT_DOUBLE_EQ(factors.cpu, 0.3);
+  EXPECT_DOUBLE_EQ(factors.io, 0.3);
+}
+
+TEST(ActionsTest, OptimizeIoFactorDistinctFromCpu) {
+  RepairAction action;
+  action.type = ActionType::kOptimize;
+  action.sql_id = 7;
+  action.optimize_cpu_factor = 0.5;
+  action.optimize_io_factor = 0.1;  // IO-bound plan: index fixes the scan
+  EXPECT_DOUBLE_EQ(action.effective_io_factor(), 0.1);
+
+  dbsim::Engine engine(dbsim::SimConfig{});
+  ActionExecutor executor(&engine);
+  executor.Execute(action, 0.0);
+  const auto factors = engine.GetCostMultiplier(7);
+  EXPECT_DOUBLE_EQ(factors.cpu, 0.5);
+  EXPECT_DOUBLE_EQ(factors.io, 0.1);
+  EXPECT_NE(action.ToString().find("io_factor=0.10"), std::string::npos);
+}
+
+TEST(ActionsTest, ScaleActionEffectWeakensEachType) {
+  RepairAction throttle;
+  throttle.type = ActionType::kThrottle;
+  throttle.throttle_max_qps = 2.0;
+  // Full-strength application is the identity.
+  EXPECT_DOUBLE_EQ(ScaleActionEffect(throttle, 1.0).throttle_max_qps, 2.0);
+  // A half-strength throttle admits twice the traffic.
+  EXPECT_DOUBLE_EQ(ScaleActionEffect(throttle, 0.5).throttle_max_qps, 4.0);
+
+  RepairAction optimize;
+  optimize.type = ActionType::kOptimize;
+  optimize.optimize_cpu_factor = 0.2;
+  optimize.optimize_rows_factor = 0.2;
+  const RepairAction half = ScaleActionEffect(optimize, 0.5);
+  // Cost fraction interpolates halfway toward 1 (no optimization).
+  EXPECT_DOUBLE_EQ(half.optimize_cpu_factor, 0.6);
+  EXPECT_DOUBLE_EQ(half.effective_io_factor(), 0.6);
+  EXPECT_DOUBLE_EQ(half.optimize_rows_factor, 0.6);
+
+  RepairAction scale;
+  scale.type = ActionType::kAutoScale;
+  scale.autoscale_add_cores = 8.0;
+  scale.autoscale_io_factor = 2.0;
+  const RepairAction quarter = ScaleActionEffect(scale, 0.25);
+  EXPECT_DOUBLE_EQ(quarter.autoscale_add_cores, 2.0);
+  EXPECT_DOUBLE_EQ(quarter.autoscale_io_factor, 1.25);
+}
+
 TEST(ActionsTest, AuditLogRecordsEverything) {
   dbsim::Engine engine(dbsim::SimConfig{});
   ActionExecutor executor(&engine);
@@ -189,6 +292,90 @@ TEST(RuleEngineTest, FromJsonRejectsBadConfigs) {
                    R"({"rules": [{"action": "reboot"}]})")
                    .ok());
   EXPECT_FALSE(RepairRuleEngine::FromJsonText("{nonsense").ok());
+}
+
+TEST(RuleEngineTest, FromJsonRejectsOutOfRangeParams) {
+  // Negative throttle cap.
+  auto bad_qps = RepairRuleEngine::FromJsonText(
+      R"({"rules": [{"anomaly": "*", "action": "throttle",
+                     "params": {"max_qps": -1}}]})");
+  ASSERT_FALSE(bad_qps.ok());
+  EXPECT_EQ(bad_qps.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(bad_qps.status().message().find("max_qps"), std::string::npos);
+
+  // Zero / negative throttle duration.
+  auto bad_duration = RepairRuleEngine::FromJsonText(
+      R"({"rules": [{"anomaly": "*", "action": "throttle",
+                     "params": {"duration_sec": 0}}]})");
+  ASSERT_FALSE(bad_duration.ok());
+  EXPECT_EQ(bad_duration.status().code(), StatusCode::kOutOfRange);
+
+  // Optimize cost fractions outside (0, 1].
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText(
+                   R"({"rules": [{"anomaly": "*", "action": "optimize",
+                                  "params": {"cpu_factor": 0}}]})")
+                   .ok());
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText(
+                   R"({"rules": [{"anomaly": "*", "action": "optimize",
+                                  "params": {"cpu_factor": 1.5}}]})")
+                   .ok());
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText(
+                   R"({"rules": [{"anomaly": "*", "action": "optimize",
+                                  "params": {"io_factor": -0.5}}]})")
+                   .ok());
+
+  // Autoscale must add cores and keep a positive IO factor.
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText(
+                   R"({"rules": [{"anomaly": "*", "action": "autoscale",
+                                  "params": {"add_cores": -4}}]})")
+                   .ok());
+  EXPECT_FALSE(RepairRuleEngine::FromJsonText(
+                   R"({"rules": [{"anomaly": "*", "action": "autoscale",
+                                  "params": {"io_factor": 0}}]})")
+                   .ok());
+}
+
+TEST(RuleEngineTest, FromJsonParsesOptimizeIoFactor) {
+  auto rules = RepairRuleEngine::FromJsonText(
+      R"({"rules": [{"anomaly": "*", "action": "optimize",
+                     "params": {"cpu_factor": 0.5, "io_factor": 0.1}}]})");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_DOUBLE_EQ(rules->rules()[0].action.optimize_cpu_factor, 0.5);
+  EXPECT_DOUBLE_EQ(rules->rules()[0].action.effective_io_factor(), 0.1);
+
+  // Omitted io_factor follows cpu_factor (back-compat with old configs).
+  auto legacy = RepairRuleEngine::FromJsonText(
+      R"({"rules": [{"anomaly": "*", "action": "optimize",
+                     "params": {"cpu_factor": 0.5}}]})");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_DOUBLE_EQ(legacy->rules()[0].action.effective_io_factor(), 0.5);
+}
+
+TEST(RuleEngineTest, DefaultPolicyRoundTripsThroughJson) {
+  const RepairRuleEngine original = RepairRuleEngine::Default();
+  const Json serialized = original.ToJson();
+  auto reparsed = RepairRuleEngine::FromJson(serialized);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->rules().size(), original.rules().size());
+  for (size_t i = 0; i < original.rules().size(); ++i) {
+    const RepairRule& a = original.rules()[i];
+    const RepairRule& b = reparsed->rules()[i];
+    EXPECT_EQ(a.anomaly, b.anomaly);
+    EXPECT_EQ(a.template_feature, b.template_feature);
+    EXPECT_EQ(a.action.type, b.action.type);
+    EXPECT_EQ(a.auto_execute, b.auto_execute);
+    EXPECT_EQ(a.notify, b.notify);
+    EXPECT_DOUBLE_EQ(a.action.throttle_max_qps, b.action.throttle_max_qps);
+    EXPECT_EQ(a.action.throttle_duration_sec, b.action.throttle_duration_sec);
+    EXPECT_DOUBLE_EQ(a.action.optimize_cpu_factor,
+                     b.action.optimize_cpu_factor);
+    EXPECT_DOUBLE_EQ(a.action.effective_io_factor(),
+                     b.action.effective_io_factor());
+    EXPECT_DOUBLE_EQ(a.action.optimize_rows_factor,
+                     b.action.optimize_rows_factor);
+  }
+  // A second serialization is textually identical (stable round-trip).
+  EXPECT_EQ(serialized.Dump(), reparsed->ToJson().Dump());
 }
 
 TEST(RuleEngineTest, AutoScaleSuggestionHasNoTarget) {

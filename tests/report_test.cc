@@ -135,6 +135,43 @@ TEST(ReportTest, JsonRoundTripsThroughParser) {
             "00000000000000AB");
 }
 
+TEST(ReportTest, RepairEventsSerializeIntoJsonAndText) {
+  core::DiagnosisReport report;
+  repair::RepairEvent applied;
+  applied.time_ms = 900'000.0;
+  applied.kind = repair::RepairEventKind::kApplied;
+  applied.action = repair::ActionType::kThrottle;
+  applied.sql_id = 0xAB;
+  applied.ticket = 1;
+  applied.attempt = 2;
+  applied.detail = "partial application 0.60";
+  repair::RepairEvent rolled = applied;
+  rolled.time_ms = 1'020'000.0;
+  rolled.kind = repair::RepairEventKind::kRolledBack;
+  rolled.attempt = 0;
+  rolled.detail = "no improvement: metric 90.0 vs baseline 95.0";
+  report.repair_events = {applied, rolled};
+
+  const auto parsed = Json::Parse(report.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  const Json* events = parsed->Find("repair_events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->AsArray().size(), 2u);
+  EXPECT_EQ(events->AsArray()[0].GetStringOr("kind", ""), "applied");
+  EXPECT_EQ(events->AsArray()[0].GetStringOr("sql_id", ""),
+            "00000000000000AB");
+  EXPECT_DOUBLE_EQ(events->AsArray()[0].GetNumberOr("attempt", 0), 2.0);
+  EXPECT_EQ(events->AsArray()[1].GetStringOr("kind", ""), "rolled_back");
+
+  const std::string text = report.ToText();
+  EXPECT_NE(text.find("repair audit trail:"), std::string::npos);
+  EXPECT_NE(text.find("rolled_back"), std::string::npos);
+
+  // No events: the section stays out of the rendering entirely.
+  core::DiagnosisReport quiet;
+  EXPECT_EQ(quiet.ToText().find("repair audit trail"), std::string::npos);
+}
+
 TEST(ReportTest, UnknownTemplatesRenderPlaceholders) {
   core::DiagnosisResult result;
   result.rsql.ranking = {123456789};

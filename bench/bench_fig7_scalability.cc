@@ -10,9 +10,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "eval/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ts/stats.h"
 
 namespace {
@@ -43,11 +46,50 @@ double RunOneCase(const pinsql::eval::CaseGenOptions& options,
   return result.total_seconds;
 }
 
+/// `--trace` mode: diagnose one large case with span recording on and
+/// print the per-stage profile instead of running the full sweeps. Used as
+/// a fast CI smoke for the observability layer.
+int RunTraceMode(uint64_t seed) {
+  pinsql::eval::CaseGenOptions large;
+  large.seed = seed + 991;
+  large.type = pinsql::workload::AnomalyType::kRowLock;
+  large.scenario.num_clusters = 28;
+  large.scenario.num_tables = 28;
+  large.scenario.min_cluster_qps = 360.0 / 28.0;
+  large.scenario.max_cluster_qps = 760.0 / 28.0;
+  large.anomaly_duration_sec = 480;
+  const pinsql::eval::AnomalyCaseData data =
+      pinsql::eval::GenerateCase(large);
+  const pinsql::core::DiagnosisInput input =
+      pinsql::eval::MakeDiagnosisInput(data);
+
+  pinsql::obs::TraceRecorder recorder;
+  pinsql::core::DiagnoserOptions options;
+  options.num_threads = 4;
+  options.trace = &recorder;
+  const pinsql::core::DiagnosisResult result =
+      pinsql::core::Diagnose(input, options).value();
+
+  std::printf("PER-STAGE TRACE (num_threads=%d)\n", options.num_threads);
+  std::printf("%s", result.trace.ToTable().c_str());
+  if (pinsql::obs::kEnabled) {
+    std::printf("\nSPAN SUMMARY (%zu events recorded)\n",
+                recorder.event_count());
+    std::printf("%s", recorder.SummaryTable().c_str());
+  } else {
+    std::printf("\n(span recording compiled out: PINSQL_DISABLE_OBS)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const uint64_t seed =
       static_cast<uint64_t>(EnvInt("PINSQL_BENCH_SEED", 7));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) return RunTraceMode(seed);
+  }
 
   std::printf("FIG 7 (left): computing time vs number of SQL templates\n");
   std::printf("%10s %12s %14s\n", "#templates", "anomaly(s)", "time(s)");

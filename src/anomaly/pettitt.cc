@@ -8,6 +8,16 @@ PettittResult PettittTest(const std::vector<double>& x) {
   PettittResult result;
   const size_t n = x.size();
   if (n < 2) return result;
+  // Degenerate inputs return the clean "no change point" default instead
+  // of NaN-propagating into detector thresholds: a series with fewer than
+  // 4 finite points (all-gap telemetry, tiny windows) cannot support a
+  // change-point verdict. Non-finite points contribute sign 0 to U_t below,
+  // so mixed-gap series still work; their segment means skip the gaps.
+  size_t finite_points = 0;
+  for (double v : x) {
+    if (std::isfinite(v)) ++finite_points;
+  }
+  if (finite_points < 4) return result;
 
   // U_t = sum_{i<=t} sum_{j>t} sign(x_j - x_i), computed incrementally:
   // U_t = U_{t-1} + sum_j sign(x_j - x_t) restricted to j > t side... the
@@ -41,13 +51,29 @@ PettittResult PettittTest(const std::vector<double>& x) {
   const double exponent = -6.0 * best * best / (nn * nn * nn + nn * nn);
   result.p_value = std::min(1.0, 2.0 * std::exp(exponent));
 
+  // Segment means over the finite points only: a single telemetry gap in a
+  // segment used to turn both means (and every shifted_up() verdict built
+  // on them) into NaN. A segment with no finite points keeps the clean 0.
   double sum_before = 0.0;
-  for (size_t i = 0; i <= best_index; ++i) sum_before += x[i];
+  size_t count_before = 0;
+  for (size_t i = 0; i <= best_index; ++i) {
+    if (!std::isfinite(x[i])) continue;
+    sum_before += x[i];
+    ++count_before;
+  }
   double sum_after = 0.0;
-  for (size_t i = best_index + 1; i < n; ++i) sum_after += x[i];
-  result.mean_before = sum_before / static_cast<double>(best_index + 1);
-  result.mean_after =
-      sum_after / static_cast<double>(n - best_index - 1);
+  size_t count_after = 0;
+  for (size_t i = best_index + 1; i < n; ++i) {
+    if (!std::isfinite(x[i])) continue;
+    sum_after += x[i];
+    ++count_after;
+  }
+  if (count_before > 0) {
+    result.mean_before = sum_before / static_cast<double>(count_before);
+  }
+  if (count_after > 0) {
+    result.mean_after = sum_after / static_cast<double>(count_after);
+  }
   return result;
 }
 

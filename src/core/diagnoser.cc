@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 
+#include "obs/trace.h"
 #include "pipeline/stream_aggregator.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -145,13 +146,18 @@ StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
 
   TimeSeries session =
       input.active_session.Slice(result.ts_sec, result.te_sec);
-  dq.metric_points_sanitized += SanitizeSeries(&session);
+  // Gap counters hold only genuinely-missing points (non-finite as
+  // collected); sanitized garbage is counted separately so the two classes
+  // stay disjoint and confidence charges each bad point exactly once.
+  const size_t session_missing = session.CountNonFinite();
+  const size_t session_sanitized = SanitizeSeries(&session);
+  dq.metric_points_sanitized += session_sanitized;
   dq.session_points = session.size();
-  dq.session_gap_points = session.CountNonFinite();
+  dq.session_gap_points = session_missing;
   if (dq.session_gap_points > 0) {
     dq.notes.push_back(StrFormat(
-        "monitoring gaps: %zu of %zu active_session points are missing or "
-        "corrupt (gap-aware correlation skips them)",
+        "monitoring gaps: %zu of %zu active_session points are missing "
+        "(gap-aware correlation skips them)",
         dq.session_gap_points, dq.session_points));
   }
 
@@ -160,6 +166,7 @@ StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
   // the window) are dropped up front — a degraded graph beats an aborted
   // diagnosis. Usable ones are sliced and their gaps accounted.
   std::map<std::string, TimeSeries> sliced_helpers;
+  size_t helper_sanitized = 0;
   for (const auto& [name, series] : input.helper_metrics) {
     const bool interval_ok =
         series.interval_sec() > 0 &&
@@ -183,9 +190,12 @@ StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
           name.c_str()));
       continue;
     }
-    dq.metric_points_sanitized += SanitizeSeries(&sliced);
+    const size_t missing = sliced.CountNonFinite();
+    const size_t sanitized = SanitizeSeries(&sliced);
+    dq.metric_points_sanitized += sanitized;
+    helper_sanitized += sanitized;
     dq.helper_points += sliced.size();
-    dq.helper_gap_points += sliced.CountNonFinite();
+    dq.helper_gap_points += missing;
     sliced_helpers[name] = std::move(sliced);
   }
   if (dq.metric_points_sanitized > 0) {
@@ -196,8 +206,7 @@ StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
   }
   if (dq.helper_gap_points > 0) {
     dq.notes.push_back(StrFormat(
-        "monitoring gaps: %zu of %zu helper-metric points are missing or "
-        "corrupt",
+        "monitoring gaps: %zu of %zu helper-metric points are missing",
         dq.helper_gap_points, dq.helper_points));
   }
 
@@ -212,25 +221,34 @@ StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
 
   // Stage 1: individual active-session estimation.
   auto t0 = std::chrono::steady_clock::now();
-  result.estimate =
-      EstimateSessions(*input.logs, session, result.ts_sec, result.te_sec,
-                       options.estimator, pool.get());
+  {
+    obs::Span span(options.trace, "diagnose.session_estimation");
+    result.estimate =
+        EstimateSessions(*input.logs, session, result.ts_sec, result.te_sec,
+                         options.estimator, pool.get());
+  }
   result.estimate_seconds = SecondsSince(t0);
 
   // Stage 2: H-SQL identification.
   t0 = std::chrono::steady_clock::now();
-  result.hsql_ranking = RankHighImpactSqls(
-      result.estimate.per_template, session, input.anomaly_start_sec,
-      input.anomaly_end_sec, options.hsql, pool.get());
+  {
+    obs::Span span(options.trace, "diagnose.hsql_scoring");
+    result.hsql_ranking = RankHighImpactSqls(
+        result.estimate.per_template, session, input.anomaly_start_sec,
+        input.anomaly_end_sec, options.hsql, pool.get());
+  }
   result.hsql_seconds = SecondsSince(t0);
 
   // Stage 3+4: R-SQL identification (clustering/filtering + history
   // verification + final ranking). Timed together around the call; the
   // clustering share is attributed via a second aggregate-only timing.
   t0 = std::chrono::steady_clock::now();
-  result.metrics = AggregateWindow(*input.logs, result.ts_sec,
-                                   result.te_sec, /*interval_sec=*/1,
-                                   pool.get());
+  {
+    obs::Span span(options.trace, "diagnose.window_aggregation");
+    result.metrics = AggregateWindow(*input.logs, result.ts_sec,
+                                     result.te_sec, /*interval_sec=*/1,
+                                     pool.get());
+  }
   std::map<std::string, const TimeSeries*> helpers;
   for (const auto& [name, series] : sliced_helpers) {
     helpers[name] = &series;
@@ -251,10 +269,13 @@ StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
   }
 
   t0 = std::chrono::steady_clock::now();
-  result.rsql = IdentifyRootCauseSqls(
-      result.metrics, result.estimate.per_template, session, helpers,
-      result.hsql_ranking, input.history, input.anomaly_start_sec,
-      input.anomaly_end_sec, options.rsql, pool.get());
+  {
+    obs::Span span(options.trace, "diagnose.rsql");
+    result.rsql = IdentifyRootCauseSqls(
+        result.metrics, result.estimate.per_template, session, helpers,
+        result.hsql_ranking, input.history, input.anomaly_start_sec,
+        input.anomaly_end_sec, options.rsql, pool.get(), options.trace);
+  }
   result.verify_seconds = SecondsSince(t0);
 
   dq.history_windows_checked = result.rsql.history_windows_checked;
@@ -269,15 +290,23 @@ StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
 
   // Confidence: multiplicative caveat per degradation class. Any monotone
   // formula works; this one is deliberately simple so the curve in
-  // bench_chaos_robustness is interpretable.
+  // bench_chaos_robustness is interpretable. A bad metric point — missing
+  // or sanitized garbage — is penalized exactly once: the counters are
+  // disjoint and summed here.
   double confidence = 1.0;
   if (dq.session_points > 0) {
-    confidence *= 1.0 - 0.5 * static_cast<double>(dq.session_gap_points) /
-                            static_cast<double>(dq.session_points);
+    confidence *=
+        1.0 - 0.5 *
+                  static_cast<double>(dq.session_gap_points +
+                                      session_sanitized) /
+                  static_cast<double>(dq.session_points);
   }
   if (dq.helper_points > 0) {
-    confidence *= 1.0 - 0.25 * static_cast<double>(dq.helper_gap_points) /
-                            static_cast<double>(dq.helper_points);
+    confidence *=
+        1.0 - 0.25 *
+                  static_cast<double>(dq.helper_gap_points +
+                                      helper_sanitized) /
+                  static_cast<double>(dq.helper_points);
   }
   if (dq.lookback_truncated || dq.anomaly_tail_truncated) {
     const double wanted =
@@ -294,6 +323,57 @@ StatusOr<DiagnosisResult> Diagnose(const DiagnosisInput& input,
   dq.confidence = confidence;
 
   result.total_seconds = SecondsSince(t_total);
+
+  // Per-stage trace block: deterministic counters + the wall times above.
+  // Built unconditionally (it is cheap and survives PINSQL_DISABLE_OBS) so
+  // the report's `trace` block always exists.
+  auto stage = [&result](std::string name, double seconds) -> obs::StageTrace& {
+    obs::StageTrace s;
+    s.name = std::move(name);
+    s.seconds = seconds;
+    result.trace.stages.push_back(std::move(s));
+    return result.trace.stages.back();
+  };
+  {
+    obs::StageTrace& s = stage("session_estimation", result.estimate_seconds);
+    s.counters["session_points"] = static_cast<int64_t>(dq.session_points);
+    s.counters["session_gap_points"] =
+        static_cast<int64_t>(dq.session_gap_points);
+    s.counters["templates"] =
+        static_cast<int64_t>(result.estimate.per_template.size());
+  }
+  {
+    obs::StageTrace& s = stage("window_aggregation", result.cluster_seconds);
+    s.counters["log_records"] = static_cast<int64_t>(dq.log_records);
+    s.counters["templates"] =
+        static_cast<int64_t>(result.metrics.num_templates());
+  }
+  {
+    obs::StageTrace& s = stage("hsql_scoring", result.hsql_seconds);
+    s.counters["candidates"] =
+        static_cast<int64_t>(result.hsql_ranking.size());
+  }
+  {
+    obs::StageTrace& s = stage("rsql_clustering", result.rsql.cluster_seconds);
+    s.counters["clusters"] = static_cast<int64_t>(result.rsql.clusters.size());
+    s.counters["helper_nodes"] = static_cast<int64_t>(helpers.size());
+    s.counters["selected_clusters"] =
+        static_cast<int64_t>(result.rsql.selected_clusters.size());
+  }
+  {
+    obs::StageTrace& s =
+        stage("rsql_verification", result.rsql.verify_seconds);
+    s.counters["verified"] = static_cast<int64_t>(result.rsql.verified.size());
+    s.counters["ranked"] = static_cast<int64_t>(result.rsql.ranking.size());
+    s.counters["windows_checked"] =
+        static_cast<int64_t>(dq.history_windows_checked);
+    s.counters["windows_missing"] =
+        static_cast<int64_t>(dq.history_windows_missing);
+    s.counters["windows_truncated"] =
+        static_cast<int64_t>(dq.history_windows_truncated);
+    s.counters["fallback"] = result.rsql.verification_fallback ? 1 : 0;
+  }
+  result.trace.total_seconds = result.total_seconds;
   return result;
 }
 

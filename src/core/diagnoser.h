@@ -10,6 +10,7 @@
 #include "core/rsql.h"
 #include "core/session_estimator.h"
 #include "logstore/log_store.h"
+#include "obs/trace.h"
 #include "pipeline/template_metrics.h"
 #include "ts/time_series.h"
 #include "util/status.h"
@@ -29,6 +30,12 @@ struct DiagnoserOptions {
   /// serial; any value produces bit-identical results — see DESIGN.md
   /// "Threading model" for why.
   int num_threads = 1;
+  /// Optional span recorder (DESIGN.md §7). When non-null, Diagnose opens
+  /// per-stage spans and the R-SQL stage records per-candidate
+  /// verification spans from the pool workers. Tracing never changes the
+  /// diagnosis output: results are bit-identical with or without it, at
+  /// any num_threads.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Everything PinSQL consumes for one anomaly case. The metric series
@@ -62,8 +69,10 @@ struct DataQuality {
   /// interval, no overlap with the window).
   size_t helpers_dropped = 0;
   /// Finite-but-impossible metric values (negative counts, overflow
-  /// artefacts) converted to gaps before analysis. Counted here and again
-  /// in the gap counters above.
+  /// artefacts) converted to gaps before analysis. Disjoint from the gap
+  /// counters above, which count only genuinely-missing (non-finite as
+  /// collected) points — so every bad point appears in exactly one
+  /// counter, and the confidence penalty charges it exactly once.
   size_t metric_points_sanitized = 0;
   /// Query-log records that aggregated into the diagnosis window.
   size_t log_records = 0;
@@ -104,6 +113,12 @@ struct DiagnosisResult {
   double cluster_seconds = 0.0;
   double verify_seconds = 0.0;
   double total_seconds = 0.0;
+
+  /// Per-stage wall times and counters, always populated (even under
+  /// PINSQL_DISABLE_OBS): the stage names are session_estimation,
+  /// window_aggregation, hsql_scoring, rsql_clustering and
+  /// rsql_verification. Rendered as the `trace` block of the report JSON.
+  obs::PipelineTrace trace;
 
   /// Top-k sql_ids of each ranking (convenience).
   std::vector<uint64_t> TopHsql(size_t k) const;

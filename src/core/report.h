@@ -40,9 +40,17 @@ struct DiagnosisReport {
   /// retries, rollbacks, breaker transitions). Populated by the caller
   /// from RepairSupervisor::events() when actions were executed.
   std::vector<repair::RepairEvent> repair_events;
+  /// Per-stage wall times and counters of the diagnosis that produced this
+  /// report (DESIGN.md §7). Always present, even under PINSQL_DISABLE_OBS.
+  obs::PipelineTrace trace;
 
   /// Machine-readable rendering (stable key order).
   Json ToJson() const;
+  /// Parses the ToJson form back into a report. Strings (template texts,
+  /// phenomena, notes, event details) round-trip byte-exactly, including
+  /// quotes, backslashes and control characters. InvalidArgument on
+  /// malformed input.
+  static StatusOr<DiagnosisReport> FromJson(const Json& json);
   /// Terminal-friendly multi-line rendering.
   std::string ToText() const;
 };

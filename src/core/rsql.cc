@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <numeric>
 #include <unordered_set>
 
 #include "ts/stats.h"
 #include "ts/tukey.h"
+#include "util/strings.h"
 
 namespace pinsql::core {
 
@@ -79,10 +81,13 @@ RsqlResult IdentifyRootCauseSqls(
     const std::vector<HsqlScore>& hsql_scores,
     const HistoryProvider* history, int64_t anomaly_start,
     int64_t anomaly_end, const RsqlOptions& options,
-    util::ThreadPool* pool) {
+    util::ThreadPool* pool, obs::TraceRecorder* trace) {
   RsqlResult result;
   const std::vector<const TemplateSeries*> templates = metrics.AllSorted();
   if (templates.empty()) return result;
+  const auto t_cluster = std::chrono::steady_clock::now();
+  const double cluster_span_start_us =
+      trace != nullptr ? trace->ElapsedUs() : 0.0;
 
   // ---- SQL template clustering on #execution trends --------------------
   // Node layout: [0, T) templates, [T, T + M) metric helper nodes.
@@ -206,6 +211,20 @@ RsqlResult IdentifyRootCauseSqls(
   for (size_t c : result.selected_clusters) {
     for (uint64_t id : result.clusters[c]) candidates.push_back(id);
   }
+  result.cluster_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_cluster)
+          .count();
+  if (trace != nullptr) {
+    obs::TraceEvent e;
+    e.name = "rsql.clustering";
+    e.start_us = cluster_span_start_us;
+    e.dur_us = trace->ElapsedUs() - cluster_span_start_us;
+    e.attrs.emplace_back("clusters",
+                         StrFormat("%zu", result.clusters.size()));
+    trace->Record(std::move(e));
+  }
+  const auto t_verify = std::chrono::steady_clock::now();
 
   // ---- History trend verification ----------------------------------------
   // Lossy-history accounting. The paper assumes all three lookback windows
@@ -290,6 +309,10 @@ RsqlResult IdentifyRootCauseSqls(
                          std::vector<uint64_t>* out) {
     std::vector<char> passed(ids.size(), 0);
     util::ParallelFor(pool, ids.size(), [&](size_t i) {
+      // Per-candidate span from whichever pool worker runs the iteration:
+      // lands in that thread's buffer (TraceRecorder is lock-free here).
+      obs::Span span(trace, "rsql.verify_candidate");
+      span.AddAttr("sql_id", HashToHex(ids[i]));
       passed[i] = verify_one(ids[i]) ? 1 : 0;
     });
     for (size_t i = 0; i < ids.size(); ++i) {
@@ -357,6 +380,10 @@ RsqlResult IdentifyRootCauseSqls(
             });
   result.ranking.reserve(ranked.size());
   for (const auto& [corr, id] : ranked) result.ranking.push_back(id);
+  result.verify_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_verify)
+          .count();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/hsql.h"
+#include "obs/trace.h"
 #include "pipeline/template_metrics.h"
 #include "ts/time_series.h"
 #include "util/thread_pool.h"
@@ -114,6 +115,11 @@ struct RsqlResult {
   size_t history_windows_checked = 0;
   size_t history_windows_missing = 0;
   size_t history_windows_truncated = 0;
+  /// Wall-clock split of the stage (paper Sec. VIII-B reports per-stage
+  /// timings): clustering covers graph build + cumulative filtering,
+  /// verification covers history checks + the final ranking.
+  double cluster_seconds = 0.0;
+  double verify_seconds = 0.0;
 };
 
 /// Pinpoints R-SQLs (paper Sec. VI): clusters templates by #execution
@@ -136,7 +142,7 @@ RsqlResult IdentifyRootCauseSqls(
     const std::vector<HsqlScore>& hsql_scores,
     const HistoryProvider* history, int64_t anomaly_start,
     int64_t anomaly_end, const RsqlOptions& options,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr, obs::TraceRecorder* trace = nullptr);
 
 }  // namespace pinsql::core
 

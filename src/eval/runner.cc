@@ -1,9 +1,11 @@
 #include "eval/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <unordered_set>
 
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace pinsql::eval {
@@ -63,6 +65,46 @@ void MethodAccumulator::AddRanks(int rsql_rank, int hsql_rank,
   ++time_count_;
 }
 
+void StageTimingAggregate::AddTrace(const obs::PipelineTrace& trace) {
+  ++cases;
+  total_seconds += trace.total_seconds;
+  for (const obs::StageTrace& s : trace.stages) {
+    Stage* slot = nullptr;
+    for (Stage& existing : stages) {
+      if (existing.name == s.name) {
+        slot = &existing;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      stages.push_back(Stage{s.name, 0.0, 0.0, 0});
+      slot = &stages.back();
+    }
+    slot->total_seconds += s.seconds;
+    slot->max_seconds = std::max(slot->max_seconds, s.seconds);
+    ++slot->cases;
+  }
+}
+
+std::string StageTimingAggregate::ToTable() const {
+  double stage_sum = 0.0;
+  for (const Stage& s : stages) stage_sum += s.total_seconds;
+  std::string out = StrFormat("stage timings across %zu cases:\n", cases);
+  out += StrFormat("  %-20s %10s %10s %10s %7s\n", "stage", "total(s)",
+                   "mean(s)", "max(s)", "share");
+  for (const Stage& s : stages) {
+    const double mean =
+        s.cases == 0 ? 0.0 : s.total_seconds / static_cast<double>(s.cases);
+    const double share =
+        stage_sum > 0.0 ? 100.0 * s.total_seconds / stage_sum : 0.0;
+    out += StrFormat("  %-20s %10.4f %10.4f %10.4f %6.1f%%\n",
+                     s.name.c_str(), s.total_seconds, mean, s.max_seconds,
+                     share);
+  }
+  out += StrFormat("  %-20s %10.4f\n", "pipeline total", total_seconds);
+  return out;
+}
+
 MethodScores MethodAccumulator::Summary() const {
   MethodScores s;
   s.name = name_;
@@ -83,6 +125,7 @@ struct CaseOutcome {
   double pin_seconds = 0.0;
   int en_r = 0, en_h = 0, rt_r = 0, rt_h = 0, er_r = 0, er_h = 0;
   double top_seconds = 0.0;
+  obs::PipelineTrace trace;
 };
 
 CaseOutcome RunOneCase(const EvalOptions& options,
@@ -104,6 +147,7 @@ CaseOutcome RunOneCase(const EvalOptions& options,
   out.pin_rsql = RsqlRank(result.rsql.ranking, data);
   out.pin_hsql = HsqlRank(result.TopHsql(result.hsql_ranking.size()), data);
   out.pin_seconds = result.total_seconds;
+  out.trace = result.trace;
 
   const auto t0 = std::chrono::steady_clock::now();
   const baselines::TopSqlRankings tops = baselines::RankAllTopSql(
@@ -125,7 +169,8 @@ CaseOutcome RunOneCase(const EvalOptions& options,
 }  // namespace
 
 std::vector<MethodScores> RunOverallEvaluation(
-    const EvalOptions& options, const core::DiagnoserOptions& diagnoser) {
+    const EvalOptions& options, const core::DiagnoserOptions& diagnoser,
+    StageTimingAggregate* stage_timings) {
   MethodAccumulator pinsql("PinSQL");
   MethodAccumulator top_en("Top-EN");
   MethodAccumulator top_rt("Top-RT");
@@ -146,6 +191,7 @@ std::vector<MethodScores> RunOverallEvaluation(
   });
 
   for (const CaseOutcome& out : outcomes) {
+    if (stage_timings != nullptr) stage_timings->AddTrace(out.trace);
     pinsql.AddRanks(out.pin_rsql, out.pin_hsql, out.pin_seconds);
     top_en.AddRanks(out.en_r, out.en_h, out.top_seconds);
     top_rt.AddRanks(out.rt_r, out.rt_h, out.top_seconds);

@@ -45,6 +45,28 @@ void ForEachCase(const EvalOptions& options,
 /// helper-metric nodes, the detected anomaly period and history).
 core::DiagnosisInput MakeDiagnosisInput(const AnomalyCaseData& data);
 
+/// Cross-case aggregation of per-stage pipeline traces: how the fleet's
+/// diagnosis time splits across stages (paper Sec. VIII-B reports the
+/// per-stage breakdown). Stages keep first-seen order, which for PinSQL
+/// traces is the pipeline order.
+struct StageTimingAggregate {
+  struct Stage {
+    std::string name;
+    double total_seconds = 0.0;
+    double max_seconds = 0.0;
+    size_t cases = 0;
+  };
+  std::vector<Stage> stages;
+  size_t cases = 0;
+  double total_seconds = 0.0;
+
+  /// Folds one diagnosis trace into the aggregate.
+  void AddTrace(const obs::PipelineTrace& trace);
+  /// Terminal table: per-stage total / mean / max seconds and share of the
+  /// summed stage time.
+  std::string ToTable() const;
+};
+
 /// Scores of one method on one batch.
 struct MethodScores {
   std::string name;
@@ -79,9 +101,13 @@ int HsqlRank(const std::vector<uint64_t>& ranking,
              const AnomalyCaseData& data);
 
 /// Full Table-I style evaluation: PinSQL (with `diagnoser` options) vs
-/// Top-EN / Top-RT / Top-ER / Top-All on one batch.
+/// Top-EN / Top-RT / Top-ER / Top-All on one batch. A non-null
+/// `stage_timings` additionally aggregates every case's per-stage pipeline
+/// trace (folded in case order, so the aggregate is deterministic at any
+/// num_threads).
 std::vector<MethodScores> RunOverallEvaluation(
-    const EvalOptions& options, const core::DiagnoserOptions& diagnoser);
+    const EvalOptions& options, const core::DiagnoserOptions& diagnoser,
+    StageTimingAggregate* stage_timings = nullptr);
 
 }  // namespace pinsql::eval
 

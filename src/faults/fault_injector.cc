@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -113,10 +114,16 @@ std::string InjectionStats::ToString() const {
 
 void InjectMetricFaults(const FaultPlan& plan, uint64_t salt,
                         TimeSeries* series, InjectionStats* stats) {
-  if (plan.severity <= 0.0 || series == nullptr || series->empty()) return;
+  if (plan.severity <= 0.0 || series == nullptr || series->empty()) {
+    if (series != nullptr) {
+      PINSQL_OBS_COUNT("faults.metric_points_passed", series->size());
+    }
+    return;
+  }
   const double sev = std::min(plan.severity, 1.0);
   std::vector<double>& v = series->values();
   const size_t n = v.size();
+  size_t injected = 0;
 
   if (plan.Enabled(FaultClass::kMetricGap)) {
     Rng rng = MakeStream(plan, salt, kStreamGap);
@@ -124,6 +131,7 @@ void InjectMetricFaults(const FaultPlan& plan, uint64_t salt,
     for (size_t i = 0; i < n; ++i) {
       if (rng.Bernoulli(p) && std::isfinite(v[i])) {
         v[i] = kNaN;
+        ++injected;
         if (stats != nullptr) ++stats->metric_points_gapped;
       }
     }
@@ -143,6 +151,7 @@ void InjectMetricFaults(const FaultPlan& plan, uint64_t salt,
       for (size_t i = start; i < std::min(n, start + len); ++i) {
         if (std::isfinite(v[i])) {
           v[i] = kNaN;
+          ++injected;
           if (stats != nullptr) ++stats->metric_points_blacked_out;
         }
       }
@@ -167,17 +176,27 @@ void InjectMetricFaults(const FaultPlan& plan, uint64_t salt,
                      rng.Uniform(3.0, 40.0) +
                  rng.Uniform(0.0, 50.0);
       }
+      ++injected;
       if (stats != nullptr) ++stats->metric_points_garbled;
     }
   }
+  PINSQL_OBS_COUNT("faults.metric_points_injected", injected);
+  // A point can take two faults (gap then garbage), so clamp at zero.
+  PINSQL_OBS_COUNT("faults.metric_points_passed",
+                   injected < n ? n - injected : 0);
 }
 
 std::vector<QueryLogRecord> InjectLogFaults(const FaultPlan& plan,
                                             std::vector<QueryLogRecord> records,
                                             InjectionStats* stats) {
-  if (plan.severity <= 0.0 || records.empty()) return records;
+  if (plan.severity <= 0.0 || records.empty()) {
+    PINSQL_OBS_COUNT("faults.log_records_passed", records.size());
+    return records;
+  }
   const double sev = std::min(plan.severity, 1.0);
   Rng rng = MakeStream(plan, /*salt=*/0, kStreamLogs);
+  size_t injected = 0;
+  size_t passed = 0;
 
   int64_t skew_ms = 0;
   if (plan.Enabled(FaultClass::kClockSkew)) {
@@ -190,8 +209,10 @@ std::vector<QueryLogRecord> InjectLogFaults(const FaultPlan& plan,
   std::vector<QueryLogRecord> out;
   out.reserve(records.size());
   for (const QueryLogRecord& rec : records) {
+    bool touched = skew_ms != 0;
     if (plan.Enabled(FaultClass::kLogDrop) &&
         rng.Bernoulli(kDropRateAtFull * sev)) {
+      ++injected;
       if (stats != nullptr) ++stats->log_records_dropped;
       continue;
     }
@@ -202,6 +223,7 @@ std::vector<QueryLogRecord> InjectLogFaults(const FaultPlan& plan,
       kept.arrival_ms += rng.UniformInt(
           1, std::max<int64_t>(1, static_cast<int64_t>(
                                       std::llround(kMaxLatenessMs * sev))));
+      touched = true;
       if (stats != nullptr) ++stats->log_records_delayed;
     }
     if (plan.Enabled(FaultClass::kLogReorder) &&
@@ -209,15 +231,24 @@ std::vector<QueryLogRecord> InjectLogFaults(const FaultPlan& plan,
       const int64_t jitter = std::max<int64_t>(
           1, static_cast<int64_t>(std::llround(kMaxReorderJitterMs * sev)));
       kept.arrival_ms += rng.UniformInt(-jitter, jitter);
+      touched = true;
       if (stats != nullptr) ++stats->log_records_reordered;
     }
     out.push_back(kept);
     if (plan.Enabled(FaultClass::kLogDuplicate) &&
         rng.Bernoulli(kDuplicateRateAtFull * sev)) {
       out.push_back(kept);  // at-least-once delivery: exact replay
+      touched = true;
       if (stats != nullptr) ++stats->log_records_duplicated;
     }
+    if (touched) {
+      ++injected;
+    } else {
+      ++passed;
+    }
   }
+  PINSQL_OBS_COUNT("faults.log_records_injected", injected);
+  PINSQL_OBS_COUNT("faults.log_records_passed", passed);
   return out;
 }
 
@@ -225,6 +256,9 @@ void InjectHistoryFaults(const FaultPlan& plan,
                          core::MapHistoryProvider* history,
                          InjectionStats* stats) {
   if (plan.severity <= 0.0 || history == nullptr || history->size() == 0) {
+    if (history != nullptr) {
+      PINSQL_OBS_COUNT("faults.history_windows_passed", history->size());
+    }
     return;
   }
   const double sev = std::min(plan.severity, 1.0);
@@ -253,10 +287,12 @@ void InjectHistoryFaults(const FaultPlan& plan,
     decisions.push_back(d);
   });
 
+  size_t injected = 0;
   for (const Decision& d : decisions) {
     if (d.drop) {
-      if (history->Erase(d.sql_id, d.days_ago) && stats != nullptr) {
-        ++stats->history_windows_dropped;
+      if (history->Erase(d.sql_id, d.days_ago)) {
+        ++injected;
+        if (stats != nullptr) ++stats->history_windows_dropped;
       }
       continue;
     }
@@ -272,8 +308,12 @@ void InjectHistoryFaults(const FaultPlan& plan,
     history->Put(d.sql_id, d.days_ago,
                  TimeSeries(s->start_time(), s->interval_sec(),
                             std::move(head)));
+    ++injected;
     if (stats != nullptr) ++stats->history_windows_truncated;
   }
+  PINSQL_OBS_COUNT("faults.history_windows_injected", injected);
+  PINSQL_OBS_COUNT("faults.history_windows_passed",
+                   decisions.size() - injected);
 }
 
 }  // namespace pinsql::faults

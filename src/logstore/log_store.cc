@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace pinsql {
 
 LogStore::LogStore(const LogStore& other) {
@@ -56,6 +58,7 @@ const TemplateCatalogEntry* LogStore::FindTemplate(uint64_t sql_id) const {
 void LogStore::EnsureSorted() const {
   std::lock_guard<std::mutex> lock(sort_mu_);
   if (sorted_) return;
+  PINSQL_OBS_COUNT("logstore.sort_triggers", 1);
   std::stable_sort(records_.begin(), records_.end(),
                    [](const QueryLogRecord& a, const QueryLogRecord& b) {
                      return a.arrival_ms < b.arrival_ms;
@@ -71,9 +74,13 @@ void LogStore::ScanRange(
                              [](const QueryLogRecord& r, int64_t t) {
                                return r.arrival_ms < t;
                              });
+  size_t scanned = 0;
   for (auto it = lo; it != records_.end() && it->arrival_ms < t1_ms; ++it) {
     fn(*it);
+    ++scanned;
   }
+  PINSQL_OBS_COUNT("logstore.scans", 1);
+  PINSQL_OBS_COUNT("logstore.records_scanned", scanned);
 }
 
 std::vector<QueryLogRecord> LogStore::Range(int64_t t0_ms,
@@ -92,7 +99,13 @@ size_t LogStore::TrimBefore(int64_t cutoff_ms) {
                              });
   const size_t dropped = static_cast<size_t>(lo - records_.begin());
   records_.erase(records_.begin(), lo);
+  PINSQL_OBS_COUNT("logstore.records_trimmed", dropped);
   return dropped;
+}
+
+size_t LogStore::TrimExpired(int64_t now_ms, int64_t retention_ms) {
+  PINSQL_OBS_COUNT("logstore.retention_trims", 1);
+  return TrimBefore(now_ms - retention_ms);
 }
 
 void LogStore::ReplaceRecords(std::vector<QueryLogRecord> records) {

@@ -70,6 +70,16 @@ class LogStore {
   /// the number of dropped records.
   size_t TrimBefore(int64_t cutoff_ms);
 
+  /// The paper's 3-day log retention, in milliseconds.
+  static constexpr int64_t kRetentionMs = 3LL * 24 * 3600 * 1000;
+
+  /// Applies retention at `now_ms`: keeps exactly the half-open window
+  /// [now_ms - retention_ms, now_ms + inf), matching the ScanRange
+  /// convention — a record arriving exactly at the 3-day edge is the first
+  /// *retained* instant, and anything older is dropped. Returns the number
+  /// of dropped records.
+  size_t TrimExpired(int64_t now_ms, int64_t retention_ms = kRetentionMs);
+
   /// Replaces the full record set, keeping the template catalog. Used by
   /// the telemetry fault injectors (and tests) to rewrite a store's
   /// records with dropped/duplicated/reordered/skewed copies. The records

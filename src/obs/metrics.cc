@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/strings.h"
+
+namespace pinsql::obs {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  // Bucket i >= 1 holds [2^(i-1), 2^i): i = floor(log2(value)) + 1. The
+  // last bucket absorbs the top of the uint64 range.
+  return std::min<size_t>(static_cast<size_t>(std::bit_width(value)),
+                          kNumBuckets - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> out{};
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("%-44s %12llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, h] : histograms) {
+    const double mean =
+        h.count == 0 ? 0.0
+                     : static_cast<double>(h.sum) / static_cast<double>(h.count);
+    out += StrFormat("%-44s n=%llu mean=%.1f\n", name.c_str(),
+                     static_cast<unsigned long long>(h.count), mean);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    const auto buckets = histogram->BucketCounts();
+    size_t last = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] != 0) last = i + 1;
+    }
+    h.buckets.assign(buckets.begin(), buckets.begin() + last);
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace pinsql::obs

@@ -1,0 +1,116 @@
+#ifndef PINSQL_OBS_METRICS_H_
+#define PINSQL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pinsql::obs {
+
+/// True when the observability layer is compiled in. Building with
+/// -DPINSQL_DISABLE_OBS=ON turns every instrument into a no-op (tests gate
+/// their counter assertions on this).
+#ifdef PINSQL_DISABLE_OBS
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonic counter. Relaxed atomics: increments come from thread-pool
+/// workers and only the totals matter, so no ordering is required (and the
+/// suite stays TSan-clean).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Log2-bucketed latency histogram: bucket 0 counts the value 0, bucket i
+/// (i >= 1) counts values in [2^(i-1), 2^i). 64 buckets cover the full
+/// uint64 range, so Record never clips.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(uint64_t value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+  void Reset();
+
+  /// Index of the bucket `value` lands in (exposed for tests).
+  static size_t BucketIndex(uint64_t value);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// Bucket counts with trailing empty buckets trimmed.
+  std::vector<uint64_t> buckets;
+};
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Human-readable table (sorted by name), one instrument per line.
+  std::string ToString() const;
+};
+
+/// Named-instrument registry. Lookup takes a mutex, so call sites on hot
+/// paths should count locally and flush one Add per batch (the LogStore
+/// scan counters do this); the instruments themselves are lock-free.
+/// Instrument references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by the library-level instrumentation
+  /// (LogStore, fault injectors, repair supervisor).
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered instrument (references stay valid). Test
+  /// isolation only.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pinsql::obs
+
+/// Call-site macros: compile to nothing under PINSQL_DISABLE_OBS, so a
+/// disabled build carries zero observability overhead (no string
+/// construction, no registry lookup, no atomic traffic).
+#ifndef PINSQL_DISABLE_OBS
+#define PINSQL_OBS_COUNT(name, n) \
+  ::pinsql::obs::MetricsRegistry::Global().GetCounter(name).Add(n)
+#define PINSQL_OBS_OBSERVE(name, value) \
+  ::pinsql::obs::MetricsRegistry::Global().GetHistogram(name).Record(value)
+#else
+// The disabled form still (void)-evaluates the operands: any side-effect-free
+// argument folds to nothing, and locals computed only for instrumentation do
+// not trip -Wunused-but-set-variable.
+#define PINSQL_OBS_COUNT(name, n) ((void)(name), (void)(n))
+#define PINSQL_OBS_OBSERVE(name, value) ((void)(name), (void)(value))
+#endif
+
+#endif  // PINSQL_OBS_METRICS_H_

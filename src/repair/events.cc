@@ -41,6 +41,37 @@ const char* RepairEventKindName(RepairEventKind kind) {
   return "unknown";
 }
 
+bool RepairEventKindFromName(std::string_view name, RepairEventKind* out) {
+  static constexpr RepairEventKind kAll[] = {
+      RepairEventKind::kRejected,       RepairEventKind::kBreakerRejected,
+      RepairEventKind::kDuplicate,      RepairEventKind::kAttempt,
+      RepairEventKind::kAttemptFailed,  RepairEventKind::kRetryScheduled,
+      RepairEventKind::kApplied,        RepairEventKind::kFailed,
+      RepairEventKind::kVerified,       RepairEventKind::kRolledBack,
+      RepairEventKind::kExpired,        RepairEventKind::kBreakerOpened,
+      RepairEventKind::kBreakerHalfOpen, RepairEventKind::kBreakerClosed,
+  };
+  for (RepairEventKind kind : kAll) {
+    if (name == RepairEventKindName(kind)) {
+      if (out != nullptr) *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ActionTypeFromName(std::string_view name, ActionType* out) {
+  static constexpr ActionType kAll[] = {
+      ActionType::kThrottle, ActionType::kOptimize, ActionType::kAutoScale};
+  for (ActionType type : kAll) {
+    if (name == ActionTypeName(type)) {
+      if (out != nullptr) *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
 Json RepairEvent::ToJson() const {
   Json obj = Json::MakeObject();
   obj.Set("time_ms", time_ms);
@@ -51,6 +82,32 @@ Json RepairEvent::ToJson() const {
   obj.Set("attempt", attempt);
   obj.Set("detail", detail);
   return obj;
+}
+
+StatusOr<RepairEvent> RepairEvent::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("repair event: not a JSON object");
+  }
+  RepairEvent event;
+  event.time_ms = json.GetNumberOr("time_ms", 0.0);
+  const std::string kind_name = json.GetStringOr("kind", "");
+  if (!RepairEventKindFromName(kind_name, &event.kind)) {
+    return Status::InvalidArgument("repair event: unknown kind '" +
+                                   kind_name + "'");
+  }
+  const std::string action_name = json.GetStringOr("action", "");
+  if (!ActionTypeFromName(action_name, &event.action)) {
+    return Status::InvalidArgument("repair event: unknown action '" +
+                                   action_name + "'");
+  }
+  if (!HexToHash(json.GetStringOr("sql_id", ""), &event.sql_id)) {
+    return Status::InvalidArgument("repair event: bad sql_id");
+  }
+  event.ticket =
+      static_cast<uint64_t>(json.GetNumberOr("ticket", 0.0));
+  event.attempt = static_cast<int>(json.GetNumberOr("attempt", 0.0));
+  event.detail = json.GetStringOr("detail", "");
+  return event;
 }
 
 std::string RepairEvent::ToString() const {

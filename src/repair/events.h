@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "repair/actions.h"
@@ -32,6 +33,11 @@ enum class RepairEventKind {
 
 const char* RepairEventKindName(RepairEventKind kind);
 
+/// Inverse of RepairEventKindName / ActionTypeName; returns false on an
+/// unknown name. Used when re-hydrating reports from their JSON form.
+bool RepairEventKindFromName(std::string_view name, RepairEventKind* out);
+bool ActionTypeFromName(std::string_view name, ActionType* out);
+
 /// One typed audit record. Replaces the free-text audit strings: machine
 /// readable (JSON report), still renderable as one line for terminals.
 struct RepairEvent {
@@ -49,6 +55,9 @@ struct RepairEvent {
   std::string detail;
 
   Json ToJson() const;
+  /// Parses the ToJson form back; InvalidArgument on missing fields or
+  /// unknown kind/action names.
+  static StatusOr<RepairEvent> FromJson(const Json& json);
   std::string ToString() const;
 };
 

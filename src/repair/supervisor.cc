@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace pinsql::repair {
@@ -59,6 +60,39 @@ void RepairSupervisor::Emit(double time_ms, RepairEventKind kind,
   e.attempt = attempt;
   e.detail = std::move(detail);
   events_.push_back(std::move(e));
+
+  // Every lifecycle transition funnels through here, so this one switch is
+  // the complete metrics surface of the supervisor.
+  switch (kind) {
+    case RepairEventKind::kRejected:
+      PINSQL_OBS_COUNT("repair.preflight_rejects", 1);
+      break;
+    case RepairEventKind::kBreakerRejected:
+      PINSQL_OBS_COUNT("repair.breaker_rejects", 1);
+      break;
+    case RepairEventKind::kDuplicate:
+      PINSQL_OBS_COUNT("repair.duplicates_suppressed", 1);
+      break;
+    case RepairEventKind::kRetryScheduled:
+      PINSQL_OBS_COUNT("repair.retries", 1);
+      break;
+    case RepairEventKind::kApplied:
+      PINSQL_OBS_COUNT("repair.applied", 1);
+      break;
+    case RepairEventKind::kFailed:
+      PINSQL_OBS_COUNT("repair.failed", 1);
+      break;
+    case RepairEventKind::kRolledBack:
+      PINSQL_OBS_COUNT("repair.rollbacks", 1);
+      break;
+    case RepairEventKind::kBreakerOpened:
+    case RepairEventKind::kBreakerHalfOpen:
+    case RepairEventKind::kBreakerClosed:
+      PINSQL_OBS_COUNT("repair.breaker_transitions", 1);
+      break;
+    default:
+      break;
+  }
 }
 
 RepairSupervisor::Breaker& RepairSupervisor::BreakerFor(ActionType type) {

@@ -118,6 +118,14 @@ std::vector<Token> Tokenize(std::string_view sql) {
                std::isxdigit(static_cast<unsigned char>(sql[i])) != 0) {
           ++i;
         }
+      } else if (c == '0' && i + 2 < n &&
+                 (sql[i + 1] == 'b' || sql[i + 1] == 'B') &&
+                 (sql[i + 2] == '0' || sql[i + 2] == '1')) {
+        // MySQL binary literals (0b1010). Without this branch the token
+        // splits into the number 0 plus the word "b1010", so templates
+        // differing only in a binary literal would not share a sql_id.
+        i += 2;
+        while (i < n && (sql[i] == '0' || sql[i] == '1')) ++i;
       } else {
         while (i < n && (IsDigit(sql[i]) || sql[i] == '.')) ++i;
         if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {

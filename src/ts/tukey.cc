@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace pinsql {
 
@@ -25,12 +26,23 @@ double Quantile(std::vector<double> x, double q) {
 
 TukeyFences ComputeTukeyFences(const std::vector<double>& x, double k) {
   TukeyFences fences;
-  if (x.empty()) return fences;
+  for (double v : x) {
+    if (std::isfinite(v)) ++fences.finite_points;
+  }
+  if (fences.finite_points < 4) {
+    // Not enough signal for quartiles: return open fences so nothing is
+    // flagged, instead of the old [0, 0]-style fences an all-gap or tiny
+    // baseline produced (which marked any positive value an outlier).
+    fences.lower = -std::numeric_limits<double>::infinity();
+    fences.upper = std::numeric_limits<double>::infinity();
+    return fences;
+  }
   const double q1 = Quantile(x, 0.25);
   const double q3 = Quantile(x, 0.75);
   const double iqr = q3 - q1;
   fences.lower = q1 - k * iqr;
   fences.upper = q3 + k * iqr;
+  fences.valid = true;
   return fences;
 }
 

@@ -15,9 +15,20 @@ namespace pinsql {
 struct TukeyFences {
   double lower = 0.0;
   double upper = 0.0;
+  /// False when the input was too degenerate to support fences (fewer than
+  /// 4 finite points): quartiles of 0-3 samples are noise, and the old
+  /// behaviour — fences like [0, 0] from an all-gap series — spuriously
+  /// flagged every positive value. Invalid fences are open (lower = -inf,
+  /// upper = +inf), so every "is this an outlier" comparison cleanly says
+  /// no without callers having to special-case.
+  bool valid = false;
+  /// Finite points the fences were computed from.
+  size_t finite_points = 0;
 };
 
-/// Computes the fences from the data. `k` is the IQR multiplier.
+/// Computes the fences from the data. `k` is the IQR multiplier. Non-finite
+/// points (telemetry gaps) are ignored; fewer than 4 finite points yield
+/// open, invalid fences (see TukeyFences::valid).
 TukeyFences ComputeTukeyFences(const std::vector<double>& x, double k = 1.5);
 
 /// Linear-interpolated sample quantile, q in [0, 1].

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "anomaly/detectors.h"
+#include "anomaly/pettitt.h"
 #include "anomaly/phenomenon.h"
 #include "util/rng.h"
 
@@ -222,6 +226,50 @@ TEST_P(DetectorShiftInvarianceTest, StartTimeIrrelevant) {
 
 INSTANTIATE_TEST_SUITE_P(Origins, DetectorShiftInvarianceTest,
                          ::testing::Values(0, 1000, 100000, 1650000000));
+
+// ---------------------------------------------------------------- Pettitt
+
+TEST(PettittTest, DetectsLevelShift) {
+  std::vector<double> x(40, 10.0);
+  for (size_t i = 20; i < x.size(); ++i) x[i] = 50.0;
+  const PettittResult r = PettittTest(x);
+  EXPECT_TRUE(r.significant());
+  EXPECT_TRUE(r.shifted_up());
+  EXPECT_NEAR(static_cast<double>(r.change_index), 19.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_before, 10.0);
+  EXPECT_DOUBLE_EQ(r.mean_after, 50.0);
+}
+
+TEST(PettittTest, DegenerateInputsReturnCleanDefault) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Empty / tiny / all-gap series must return the "no change point"
+  // default with finite fields, never NaN means or a spurious verdict.
+  for (const std::vector<double>& x :
+       {std::vector<double>{}, std::vector<double>{1.0},
+        std::vector<double>{1.0, 2.0, 3.0},
+        std::vector<double>(10, nan)}) {
+    const PettittResult r = PettittTest(x);
+    EXPECT_FALSE(r.significant());
+    EXPECT_TRUE(std::isfinite(r.mean_before));
+    EXPECT_TRUE(std::isfinite(r.mean_after));
+    EXPECT_TRUE(std::isfinite(r.statistic));
+    EXPECT_EQ(r.p_value, 1.0);
+  }
+}
+
+TEST(PettittTest, GapsDoNotPoisonSegmentMeans) {
+  // Regression: one NaN per segment used to turn both means (and the
+  // shifted_up() verdict built on them) into NaN.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x = {1.0, nan, 2.0, 1.5, nan, 100.0,
+                           101.0, 99.0, nan, 100.5};
+  const PettittResult r = PettittTest(x);
+  EXPECT_TRUE(std::isfinite(r.mean_before));
+  EXPECT_TRUE(std::isfinite(r.mean_after));
+  EXPECT_TRUE(r.shifted_up());
+  EXPECT_LT(r.mean_before, 3.0);
+  EXPECT_GT(r.mean_after, 90.0);
+}
 
 }  // namespace
 }  // namespace pinsql::anomaly

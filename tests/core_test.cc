@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -7,6 +8,7 @@
 #include "core/rsql.h"
 #include "core/session_estimator.h"
 #include "logstore/log_store.h"
+#include "obs/metrics.h"
 #include "ts/stats.h"
 #include "util/rng.h"
 
@@ -581,6 +583,65 @@ TEST(DiagnoseValidationTest, SeriesMissingAnomalyPeriodRejected) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(result.status().message().find("does not intersect"),
             std::string::npos);
+}
+
+TEST(DiagnoseDataQualityTest, GapAndSanitizedCountersAreDisjoint) {
+  ValidInputFixture f;
+  // One genuinely-missing point and one finite-but-impossible point. Each
+  // must land in exactly one counter: the garbage point used to be
+  // sanitized into NaN first and then counted again as a gap.
+  f.input.active_session[10] = std::numeric_limits<double>::quiet_NaN();
+  f.input.active_session[20] = -5.0;
+  DiagnoserOptions options;
+  options.delta_s_sec = 60;  // diagnosis window [0, 90): 90 session points
+  const StatusOr<DiagnosisResult> result = Diagnose(f.input, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DataQuality& dq = result->data_quality;
+  EXPECT_EQ(dq.session_points, 90u);
+  EXPECT_EQ(dq.session_gap_points, 1u);
+  EXPECT_EQ(dq.metric_points_sanitized, 1u);
+  // The confidence penalty still charges both bad points, once each.
+  EXPECT_NEAR(dq.confidence, 1.0 - 0.5 * 2.0 / 90.0, 1e-12);
+}
+
+TEST(DiagnoseTraceTest, PipelineTraceAlwaysPopulated) {
+  ValidInputFixture f;
+  DiagnoserOptions options;
+  options.delta_s_sec = 60;
+  const StatusOr<DiagnosisResult> result = Diagnose(f.input, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const obs::PipelineTrace& trace = result->trace;
+  ASSERT_EQ(trace.stages.size(), 5u);
+  const obs::StageTrace* session = trace.Find("session_estimation");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->counters.at("session_points"), 90);
+  const obs::StageTrace* agg = trace.Find("window_aggregation");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_GT(agg->counters.at("log_records"), 0);
+  EXPECT_GE(trace.total_seconds, 0.0);
+}
+
+TEST(DiagnoseTraceTest, SpanRecordingNeverChangesTheDiagnosis) {
+  ValidInputFixture f;
+  DiagnoserOptions plain;
+  plain.delta_s_sec = 60;
+  const StatusOr<DiagnosisResult> without = Diagnose(f.input, plain);
+  ASSERT_TRUE(without.ok());
+
+  obs::TraceRecorder recorder;
+  DiagnoserOptions traced = plain;
+  traced.trace = &recorder;
+  const StatusOr<DiagnosisResult> with = Diagnose(f.input, traced);
+  ASSERT_TRUE(with.ok());
+
+  EXPECT_EQ(with->rsql.ranking, without->rsql.ranking);
+  EXPECT_EQ(with->hsql_ranking.size(), without->hsql_ranking.size());
+  EXPECT_EQ(with->data_quality.confidence, without->data_quality.confidence);
+  if (obs::kEnabled) {
+    EXPECT_GT(recorder.event_count(), 0u);
+  } else {
+    EXPECT_EQ(recorder.event_count(), 0u);
+  }
 }
 
 TEST(DiagnoseValidationTest, PartialLookbackDegradesInsteadOfRejecting) {

@@ -4,6 +4,7 @@
 
 #include "eval/case_generator.h"
 #include "eval/runner.h"
+#include "obs/trace.h"
 
 namespace pinsql::eval {
 namespace {
@@ -160,6 +161,48 @@ TEST(RunnerTest, MethodAccumulatorAggregates) {
   EXPECT_DOUBLE_EQ(s.rsql.hits_at_1, 50.0);
   EXPECT_DOUBLE_EQ(s.hsql.hits_at_5, 100.0);
   EXPECT_DOUBLE_EQ(s.mean_time_sec, 1.0);
+}
+
+TEST(RunnerTest, StageTimingAggregateFoldsTraces) {
+  StageTimingAggregate agg;
+  obs::PipelineTrace first;
+  first.total_seconds = 1.0;
+  first.stages.push_back(obs::StageTrace{"session_estimation", 0.6, {}});
+  first.stages.push_back(obs::StageTrace{"hsql_scoring", 0.4, {}});
+  obs::PipelineTrace second;
+  second.total_seconds = 2.0;
+  second.stages.push_back(obs::StageTrace{"session_estimation", 1.4, {}});
+  agg.AddTrace(first);
+  agg.AddTrace(second);
+
+  EXPECT_EQ(agg.cases, 2u);
+  EXPECT_DOUBLE_EQ(agg.total_seconds, 3.0);
+  ASSERT_EQ(agg.stages.size(), 2u);
+  EXPECT_EQ(agg.stages[0].name, "session_estimation");
+  EXPECT_DOUBLE_EQ(agg.stages[0].total_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(agg.stages[0].max_seconds, 1.4);
+  EXPECT_EQ(agg.stages[0].cases, 2u);
+  EXPECT_EQ(agg.stages[1].name, "hsql_scoring");
+  EXPECT_EQ(agg.stages[1].cases, 1u);
+
+  const std::string table = agg.ToTable();
+  EXPECT_NE(table.find("session_estimation"), std::string::npos);
+  EXPECT_NE(table.find("hsql_scoring"), std::string::npos);
+}
+
+TEST(RunnerTest, EvaluationCollectsStageTimings) {
+  EvalOptions options;
+  options.num_cases = 2;
+  options.seed = 5;
+  options.case_options = SmallCase(workload::AnomalyType::kBusinessSpike, 0);
+  StageTimingAggregate agg;
+  const auto scores =
+      RunOverallEvaluation(options, core::DiagnoserOptions{}, &agg);
+  EXPECT_FALSE(scores.empty());
+  EXPECT_EQ(agg.cases, 2u);
+  ASSERT_FALSE(agg.stages.empty());
+  EXPECT_EQ(agg.stages[0].name, "session_estimation");
+  EXPECT_EQ(agg.stages[0].cases, 2u);
 }
 
 }  // namespace

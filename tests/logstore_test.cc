@@ -68,6 +68,42 @@ TEST(LogStoreTest, TrimBeforeImplementsRetention) {
   EXPECT_EQ(store.SortedRecords().front().arrival_ms, 40);
 }
 
+TEST(LogStoreTest, TrimExpiredKeepsRecordExactlyAtRetentionEdge) {
+  // The retention window is half-open like ScanRange: [now - 3d, +inf).
+  // A record exactly 3 days old is the first retained instant, not the
+  // last expired one.
+  const int64_t now = 10 * LogStore::kRetentionMs;
+  const int64_t edge = now - LogStore::kRetentionMs;
+  LogStore store;
+  store.Append(Rec(edge - 1, 1));  // one instant too old: expired
+  store.Append(Rec(edge, 2));      // exactly at the edge: retained
+  store.Append(Rec(edge + 1, 3));
+  store.Append(Rec(now, 4));
+
+  EXPECT_EQ(store.TrimExpired(now), 1u);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.SortedRecords().front().arrival_ms, edge);
+  EXPECT_EQ(store.SortedRecords().front().sql_id, 2u);
+
+  // The survivors stay scannable with the same half-open convention.
+  std::vector<uint64_t> seen;
+  store.ScanRange(edge, now + 1,
+                  [&](const QueryLogRecord& r) { seen.push_back(r.sql_id); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{2, 3, 4}));
+
+  // A second pass at the same instant is a no-op.
+  EXPECT_EQ(store.TrimExpired(now), 0u);
+}
+
+TEST(LogStoreTest, TrimExpiredHonorsCustomRetention) {
+  LogStore store;
+  store.Append(Rec(100, 1));
+  store.Append(Rec(200, 2));
+  EXPECT_EQ(store.TrimExpired(/*now_ms=*/300, /*retention_ms=*/100), 1u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.SortedRecords().front().sql_id, 2u);
+}
+
 TEST(LogStoreTest, TrimEverything) {
   LogStore store;
   store.Append(Rec(5, 1));

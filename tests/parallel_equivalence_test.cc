@@ -11,6 +11,8 @@
 
 #include "core/diagnoser.h"
 #include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "eval/case_generator.h"
 #include "eval/runner.h"
 #include "pipeline/message_queue.h"
@@ -250,6 +252,8 @@ TEST(DeterminismRegressionTest, RepeatedDiagnosisRendersIdenticalJson) {
         result, data.logs, data.phenomena, input.anomaly_start_sec,
         input.anomaly_end_sec, /*suggestions=*/{});
     report.diagnosis_seconds = 0.0;
+    report.trace.total_seconds = 0.0;
+    for (obs::StageTrace& stage : report.trace.stages) stage.seconds = 0.0;
     return report.ToJson().Dump(/*pretty=*/true);
   };
 
@@ -257,6 +261,54 @@ TEST(DeterminismRegressionTest, RepeatedDiagnosisRendersIdenticalJson) {
   const std::string second = render();
   EXPECT_EQ(first, second);
   EXPECT_FALSE(first.empty());
+}
+
+// Observability must be a pure observer: span recording on/off, at any
+// thread count, produces bit-identical diagnoses and identical
+// deterministic trace counters (only the wall-clock seconds may differ).
+TEST(TracingEquivalenceTest, TracingNeverChangesTheDiagnosis) {
+  const eval::AnomalyCaseData data = eval::GenerateCase(
+      SmallCase(/*seed=*/20260807, workload::AnomalyType::kRowLock));
+  const core::DiagnosisInput input = eval::MakeDiagnosisInput(data);
+
+  core::DiagnoserOptions baseline_options;
+  baseline_options.num_threads = 1;
+  const StatusOr<core::DiagnosisResult> baseline =
+      core::Diagnose(input, baseline_options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (const int threads : {1, 4}) {
+    for (const bool traced : {false, true}) {
+      SCOPED_TRACE("num_threads=" + std::to_string(threads) +
+                   " traced=" + std::to_string(traced));
+      obs::TraceRecorder recorder;
+      core::DiagnoserOptions options;
+      options.num_threads = threads;
+      options.trace = traced ? &recorder : nullptr;
+      const StatusOr<core::DiagnosisResult> run =
+          core::Diagnose(input, options);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      ExpectDiagnosisEq(*baseline, *run);
+      EXPECT_EQ(run->data_quality.confidence,
+                baseline->data_quality.confidence);
+
+      // Deterministic trace counters match the baseline stage for stage;
+      // the wall-clock seconds are excluded from the comparison.
+      ASSERT_EQ(run->trace.stages.size(), baseline->trace.stages.size());
+      for (size_t i = 0; i < run->trace.stages.size(); ++i) {
+        EXPECT_EQ(run->trace.stages[i].name, baseline->trace.stages[i].name);
+        EXPECT_EQ(run->trace.stages[i].counters,
+                  baseline->trace.stages[i].counters)
+            << "stage " << run->trace.stages[i].name;
+      }
+
+      if (traced && obs::kEnabled) {
+        EXPECT_GT(recorder.event_count(), 0u);
+      } else {
+        EXPECT_EQ(recorder.event_count(), 0u);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -172,6 +172,141 @@ TEST(ReportTest, RepairEventsSerializeIntoJsonAndText) {
   EXPECT_EQ(quiet.ToText().find("repair audit trail"), std::string::npos);
 }
 
+TEST(ReportTest, FromJsonRoundTripsAdversarialStrings) {
+  // Template texts, notes and event details can carry every character the
+  // JSON escaper must handle: quotes, backslashes, newlines, tabs and raw
+  // control bytes. The report must survive ToJson -> Dump -> Parse ->
+  // FromJson byte-exactly.
+  const std::string adversarial =
+      "SELECT \"x\\\"y\" FROM `t` WHERE c = 'it''s \\' ok'\n\t-- \x01\x1f /";
+
+  core::DiagnosisReport report;
+  report.anomaly_start_sec = 100;
+  report.anomaly_end_sec = 200;
+  report.diagnosis_seconds = 1.5;
+  report.verification_fallback = true;
+  report.phenomena = {"active_session.spike [100, 200) severity 9.0",
+                      adversarial};
+  core::DiagnosisReport::RankedTemplate t;
+  t.sql_id = 0xAB;
+  t.sql_id_hex = "00000000000000AB";
+  t.template_text = adversarial;
+  t.score = 0.9;
+  report.hsqls.push_back(t);
+  report.rsqls.push_back(t);
+  report.suggestions = {"[rule\"with\\quotes]\nthrottle"};
+  report.data_quality.confidence = 0.75;
+  report.data_quality.session_points = 600;
+  report.data_quality.session_gap_points = 3;
+  report.data_quality.lookback_truncated = true;
+  report.data_quality.notes = {adversarial, "plain note"};
+  repair::RepairEvent event;
+  event.time_ms = 900'000.0;
+  event.kind = repair::RepairEventKind::kRolledBack;
+  event.action = repair::ActionType::kThrottle;
+  event.sql_id = 0xAB;
+  event.ticket = 7;
+  event.attempt = 2;
+  event.detail = adversarial;
+  report.repair_events = {event};
+  report.trace.total_seconds = 1.5;
+  report.trace.stages.push_back(
+      obs::StageTrace{"session_estimation", 1.0, {{"session_points", 600}}});
+
+  const StatusOr<Json> parsed = Json::Parse(report.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const StatusOr<core::DiagnosisReport> back =
+      core::DiagnosisReport::FromJson(*parsed);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_EQ(back->anomaly_start_sec, 100);
+  EXPECT_EQ(back->anomaly_end_sec, 200);
+  EXPECT_DOUBLE_EQ(back->diagnosis_seconds, 1.5);
+  EXPECT_TRUE(back->verification_fallback);
+  EXPECT_EQ(back->phenomena, report.phenomena);
+  ASSERT_EQ(back->hsqls.size(), 1u);
+  EXPECT_EQ(back->hsqls[0].sql_id, 0xABu);
+  EXPECT_EQ(back->hsqls[0].template_text, adversarial);
+  EXPECT_DOUBLE_EQ(back->hsqls[0].score, 0.9);
+  ASSERT_EQ(back->rsqls.size(), 1u);
+  EXPECT_EQ(back->rsqls[0].template_text, adversarial);
+  EXPECT_EQ(back->suggestions, report.suggestions);
+  EXPECT_DOUBLE_EQ(back->data_quality.confidence, 0.75);
+  EXPECT_EQ(back->data_quality.session_points, 600u);
+  EXPECT_EQ(back->data_quality.session_gap_points, 3u);
+  EXPECT_TRUE(back->data_quality.lookback_truncated);
+  EXPECT_EQ(back->data_quality.notes, report.data_quality.notes);
+  ASSERT_EQ(back->repair_events.size(), 1u);
+  EXPECT_EQ(back->repair_events[0].kind,
+            repair::RepairEventKind::kRolledBack);
+  EXPECT_EQ(back->repair_events[0].sql_id, 0xABu);
+  EXPECT_EQ(back->repair_events[0].ticket, 7u);
+  EXPECT_EQ(back->repair_events[0].detail, adversarial);
+  EXPECT_EQ(back->trace, report.trace);
+}
+
+TEST(ReportTest, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(core::DiagnosisReport::FromJson(Json("not an object")).ok());
+
+  Json bad_rsqls = Json::MakeObject();
+  bad_rsqls.Set("rsqls", Json("not an array"));
+  EXPECT_FALSE(core::DiagnosisReport::FromJson(bad_rsqls).ok());
+
+  Json bad_id = Json::MakeObject();
+  Json entry = Json::MakeObject();
+  entry.Set("sql_id", "XYZ_not_hex");
+  Json arr = Json::MakeArray();
+  arr.Append(std::move(entry));
+  bad_id.Set("hsqls", std::move(arr));
+  EXPECT_FALSE(core::DiagnosisReport::FromJson(bad_id).ok());
+
+  Json bad_event = Json::MakeObject();
+  Json event = Json::MakeObject();
+  event.Set("kind", "not_a_kind");
+  Json events = Json::MakeArray();
+  events.Append(std::move(event));
+  bad_event.Set("repair_events", std::move(events));
+  EXPECT_FALSE(core::DiagnosisReport::FromJson(bad_event).ok());
+}
+
+TEST(ReportTest, TraceBlockAppearsInRealDiagnosisJson) {
+  eval::CaseGenOptions options;
+  options.type = workload::AnomalyType::kPoorSql;
+  options.seed = 77;
+  const eval::AnomalyCaseData data = eval::GenerateCase(options);
+  const core::DiagnosisInput input = eval::MakeDiagnosisInput(data);
+  const StatusOr<core::DiagnosisResult> status_or =
+      core::Diagnose(input, core::DiagnoserOptions{});
+  ASSERT_TRUE(status_or.ok()) << status_or.status().ToString();
+  const core::DiagnosisReport report =
+      core::BuildReport(*status_or, data.logs, data.phenomena,
+                        input.anomaly_start_sec, input.anomaly_end_sec, {});
+
+  // The per-stage trace is always populated — even under
+  // PINSQL_DISABLE_OBS — so the report's trace block never disappears.
+  const StatusOr<Json> parsed = Json::Parse(report.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  const Json* trace = parsed->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  const StatusOr<obs::PipelineTrace> pipeline =
+      obs::PipelineTrace::FromJson(*trace);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_EQ(pipeline->stages.size(), 5u);
+  EXPECT_EQ(pipeline->stages[0].name, "session_estimation");
+  EXPECT_EQ(pipeline->stages[1].name, "window_aggregation");
+  EXPECT_EQ(pipeline->stages[2].name, "hsql_scoring");
+  EXPECT_EQ(pipeline->stages[3].name, "rsql_clustering");
+  EXPECT_EQ(pipeline->stages[4].name, "rsql_verification");
+  const obs::StageTrace* session = pipeline->Find("session_estimation");
+  ASSERT_NE(session, nullptr);
+  EXPECT_GT(session->counters.at("session_points"), 0);
+  EXPECT_GT(pipeline->total_seconds, 0.0);
+
+  // ToText renders the same stage table.
+  EXPECT_NE(report.ToText().find("stage timings:"), std::string::npos);
+  EXPECT_NE(report.ToText().find("session_estimation"), std::string::npos);
+}
+
 TEST(ReportTest, UnknownTemplatesRenderPlaceholders) {
   core::DiagnosisResult result;
   result.rsql.ranking = {123456789};

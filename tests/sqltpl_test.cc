@@ -2,6 +2,7 @@
 
 #include "sqltpl/fingerprint.h"
 #include "sqltpl/tokenizer.h"
+#include "util/strings.h"
 
 namespace pinsql::sqltpl {
 namespace {
@@ -253,6 +254,53 @@ TEST(FingerprintTest, GarbagePrefixedStatementKeepsVerbClassification) {
   EXPECT_NE(info.sql_id, 0u);
   EXPECT_EQ(info.kind, StatementKind::kSelect);
   EXPECT_NE(info.sql_id, Fingerprint("SELECT 1").sql_id);
+}
+
+TEST(FingerprintTest, BinaryLiteralsFoldIntoPlaceholder) {
+  // MySQL 0b... binary literals must template like any other number; a
+  // tokenizer that splits "0b101" into "0" + "b101" leaks the literal
+  // value into the template.
+  const auto a = Fingerprint("SELECT * FROM t WHERE flags = 0b101");
+  const auto b = Fingerprint("SELECT * FROM t WHERE flags = 0b110011");
+  const auto c = Fingerprint("SELECT * FROM t WHERE flags = 5");
+  EXPECT_EQ(a.sql_id, b.sql_id);
+  EXPECT_EQ(a.sql_id, c.sql_id);
+  EXPECT_EQ(a.template_text, "SELECT * FROM t WHERE flags = ?");
+}
+
+TEST(FingerprintTest, HexLiteralsFoldIntoPlaceholder) {
+  const auto a = Fingerprint("SELECT * FROM t WHERE mask = 0x1F");
+  const auto b = Fingerprint("SELECT * FROM t WHERE mask = 0xAB12");
+  const auto c = Fingerprint("SELECT * FROM t WHERE mask = 31");
+  EXPECT_EQ(a.sql_id, b.sql_id);
+  EXPECT_EQ(a.sql_id, c.sql_id);
+}
+
+TEST(FingerprintTest, EscapedQuotesInsideStringsFoldIntoPlaceholder) {
+  // Doubled-quote and backslash escapes must stay inside the literal.
+  const auto doubled = Fingerprint("SELECT * FROM t WHERE name = 'it''s'");
+  const auto backslash = Fingerprint("SELECT * FROM t WHERE name = 'it\\'s'");
+  const auto plain = Fingerprint("SELECT * FROM t WHERE name = 'x'");
+  EXPECT_EQ(doubled.sql_id, plain.sql_id);
+  EXPECT_EQ(backslash.sql_id, plain.sql_id);
+  EXPECT_EQ(doubled.template_text, "SELECT * FROM t WHERE name = ?");
+}
+
+// Pins sql_id stability across releases: LogStore catalogs and stored
+// history windows are keyed by these ids, so a silent change to the
+// fingerprint would orphan persisted state. Update only with a migration
+// story.
+TEST(FingerprintTest, SqlIdStaysStableAcrossReleases) {
+  const auto simple = Fingerprint("SELECT * FROM user_table WHERE uid = 1");
+  EXPECT_EQ(simple.template_text, "SELECT * FROM user_table WHERE uid = ?");
+  EXPECT_EQ(simple.sql_id, Fnv1a64(simple.template_text));
+  EXPECT_EQ(simple.sql_id_hex, HashToHex(simple.sql_id));
+
+  const auto tricky = Fingerprint(
+      "SELECT * FROM t WHERE a = -5 AND b = 0x1F AND c = 'it''s'");
+  EXPECT_EQ(tricky.template_text,
+            "SELECT * FROM t WHERE a = ? AND b = ? AND c = ?");
+  EXPECT_EQ(tricky.sql_id, Fnv1a64(tricky.template_text));
 }
 
 TEST(TokenizerTest, MalformedInputsNeverCrash) {

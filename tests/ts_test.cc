@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -287,6 +288,52 @@ TEST(TukeyTest, WindowExceedsReferenceFences) {
   EXPECT_TRUE(WindowExceedsReferenceFences(reference, {5.0, 60.0}, 1.5));
   EXPECT_FALSE(WindowExceedsReferenceFences({}, {1.0}, 1.5));
   EXPECT_FALSE(WindowExceedsReferenceFences({1.0}, {}, 1.5));
+}
+
+TEST(TukeyTest, DegenerateInputsYieldOpenFences) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // All-gap and too-short baselines must not produce fences at all: the
+  // old [0, 0] fences from an all-NaN series flagged every positive value.
+  for (const std::vector<double>& x :
+       {std::vector<double>{}, std::vector<double>{nan, nan, nan, nan},
+        std::vector<double>{1.0, 2.0, 3.0},
+        std::vector<double>{5.0, nan, 6.0, nan}}) {
+    const TukeyFences f = ComputeTukeyFences(x, 1.5);
+    EXPECT_FALSE(f.valid);
+    EXPECT_EQ(f.lower, -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(f.upper, std::numeric_limits<double>::infinity());
+  }
+  const TukeyFences ok = ComputeTukeyFences({1, 2, 3, 4}, 1.5);
+  EXPECT_TRUE(ok.valid);
+  EXPECT_EQ(ok.finite_points, 4u);
+}
+
+TEST(TukeyTest, AllGapReferenceNeverFlagsTheWindow) {
+  // Regression: a history window that survived retrieval but is all
+  // telemetry gaps used to produce [0, 0] fences, making any execution
+  // count look like an upward anomaly and vetoing valid R-SQL candidates.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> all_gaps(20, nan);
+  EXPECT_FALSE(WindowExceedsReferenceFences(all_gaps, {5.0}, 1.5));
+  EXPECT_FALSE(WindowExceedsReferenceFences({nan, nan, 3.0}, {5.0}, 1.5));
+}
+
+TEST(TukeyTest, ShortSeriesHasNoUpwardAnomaly) {
+  // Quartiles of 3 points are noise; {1, 2, 100} used to flag 100.
+  EXPECT_FALSE(HasUpwardTukeyAnomaly(std::vector<double>{1.0, 2.0, 100.0},
+                                     1.5));
+  EXPECT_TRUE(TukeyOutlierIndices({1.0, 2.0, 100.0}, 1.5).empty());
+}
+
+TEST(TukeyTest, ConstantSeriesWithEnoughPointsKeepsPinnedFences) {
+  // Deliberately NOT degenerate: an all-constant baseline of >= 4 points
+  // carries real information (one-shot DDL templates have all-zero
+  // history), so its [c, c] fences must survive the degenerate-input
+  // guard.
+  const TukeyFences f = ComputeTukeyFences(std::vector<double>(10, 7.0), 3.0);
+  EXPECT_TRUE(f.valid);
+  EXPECT_DOUBLE_EQ(f.lower, 7.0);
+  EXPECT_DOUBLE_EQ(f.upper, 7.0);
 }
 
 // Property sweep: for Gaussian data, Tukey k=3 should flag (almost)

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 namespace pinsql::anomaly {
 
@@ -35,106 +34,105 @@ double MedianOf(std::vector<double> v) {
   return 0.5 * (hi + v[mid - 1]);
 }
 
-struct RobustBaseline {
-  double median = 0.0;
-  double mad = 0.0;
-};
+}  // namespace
 
-RobustBaseline ComputeBaseline(const std::deque<double>& clean,
-                               const DetectorOptions& options) {
-  std::vector<double> v(clean.begin(), clean.end());
-  RobustBaseline b;
-  b.median = MedianOf(v);
-  for (double& x : v) x = std::fabs(x - b.median);
-  b.mad = MedianOf(std::move(v));
-  const double floor = options.mad_floor_frac * std::fabs(b.median) + 0.5;
-  b.mad = std::max(b.mad, floor);
-  return b;
+StreamingFeatureDetector::StreamingFeatureDetector(
+    const DetectorOptions& options, int64_t start_time, int64_t interval_sec)
+    : options_(options), start_time_(start_time), interval_sec_(interval_sec) {}
+
+int64_t StreamingFeatureDetector::run_start_time() const {
+  return start_time_ + static_cast<int64_t>(run_start_) * interval_sec_;
 }
 
-}  // namespace
+std::optional<FeatureEvent> StreamingFeatureDetector::CloseRun(
+    size_t end_index, bool recovered) {
+  const int64_t start_sec =
+      start_time_ + static_cast<int64_t>(run_start_) * interval_sec_;
+  const int64_t end_sec =
+      start_time_ + static_cast<int64_t>(end_index) * interval_sec_;
+  const bool long_run =
+      (end_sec - start_sec) >= options_.level_shift_min_sec * interval_sec_;
+  FeatureEvent ev;
+  if (!recovered || long_run) {
+    ev.type =
+        run_up_ ? FeatureType::kLevelShiftUp : FeatureType::kLevelShiftDown;
+  } else {
+    ev.type = run_up_ ? FeatureType::kSpikeUp : FeatureType::kSpikeDown;
+  }
+  ev.start_sec = start_sec;
+  // Half-open: the event covers up to the start of the first clean point
+  // (or the series end).
+  ev.end_sec = end_sec;
+  ev.severity = run_peak_;
+  in_run_ = false;
+  return ev;
+}
+
+std::optional<FeatureEvent> StreamingFeatureDetector::Push(double value) {
+  std::optional<FeatureEvent> closed;
+  bool flagged = false;
+  bool up = true;
+  double z = 0.0;
+  if (clean_.size() >= options_.min_baseline) {
+    if (!baseline_fresh_) {
+      std::vector<double> v(clean_.begin(), clean_.end());
+      baseline_median_ = MedianOf(v);
+      for (double& x : v) x = std::fabs(x - baseline_median_);
+      baseline_mad_ = MedianOf(std::move(v));
+      const double floor =
+          options_.mad_floor_frac * std::fabs(baseline_median_) + 0.5;
+      baseline_mad_ = std::max(baseline_mad_, floor);
+      baseline_fresh_ = true;
+    }
+    z = (value - baseline_median_) / (1.4826 * baseline_mad_);
+    if (z > options_.threshold) {
+      flagged = true;
+      up = true;
+    } else if (z < -options_.threshold) {
+      flagged = true;
+      up = false;
+    }
+  }
+  last_z_ = z;
+
+  if (flagged) {
+    if (in_run_ && up != run_up_) {
+      closed = CloseRun(count_, /*recovered=*/true);
+    }
+    if (!in_run_) {
+      in_run_ = true;
+      run_up_ = up;
+      run_start_ = count_;
+      run_peak_ = std::fabs(z);
+    } else {
+      run_peak_ = std::max(run_peak_, std::fabs(z));
+    }
+    // Baseline frozen during the run: flagged points are not clean.
+  } else {
+    if (in_run_) closed = CloseRun(count_, /*recovered=*/true);
+    clean_.push_back(value);
+    if (clean_.size() > options_.baseline_window) clean_.pop_front();
+    baseline_fresh_ = false;
+  }
+  ++count_;
+  return closed;
+}
+
+std::optional<FeatureEvent> StreamingFeatureDetector::Finish() {
+  if (!in_run_) return std::nullopt;
+  return CloseRun(count_, /*recovered=*/false);
+}
 
 std::vector<FeatureEvent> DetectFeatures(const TimeSeries& series,
                                          const DetectorOptions& options) {
   std::vector<FeatureEvent> events;
-  const size_t n = series.size();
-  if (n == 0) return events;
-
-  std::deque<double> clean;
-  RobustBaseline baseline;
-  bool baseline_fresh = false;
-
-  // Current run of flagged points.
-  bool in_run = false;
-  bool run_up = true;
-  size_t run_start = 0;
-  double run_peak = 0.0;
-
-  auto close_run = [&](size_t end_index) {
-    const int64_t start_sec = series.TimeForIndex(run_start);
-    const int64_t end_sec = series.TimeForIndex(end_index);
-    const bool recovered = end_index < n;
-    const bool long_run =
-        (end_sec - start_sec) >=
-        options.level_shift_min_sec * series.interval_sec();
-    FeatureEvent ev;
-    if (!recovered || long_run) {
-      ev.type = run_up ? FeatureType::kLevelShiftUp
-                       : FeatureType::kLevelShiftDown;
-    } else {
-      ev.type = run_up ? FeatureType::kSpikeUp : FeatureType::kSpikeDown;
-    }
-    ev.start_sec = start_sec;
-    // Half-open: the event covers up to the start of the first clean point
-    // (or the series end).
-    ev.end_sec = end_index < n ? series.TimeForIndex(end_index)
-                               : series.end_time();
-    ev.severity = run_peak;
-    events.push_back(ev);
-    in_run = false;
-  };
-
-  for (size_t i = 0; i < n; ++i) {
-    const double v = series[i];
-    bool flagged = false;
-    bool up = true;
-    double z = 0.0;
-    if (clean.size() >= options.min_baseline) {
-      if (!baseline_fresh) {
-        baseline = ComputeBaseline(clean, options);
-        baseline_fresh = true;
-      }
-      z = (v - baseline.median) / (1.4826 * baseline.mad);
-      if (z > options.threshold) {
-        flagged = true;
-        up = true;
-      } else if (z < -options.threshold) {
-        flagged = true;
-        up = false;
-      }
-    }
-
-    if (flagged) {
-      if (in_run && up != run_up) {
-        close_run(i);
-      }
-      if (!in_run) {
-        in_run = true;
-        run_up = up;
-        run_start = i;
-        run_peak = std::fabs(z);
-      } else {
-        run_peak = std::max(run_peak, std::fabs(z));
-      }
-      // Baseline frozen during the run: flagged points are not clean.
-    } else {
-      if (in_run) close_run(i);
-      clean.push_back(v);
-      if (clean.size() > options.baseline_window) clean.pop_front();
-      baseline_fresh = false;
-    }
+  if (series.empty()) return events;
+  StreamingFeatureDetector detector(options, series.start_time(),
+                                    series.interval_sec());
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (auto ev = detector.Push(series[i])) events.push_back(*ev);
   }
-  if (in_run) close_run(n);
+  if (auto ev = detector.Finish()) events.push_back(*ev);
   return events;
 }
 

@@ -2,6 +2,8 @@
 #define PINSQL_ANOMALY_DETECTORS_H_
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,11 +47,67 @@ struct DetectorOptions {
   double mad_floor_frac = 0.05;
 };
 
-/// Streaming-style robust detector: each point is compared against the
-/// median/MAD of the last `baseline_window` *clean* points, so the
-/// baseline stays frozen while an anomaly is in progress (otherwise a long
-/// pile-up would absorb itself into the baseline and end the event).
-/// Returns the flagged runs as events, classified spike vs level shift.
+/// Incremental robust detector: push one sample at a time, each compared
+/// against the median/MAD of the last `baseline_window` *clean* points, so
+/// the baseline stays frozen while an anomaly is in progress (otherwise a
+/// long pile-up would absorb itself into the baseline and end the event).
+///
+/// Cost per Push is O(1) amortized for a fixed baseline window: the
+/// median/MAD recompute (O(window)) only happens lazily, when a sample must
+/// be scored after the clean set changed; flagged stretches reuse the
+/// frozen baseline for free. This is the entry point the online service
+/// feeds sample-by-sample; the batch DetectFeatures below is a thin loop
+/// over it, so the two are equivalent by construction.
+class StreamingFeatureDetector {
+ public:
+  /// Samples pushed are at start_time, start_time + interval, ...
+  StreamingFeatureDetector(const DetectorOptions& options, int64_t start_time,
+                           int64_t interval_sec);
+
+  /// Pushes the next sample. Returns the completed event when this sample
+  /// closes a flagged run (a clean sample after a run, or a run flipping
+  /// direction), nullopt otherwise.
+  std::optional<FeatureEvent> Push(double value);
+
+  /// Closes the series: an open run that never recovered is classified as
+  /// a level shift ending at the current end-of-series timestamp.
+  std::optional<FeatureEvent> Finish();
+
+  /// True while the most recent sample extended a flagged run.
+  bool in_run() const { return in_run_; }
+  /// Direction of the open run (meaningful only while in_run()).
+  bool run_up() const { return run_up_; }
+  /// Timestamp of the first sample of the open run.
+  int64_t run_start_time() const;
+  /// Samples in the open run so far (0 when not in a run).
+  size_t run_length() const { return in_run_ ? count_ - run_start_ : 0; }
+  /// Peak |robust z| of the open run.
+  double run_peak() const { return run_peak_; }
+  /// Robust z-score of the most recent sample (0 before min_baseline).
+  double last_z() const { return last_z_; }
+  /// Samples pushed so far.
+  size_t count() const { return count_; }
+
+ private:
+  std::optional<FeatureEvent> CloseRun(size_t end_index, bool recovered);
+
+  DetectorOptions options_;
+  int64_t start_time_;
+  int64_t interval_sec_;
+  std::deque<double> clean_;
+  double baseline_median_ = 0.0;
+  double baseline_mad_ = 0.0;
+  bool baseline_fresh_ = false;
+  bool in_run_ = false;
+  bool run_up_ = true;
+  size_t run_start_ = 0;
+  double run_peak_ = 0.0;
+  double last_z_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// Batch form: feeds the series through a StreamingFeatureDetector and
+/// returns the flagged runs as events, classified spike vs level shift.
 std::vector<FeatureEvent> DetectFeatures(const TimeSeries& series,
                                          const DetectorOptions& options);
 

@@ -19,8 +19,11 @@ AnomalyCaseData GenerateCase(const CaseGenOptions& options) {
   data.injected_as = options.window_start_sec + options.pre_anomaly_sec;
   data.injected_ae = data.injected_as + options.anomaly_duration_sec;
   data.window_end_sec = data.injected_ae + options.post_anomaly_sec;
-  const workload::Injection injection = workload::MakeInjection(
+  workload::Injection injection = workload::MakeInjection(
       options.type, &data.workload, data.injected_as, data.injected_ae, &rng);
+  if (options.shape_injection) {
+    options.shape_injection(&data.workload, &injection);
+  }
   data.rsql_truth = injection.root_cause_ids;
   data.workload.RegisterTemplates(&data.logs);
   data.overrides = injection.overrides;

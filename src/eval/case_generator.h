@@ -2,6 +2,7 @@
 #define PINSQL_EVAL_CASE_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "anomaly/phenomenon.h"
@@ -39,6 +40,14 @@ struct CaseGenOptions {
   /// absolute terms).
   double hsql_truth_fraction = 0.25;
   double hsql_truth_min_abs = 0.5;
+
+  /// Optional: invoked after the anomaly injection is materialized and
+  /// before arrivals are generated, so a study can pin the injected
+  /// anomaly's severity (random draws can be too mild, or drown in an
+  /// already-loaded baseline). The injected template is
+  /// `workload->templates.back()`.
+  std::function<void(workload::Workload*, workload::Injection*)>
+      shape_injection;
 };
 
 /// One generated anomaly case: everything PinSQL and the baselines consume

@@ -40,10 +40,22 @@ LogStore& LogStore::operator=(LogStore&& other) noexcept {
 }
 
 void LogStore::Append(const QueryLogRecord& record) {
+  std::lock_guard<std::mutex> lock(sort_mu_);
   if (!records_.empty() && record.arrival_ms < records_.back().arrival_ms) {
     sorted_ = false;
   }
   records_.push_back(record);
+}
+
+void LogStore::AppendBatch(const std::vector<QueryLogRecord>& records) {
+  if (records.empty()) return;
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  for (const QueryLogRecord& record : records) {
+    if (!records_.empty() && record.arrival_ms < records_.back().arrival_ms) {
+      sorted_ = false;
+    }
+    records_.push_back(record);
+  }
 }
 
 void LogStore::RegisterTemplate(uint64_t sql_id, TemplateCatalogEntry entry) {
@@ -55,8 +67,12 @@ const TemplateCatalogEntry* LogStore::FindTemplate(uint64_t sql_id) const {
   return it == catalog_.end() ? nullptr : &it->second;
 }
 
-void LogStore::EnsureSorted() const {
+size_t LogStore::size() const {
   std::lock_guard<std::mutex> lock(sort_mu_);
+  return records_.size();
+}
+
+void LogStore::EnsureSortedLocked() const {
   if (sorted_) return;
   PINSQL_OBS_COUNT("logstore.sort_triggers", 1);
   std::stable_sort(records_.begin(), records_.end(),
@@ -64,6 +80,11 @@ void LogStore::EnsureSorted() const {
                      return a.arrival_ms < b.arrival_ms;
                    });
   sorted_ = true;
+}
+
+void LogStore::EnsureSorted() const {
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  EnsureSortedLocked();
 }
 
 void LogStore::ScanRange(
@@ -91,8 +112,26 @@ std::vector<QueryLogRecord> LogStore::Range(int64_t t0_ms,
   return out;
 }
 
-size_t LogStore::TrimBefore(int64_t cutoff_ms) {
-  EnsureSorted();
+std::vector<QueryLogRecord> LogStore::SnapshotRange(int64_t t0_ms,
+                                                    int64_t t1_ms) const {
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  EnsureSortedLocked();
+  auto lo = std::lower_bound(records_.begin(), records_.end(), t0_ms,
+                             [](const QueryLogRecord& r, int64_t t) {
+                               return r.arrival_ms < t;
+                             });
+  auto hi = std::lower_bound(lo, records_.end(), t1_ms,
+                             [](const QueryLogRecord& r, int64_t t) {
+                               return r.arrival_ms < t;
+                             });
+  PINSQL_OBS_COUNT("logstore.snapshots", 1);
+  PINSQL_OBS_COUNT("logstore.records_snapshotted",
+                   static_cast<uint64_t>(hi - lo));
+  return std::vector<QueryLogRecord>(lo, hi);
+}
+
+size_t LogStore::TrimBeforeLocked(int64_t cutoff_ms) {
+  EnsureSortedLocked();
   auto lo = std::lower_bound(records_.begin(), records_.end(), cutoff_ms,
                              [](const QueryLogRecord& r, int64_t t) {
                                return r.arrival_ms < t;
@@ -103,9 +142,20 @@ size_t LogStore::TrimBefore(int64_t cutoff_ms) {
   return dropped;
 }
 
+size_t LogStore::TrimBefore(int64_t cutoff_ms) {
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  return TrimBeforeLocked(cutoff_ms);
+}
+
 size_t LogStore::TrimExpired(int64_t now_ms, int64_t retention_ms) {
   PINSQL_OBS_COUNT("logstore.retention_trims", 1);
   return TrimBefore(now_ms - retention_ms);
+}
+
+size_t LogStore::TrimExpiredKeeping(int64_t now_ms, int64_t keep_from_ms,
+                                    int64_t retention_ms) {
+  PINSQL_OBS_COUNT("logstore.retention_trims", 1);
+  return TrimBefore(std::min(now_ms - retention_ms, keep_from_ms));
 }
 
 void LogStore::ReplaceRecords(std::vector<QueryLogRecord> records) {

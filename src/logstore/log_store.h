@@ -45,8 +45,13 @@ class LogStore {
   LogStore(LogStore&& other) noexcept;
   LogStore& operator=(LogStore&& other) noexcept;
 
-  /// Appends one completed-query record.
+  /// Appends one completed-query record. Thread-safe: concurrent appenders
+  /// serialize on the store mutex, so the online ingestor can append while
+  /// another thread snapshots (see SnapshotRange). Batch the appends when
+  /// the per-record lock traffic matters.
   void Append(const QueryLogRecord& record);
+  /// Appends many records under one lock acquisition.
+  void AppendBatch(const std::vector<QueryLogRecord>& records);
 
   /// Registers template metadata (idempotent).
   void RegisterTemplate(uint64_t sql_id, TemplateCatalogEntry entry);
@@ -56,15 +61,33 @@ class LogStore {
     return catalog_;
   }
 
-  size_t size() const { return records_.size(); }
+  size_t size() const;
 
   /// Invokes `fn` for every record with arrival_ms in [t0_ms, t1_ms), in
   /// arrival order.
+  ///
+  /// Concurrency contract: the lazy sort runs under the store mutex, but
+  /// the iteration afterwards is lock-free so that the parallel diagnosis
+  /// stages can scan one shared store concurrently. Safe with any number
+  /// of concurrent *readers*; writers (Append/Trim*) must be quiescent for
+  /// the duration of the scan. A reader racing a writer must use
+  /// SnapshotRange instead.
   void ScanRange(int64_t t0_ms, int64_t t1_ms,
                  const std::function<void(const QueryLogRecord&)>& fn) const;
 
   /// Copies the records with arrival_ms in [t0_ms, t1_ms), arrival-ordered.
+  /// Same concurrency contract as ScanRange.
   std::vector<QueryLogRecord> Range(int64_t t0_ms, int64_t t1_ms) const;
+
+  /// Epoch read path: sorts (if needed) and copies the records with
+  /// arrival_ms in [t0_ms, t1_ms) under a single lock hold, so it is safe
+  /// against concurrent Append/AppendBatch/Trim*. The copy is a consistent
+  /// point-in-time snapshot: it observes every record appended before the
+  /// call started or none of a concurrent append, never a torn state. This
+  /// is the read the online DiagnosisScheduler uses while ingest threads
+  /// keep appending.
+  std::vector<QueryLogRecord> SnapshotRange(int64_t t0_ms,
+                                            int64_t t1_ms) const;
 
   /// Drops every record with arrival_ms < cutoff_ms (retention). Returns
   /// the number of dropped records.
@@ -80,6 +103,15 @@ class LogStore {
   /// of dropped records.
   size_t TrimExpired(int64_t now_ms, int64_t retention_ms = kRetentionMs);
 
+  /// Retention with a floor: like TrimExpired, but never drops a record
+  /// with arrival_ms >= keep_from_ms even when it is older than the
+  /// retention horizon. The online service passes the start of its open
+  /// sliding window (or of an in-flight diagnosis window), so retention can
+  /// never eat records a pending trigger is about to diagnose. Records at
+  /// exactly the 3-day edge follow the TrimExpired half-open convention.
+  size_t TrimExpiredKeeping(int64_t now_ms, int64_t keep_from_ms,
+                            int64_t retention_ms = kRetentionMs);
+
   /// Replaces the full record set, keeping the template catalog. Used by
   /// the telemetry fault injectors (and tests) to rewrite a store's
   /// records with dropped/duplicated/reordered/skewed copies. The records
@@ -92,8 +124,14 @@ class LogStore {
  private:
   /// Lazily sorts under a mutex so that concurrent *const* scans (the
   /// parallel diagnosis stages all read one shared LogStore) are safe.
-  /// Writes (Append/TrimBefore) are still single-owner operations.
+  /// Writes (Append/Trim*/ReplaceRecords) take the same mutex, so a write
+  /// never races the sort itself; only the lock-free iteration after
+  /// ScanRange's sort requires quiescent writers (see ScanRange).
   void EnsureSorted() const;
+  /// Sort step with the mutex already held.
+  void EnsureSortedLocked() const;
+  /// TrimBefore with the mutex already held.
+  size_t TrimBeforeLocked(int64_t cutoff_ms);
 
   mutable std::mutex sort_mu_;
   mutable std::vector<QueryLogRecord> records_;

@@ -1,0 +1,80 @@
+#include "online/online_detector.h"
+
+#include <cmath>
+#include <vector>
+
+#include "anomaly/pettitt.h"
+#include "obs/metrics.h"
+
+namespace pinsql::online {
+
+OnlineAnomalyDetector::OnlineAnomalyDetector(
+    const OnlineDetectorOptions& options)
+    : options_(options) {}
+
+bool OnlineAnomalyDetector::in_run() const {
+  return screen_.has_value() && screen_->in_run();
+}
+
+std::optional<AnomalyTrigger> OnlineAnomalyDetector::Observe(
+    int64_t sec, double active_session) {
+  ++stats_.samples;
+  double value = active_session;
+  if (!std::isfinite(value)) {
+    if (!seen_finite_) {
+      // Nothing to carry yet; the screen's clock starts at the first
+      // finite sample.
+      ++stats_.gaps_skipped;
+      return std::nullopt;
+    }
+    value = last_finite_;
+    ++stats_.gaps_carried;
+  } else {
+    last_finite_ = value;
+    seen_finite_ = true;
+  }
+
+  if (!screen_.has_value()) {
+    screen_.emplace(options_.screen, sec, /*interval_sec=*/1);
+  }
+
+  // The trailing buffer holds every sample, clean or flagged: the
+  // change-point test needs the pre-anomaly distribution to confirm a
+  // shift.
+  trailing_.push_back(value);
+  if (trailing_.size() > options_.pettitt_window) trailing_.pop_front();
+
+  const bool was_in_run = screen_->in_run();
+  screen_->Push(value);
+  if (!screen_->in_run()) {
+    triggered_this_run_ = false;
+    return std::nullopt;
+  }
+  if (!was_in_run) triggered_this_run_ = false;
+
+  if (triggered_this_run_ || !screen_->run_up() ||
+      screen_->run_length() < options_.confirm_run_len ||
+      trailing_.size() < options_.pettitt_min_samples) {
+    return std::nullopt;
+  }
+
+  const auto pettitt = anomaly::PettittTest(
+      std::vector<double>(trailing_.begin(), trailing_.end()));
+  if (!pettitt.significant(options_.pettitt_alpha) || !pettitt.shifted_up()) {
+    ++stats_.pettitt_rejections;
+    return std::nullopt;
+  }
+
+  triggered_this_run_ = true;
+  AnomalyTrigger trigger;
+  trigger.onset_sec = screen_->run_start_time();
+  trigger.trigger_sec = sec;
+  trigger.severity = screen_->run_peak();
+  trigger.pettitt_p = pettitt.p_value;
+  ++stats_.triggers;
+  latencies_.push_back(trigger.trigger_sec - trigger.onset_sec);
+  PINSQL_OBS_COUNT("online.triggers", 1);
+  return trigger;
+}
+
+}  // namespace pinsql::online

@@ -1,0 +1,102 @@
+#ifndef PINSQL_ONLINE_ONLINE_DETECTOR_H_
+#define PINSQL_ONLINE_ONLINE_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "anomaly/detectors.h"
+
+namespace pinsql::online {
+
+/// One confirmed anomaly onset, ready to hand to the DiagnosisScheduler.
+struct AnomalyTrigger {
+  /// First second of the flagged run (where the anomaly started).
+  int64_t onset_sec = 0;
+  /// Second at which the detector confirmed and fired (>= onset_sec); the
+  /// difference is the detection latency.
+  int64_t trigger_sec = 0;
+  /// Peak robust z-score of the run at confirmation time.
+  double severity = 0.0;
+  /// p-value of the confirming Pettitt change-point test.
+  double pettitt_p = 1.0;
+};
+
+struct OnlineDetectorOptions {
+  /// Screening detector (robust z against a frozen clean baseline).
+  anomaly::DetectorOptions screen;
+  /// A flagged up-run must persist this many consecutive samples before the
+  /// confirmation test runs — one- and two-sample blips never page anyone
+  /// (noisy integer-valued session counts routinely throw single-sample
+  /// z-spikes that Pettitt alone would confirm).
+  size_t confirm_run_len = 3;
+  /// Trailing samples the Pettitt confirmation test sees. Deliberately
+  /// short: Pettitt's significance is rank-based, so an n-sample window
+  /// needs roughly 0.8*sqrt(n) post-change samples before p can clear
+  /// alpha no matter how extreme the shift is — a short window is what
+  /// keeps detection latency in the single-digit seconds. (It is also
+  /// O(n^2) per invocation, run only on flagged seconds.)
+  size_t pettitt_window = 16;
+  /// Minimum trailing samples before Pettitt can confirm.
+  size_t pettitt_min_samples = 12;
+  /// Pettitt significance level for confirmation.
+  double pettitt_alpha = 0.1;
+};
+
+struct OnlineDetectorStats {
+  size_t samples = 0;
+  /// Non-finite samples replaced by the previous finite value.
+  size_t gaps_carried = 0;
+  /// Non-finite samples before the first finite one (nothing to carry).
+  size_t gaps_skipped = 0;
+  size_t triggers = 0;
+  /// Confirmation attempts where Pettitt did not find a significant upward
+  /// change point (the screen keeps retrying while the run persists).
+  size_t pettitt_rejections = 0;
+};
+
+/// Streaming active-session anomaly detector: a cheap per-sample robust
+/// z-score screen (StreamingFeatureDetector) confirmed by the existing
+/// Pettitt change-point test over a trailing buffer. Fires at most one
+/// trigger per flagged run, so one sustained anomaly can never produce
+/// duplicate diagnoses; the scheduler's cooldown handles runs that briefly
+/// close mid-anomaly.
+///
+/// Feed it exactly one sample per second, in order. A telemetry gap (NaN)
+/// is carried forward from the last finite sample so the screen's clock
+/// stays aligned with wall seconds and a gap can neither start nor end a
+/// run by itself.
+class OnlineAnomalyDetector {
+ public:
+  explicit OnlineAnomalyDetector(const OnlineDetectorOptions& options);
+
+  /// Observes the active-session value for `sec`. Seconds must be
+  /// consecutive from the first call. Returns a trigger when this sample
+  /// confirms a new anomaly.
+  std::optional<AnomalyTrigger> Observe(int64_t sec, double active_session);
+
+  /// Detection latency (trigger_sec - onset_sec) of every trigger fired,
+  /// in firing order.
+  const std::vector<int64_t>& latencies_sec() const { return latencies_; }
+
+  const OnlineDetectorStats& stats() const { return stats_; }
+
+  /// True while the screen currently has a flagged run open.
+  bool in_run() const;
+
+ private:
+  OnlineDetectorOptions options_;
+  std::optional<anomaly::StreamingFeatureDetector> screen_;
+  std::deque<double> trailing_;
+  double last_finite_ = 0.0;
+  bool seen_finite_ = false;
+  /// The open run already fired (or we are not in a run).
+  bool triggered_this_run_ = false;
+  std::vector<int64_t> latencies_;
+  OnlineDetectorStats stats_;
+};
+
+}  // namespace pinsql::online
+
+#endif  // PINSQL_ONLINE_ONLINE_DETECTOR_H_

@@ -1,0 +1,158 @@
+#include "online/replay.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace pinsql::online {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ReplayResult::Fingerprint() const {
+  std::string out;
+  out += "latencies:";
+  for (int64_t latency : detection_latencies_sec) {
+    out += std::to_string(latency);
+    out += ',';
+  }
+  out += '\n';
+  for (const DiagnosisOutcome& outcome : outcomes) {
+    out += "trigger:";
+    out += std::to_string(outcome.trigger.onset_sec);
+    out += ',';
+    out += std::to_string(outcome.trigger.trigger_sec);
+    out += ',';
+    out += FormatDouble(outcome.trigger.severity);
+    out += ',';
+    out += FormatDouble(outcome.trigger.pettitt_p);
+    out += '\n';
+    out += outcome.ok ? "ok\n" : ("error:" + outcome.error + "\n");
+    if (outcome.ok) {
+      out += outcome.report.ToJson().Dump();
+      out += '\n';
+    }
+    out += "repairs:";
+    out += std::to_string(outcome.repairs_applied);
+    out += ",ttr:";
+    out += FormatDouble(outcome.ttr_sec);
+    out += '\n';
+  }
+  return out;
+}
+
+ReplayResult RunReplay(const ReplayLog& log, const LogStore& catalog,
+                       const ReplayOptions& options,
+                       repair::RepairSupervisor* supervisor,
+                       const core::HistoryProvider* history) {
+  ReplayResult result;
+  if (log.samples.empty()) return result;
+
+  ServiceOptions service_options = options.service;
+  if (options.zero_timings) service_options.scheduler.zero_timings = true;
+  OnlineService service(service_options, supervisor, history);
+  for (const auto& [sql_id, entry] : catalog.catalog()) {
+    service.archive()->RegisterTemplate(sql_id, entry);
+  }
+
+  // Expand the sample stream to one entry per second; missing seconds
+  // become gap samples so the virtual clock never stalls.
+  const int64_t first_sec = log.samples.front().sec;
+  const int64_t last_sec = log.samples.back().sec;
+  std::vector<PerfSample> timeline;
+  timeline.reserve(static_cast<size_t>(last_sec - first_sec + 1));
+  {
+    const double gap = std::numeric_limits<double>::quiet_NaN();
+    size_t k = 0;
+    for (int64_t sec = first_sec; sec <= last_sec; ++sec) {
+      while (k < log.samples.size() && log.samples[k].sec < sec) ++k;
+      if (k < log.samples.size() && log.samples[k].sec == sec) {
+        timeline.push_back(log.samples[k]);
+      } else {
+        timeline.push_back(
+            PerfSample{.sec = sec, .active_session = gap, .cpu_usage = gap,
+                       .iops_usage = gap, .row_lock_waits = gap,
+                       .mdl_waits = gap});
+      }
+    }
+  }
+
+  std::vector<QueryLogRecord> records = log.records;
+  std::stable_sort(records.begin(), records.end(),
+                   [](const QueryLogRecord& a, const QueryLogRecord& b) {
+                     return a.arrival_ms < b.arrival_ms;
+                   });
+
+  // Per-second record ranges: second i's range is everything that arrived
+  // before the end of that second and was not pushed yet (the last second
+  // also takes the tail).
+  std::vector<std::pair<size_t, size_t>> ranges(timeline.size());
+  {
+    size_t cursor = 0;
+    for (size_t i = 0; i < timeline.size(); ++i) {
+      const size_t begin = cursor;
+      const int64_t end_ms = (timeline[i].sec + 1) * 1000;
+      while (cursor < records.size() &&
+             records[cursor].arrival_ms < end_ms) {
+        ++cursor;
+      }
+      if (i + 1 == timeline.size()) cursor = records.size();
+      ranges[i] = {begin, cursor};
+    }
+  }
+
+  const int num_threads = std::max(options.num_ingest_threads, 1);
+  const size_t num_shards = std::max<size_t>(
+      service_options.ingestor.num_shards, 1);
+
+  service.Start();
+  // Two barriers per second: ingest threads finish the second's pushes,
+  // the main loop advances the clock and processes it, then everyone moves
+  // to the next second. Thread j only touches shards ≡ j (mod T), and
+  // each walks the global record order, so every shard queue's order is
+  // the global order restricted to that shard — invariant under T.
+  std::barrier sync(num_threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    workers.emplace_back([&, tid]() {
+      for (size_t i = 0; i < timeline.size(); ++i) {
+        for (size_t k = ranges[i].first; k < ranges[i].second; ++k) {
+          const size_t shard = records[k].sql_id % num_shards;
+          if (static_cast<int>(shard % static_cast<size_t>(num_threads)) ==
+              tid) {
+            service.IngestRecord(records[k]);
+          }
+        }
+        sync.arrive_and_wait();
+        sync.arrive_and_wait();
+      }
+    });
+  }
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    sync.arrive_and_wait();
+    service.IngestMetrics(timeline[i]);
+    service.Advance();
+    sync.arrive_and_wait();
+  }
+  for (std::thread& worker : workers) worker.join();
+  service.Stop();
+
+  result.outcomes = service.outcomes();
+  result.detection_latencies_sec = service.detector().latencies_sec();
+  result.stats = service.stats();
+  return result;
+}
+
+}  // namespace pinsql::online

@@ -1,0 +1,198 @@
+#include "online/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pinsql::online {
+
+DiagnosisScheduler::DiagnosisScheduler(StreamIngestor* ingestor,
+                                       const LogStore* archive,
+                                       const SchedulerOptions& options,
+                                       repair::RepairSupervisor* supervisor,
+                                       const core::HistoryProvider* history)
+    : ingestor_(ingestor),
+      archive_(archive),
+      options_(options),
+      supervisor_(supervisor),
+      history_(history != nullptr ? history : &empty_history_) {}
+
+bool DiagnosisScheduler::OnTrigger(const AnomalyTrigger& trigger) {
+  if (seen_activity_ &&
+      trigger.onset_sec <= last_activity_sec_ + options_.cooldown_sec) {
+    ++stats_.triggers_suppressed;
+    PINSQL_OBS_COUNT("online.triggers_suppressed", 1);
+    if (trigger.trigger_sec > last_activity_sec_) {
+      last_activity_sec_ = trigger.trigger_sec;
+    }
+    return false;
+  }
+  if (!seen_activity_ || trigger.trigger_sec > last_activity_sec_) {
+    last_activity_sec_ = trigger.trigger_sec;
+    seen_activity_ = true;
+  }
+  Pending pending;
+  pending.trigger = trigger;
+  pending.due_sec = trigger.trigger_sec + options_.diagnose_delay_sec;
+  pending_.push_back(pending);
+  ++stats_.triggers_accepted;
+  PINSQL_OBS_COUNT("online.triggers_accepted", 1);
+  return true;
+}
+
+void DiagnosisScheduler::NoteAnomalousActivity(int64_t sec) {
+  // Extends an existing incident's horizon only. Screen activity before
+  // any trigger fired must not anchor the cooldown — it would suppress the
+  // very trigger that confirms the incident (the screen flags a few
+  // seconds before Pettitt can confirm).
+  if (seen_activity_ && sec > last_activity_sec_) last_activity_sec_ = sec;
+}
+
+std::vector<DiagnosisOutcome> DiagnosisScheduler::Poll(int64_t now_sec) {
+  std::vector<DiagnosisOutcome> completed;
+  while (!pending_.empty() && pending_.front().due_sec <= now_sec) {
+    Pending pending = pending_.front();
+    pending_.pop_front();
+    completed.push_back(RunDiagnosis(pending));
+  }
+  return completed;
+}
+
+std::vector<DiagnosisOutcome> DiagnosisScheduler::Drain() {
+  std::vector<DiagnosisOutcome> completed;
+  while (!pending_.empty()) {
+    Pending pending = pending_.front();
+    pending_.pop_front();
+    completed.push_back(RunDiagnosis(pending));
+  }
+  return completed;
+}
+
+std::optional<int64_t> DiagnosisScheduler::open_window_floor_ms() const {
+  std::optional<int64_t> floor;
+  for (const Pending& pending : pending_) {
+    const int64_t t0_ms =
+        (pending.trigger.onset_sec - options_.diagnoser.delta_s_sec) * 1000;
+    if (!floor.has_value() || t0_ms < *floor) floor = t0_ms;
+  }
+  return floor;
+}
+
+namespace {
+
+void ZeroTimings(core::DiagnosisResult* result) {
+  result->estimate_seconds = 0.0;
+  result->hsql_seconds = 0.0;
+  result->cluster_seconds = 0.0;
+  result->verify_seconds = 0.0;
+  result->total_seconds = 0.0;
+  result->trace.total_seconds = 0.0;
+  for (obs::StageTrace& stage : result->trace.stages) stage.seconds = 0.0;
+}
+
+}  // namespace
+
+DiagnosisOutcome DiagnosisScheduler::RunDiagnosis(const Pending& pending) {
+  DiagnosisOutcome outcome;
+  outcome.trigger = pending.trigger;
+
+  const int64_t a_s = pending.trigger.onset_sec;
+  const int64_t a_e = pending.due_sec;
+  const int64_t t0 = a_s - options_.diagnoser.delta_s_sec;
+
+  // Window-local log store: a consistent point-in-time copy of the archive
+  // records the diagnoser will scan, taken while ingest threads keep
+  // appending. The catalog is copied so BuildReport resolves texts.
+  LogStore window_logs;
+  window_logs.ReplaceRecords(archive_->SnapshotRange(t0 * 1000, a_e * 1000));
+  for (const auto& [sql_id, entry] : archive_->catalog()) {
+    window_logs.RegisterTemplate(sql_id, entry);
+  }
+
+  WindowMetrics metrics = ingestor_->SnapshotMetrics(t0, a_e);
+
+  core::DiagnosisInput input;
+  input.logs = &window_logs;
+  input.active_session = std::move(metrics.active_session);
+  input.helper_metrics = std::move(metrics.helpers);
+  input.anomaly_start_sec = a_s;
+  input.anomaly_end_sec = a_e;
+  input.history = history_;
+
+  auto result = core::Diagnose(input, options_.diagnoser);
+  if (!result.ok()) {
+    outcome.ok = false;
+    outcome.error = result.status().ToString();
+    ++stats_.diagnoses_failed;
+    PINSQL_OBS_COUNT("online.diagnoses_failed", 1);
+    outcomes_.push_back(outcome);
+    return outcome;
+  }
+  if (options_.zero_timings) ZeroTimings(&result.value());
+
+  std::vector<anomaly::Phenomenon> phenomena;
+  anomaly::Phenomenon phenomenon;
+  phenomenon.rule = "active_session.spike";
+  phenomenon.start_sec = a_s;
+  phenomenon.end_sec = a_e;
+  phenomenon.severity = pending.trigger.severity;
+  phenomena.push_back(phenomenon);
+
+  outcome.confirmed_rsqls = result->TopRsql(options_.top_k);
+  std::vector<repair::Suggestion> suggestions = rules_.Suggest(
+      phenomena, outcome.confirmed_rsqls, result->metrics, a_s, a_e,
+      std::max<size_t>(options_.max_repairs, 1));
+
+  size_t events_before = 0;
+  if (supervisor_ != nullptr && options_.auto_repair) {
+    events_before = supervisor_->events().size();
+    const double now_ms = static_cast<double>(a_e) * 1000.0;
+    // Baseline for post-action verification: the latest observed
+    // active-session sample (negative skips verification when telemetry is
+    // out).
+    double observed = -1.0;
+    if (auto sample = ingestor_->SampleAt(a_e - 1);
+        sample.has_value() && std::isfinite(sample->active_session)) {
+      observed = sample->active_session;
+    }
+    size_t applied = 0;
+    for (const repair::Suggestion& suggestion : suggestions) {
+      if (applied >= options_.max_repairs) break;
+      auto apply = supervisor_->Apply(suggestion.action, now_ms, observed);
+      if (apply.ok() &&
+          apply->code == repair::ApplyOutcome::Code::kApplied) {
+        ++applied;
+        ++stats_.repairs_applied;
+        PINSQL_OBS_COUNT("online.repairs_applied", 1);
+        if (outcome.ttr_sec < 0.0) {
+          outcome.ttr_sec =
+              apply->applied_ms / 1000.0 - static_cast<double>(a_s);
+        }
+      } else {
+        ++stats_.repairs_rejected;
+        PINSQL_OBS_COUNT("online.repairs_rejected", 1);
+      }
+    }
+    outcome.repairs_applied = applied;
+  }
+
+  outcome.report =
+      core::BuildReport(result.value(), *archive_, phenomena, a_s, a_e,
+                        suggestions, options_.top_k);
+  if (supervisor_ != nullptr && options_.auto_repair) {
+    const auto& events = supervisor_->events();
+    outcome.report.repair_events.assign(events.begin() + events_before,
+                                        events.end());
+  }
+
+  outcome.ok = true;
+  ++stats_.diagnoses_ok;
+  PINSQL_OBS_COUNT("online.diagnoses", 1);
+  outcomes_.push_back(outcome);
+  return outcome;
+}
+
+}  // namespace pinsql::online

@@ -1,0 +1,154 @@
+#include "online/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace pinsql::online {
+
+OnlineService::OnlineService(const ServiceOptions& options,
+                             repair::RepairSupervisor* supervisor,
+                             const core::HistoryProvider* history)
+    : options_(options),
+      ingestor_(options.ingestor),
+      detector_(options.detector),
+      scheduler_(&ingestor_, &archive_, options.scheduler, supervisor,
+                 history) {
+  ingestor_.AttachArchive(&archive_);
+}
+
+OnlineService::~OnlineService() { Stop(); }
+
+void OnlineService::Start() {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  if (running_) return;
+  running_ = true;
+  if (options_.background_pump) {
+    {
+      std::lock_guard<std::mutex> pump_lock(pump_mu_);
+      pump_stop_ = false;
+    }
+    pump_thread_ = std::thread(&OnlineService::PumpLoop, this);
+  }
+}
+
+void OnlineService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(advance_mu_);
+    if (!running_) return;
+  }
+  if (pump_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> pump_lock(pump_mu_);
+      pump_stop_ = true;
+    }
+    pump_cv_.notify_all();
+    pump_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  // Drain: fold everything still staged, process every watermark second,
+  // then force the queued diagnoses that were not yet due.
+  ingestor_.Pump();
+  std::vector<DiagnosisOutcome> completed;
+  if (auto mark = ingestor_.watermark_sec(); mark.has_value()) {
+    const int64_t from =
+        processed_any_ ? last_processed_sec_ + 1 : *mark;
+    for (int64_t sec = from; sec <= *mark; ++sec) {
+      ProcessSecond(sec, &completed);
+    }
+  }
+  scheduler_.Drain();
+  running_ = false;
+}
+
+void OnlineService::PumpLoop() {
+  std::unique_lock<std::mutex> lock(pump_mu_);
+  while (!pump_stop_) {
+    lock.unlock();
+    ingestor_.Pump();
+    lock.lock();
+    pump_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+bool OnlineService::IngestRecord(const QueryLogRecord& record) {
+  return ingestor_.IngestRecord(record);
+}
+
+bool OnlineService::IngestMetrics(const PerfSample& sample) {
+  return ingestor_.IngestMetrics(sample);
+}
+
+std::vector<DiagnosisOutcome> OnlineService::Advance() {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  std::vector<DiagnosisOutcome> completed;
+  if (!running_) return completed;
+  const auto mark = ingestor_.watermark_sec();
+  if (!mark.has_value()) return completed;
+  const int64_t from = processed_any_ ? last_processed_sec_ + 1 : *mark;
+  for (int64_t sec = from; sec <= *mark; ++sec) {
+    ProcessSecond(sec, &completed);
+  }
+  return completed;
+}
+
+void OnlineService::ProcessSecond(int64_t sec,
+                                  std::vector<DiagnosisOutcome>* completed) {
+  // One pump per processed second: everything staged before this second's
+  // sample arrived is folded before the window could be snapshotted.
+  ingestor_.Pump();
+
+  double value = std::numeric_limits<double>::quiet_NaN();
+  if (auto sample = ingestor_.SampleAt(sec); sample.has_value()) {
+    value = sample->active_session;
+  }
+  if (auto trigger = detector_.Observe(sec, value); trigger.has_value()) {
+    scheduler_.OnTrigger(*trigger);
+  }
+  if (detector_.in_run()) scheduler_.NoteAnomalousActivity(sec);
+
+  auto outcomes = scheduler_.Poll(sec);
+  completed->insert(completed->end(), outcomes.begin(), outcomes.end());
+
+  if (options_.retention_every_sec > 0 &&
+      sec % options_.retention_every_sec == 0) {
+    // Never trim a record an open sliding window or an in-flight diagnosis
+    // still needs.
+    int64_t keep_from_ms = std::numeric_limits<int64_t>::max();
+    if (auto floor = ingestor_.window_floor_sec(); floor.has_value()) {
+      keep_from_ms = *floor * 1000;
+    }
+    if (auto floor = scheduler_.open_window_floor_ms(); floor.has_value()) {
+      keep_from_ms = std::min(keep_from_ms, *floor);
+    }
+    records_retired_ += archive_.TrimExpiredKeeping(sec * 1000, keep_from_ms,
+                                                    options_.retention_ms);
+    ++retention_sweeps_;
+  }
+
+  last_processed_sec_ = sec;
+  processed_any_ = true;
+  ++seconds_processed_;
+  PINSQL_OBS_COUNT("online.seconds_processed", 1);
+}
+
+const std::vector<DiagnosisOutcome>& OnlineService::outcomes() const {
+  return scheduler_.outcomes();
+}
+
+ServiceStats OnlineService::stats() const {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  ServiceStats stats;
+  stats.ingest = ingestor_.stats();
+  stats.detector = detector_.stats();
+  stats.scheduler = scheduler_.stats();
+  stats.seconds_processed = seconds_processed_;
+  stats.retention_sweeps = static_cast<size_t>(retention_sweeps_);
+  stats.records_retired = records_retired_;
+  return stats;
+}
+
+}  // namespace pinsql::online

@@ -1,0 +1,123 @@
+#ifndef PINSQL_ONLINE_SERVICE_H_
+#define PINSQL_ONLINE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "logstore/log_store.h"
+#include "online/online_detector.h"
+#include "online/scheduler.h"
+#include "online/stream_ingestor.h"
+#include "repair/supervisor.h"
+
+namespace pinsql::online {
+
+struct ServiceOptions {
+  IngestorOptions ingestor;
+  OnlineDetectorOptions detector;
+  SchedulerOptions scheduler;
+  /// Archive retention sweep cadence in processed seconds (0 disables).
+  int64_t retention_every_sec = 60;
+  int64_t retention_ms = LogStore::kRetentionMs;
+  /// Real-time mode: a background thread keeps pumping the ingestor's
+  /// staging queues so producers never see deep queues between Advance()
+  /// calls. Replay leaves this off — Advance() pumps deterministically.
+  bool background_pump = false;
+};
+
+struct ServiceStats {
+  IngestStats ingest;
+  OnlineDetectorStats detector;
+  SchedulerStats scheduler;
+  /// Seconds the processing loop has consumed (Advance ticks).
+  int64_t seconds_processed = 0;
+  size_t retention_sweeps = 0;
+  size_t records_retired = 0;
+};
+
+/// The continuous online diagnosis service: glues ingestion, streaming
+/// detection, scheduled diagnosis and supervised repair into one
+/// start/stop lifecycle.
+///
+/// Threading: IngestRecord / IngestMetrics are safe from any number of
+/// producer threads at any time between Start() and Stop(). Advance() is
+/// the per-second processing loop — it drains staged records, feeds the
+/// detector one sample per watermark second, polls the scheduler and
+/// applies retention; calls serialize on an internal mutex. The clock is
+/// *virtual*: it is the metric watermark, so driving the service from a
+/// recorded stream replays bit-identically (no wall-clock reads anywhere
+/// on the processing path).
+class OnlineService {
+ public:
+  explicit OnlineService(const ServiceOptions& options,
+                         repair::RepairSupervisor* supervisor = nullptr,
+                         const core::HistoryProvider* history = nullptr);
+  ~OnlineService();
+
+  OnlineService(const OnlineService&) = delete;
+  OnlineService& operator=(const OnlineService&) = delete;
+
+  /// The archive the folded records land in. Register the template catalog
+  /// here before Start().
+  LogStore* archive() { return &archive_; }
+
+  /// Starts accepting work (and the pump thread, in real-time mode).
+  void Start();
+
+  /// Graceful drain: stops the pump thread, folds every staged record,
+  /// processes every watermark second not yet processed, runs every queued
+  /// diagnosis. Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  /// Thread-safe producer entry points. Return false when the record /
+  /// sample was dropped (and counted).
+  bool IngestRecord(const QueryLogRecord& record);
+  bool IngestMetrics(const PerfSample& sample);
+
+  /// Processes every watermark second not yet processed. Returns the
+  /// diagnosis outcomes completed by this call.
+  std::vector<DiagnosisOutcome> Advance();
+
+  /// Every completed diagnosis so far, in completion order.
+  const std::vector<DiagnosisOutcome>& outcomes() const;
+
+  const OnlineAnomalyDetector& detector() const { return detector_; }
+  const DiagnosisScheduler& scheduler() const { return scheduler_; }
+  const StreamIngestor& ingestor() const { return ingestor_; }
+
+  ServiceStats stats() const;
+
+ private:
+  void ProcessSecond(int64_t sec, std::vector<DiagnosisOutcome>* completed);
+  void PumpLoop();
+
+  ServiceOptions options_;
+  LogStore archive_;
+  StreamIngestor ingestor_;
+  OnlineAnomalyDetector detector_;
+  DiagnosisScheduler scheduler_;
+
+  mutable std::mutex advance_mu_;
+  bool running_ = false;
+  bool processed_any_ = false;
+  int64_t last_processed_sec_ = 0;
+  int64_t retention_sweeps_ = 0;
+  size_t records_retired_ = 0;
+  int64_t seconds_processed_ = 0;
+
+  std::mutex pump_mu_;
+  std::condition_variable pump_cv_;
+  bool pump_stop_ = false;
+  std::thread pump_thread_;
+};
+
+}  // namespace pinsql::online
+
+#endif  // PINSQL_ONLINE_SERVICE_H_

@@ -1,0 +1,219 @@
+#include "online/stream_ingestor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace pinsql::online {
+
+StreamIngestor::StreamIngestor(const IngestorOptions& options)
+    : options_(options),
+      metric_ring_(static_cast<size_t>(std::max<int64_t>(options.window_sec, 1))),
+      watermark_(std::numeric_limits<int64_t>::min()) {
+  const size_t num_shards = std::max<size_t>(options_.num_shards, 1);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring.resize(static_cast<size_t>(
+        std::max<int64_t>(options_.window_sec, 1)));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+bool StreamIngestor::IngestRecord(const QueryLogRecord& record) {
+  Shard& shard = *shards_[record.sql_id % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.queue_mu);
+  if (shard.queue.size() >= options_.shard_queue_capacity) {
+    ++shard.dropped_backpressure;
+    return false;
+  }
+  shard.queue.push_back(record);
+  ++shard.enqueued;
+  return true;
+}
+
+bool StreamIngestor::IngestMetrics(const PerfSample& sample) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  const int64_t mark = watermark_.load(std::memory_order_relaxed);
+  if (mark != std::numeric_limits<int64_t>::min() &&
+      sample.sec <= mark - options_.window_sec) {
+    ++metric_samples_dropped_;
+    return false;
+  }
+  MetricBucket& bucket =
+      metric_ring_[static_cast<size_t>(sample.sec %
+                                       options_.window_sec)];
+  if (bucket.sec > sample.sec) {
+    // The slot was already recycled for a newer second.
+    ++metric_samples_dropped_;
+    return false;
+  }
+  bucket.sec = sample.sec;
+  bucket.sample = sample;
+  ++metric_samples_;
+  if (sample.sec > mark) {
+    watermark_.store(sample.sec, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void StreamIngestor::FoldRecord(Shard* shard, const QueryLogRecord& record,
+                                int64_t watermark) {
+  const int64_t sec = record.arrival_ms / 1000;
+  // Strictly older than the grace horizon: a record at exactly
+  // watermark - late_grace_sec is still on time.
+  if (watermark != std::numeric_limits<int64_t>::min() &&
+      sec < watermark - options_.late_grace_sec) {
+    ++shard->dropped_late;
+    return;
+  }
+  Bucket& bucket =
+      shard->ring[static_cast<size_t>(sec % options_.window_sec)];
+  if (bucket.sec != sec) {
+    if (bucket.sec > sec) {
+      // Bucket already recycled for a newer second: the record is too late.
+      ++shard->dropped_late;
+      return;
+    }
+    bucket.sec = sec;
+    bucket.cells.clear();
+  }
+  Cell* cell = nullptr;
+  for (auto& [id, c] : bucket.cells) {
+    if (id == record.sql_id) {
+      cell = &c;
+      break;
+    }
+  }
+  if (cell == nullptr) {
+    bucket.cells.emplace_back(record.sql_id, Cell{});
+    cell = &bucket.cells.back().second;
+  }
+  cell->count += 1.0;
+  cell->total_response_ms += record.response_ms;
+  cell->examined_rows += static_cast<double>(record.examined_rows);
+  ++shard->folded;
+}
+
+size_t StreamIngestor::Pump() {
+  size_t folded = 0;
+  const int64_t mark = watermark_.load(std::memory_order_relaxed);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::vector<QueryLogRecord> staged;
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mu);
+      staged.swap(shard.queue);
+    }
+    if (staged.empty()) continue;
+    {
+      std::lock_guard<std::mutex> lock(shard.fold_mu);
+      for (const QueryLogRecord& record : staged) {
+        FoldRecord(&shard, record, mark);
+      }
+    }
+    if (archive_ != nullptr) archive_->AppendBatch(staged);
+    folded += staged.size();
+  }
+  PINSQL_OBS_COUNT("online.ingest_pumped", folded);
+  return folded;
+}
+
+std::optional<int64_t> StreamIngestor::watermark_sec() const {
+  const int64_t mark = watermark_.load(std::memory_order_relaxed);
+  if (mark == std::numeric_limits<int64_t>::min()) return std::nullopt;
+  return mark;
+}
+
+std::optional<PerfSample> StreamIngestor::SampleAt(int64_t sec) const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  const MetricBucket& bucket =
+      metric_ring_[static_cast<size_t>(sec % options_.window_sec)];
+  if (bucket.sec != sec) return std::nullopt;
+  return bucket.sample;
+}
+
+TemplateMetricsStore StreamIngestor::SnapshotTemplates(int64_t t0_sec,
+                                                       int64_t t1_sec) const {
+  TemplateMetricsStore store(t0_sec, t1_sec, /*interval_sec=*/1);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.fold_mu);
+    for (int64_t sec = t0_sec; sec < t1_sec; ++sec) {
+      const Bucket& bucket =
+          shard.ring[static_cast<size_t>(sec % options_.window_sec)];
+      if (bucket.sec != sec) continue;
+      for (const auto& [sql_id, cell] : bucket.cells) {
+        store.AccumulateCell(sql_id, sec, cell.count, cell.total_response_ms,
+                             cell.examined_rows);
+      }
+    }
+  }
+  return store;
+}
+
+WindowMetrics StreamIngestor::SnapshotMetrics(int64_t t0_sec,
+                                              int64_t t1_sec) const {
+  const size_t n = t1_sec > t0_sec ? static_cast<size_t>(t1_sec - t0_sec) : 0;
+  const double gap = std::numeric_limits<double>::quiet_NaN();
+  WindowMetrics out;
+  out.active_session = TimeSeries(t0_sec, 1, n);
+  TimeSeries cpu(t0_sec, 1, n), iops(t0_sec, 1, n), row_lock(t0_sec, 1, n),
+      mdl(t0_sec, 1, n);
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t sec = t0_sec + static_cast<int64_t>(i);
+    const MetricBucket& bucket =
+        metric_ring_[static_cast<size_t>(sec % options_.window_sec)];
+    if (bucket.sec == sec) {
+      out.active_session[i] = bucket.sample.active_session;
+      cpu[i] = bucket.sample.cpu_usage;
+      iops[i] = bucket.sample.iops_usage;
+      row_lock[i] = bucket.sample.row_lock_waits;
+      mdl[i] = bucket.sample.mdl_waits;
+    } else {
+      out.active_session[i] = gap;
+      cpu[i] = gap;
+      iops[i] = gap;
+      row_lock[i] = gap;
+      mdl[i] = gap;
+    }
+  }
+  out.helpers.emplace("cpu_usage", std::move(cpu));
+  out.helpers.emplace("iops_usage", std::move(iops));
+  out.helpers.emplace("row_lock_waits", std::move(row_lock));
+  out.helpers.emplace("mdl_waits", std::move(mdl));
+  return out;
+}
+
+std::optional<int64_t> StreamIngestor::window_floor_sec() const {
+  const auto mark = watermark_sec();
+  if (!mark.has_value()) return std::nullopt;
+  return *mark - options_.window_sec + 1;
+}
+
+IngestStats StreamIngestor::stats() const {
+  IngestStats stats;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mu);
+      stats.records_enqueued += shard.enqueued;
+      stats.records_dropped_backpressure += shard.dropped_backpressure;
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.fold_mu);
+      stats.records_folded += shard.folded;
+      stats.records_dropped_late += shard.dropped_late;
+    }
+  }
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  stats.metric_samples = metric_samples_;
+  stats.metric_samples_dropped = metric_samples_dropped_;
+  return stats;
+}
+
+}  // namespace pinsql::online

@@ -1,0 +1,174 @@
+#ifndef PINSQL_ONLINE_STREAM_INGESTOR_H_
+#define PINSQL_ONLINE_STREAM_INGESTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logstore/log_store.h"
+#include "pipeline/template_metrics.h"
+#include "ts/time_series.h"
+
+namespace pinsql::online {
+
+/// One per-second performance sample from the monitoring agent, the
+/// streaming form of dbsim::InstanceMetrics: the value of every monitored
+/// metric for one wall second. Non-finite values are telemetry gaps, as
+/// everywhere else in the repo.
+struct PerfSample {
+  int64_t sec = 0;
+  double active_session = 0.0;
+  double cpu_usage = 0.0;
+  double iops_usage = 0.0;
+  double row_lock_waits = 0.0;
+  double mdl_waits = 0.0;
+};
+
+struct IngestorOptions {
+  /// Sliding window the ring buffers retain, in seconds. Must cover the
+  /// scheduler's delta_s lookback plus the longest anomaly it should be
+  /// able to diagnose.
+  int64_t window_sec = 1800;
+  /// Query-log records are sharded by sql_id into this many independently
+  /// locked staging queues, so concurrent producers contend only within a
+  /// shard.
+  size_t num_shards = 8;
+  /// Bounded staging queue per shard: a full queue drops the record and
+  /// counts it (explicit backpressure — the collector never blocks the
+  /// database it watches).
+  size_t shard_queue_capacity = 1 << 16;
+  /// Records older than watermark - late_grace_sec are dropped as late
+  /// (their ring bucket may already be recycled).
+  int64_t late_grace_sec = 120;
+};
+
+/// Every drop is accounted: nothing leaves the pipeline silently.
+struct IngestStats {
+  size_t records_enqueued = 0;
+  size_t records_folded = 0;
+  size_t records_dropped_backpressure = 0;
+  size_t records_dropped_late = 0;
+  size_t metric_samples = 0;
+  size_t metric_samples_dropped = 0;
+};
+
+/// Metric series snapshot over one window, shaped for DiagnosisInput.
+struct WindowMetrics {
+  TimeSeries active_session;
+  std::map<std::string, TimeSeries> helpers;  // cpu/iops/lock-wait nodes
+};
+
+/// Thread-safe streaming ingestion of query-log records and per-second
+/// perf samples, maintaining *incremental* sliding-window aggregates in
+/// ring buffers — assembling a diagnosis window never rescans a LogStore.
+///
+/// Data flow: producers append records into sql_id-sharded bounded queues
+/// (multi-producer, lock per shard); Pump() folds the staged records into
+/// per-shard rings of per-second template cells and archives them into the
+/// attached LogStore in one batch per shard. Metric samples go straight
+/// into a per-second ring and advance the watermark (the service's virtual
+/// clock). Snapshot*() assembles the window views the detector and the
+/// DiagnosisScheduler consume.
+///
+/// Determinism: a template's records all land in one shard queue, so their
+/// fold order is the producer's publish order; ring cells are sequential
+/// per-(sql_id, sec) sums and snapshots insert cells into disjoint series
+/// buckets, so a snapshot is bit-identical to the batch AggregateWindow
+/// over the same records in the same per-template order.
+class StreamIngestor {
+ public:
+  explicit StreamIngestor(const IngestorOptions& options);
+
+  /// Optional: folded records are also archived here (AppendBatch per
+  /// shard per pump). The archive is what Diagnose() scans; concurrent
+  /// readers must use LogStore::SnapshotRange.
+  void AttachArchive(LogStore* store) { archive_ = store; }
+
+  /// Stages one record (thread-safe). Returns false when the shard queue
+  /// was full and the record was dropped.
+  bool IngestRecord(const QueryLogRecord& record);
+
+  /// Ingests one per-second sample (thread-safe) and advances the
+  /// watermark. Returns false when the sample was older than the retained
+  /// window and was dropped.
+  bool IngestMetrics(const PerfSample& sample);
+
+  /// Folds every staged record into the rings (and the archive). Safe to
+  /// call from any thread; concurrent pumps serialize per shard. Returns
+  /// the number of records folded.
+  size_t Pump();
+
+  /// Latest metric second seen (the virtual clock), or nullopt before the
+  /// first sample.
+  std::optional<int64_t> watermark_sec() const;
+
+  /// The sample for `sec`, if it is inside the retained window.
+  std::optional<PerfSample> SampleAt(int64_t sec) const;
+
+  /// Assembles the per-template aggregates over [t0_sec, t1_sec) from the
+  /// rings. Seconds outside the retained window contribute nothing.
+  TemplateMetricsStore SnapshotTemplates(int64_t t0_sec, int64_t t1_sec) const;
+
+  /// Assembles the metric series over [t0_sec, t1_sec); seconds without a
+  /// sample are gaps (NaN), which DataQuality accounting downstream picks
+  /// up as usual.
+  WindowMetrics SnapshotMetrics(int64_t t0_sec, int64_t t1_sec) const;
+
+  /// Oldest second still retained by the rings (watermark - window + 1),
+  /// or nullopt before the first sample.
+  std::optional<int64_t> window_floor_sec() const;
+
+  IngestStats stats() const;
+
+ private:
+  struct Cell {
+    double count = 0.0;
+    double total_response_ms = 0.0;
+    double examined_rows = 0.0;
+  };
+  struct Bucket {
+    int64_t sec = -1;
+    // Flat cells: a second holds few distinct templates, and deterministic
+    // iteration (insertion order per shard queue) costs nothing.
+    std::vector<std::pair<uint64_t, Cell>> cells;
+  };
+  struct Shard {
+    mutable std::mutex queue_mu;
+    std::vector<QueryLogRecord> queue;
+    size_t enqueued = 0;
+    size_t dropped_backpressure = 0;
+
+    mutable std::mutex fold_mu;
+    std::vector<Bucket> ring;
+    size_t folded = 0;
+    size_t dropped_late = 0;
+  };
+  struct MetricBucket {
+    int64_t sec = -1;
+    PerfSample sample;
+  };
+
+  void FoldRecord(Shard* shard, const QueryLogRecord& record,
+                  int64_t watermark);
+
+  IngestorOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  LogStore* archive_ = nullptr;
+
+  mutable std::mutex metrics_mu_;
+  std::vector<MetricBucket> metric_ring_;
+  size_t metric_samples_ = 0;
+  size_t metric_samples_dropped_ = 0;
+  /// INT64_MIN before the first sample. Relaxed loads are fine: folding
+  /// only needs a recent-enough lateness horizon.
+  std::atomic<int64_t> watermark_;
+};
+
+}  // namespace pinsql::online
+
+#endif  // PINSQL_ONLINE_STREAM_INGESTOR_H_

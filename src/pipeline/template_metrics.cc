@@ -35,6 +35,17 @@ void TemplateMetricsStore::Accumulate(const QueryLogRecord& record) {
       t_sec, static_cast<double>(record.examined_rows));
 }
 
+void TemplateMetricsStore::AccumulateCell(uint64_t sql_id, int64_t t_sec,
+                                          double count,
+                                          double total_response_ms,
+                                          double examined_rows) {
+  if (t_sec < start_sec_ || t_sec >= end_sec_) return;
+  TemplateSeries* series = FindOrCreate(sql_id);
+  series->execution_count.AccumulateAt(t_sec, count);
+  series->total_response_ms.AccumulateAt(t_sec, total_response_ms);
+  series->examined_rows.AccumulateAt(t_sec, examined_rows);
+}
+
 const TemplateSeries* TemplateMetricsStore::Find(uint64_t sql_id) const {
   auto it = by_id_.find(sql_id);
   return it == by_id_.end() ? nullptr : &it->second;

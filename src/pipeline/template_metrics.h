@@ -39,6 +39,15 @@ class TemplateMetricsStore {
   /// window are ignored (late/early data).
   void Accumulate(const QueryLogRecord& record);
 
+  /// Folds an already-aggregated cell — the count / response-time / rows
+  /// totals of one (sql_id, bucket) pair — into the store. The online
+  /// ingestor's ring-buffer snapshot uses this: each ring cell is a
+  /// sequential fold over that template's records, so cell insertion order
+  /// cannot change any sum and the snapshot is bit-deterministic. Cells
+  /// outside the window are ignored, matching Accumulate.
+  void AccumulateCell(uint64_t sql_id, int64_t t_sec, double count,
+                      double total_response_ms, double examined_rows);
+
   /// Lookup; nullptr when the template never executed in the window.
   const TemplateSeries* Find(uint64_t sql_id) const;
 

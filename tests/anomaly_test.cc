@@ -113,6 +113,39 @@ TEST(DetectorTest, FeatureTypeNames) {
                "level_shift_down");
 }
 
+TEST(DetectorTest, StreamingPushMatchesBatchDetectFeatures) {
+  // The online service feeds StreamingFeatureDetector one sample at a
+  // time; the batch DetectFeatures must be the exact same computation. Mix
+  // spikes, a recovery, a terminal level shift and telemetry gaps.
+  TimeSeries ts = NoisySeries(5000, 900, 77);
+  for (size_t i = 200; i < 230; ++i) ts[i] = 120.0;  // spike, recovers
+  for (size_t i = 480; i < 490; ++i) ts[i] = 0.1;    // downward spike
+  for (size_t i = 520; i < 524; ++i) {
+    ts[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+  for (size_t i = 700; i < 900; ++i) ts[i] = 95.0;   // never recovers
+
+  const DetectorOptions options;
+  const auto batch = DetectFeatures(ts, options);
+  ASSERT_GE(batch.size(), 3u);
+
+  StreamingFeatureDetector streaming(options, ts.start_time(),
+                                     ts.interval_sec());
+  std::vector<FeatureEvent> streamed;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    if (auto event = streaming.Push(ts[i])) streamed.push_back(*event);
+  }
+  if (auto event = streaming.Finish()) streamed.push_back(*event);
+
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].type, batch[i].type);
+    EXPECT_EQ(streamed[i].start_sec, batch[i].start_sec);
+    EXPECT_EQ(streamed[i].end_sec, batch[i].end_sec);
+    EXPECT_DOUBLE_EQ(streamed[i].severity, batch[i].severity);
+  }
+}
+
 // --------------------------------------------------------------- Phenomena
 
 TEST(PhenomenonTest, RuleMatching) {

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "logstore/log_store.h"
 
 namespace pinsql {
@@ -234,6 +239,71 @@ TEST(LogStoreTest, ReplaceRecordsKeepsCatalogAndResorts) {
   store.ReplaceRecords({});  // replace with nothing
   EXPECT_EQ(store.size(), 0u);
   EXPECT_TRUE(store.Range(0, 100).empty());
+}
+
+TEST(LogStoreConcurrencyTest, SnapshotRangeRacesAppendSafely) {
+  // The online ingestor appends while the DiagnosisScheduler snapshots.
+  // Every snapshot must be a consistent point-in-time copy: sorted, never
+  // torn, and only ever growing between consecutive snapshots.
+  LogStore store;
+  constexpr int kBatches = 200;
+  constexpr int kPerBatch = 25;
+  std::atomic<bool> done{false};
+  std::thread writer([&]() {
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<QueryLogRecord> batch;
+      batch.reserve(kPerBatch);
+      for (int i = 0; i < kPerBatch; ++i) {
+        // Descending arrivals keep the store perpetually unsorted, so
+        // snapshots keep racing the lazy sort, not just the copy.
+        batch.push_back(
+            Rec((kBatches - b) * 1000 + (kPerBatch - i), 1 + b % 7));
+      }
+      store.AppendBatch(batch);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  size_t last_size = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const auto snap = store.SnapshotRange(0, 1'000'000'000);
+    EXPECT_GE(snap.size(), last_size);
+    EXPECT_EQ(snap.size() % kPerBatch, 0u) << "torn batch observed";
+    EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end(),
+                               [](const QueryLogRecord& a,
+                                  const QueryLogRecord& b) {
+                                 return a.arrival_ms < b.arrival_ms;
+                               }));
+    last_size = snap.size();
+  }
+  writer.join();
+  EXPECT_EQ(store.SnapshotRange(0, 1'000'000'000).size(),
+            static_cast<size_t>(kBatches * kPerBatch));
+}
+
+TEST(LogStoreConcurrencyTest, CopyRacesInFlightLazySort) {
+  // Regression: the copy constructor must serialize with the source's lazy
+  // sort (both mutate the mutable records_ / sorted_ fields); copying while
+  // another thread's ScanRange sorts used to be a data race.
+  constexpr int kRecords = 5000;
+  for (int round = 0; round < 8; ++round) {
+    LogStore store;
+    for (int i = 0; i < kRecords; ++i) {
+      store.Append(Rec(kRecords - i, 1 + i % 5));  // descending: unsorted
+    }
+    std::thread sorter([&]() {
+      size_t seen = 0;
+      store.ScanRange(0, kRecords + 1,
+                      [&](const QueryLogRecord&) { ++seen; });
+      EXPECT_EQ(seen, static_cast<size_t>(kRecords));
+    });
+    const LogStore copy(store);
+    sorter.join();
+    EXPECT_EQ(copy.size(), static_cast<size_t>(kRecords));
+    const auto sorted = copy.SnapshotRange(0, kRecords + 1);
+    ASSERT_EQ(sorted.size(), static_cast<size_t>(kRecords));
+    EXPECT_EQ(sorted.front().arrival_ms, 1);
+    EXPECT_EQ(sorted.back().arrival_ms, kRecords);
+  }
 }
 
 }  // namespace

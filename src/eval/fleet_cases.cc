@@ -1,0 +1,190 @@
+#include "eval/fleet_cases.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace pinsql::eval {
+
+namespace {
+
+constexpr uint64_t kSqlIdBase = 1001;
+
+struct Episode {
+  FleetInstanceTruth::Kind kind = FleetInstanceTruth::Kind::kClean;
+  int64_t onset_sec = -1;
+  int64_t end_sec = -1;
+};
+
+/// One instance's stream: baseline noise plus (optionally) one anomaly
+/// episode where the active session steps up and the culprit template
+/// surges. Deterministic in (options, instance_id) alone.
+online::ReplayLog GenerateInstanceLog(const FleetCaseOptions& options,
+                                      uint32_t instance_id,
+                                      const Episode& episode,
+                                      uint64_t culprit_sql_id) {
+  Rng rng = Rng(options.seed).Fork(instance_id);
+  online::ReplayLog log;
+  const int64_t end_sec = options.start_sec + options.duration_sec;
+  log.samples.reserve(static_cast<size_t>(options.duration_sec));
+
+  const double per_template_qps =
+      options.baseline_qps / static_cast<double>(options.num_templates);
+
+  for (int64_t sec = options.start_sec; sec < end_sec; ++sec) {
+    const bool anomalous =
+        episode.kind != FleetInstanceTruth::Kind::kClean &&
+        sec >= episode.onset_sec && sec < episode.end_sec;
+
+    online::PerfSample sample;
+    sample.sec = sec;
+    double active = options.baseline_active_session +
+                    rng.Normal(0.0, options.noise_stddev);
+    if (anomalous) active += options.anomaly_active_session_boost;
+    sample.active_session = std::max(active, 0.0);
+    sample.cpu_usage =
+        std::max(15.0 + 1.5 * sample.active_session + rng.Normal(0.0, 1.0),
+                 0.0);
+    sample.iops_usage =
+        std::max(10.0 + sample.active_session + rng.Normal(0.0, 1.0), 0.0);
+    sample.row_lock_waits = std::max(rng.Normal(0.2, 0.1), 0.0);
+    sample.mdl_waits = 0.0;
+    log.samples.push_back(sample);
+
+    for (size_t t = 0; t < options.num_templates; ++t) {
+      const uint64_t sql_id = kSqlIdBase + t;
+      int64_t count = rng.Poisson(per_template_qps);
+      if (anomalous && sql_id == culprit_sql_id) {
+        count += rng.Poisson(options.anomaly_qps_boost);
+      }
+      for (int64_t k = 0; k < count; ++k) {
+        QueryLogRecord record;
+        record.arrival_ms = sec * 1000 + rng.UniformInt(0, 999);
+        record.sql_id = sql_id;
+        const bool hot = anomalous && sql_id == culprit_sql_id;
+        record.response_ms = hot ? rng.LogNormalWithMean(120.0, 0.3)
+                                 : rng.LogNormalWithMean(5.0, 0.5);
+        record.examined_rows =
+            hot ? rng.UniformInt(20000, 50000) : rng.UniformInt(10, 200);
+        log.records.push_back(record);
+      }
+    }
+  }
+  return log;
+}
+
+}  // namespace
+
+FleetCase GenerateFleetCase(const FleetCaseOptions& options) {
+  FleetCase fleet_case;
+  const size_t per_host = std::max<size_t>(options.instances_per_host, 1);
+  const int64_t end_sec = options.start_sec + options.duration_sec;
+
+  for (size_t t = 0; t < options.num_templates; ++t) {
+    TemplateCatalogEntry entry;
+    std::string table = "t";
+    table += std::to_string(t);
+    entry.template_text = "SELECT c FROM " + table + " WHERE k = ?";
+    entry.kind = sqltpl::StatementKind::kSelect;
+    entry.tables = {table};
+    fleet_case.catalog.RegisterTemplate(kSqlIdBase + t, entry);
+  }
+
+  fleet_case.noisy_host_id = 0;
+  fleet_case.noisy_dominant_instance = 0;
+  if (options.inject_storm) {
+    fleet_case.storm_onset_sec =
+        options.start_sec + options.storm_onset_offset_sec;
+    fleet_case.storm_end_sec =
+        std::min(fleet_case.storm_onset_sec + options.storm_duration_sec,
+                 end_sec - 10);
+  }
+
+  for (size_t i = 0; i < options.num_instances; ++i) {
+    const auto instance_id = static_cast<uint32_t>(i);
+    const auto host_id = static_cast<uint32_t>(i / per_host);
+    fleet_case.specs.push_back({instance_id, host_id});
+
+    // Placement draws come from a decorrelated stream so adding draw kinds
+    // never shifts the workload stream of an unchanged instance.
+    Rng placement = Rng(options.seed ^ 0x51EEDULL).Fork(instance_id);
+    Episode episode;
+    if (options.inject_noisy_host && host_id == fleet_case.noisy_host_id) {
+      // The dominant tenant (lowest instance id on the host) degrades
+      // first; its co-tenants follow staggered.
+      episode.kind = FleetInstanceTruth::Kind::kNeighbor;
+      episode.onset_sec = options.start_sec +
+                          options.neighbor_onset_offset_sec +
+                          static_cast<int64_t>(i % per_host) *
+                              options.neighbor_stagger_sec;
+      episode.end_sec =
+          std::min(episode.onset_sec + options.anomaly_duration_sec,
+                   end_sec - 10);
+    } else if (options.inject_storm &&
+               placement.Bernoulli(options.storm_fraction)) {
+      episode.kind = FleetInstanceTruth::Kind::kStorm;
+      episode.onset_sec =
+          fleet_case.storm_onset_sec + placement.UniformInt(0, 3);
+      episode.end_sec = fleet_case.storm_end_sec;
+    } else if (placement.Bernoulli(options.anomaly_fraction)) {
+      episode.kind = FleetInstanceTruth::Kind::kIndependent;
+      episode.onset_sec =
+          options.start_sec +
+          placement.UniformInt(options.duration_sec / 4,
+                               options.duration_sec / 2);
+      episode.end_sec =
+          std::min(episode.onset_sec + options.anomaly_duration_sec,
+                   end_sec - 10);
+    }
+
+    const uint64_t culprit_sql_id =
+        kSqlIdBase + static_cast<uint64_t>(placement.UniformInt(
+                         0, static_cast<int64_t>(options.num_templates) - 1));
+
+    FleetInstanceTruth truth;
+    truth.instance_id = instance_id;
+    truth.host_id = host_id;
+    truth.kind = episode.kind;
+    truth.onset_sec = episode.onset_sec;
+    truth.end_sec = episode.end_sec;
+    truth.culprit_sql_id =
+        episode.kind == FleetInstanceTruth::Kind::kClean ? 0 : culprit_sql_id;
+    fleet_case.truth.push_back(truth);
+
+    fleet_case.logs.push_back(
+        GenerateInstanceLog(options, instance_id, episode, culprit_sql_id));
+  }
+  return fleet_case;
+}
+
+faults::InjectionStats ApplyInstanceFaults(const faults::FaultPlan& plan,
+                                           online::ReplayLog* log) {
+  faults::InjectionStats stats;
+  if (!log->samples.empty()) {
+    const int64_t start_sec = log->samples.front().sec;
+    const size_t n = log->samples.size();
+    // Channel accessors; the salt decorrelates the channels so they do not
+    // black out in lockstep.
+    const std::pair<uint64_t, double online::PerfSample::*> channels[] = {
+        {1, &online::PerfSample::active_session},
+        {2, &online::PerfSample::cpu_usage},
+        {3, &online::PerfSample::iops_usage},
+        {4, &online::PerfSample::row_lock_waits},
+        {5, &online::PerfSample::mdl_waits},
+    };
+    for (const auto& [salt, member] : channels) {
+      std::vector<double> values(n);
+      for (size_t i = 0; i < n; ++i) values[i] = log->samples[i].*member;
+      TimeSeries series(start_sec, 1, std::move(values));
+      faults::InjectMetricFaults(plan, salt, &series, &stats);
+      for (size_t i = 0; i < n; ++i) log->samples[i].*member = series[i];
+    }
+  }
+  log->records = faults::InjectLogFaults(plan, std::move(log->records), &stats);
+  return stats;
+}
+
+}  // namespace pinsql::eval

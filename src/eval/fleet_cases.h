@@ -1,0 +1,97 @@
+#ifndef PINSQL_EVAL_FLEET_CASES_H_
+#define PINSQL_EVAL_FLEET_CASES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "fleet/fleet_replay.h"
+#include "logstore/log_store.h"
+#include "online/replay.h"
+
+namespace pinsql::eval {
+
+struct FleetCaseOptions {
+  size_t num_instances = 50;
+  /// Co-tenant placement: instance i lands on host i / instances_per_host.
+  size_t instances_per_host = 4;
+  uint64_t seed = 7;
+  int64_t start_sec = 1000;
+  int64_t duration_sec = 420;
+
+  /// Baseline per-instance workload (deliberately synthetic and cheap —
+  /// the fleet suite scales to a thousand instances, where the full dbsim
+  /// case generator would dominate every run).
+  size_t num_templates = 6;
+  double baseline_qps = 4.0;
+  double baseline_active_session = 8.0;
+  double noise_stddev = 0.5;
+
+  /// Independent incidents: this fraction of unplaced instances gets its
+  /// own anomaly (active-session step + one culprit template's surge).
+  double anomaly_fraction = 0.15;
+  int64_t anomaly_duration_sec = 90;
+  double anomaly_active_session_boost = 30.0;
+  double anomaly_qps_boost = 25.0;
+
+  /// Noisy-neighbor episode: every tenant of host 0 degrades, the lowest
+  /// instance id first (the generator's dominant — what the correlator
+  /// must attribute).
+  bool inject_noisy_host = true;
+  int64_t neighbor_onset_offset_sec = 120;
+  /// Seconds between the dominant tenant's onset and each victim's.
+  int64_t neighbor_stagger_sec = 4;
+
+  /// Storm: this fraction of the remaining instances degrades at once
+  /// (same onset ± jitter), which must collapse into one triage batch.
+  bool inject_storm = false;
+  double storm_fraction = 0.5;
+  int64_t storm_onset_offset_sec = 240;
+  int64_t storm_duration_sec = 60;
+};
+
+/// Per-instance ground truth of a generated fleet case.
+struct FleetInstanceTruth {
+  enum class Kind { kClean, kIndependent, kNeighbor, kStorm };
+  uint32_t instance_id = 0;
+  uint32_t host_id = 0;
+  Kind kind = Kind::kClean;
+  int64_t onset_sec = -1;
+  int64_t end_sec = -1;
+  /// Template whose surge carries the anomaly (the expected R-SQL).
+  uint64_t culprit_sql_id = 0;
+};
+
+struct FleetCase {
+  std::vector<fleet::FleetInstanceSpec> specs;
+  /// Parallel to specs.
+  std::vector<online::ReplayLog> logs;
+  /// Shared fleet-wide template catalog.
+  LogStore catalog;
+  std::vector<FleetInstanceTruth> truth;
+  /// The injected noisy host and its dominant tenant (valid when
+  /// inject_noisy_host).
+  uint32_t noisy_host_id = 0;
+  uint32_t noisy_dominant_instance = 0;
+  /// Injected storm period (valid when inject_storm).
+  int64_t storm_onset_sec = -1;
+  int64_t storm_end_sec = -1;
+};
+
+/// Generates a synthetic fleet case, deterministic in `options`: every
+/// instance's stream comes from Rng(seed).Fork(instance_id), so one
+/// instance's log is identical whether it is generated alone or inside a
+/// thousand-instance fleet — the property the chaos suite's
+/// fleet-vs-solo bit-equality checks rely on.
+FleetCase GenerateFleetCase(const FleetCaseOptions& options);
+
+/// Applies per-instance fault injection to one instance's recorded stream:
+/// metric faults on every sample channel (salted per channel) and log
+/// faults on the records. A severity-0 plan is a guaranteed no-op — the
+/// stream stays bit-identical. Returns what was perturbed.
+faults::InjectionStats ApplyInstanceFaults(const faults::FaultPlan& plan,
+                                           online::ReplayLog* log);
+
+}  // namespace pinsql::eval
+
+#endif  // PINSQL_EVAL_FLEET_CASES_H_

@@ -1,0 +1,358 @@
+#include "fleet/fleet_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace pinsql::fleet {
+
+FleetService::FleetService(const std::vector<FleetInstanceSpec>& specs,
+                           const FleetOptions& options)
+    : options_(options),
+      deduper_(options.scheduler.cooldown_sec),
+      correlator_(
+          [&options]() {
+            // Storm membership must be decided by trigger times alone: a
+            // lookback trigger is guaranteed still pending only while its
+            // diagnosis is not yet due, so the storm window may not exceed
+            // the diagnose delay (see CorrelatorOptions).
+            CorrelatorOptions clamped = options.correlator;
+            clamped.storm_window_sec = std::min(
+                clamped.storm_window_sec, options.scheduler.diagnose_delay_sec);
+            return clamped;
+          }(),
+          specs) {
+  instances_.reserve(specs.size());
+  for (const FleetInstanceSpec& spec : specs) {
+    if (index_by_id_.count(spec.instance_id) != 0) continue;  // first wins
+    index_by_id_[spec.instance_id] = instances_.size();
+    Instance instance;
+    instance.spec = spec;
+    instance.archive = std::make_unique<LogStore>();
+    instance.ingestor =
+        std::make_unique<online::StreamIngestor>(options_.ingestor);
+    instance.ingestor->AttachArchive(instance.archive.get());
+    instance.detector =
+        std::make_unique<online::OnlineAnomalyDetector>(options_.detector);
+    instances_.push_back(std::move(instance));
+  }
+  scheduler_ = std::make_unique<FleetScheduler>(
+      options_.pool, [this](const QueuedTrigger& entry) {
+        return RunOne(entry);
+      });
+  if (options_.advance_workers > 1) {
+    advance_pool_ =
+        std::make_unique<util::ThreadPool>(options_.advance_workers);
+  }
+}
+
+FleetService::~FleetService() { Stop(); }
+
+LogStore* FleetService::archive(uint32_t instance_id) {
+  auto it = index_by_id_.find(instance_id);
+  if (it == index_by_id_.end()) return nullptr;
+  return instances_[it->second].archive.get();
+}
+
+void FleetService::RegisterTemplateFleetWide(uint64_t sql_id,
+                                             const TemplateCatalogEntry& entry) {
+  for (Instance& instance : instances_) {
+    instance.archive->RegisterTemplate(sql_id, entry);
+  }
+}
+
+void FleetService::Start() {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  running_ = true;
+}
+
+void FleetService::Stop() {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  if (!running_) return;
+  // Drain: process every instance up to its own watermark, then close the
+  // open storm (if any) and run every queued diagnosis.
+  int64_t drain_to = last_fleet_sec_;
+  for (Instance& instance : instances_) {
+    if (auto mark = instance.ingestor->watermark_sec(); mark.has_value()) {
+      drain_to = std::max(drain_to, *mark);
+    }
+  }
+  AdvanceToLocked(drain_to);
+  if (auto batch = correlator_.CloseOpenStorm(last_fleet_sec_);
+      batch.has_value()) {
+    TriageClosedStorm(std::move(*batch), last_fleet_sec_);
+  }
+  std::vector<FleetOutcome> completed;
+  AppendCompletions(scheduler_->Drain(last_fleet_sec_), &completed);
+  running_ = false;
+}
+
+bool FleetService::IngestRecord(uint32_t instance_id,
+                                const QueryLogRecord& record) {
+  auto it = index_by_id_.find(instance_id);
+  if (it == index_by_id_.end()) return false;
+  return instances_[it->second].ingestor->IngestRecord(record);
+}
+
+bool FleetService::IngestMetrics(uint32_t instance_id,
+                                 const online::PerfSample& sample) {
+  auto it = index_by_id_.find(instance_id);
+  if (it == index_by_id_.end()) return false;
+  return instances_[it->second].ingestor->IngestMetrics(sample);
+}
+
+std::vector<FleetOutcome> FleetService::AdvanceTo(int64_t fleet_sec) {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  if (!running_) return {};
+  return AdvanceToLocked(fleet_sec);
+}
+
+void FleetService::ProcessInstance(Instance* instance, int64_t fleet_sec,
+                                   std::vector<SecondEvent>* events) {
+  instance->ingestor->Pump();
+  const auto mark = instance->ingestor->watermark_sec();
+  if (!mark.has_value()) return;
+  const int64_t to = std::min(*mark, fleet_sec);
+  const int64_t from =
+      instance->processed_any ? instance->last_processed_sec + 1 : *mark;
+  for (int64_t sec = from; sec <= to; ++sec) {
+    double value = std::numeric_limits<double>::quiet_NaN();
+    if (auto sample = instance->ingestor->SampleAt(sec); sample.has_value()) {
+      value = sample->active_session;
+    }
+    SecondEvent event;
+    event.sec = sec;
+    event.trigger = instance->detector->Observe(sec, value);
+    if (event.trigger.has_value()) {
+      event.trigger->instance_id = instance->spec.instance_id;
+    }
+    event.in_run = instance->detector->in_run();
+    events->push_back(event);
+    instance->last_processed_sec = sec;
+    instance->processed_any = true;
+  }
+}
+
+void FleetService::RouteAcceptedTrigger(const online::AnomalyTrigger& trigger) {
+  const int64_t due_sec =
+      trigger.trigger_sec + options_.scheduler.diagnose_delay_sec;
+  const double base_priority = trigger.severity;
+  PINSQL_OBS_COUNT("fleet.triggers_accepted", 1);
+  PINSQL_OBS_OBSERVE(
+      "fleet.detection_latency_sec",
+      static_cast<uint64_t>(
+          std::max<int64_t>(trigger.trigger_sec - trigger.onset_sec, 0)));
+  if (correlator_.OnAcceptedTrigger(trigger, due_sec, base_priority)) {
+    return;  // captured by the open storm batch
+  }
+  scheduler_->Enqueue(trigger, trigger.trigger_sec, due_sec, base_priority);
+}
+
+void FleetService::TriageClosedStorm(StormBatch batch, int64_t now_sec) {
+  // Triage rank: highest severity first, ties broken by earlier onset,
+  // then lower instance id — fully deterministic.
+  std::vector<size_t> order(batch.members.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const StormMember& ma = batch.members[a];
+    const StormMember& mb = batch.members[b];
+    if (ma.trigger.severity != mb.trigger.severity) {
+      return ma.trigger.severity > mb.trigger.severity;
+    }
+    if (ma.trigger.onset_sec != mb.trigger.onset_sec) {
+      return ma.trigger.onset_sec < mb.trigger.onset_sec;
+    }
+    return ma.trigger.instance_id < mb.trigger.instance_id;
+  });
+
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const StormMember& member = batch.members[order[rank]];
+    if (rank < options_.correlator.storm_triage_k) {
+      batch.triaged.push_back(member.trigger.instance_id);
+      scheduler_->Enqueue(member.trigger, now_sec,
+                          std::max(member.due_sec, now_sec),
+                          member.base_priority, batch.id);
+    } else {
+      FleetOutcome deferred;
+      deferred.disposition = FleetOutcome::Disposition::kStormDeferred;
+      deferred.storm_batch = batch.id;
+      deferred.outcome.trigger = member.trigger;
+      deferred.outcome.ok = false;
+      deferred.outcome.error =
+          "storm_deferred:batch=" + std::to_string(batch.id);
+      outcomes_.push_back(std::move(deferred));
+      ++storm_deferred_;
+      PINSQL_OBS_COUNT("fleet.storm_deferred", 1);
+    }
+  }
+  storms_.push_back(std::move(batch));
+}
+
+void FleetService::AppendCompletions(
+    std::vector<FleetScheduler::Completion> completions,
+    std::vector<FleetOutcome>* out) {
+  for (auto& [entry, outcome] : completions) {
+    FleetOutcome fleet_outcome;
+    fleet_outcome.disposition = FleetOutcome::Disposition::kDiagnosed;
+    fleet_outcome.storm_batch = entry.storm_batch;
+    fleet_outcome.outcome = std::move(outcome);
+    if (fleet_outcome.outcome.ok) {
+      ++diagnoses_ok_;
+    } else {
+      ++diagnoses_failed_;
+    }
+    outcomes_.push_back(fleet_outcome);
+    if (out != nullptr) out->push_back(std::move(fleet_outcome));
+    PINSQL_OBS_COUNT("fleet.diagnoses", 1);
+  }
+}
+
+online::DiagnosisOutcome FleetService::RunOne(const QueuedTrigger& entry) {
+  Instance& instance = instances_[index_by_id_.at(entry.trigger.instance_id)];
+  online::WindowedDiagnosisContext ctx;
+  ctx.ingestor = instance.ingestor.get();
+  ctx.archive = instance.archive.get();
+  ctx.options = &options_.scheduler;
+  ctx.supervisor = nullptr;  // fleet service is diagnose-only
+  ctx.history = &empty_history_;
+  ctx.rules = &rules_;
+  // The window end is the trigger's planned end — fixed at trigger time,
+  // independent of when the pool actually ran this entry (storm triage may
+  // delay its due second past it).
+  const int64_t window_end_sec =
+      entry.trigger.trigger_sec + options_.scheduler.diagnose_delay_sec;
+  return online::RunWindowedDiagnosis(ctx, entry.trigger, window_end_sec,
+                                      nullptr);
+}
+
+std::vector<FleetOutcome> FleetService::AdvanceToLocked(int64_t fleet_sec) {
+  std::vector<FleetOutcome> completed;
+
+  // Parallel per-instance step: pump, sample, detect — into disjoint
+  // per-instance slots, so the merge below sees identical events at any
+  // advance_workers.
+  std::vector<std::vector<SecondEvent>> events(instances_.size());
+  util::ParallelFor(advance_pool_.get(), instances_.size(), [&](size_t i) {
+    ProcessInstance(&instances_[i], fleet_sec, &events[i]);
+  });
+
+  int64_t tick_from =
+      processed_fleet_any_ ? last_fleet_sec_ + 1 : fleet_sec;
+  if (!processed_fleet_any_) {
+    // First advance: start the fleet clock at the earliest instance event
+    // so a lagging instance's seconds are not skipped.
+    for (const auto& instance_events : events) {
+      if (!instance_events.empty()) {
+        tick_from = std::min(tick_from, instance_events.front().sec);
+      }
+    }
+  }
+  if (tick_from > fleet_sec) return completed;
+
+  // Sequential merge in (second, instance) order: dedup, correlate, route,
+  // then the fleet-level ticks.
+  std::vector<size_t> cursors(instances_.size(), 0);
+  for (int64_t sec = tick_from; sec <= fleet_sec; ++sec) {
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      auto& instance_events = events[i];
+      auto& cursor = cursors[i];
+      // `<=`: an instance second that predates the fleet clock (a late
+      // joiner) is merged at the first tick that sees it.
+      while (cursor < instance_events.size() &&
+             instance_events[cursor].sec <= sec) {
+        const SecondEvent& event = instance_events[cursor];
+        if (event.trigger.has_value()) {
+          ++triggers_confirmed_;
+          if (deduper_.Accept(*event.trigger)) {
+            ++triggers_accepted_;
+            RouteAcceptedTrigger(*event.trigger);
+          } else {
+            ++triggers_suppressed_;
+            PINSQL_OBS_COUNT("fleet.triggers_suppressed", 1);
+          }
+        }
+        if (event.in_run) {
+          deduper_.NoteActivity(instances_[i].spec.instance_id, event.sec);
+        }
+        ++cursor;
+      }
+    }
+
+    auto tick_events = correlator_.Tick(sec);
+    if (tick_events.storm_opened) {
+      // Pull the lookback window's pending triggers into the batch. They
+      // are all still queued at any pool size: their due seconds lie
+      // beyond `sec` because storm_window_sec <= diagnose_delay_sec.
+      auto pulled = scheduler_->Extract([&](const QueuedTrigger& entry) {
+        return entry.storm_batch == 0 &&
+               entry.trigger.trigger_sec >= tick_events.lookback_from_sec;
+      });
+      std::vector<StormMember> members;
+      members.reserve(pulled.size());
+      for (const QueuedTrigger& entry : pulled) {
+        members.push_back(
+            {entry.trigger, entry.due_sec, entry.base_priority});
+      }
+      correlator_.AdoptIntoOpenStorm(members);
+    }
+    for (StormBatch& batch : tick_events.closed) {
+      TriageClosedStorm(std::move(batch), sec);
+    }
+    for (NoisyNeighborVerdict& verdict : tick_events.verdicts) {
+      verdicts_.push_back(std::move(verdict));
+    }
+
+    AppendCompletions(scheduler_->Tick(sec), &completed);
+    PINSQL_OBS_GAUGE_SET("fleet.pool_queue_depth",
+                         static_cast<int64_t>(scheduler_->pending()));
+
+    last_fleet_sec_ = sec;
+    processed_fleet_any_ = true;
+    ++seconds_processed_;
+  }
+  PINSQL_OBS_COUNT("fleet.seconds_processed",
+                   static_cast<uint64_t>(fleet_sec - tick_from + 1));
+  return completed;
+}
+
+std::vector<int64_t> FleetService::detection_latencies(
+    uint32_t instance_id) const {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  auto it = index_by_id_.find(instance_id);
+  if (it == index_by_id_.end()) return {};
+  return instances_[it->second].detector->latencies_sec();
+}
+
+FleetStats FleetService::stats() const {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  FleetStats stats;
+  stats.instances = instances_.size();
+  for (const Instance& instance : instances_) {
+    const online::IngestStats cut = instance.ingestor->stats();
+    stats.ingest.records_enqueued += cut.records_enqueued;
+    stats.ingest.records_folded += cut.records_folded;
+    stats.ingest.records_dropped_backpressure +=
+        cut.records_dropped_backpressure;
+    stats.ingest.records_dropped_late += cut.records_dropped_late;
+    stats.ingest.records_staged += cut.records_staged;
+    stats.ingest.metric_samples += cut.metric_samples;
+    stats.ingest.metric_samples_dropped += cut.metric_samples_dropped;
+    stats.samples_observed += instance.detector->stats().samples;
+  }
+  stats.triggers_confirmed = triggers_confirmed_;
+  stats.triggers_accepted = triggers_accepted_;
+  stats.triggers_suppressed = triggers_suppressed_;
+  stats.diagnoses_ok = diagnoses_ok_;
+  stats.diagnoses_failed = diagnoses_failed_;
+  stats.storms_detected = correlator_.storms_detected();
+  stats.storm_deferred = storm_deferred_;
+  stats.neighbor_verdicts = verdicts_.size();
+  stats.seconds_processed = seconds_processed_;
+  stats.pool = scheduler_->stats();
+  return stats;
+}
+
+}  // namespace pinsql::fleet

@@ -41,6 +41,11 @@ std::string MetricsSnapshot::ToString() const {
     out += StrFormat("%-44s %12llu\n", name.c_str(),
                      static_cast<unsigned long long>(value));
   }
+  for (const auto& [name, g] : gauges) {
+    out += StrFormat("%-44s %12lld (max %lld)\n", name.c_str(),
+                     static_cast<long long>(g.value),
+                     static_cast<long long>(g.max));
+  }
   for (const auto& [name, h] : histograms) {
     const double mean =
         h.count == 0 ? 0.0
@@ -63,6 +68,13 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
   return *slot;
 }
 
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
@@ -75,6 +87,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = GaugeSnapshot{gauge->value(), gauge->max()};
   }
   for (const auto& [name, histogram] : histograms_) {
     HistogramSnapshot h;
@@ -94,6 +109,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 

@@ -34,6 +34,31 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Last-write-wins level instrument (queue depths, pool occupancy, ratios
+/// scaled to integer permille). Unlike Counter it can move both ways;
+/// `max` tracks the high-water mark since the last Reset, which is what a
+/// bounded pool's "never exceeded its budget" assertions read.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
 /// Log2-bucketed latency histogram: bucket 0 counts the value 0, bucket i
 /// (i >= 1) counts values in [2^(i-1), 2^i). 64 buckets cover the full
 /// uint64 range, so Record never clips.
@@ -63,9 +88,15 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;
 };
 
+struct GaugeSnapshot {
+  int64_t value = 0;
+  int64_t max = 0;
+};
+
 /// Point-in-time copy of every registered instrument.
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
 
   /// Human-readable table (sorted by name), one instrument per line.
@@ -83,6 +114,7 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
   Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
   MetricsSnapshot Snapshot() const;
   /// Zeroes every registered instrument (references stay valid). Test
@@ -92,6 +124,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
@@ -103,6 +136,8 @@ class MetricsRegistry {
 #ifndef PINSQL_DISABLE_OBS
 #define PINSQL_OBS_COUNT(name, n) \
   ::pinsql::obs::MetricsRegistry::Global().GetCounter(name).Add(n)
+#define PINSQL_OBS_GAUGE_SET(name, v) \
+  ::pinsql::obs::MetricsRegistry::Global().GetGauge(name).Set(v)
 #define PINSQL_OBS_OBSERVE(name, value) \
   ::pinsql::obs::MetricsRegistry::Global().GetHistogram(name).Record(value)
 #else
@@ -110,6 +145,7 @@ class MetricsRegistry {
 // argument folds to nothing, and locals computed only for instrumentation do
 // not trip -Wunused-but-set-variable.
 #define PINSQL_OBS_COUNT(name, n) ((void)(name), (void)(n))
+#define PINSQL_OBS_GAUGE_SET(name, v) ((void)(name), (void)(v))
 #define PINSQL_OBS_OBSERVE(name, value) ((void)(name), (void)(value))
 #endif
 

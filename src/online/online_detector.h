@@ -12,6 +12,10 @@ namespace pinsql::online {
 
 /// One confirmed anomaly onset, ready to hand to the DiagnosisScheduler.
 struct AnomalyTrigger {
+  /// Instance the trigger belongs to. Single-instance deployments leave
+  /// the default (0); the fleet service stamps its per-instance id so
+  /// cooldown state and correlation are keyed correctly.
+  uint32_t instance_id = 0;
   /// First second of the flagged run (where the anomaly started).
   int64_t onset_sec = 0;
   /// Second at which the detector confirmed and fired (>= onset_sec); the

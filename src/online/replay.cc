@@ -20,6 +20,31 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+void AppendOutcomeFingerprint(const DiagnosisOutcome& outcome,
+                              std::string* out) {
+  *out += "trigger:";
+  *out += std::to_string(outcome.trigger.instance_id);
+  *out += ',';
+  *out += std::to_string(outcome.trigger.onset_sec);
+  *out += ',';
+  *out += std::to_string(outcome.trigger.trigger_sec);
+  *out += ',';
+  *out += FormatDouble(outcome.trigger.severity);
+  *out += ',';
+  *out += FormatDouble(outcome.trigger.pettitt_p);
+  *out += '\n';
+  *out += outcome.ok ? "ok\n" : ("error:" + outcome.error + "\n");
+  if (outcome.ok) {
+    *out += outcome.report.ToJson().Dump();
+    *out += '\n';
+  }
+  *out += "repairs:";
+  *out += std::to_string(outcome.repairs_applied);
+  *out += ",ttr:";
+  *out += FormatDouble(outcome.ttr_sec);
+  *out += '\n';
+}
+
 std::string ReplayResult::Fingerprint() const {
   std::string out;
   out += "latencies:";
@@ -29,25 +54,7 @@ std::string ReplayResult::Fingerprint() const {
   }
   out += '\n';
   for (const DiagnosisOutcome& outcome : outcomes) {
-    out += "trigger:";
-    out += std::to_string(outcome.trigger.onset_sec);
-    out += ',';
-    out += std::to_string(outcome.trigger.trigger_sec);
-    out += ',';
-    out += FormatDouble(outcome.trigger.severity);
-    out += ',';
-    out += FormatDouble(outcome.trigger.pettitt_p);
-    out += '\n';
-    out += outcome.ok ? "ok\n" : ("error:" + outcome.error + "\n");
-    if (outcome.ok) {
-      out += outcome.report.ToJson().Dump();
-      out += '\n';
-    }
-    out += "repairs:";
-    out += std::to_string(outcome.repairs_applied);
-    out += ",ttr:";
-    out += FormatDouble(outcome.ttr_sec);
-    out += '\n';
+    AppendOutcomeFingerprint(outcome, &out);
   }
   return out;
 }

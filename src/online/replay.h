@@ -45,6 +45,13 @@ struct ReplayResult {
   std::string Fingerprint() const;
 };
 
+/// Appends the deterministic digest of one diagnosis outcome (trigger
+/// fields, report JSON, repair accounting). Shared by the single-instance
+/// ReplayResult fingerprint and the fleet-level fingerprints, so "the same
+/// diagnosis" digests identically in both deployments.
+void AppendOutcomeFingerprint(const DiagnosisOutcome& outcome,
+                              std::string* out);
+
 /// Replays a recorded stream through a fresh OnlineService, bit-
 /// deterministically: the clock is the sample stream, ingest threads are
 /// shard-partitioned, and each simulated second is fully ingested before

@@ -9,6 +9,30 @@
 
 namespace pinsql::online {
 
+bool TriggerDeduper::Accept(const AnomalyTrigger& trigger) {
+  auto it = last_activity_.find(trigger.instance_id);
+  if (it != last_activity_.end() &&
+      trigger.onset_sec <= it->second + cooldown_sec_) {
+    if (trigger.trigger_sec > it->second) it->second = trigger.trigger_sec;
+    return false;
+  }
+  if (it == last_activity_.end()) {
+    last_activity_.emplace(trigger.instance_id, trigger.trigger_sec);
+  } else if (trigger.trigger_sec > it->second) {
+    it->second = trigger.trigger_sec;
+  }
+  return true;
+}
+
+void TriggerDeduper::NoteActivity(uint32_t instance_id, int64_t sec) {
+  // Extends an existing incident's horizon only. Screen activity before
+  // any trigger fired must not anchor the cooldown — it would suppress the
+  // very trigger that confirms the incident (the screen flags a few
+  // seconds before Pettitt can confirm).
+  auto it = last_activity_.find(instance_id);
+  if (it != last_activity_.end() && sec > it->second) it->second = sec;
+}
+
 DiagnosisScheduler::DiagnosisScheduler(StreamIngestor* ingestor,
                                        const LogStore* archive,
                                        const SchedulerOptions& options,
@@ -18,21 +42,14 @@ DiagnosisScheduler::DiagnosisScheduler(StreamIngestor* ingestor,
       archive_(archive),
       options_(options),
       supervisor_(supervisor),
-      history_(history != nullptr ? history : &empty_history_) {}
+      history_(history != nullptr ? history : &empty_history_),
+      deduper_(options.cooldown_sec) {}
 
 bool DiagnosisScheduler::OnTrigger(const AnomalyTrigger& trigger) {
-  if (seen_activity_ &&
-      trigger.onset_sec <= last_activity_sec_ + options_.cooldown_sec) {
+  if (!deduper_.Accept(trigger)) {
     ++stats_.triggers_suppressed;
     PINSQL_OBS_COUNT("online.triggers_suppressed", 1);
-    if (trigger.trigger_sec > last_activity_sec_) {
-      last_activity_sec_ = trigger.trigger_sec;
-    }
     return false;
-  }
-  if (!seen_activity_ || trigger.trigger_sec > last_activity_sec_) {
-    last_activity_sec_ = trigger.trigger_sec;
-    seen_activity_ = true;
   }
   Pending pending;
   pending.trigger = trigger;
@@ -43,12 +60,9 @@ bool DiagnosisScheduler::OnTrigger(const AnomalyTrigger& trigger) {
   return true;
 }
 
-void DiagnosisScheduler::NoteAnomalousActivity(int64_t sec) {
-  // Extends an existing incident's horizon only. Screen activity before
-  // any trigger fired must not anchor the cooldown — it would suppress the
-  // very trigger that confirms the incident (the screen flags a few
-  // seconds before Pettitt can confirm).
-  if (seen_activity_ && sec > last_activity_sec_) last_activity_sec_ = sec;
+void DiagnosisScheduler::NoteAnomalousActivity(int64_t sec,
+                                               uint32_t instance_id) {
+  deduper_.NoteActivity(instance_id, sec);
 }
 
 std::vector<DiagnosisOutcome> DiagnosisScheduler::Poll(int64_t now_sec) {
@@ -95,24 +109,29 @@ void ZeroTimings(core::DiagnosisResult* result) {
 
 }  // namespace
 
-DiagnosisOutcome DiagnosisScheduler::RunDiagnosis(const Pending& pending) {
+DiagnosisOutcome RunWindowedDiagnosis(const WindowedDiagnosisContext& ctx,
+                                      const AnomalyTrigger& trigger,
+                                      int64_t window_end_sec,
+                                      DiagnosisSideStats* side) {
+  const SchedulerOptions& options = *ctx.options;
   DiagnosisOutcome outcome;
-  outcome.trigger = pending.trigger;
+  outcome.trigger = trigger;
 
-  const int64_t a_s = pending.trigger.onset_sec;
-  const int64_t a_e = pending.due_sec;
-  const int64_t t0 = a_s - options_.diagnoser.delta_s_sec;
+  const int64_t a_s = trigger.onset_sec;
+  const int64_t a_e = window_end_sec;
+  const int64_t t0 = a_s - options.diagnoser.delta_s_sec;
 
   // Window-local log store: a consistent point-in-time copy of the archive
   // records the diagnoser will scan, taken while ingest threads keep
   // appending. The catalog is copied so BuildReport resolves texts.
   LogStore window_logs;
-  window_logs.ReplaceRecords(archive_->SnapshotRange(t0 * 1000, a_e * 1000));
-  for (const auto& [sql_id, entry] : archive_->catalog()) {
+  window_logs.ReplaceRecords(
+      ctx.archive->SnapshotRange(t0 * 1000, a_e * 1000));
+  for (const auto& [sql_id, entry] : ctx.archive->catalog()) {
     window_logs.RegisterTemplate(sql_id, entry);
   }
 
-  WindowMetrics metrics = ingestor_->SnapshotMetrics(t0, a_e);
+  WindowMetrics metrics = ctx.ingestor->SnapshotMetrics(t0, a_e);
 
   core::DiagnosisInput input;
   input.logs = &window_logs;
@@ -120,59 +139,57 @@ DiagnosisOutcome DiagnosisScheduler::RunDiagnosis(const Pending& pending) {
   input.helper_metrics = std::move(metrics.helpers);
   input.anomaly_start_sec = a_s;
   input.anomaly_end_sec = a_e;
-  input.history = history_;
+  input.history = ctx.history;
 
-  auto result = core::Diagnose(input, options_.diagnoser);
+  auto result = core::Diagnose(input, options.diagnoser);
   if (!result.ok()) {
     outcome.ok = false;
     outcome.error = result.status().ToString();
-    ++stats_.diagnoses_failed;
     PINSQL_OBS_COUNT("online.diagnoses_failed", 1);
-    outcomes_.push_back(outcome);
     return outcome;
   }
-  if (options_.zero_timings) ZeroTimings(&result.value());
+  if (options.zero_timings) ZeroTimings(&result.value());
 
   std::vector<anomaly::Phenomenon> phenomena;
   anomaly::Phenomenon phenomenon;
   phenomenon.rule = "active_session.spike";
   phenomenon.start_sec = a_s;
   phenomenon.end_sec = a_e;
-  phenomenon.severity = pending.trigger.severity;
+  phenomenon.severity = trigger.severity;
   phenomena.push_back(phenomenon);
 
-  outcome.confirmed_rsqls = result->TopRsql(options_.top_k);
-  std::vector<repair::Suggestion> suggestions = rules_.Suggest(
+  outcome.confirmed_rsqls = result->TopRsql(options.top_k);
+  std::vector<repair::Suggestion> suggestions = ctx.rules->Suggest(
       phenomena, outcome.confirmed_rsqls, result->metrics, a_s, a_e,
-      std::max<size_t>(options_.max_repairs, 1));
+      std::max<size_t>(options.max_repairs, 1));
 
   size_t events_before = 0;
-  if (supervisor_ != nullptr && options_.auto_repair) {
-    events_before = supervisor_->events().size();
+  if (ctx.supervisor != nullptr && options.auto_repair) {
+    events_before = ctx.supervisor->events().size();
     const double now_ms = static_cast<double>(a_e) * 1000.0;
     // Baseline for post-action verification: the latest observed
     // active-session sample (negative skips verification when telemetry is
     // out).
     double observed = -1.0;
-    if (auto sample = ingestor_->SampleAt(a_e - 1);
+    if (auto sample = ctx.ingestor->SampleAt(a_e - 1);
         sample.has_value() && std::isfinite(sample->active_session)) {
       observed = sample->active_session;
     }
     size_t applied = 0;
     for (const repair::Suggestion& suggestion : suggestions) {
-      if (applied >= options_.max_repairs) break;
-      auto apply = supervisor_->Apply(suggestion.action, now_ms, observed);
+      if (applied >= options.max_repairs) break;
+      auto apply = ctx.supervisor->Apply(suggestion.action, now_ms, observed);
       if (apply.ok() &&
           apply->code == repair::ApplyOutcome::Code::kApplied) {
         ++applied;
-        ++stats_.repairs_applied;
+        if (side != nullptr) ++side->repairs_applied;
         PINSQL_OBS_COUNT("online.repairs_applied", 1);
         if (outcome.ttr_sec < 0.0) {
           outcome.ttr_sec =
               apply->applied_ms / 1000.0 - static_cast<double>(a_s);
         }
       } else {
-        ++stats_.repairs_rejected;
+        if (side != nullptr) ++side->repairs_rejected;
         PINSQL_OBS_COUNT("online.repairs_rejected", 1);
       }
     }
@@ -180,17 +197,37 @@ DiagnosisOutcome DiagnosisScheduler::RunDiagnosis(const Pending& pending) {
   }
 
   outcome.report =
-      core::BuildReport(result.value(), *archive_, phenomena, a_s, a_e,
-                        suggestions, options_.top_k);
-  if (supervisor_ != nullptr && options_.auto_repair) {
-    const auto& events = supervisor_->events();
+      core::BuildReport(result.value(), *ctx.archive, phenomena, a_s, a_e,
+                        suggestions, options.top_k);
+  if (ctx.supervisor != nullptr && options.auto_repair) {
+    const auto& events = ctx.supervisor->events();
     outcome.report.repair_events.assign(events.begin() + events_before,
                                         events.end());
   }
 
   outcome.ok = true;
-  ++stats_.diagnoses_ok;
   PINSQL_OBS_COUNT("online.diagnoses", 1);
+  return outcome;
+}
+
+DiagnosisOutcome DiagnosisScheduler::RunDiagnosis(const Pending& pending) {
+  WindowedDiagnosisContext ctx;
+  ctx.ingestor = ingestor_;
+  ctx.archive = archive_;
+  ctx.options = &options_;
+  ctx.supervisor = supervisor_;
+  ctx.history = history_;
+  ctx.rules = &rules_;
+  DiagnosisSideStats side;
+  DiagnosisOutcome outcome =
+      RunWindowedDiagnosis(ctx, pending.trigger, pending.due_sec, &side);
+  stats_.repairs_applied += side.repairs_applied;
+  stats_.repairs_rejected += side.repairs_rejected;
+  if (outcome.ok) {
+    ++stats_.diagnoses_ok;
+  } else {
+    ++stats_.diagnoses_failed;
+  }
   outcomes_.push_back(outcome);
   return outcome;
 }

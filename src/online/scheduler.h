@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -66,6 +67,65 @@ struct SchedulerStats {
   size_t repairs_rejected = 0;
 };
 
+/// Cooldown/hysteresis trigger deduplication, keyed by instance id: one
+/// instance's cooldown can never suppress another instance's confirming
+/// trigger. A trigger whose onset falls within `cooldown_sec` of *its own
+/// instance's* last anomalous activity is a re-detection of the same
+/// incident and is suppressed; activity before any accepted trigger never
+/// anchors the cooldown (it would suppress the confirming trigger itself).
+class TriggerDeduper {
+ public:
+  explicit TriggerDeduper(int64_t cooldown_sec)
+      : cooldown_sec_(cooldown_sec) {}
+
+  /// Accepts or suppresses; an accepted trigger (re-)anchors its
+  /// instance's hysteresis horizon.
+  bool Accept(const AnomalyTrigger& trigger);
+
+  /// Extends an existing incident's horizon (no-op before the instance's
+  /// first accepted trigger).
+  void NoteActivity(uint32_t instance_id, int64_t sec);
+
+ private:
+  int64_t cooldown_sec_;
+  /// instance id -> last anomalous activity second. Absence means the
+  /// instance has no accepted trigger yet.
+  std::map<uint32_t, int64_t> last_activity_;
+};
+
+/// Everything RunWindowedDiagnosis needs besides the trigger itself. The
+/// fleet's diagnoser pool runs many of these concurrently for *different*
+/// instances; all mutable state (supervisor, rule engine) must therefore
+/// be per-instance or absent.
+struct WindowedDiagnosisContext {
+  StreamIngestor* ingestor = nullptr;
+  const LogStore* archive = nullptr;
+  const SchedulerOptions* options = nullptr;
+  repair::RepairSupervisor* supervisor = nullptr;     // null = diagnose-only
+  const core::HistoryProvider* history = nullptr;      // must be non-null
+  repair::RepairRuleEngine* rules = nullptr;           // must be non-null
+};
+
+/// Repair accounting of one diagnosis (merged into SchedulerStats by the
+/// caller; kept separate so concurrent fleet diagnoses don't race on a
+/// shared stats struct).
+struct DiagnosisSideStats {
+  size_t repairs_applied = 0;
+  size_t repairs_rejected = 0;
+};
+
+/// Runs one complete windowed diagnosis for an accepted trigger: snapshots
+/// the window [onset - delta_s, window_end) from the ingestor's rings and
+/// the archive, runs Diagnose(), builds the report and (optionally) hands
+/// confirmed R-SQLs to the repair supervisor. The window end is fixed by
+/// the caller at trigger time, so the result is independent of *when* the
+/// diagnosis actually runs — the property the fleet's bounded pool relies
+/// on for schedule-invariant fingerprints.
+DiagnosisOutcome RunWindowedDiagnosis(const WindowedDiagnosisContext& ctx,
+                                      const AnomalyTrigger& trigger,
+                                      int64_t window_end_sec,
+                                      DiagnosisSideStats* side);
+
 /// Turns confirmed anomaly triggers into full diagnoses: snapshots the
 /// window from the ingestor's rings and the archive, assembles a
 /// DiagnosisInput, runs Diagnose() (which fans out on its internal thread
@@ -88,14 +148,15 @@ class DiagnosisScheduler {
                      const core::HistoryProvider* history = nullptr);
 
   /// Accepts or suppresses a trigger. Accepted triggers are queued for
-  /// diagnosis at trigger_sec + diagnose_delay_sec.
+  /// diagnosis at trigger_sec + diagnose_delay_sec. Cooldown state is
+  /// keyed by trigger.instance_id: suppression never crosses instances.
   bool OnTrigger(const AnomalyTrigger& trigger);
 
-  /// Extends the hysteresis horizon: call once per second while the
-  /// detector has a flagged run open, so a run that briefly closes
-  /// mid-anomaly cannot re-trigger the same incident after the cooldown
-  /// anchor went stale.
-  void NoteAnomalousActivity(int64_t sec);
+  /// Extends the hysteresis horizon of `instance_id`: call once per second
+  /// while that instance's detector has a flagged run open, so a run that
+  /// briefly closes mid-anomaly cannot re-trigger the same incident after
+  /// the cooldown anchor went stale.
+  void NoteAnomalousActivity(int64_t sec, uint32_t instance_id = 0);
 
   /// Runs every queued diagnosis whose due time has arrived. Returns the
   /// completed outcomes (also appended to outcomes()).
@@ -133,8 +194,7 @@ class DiagnosisScheduler {
 
   std::deque<Pending> pending_;
   std::vector<DiagnosisOutcome> outcomes_;
-  int64_t last_activity_sec_ = 0;
-  bool seen_activity_ = false;
+  TriggerDeduper deduper_;
   SchedulerStats stats_;
 };
 

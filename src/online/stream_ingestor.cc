@@ -105,12 +105,16 @@ size_t StreamIngestor::Pump() {
     Shard& shard = *shard_ptr;
     std::vector<QueryLogRecord> staged;
     {
-      std::lock_guard<std::mutex> lock(shard.queue_mu);
-      staged.swap(shard.queue);
-    }
-    if (staged.empty()) continue;
-    {
-      std::lock_guard<std::mutex> lock(shard.fold_mu);
+      // fold_mu is held across the swap *and* the fold, so a record is
+      // always visible to stats() as either staged (in the queue) or
+      // folded/late — never in an invisible in-between (see the IngestStats
+      // consistency contract).
+      std::lock_guard<std::mutex> fold_lock(shard.fold_mu);
+      {
+        std::lock_guard<std::mutex> queue_lock(shard.queue_mu);
+        staged.swap(shard.queue);
+      }
+      if (staged.empty()) continue;
       for (const QueryLogRecord& record : staged) {
         FoldRecord(&shard, record, mark);
       }
@@ -196,20 +200,33 @@ std::optional<int64_t> StreamIngestor::window_floor_sec() const {
 }
 
 IngestStats StreamIngestor::stats() const {
+  // Consistent cut: hold every shard's fold_mu, then every queue_mu, and
+  // only then read. With all locks held no record can move between the
+  // staged / folded / dropped states, so the totals satisfy
+  // enqueued == folded + dropped_late + staged exactly — a fleet summing
+  // per-instance snapshots never sees a torn read. Lock order (fold before
+  // queue, shards in index order) matches Pump(), so this cannot deadlock.
+  std::vector<std::unique_lock<std::mutex>> fold_locks;
+  fold_locks.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    fold_locks.emplace_back(shard_ptr->fold_mu);
+  }
+  std::vector<std::unique_lock<std::mutex>> queue_locks;
+  queue_locks.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    queue_locks.emplace_back(shard_ptr->queue_mu);
+  }
   IngestStats stats;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    {
-      std::lock_guard<std::mutex> lock(shard.queue_mu);
-      stats.records_enqueued += shard.enqueued;
-      stats.records_dropped_backpressure += shard.dropped_backpressure;
-    }
-    {
-      std::lock_guard<std::mutex> lock(shard.fold_mu);
-      stats.records_folded += shard.folded;
-      stats.records_dropped_late += shard.dropped_late;
-    }
+    stats.records_enqueued += shard.enqueued;
+    stats.records_dropped_backpressure += shard.dropped_backpressure;
+    stats.records_folded += shard.folded;
+    stats.records_dropped_late += shard.dropped_late;
+    stats.records_staged += shard.queue.size();
   }
+  queue_locks.clear();
+  fold_locks.clear();
   std::lock_guard<std::mutex> lock(metrics_mu_);
   stats.metric_samples = metric_samples_;
   stats.metric_samples_dropped = metric_samples_dropped_;

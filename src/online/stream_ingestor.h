@@ -48,11 +48,20 @@ struct IngestorOptions {
 };
 
 /// Every drop is accounted: nothing leaves the pipeline silently.
+///
+/// stats() returns a *consistent cut*: the shard counters are read with
+/// every shard's fold and queue locks held at once, so the invariant
+/// `records_enqueued == records_folded + records_dropped_late +
+/// records_staged` holds exactly in every snapshot, even while producers
+/// and pumpers race — never a torn per-shard sum. (Fleet-level stats sum
+/// these per-instance cuts.)
 struct IngestStats {
   size_t records_enqueued = 0;
   size_t records_folded = 0;
   size_t records_dropped_backpressure = 0;
   size_t records_dropped_late = 0;
+  /// Records accepted into a shard queue but not yet folded by a Pump().
+  size_t records_staged = 0;
   size_t metric_samples = 0;
   size_t metric_samples_dropped = 0;
 };
@@ -138,6 +147,9 @@ class StreamIngestor {
     std::vector<std::pair<uint64_t, Cell>> cells;
   };
   struct Shard {
+    // Lock order: fold_mu before queue_mu wherever both are held (Pump and
+    // stats). IngestRecord takes only queue_mu, so producers never wait on
+    // a fold in progress.
     mutable std::mutex queue_mu;
     std::vector<QueryLogRecord> queue;
     size_t enqueued = 0;

@@ -21,6 +21,44 @@ TEST(CounterTest, AddAndReset) {
   EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(GaugeTest, SetTracksValueAndHighWaterMark) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+  g.Set(7);
+  g.Set(3);
+  // The gauge reads the last value; the max keeps the high-water mark —
+  // what "the pool never exceeded its bound" assertions consume.
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 7);
+  g.Set(11);
+  EXPECT_EQ(g.max(), 11);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(GaugeTest, RegistrySnapshotAndMacro) {
+  MetricsRegistry registry;
+  Gauge& g = registry.GetGauge("test.g");
+  EXPECT_EQ(&g, &registry.GetGauge("test.g"));
+  g.Set(9);
+  g.Set(4);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.gauges.count("test.g"), 1u);
+  EXPECT_EQ(snap.gauges.at("test.g").value, 4);
+  EXPECT_EQ(snap.gauges.at("test.g").max, 9);
+  EXPECT_NE(snap.ToString().find("test.g"), std::string::npos);
+  registry.Reset();
+  EXPECT_EQ(g.max(), 0);
+
+  MetricsRegistry::Global().GetGauge("obs_test.gauge").Reset();
+  PINSQL_OBS_GAUGE_SET("obs_test.gauge", 5);
+  const int64_t value =
+      MetricsRegistry::Global().GetGauge("obs_test.gauge").value();
+  EXPECT_EQ(value, kEnabled ? 5 : 0);
+}
+
 TEST(HistogramTest, BucketBoundaries) {
   // Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
   EXPECT_EQ(Histogram::BucketIndex(0), 0u);

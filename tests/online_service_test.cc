@@ -137,6 +137,59 @@ TEST(StreamIngestorTest, StaleMetricSamplesAreDropped) {
   EXPECT_DOUBLE_EQ(ingestor.SampleAt(950)->active_session, 4.0);
 }
 
+TEST(StreamIngestorTest, StatsAreAConsistentCutUnderConcurrentProducers) {
+  IngestorOptions options;
+  options.num_shards = 4;
+  options.shard_queue_capacity = 64;  // force real backpressure
+  options.late_grace_sec = 50;
+  StreamIngestor ingestor(options);
+  ASSERT_TRUE(ingestor.IngestMetrics(Sample(1000, 5.0)));
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20000;
+  std::atomic<int> producers_done{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + 1);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Mix of on-time and late records across every shard; some drop as
+        // late, some as backpressure — every path must stay accounted.
+        const int64_t sec = i % 7 == 0 ? 900 : 1000;
+        ingestor.IngestRecord(Rec(sec * 1000 + i % 1000, 1 + (p + i) % 7));
+        ingestor.IngestRecord(Rec(sec * 1000 + i % 1000, 1 + i % 7));
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+  threads.emplace_back([&]() {
+    while (producers_done.load() < kProducers) ingestor.Pump();
+    ingestor.Pump();
+  });
+
+  // Hammer the snapshot while producers and the pumper race: the
+  // consistent-cut invariant must hold in every single snapshot, not just
+  // at quiescence.
+  while (producers_done.load() < kProducers) {
+    const IngestStats stats = ingestor.stats();
+    ASSERT_EQ(stats.records_enqueued,
+              stats.records_folded + stats.records_dropped_late +
+                  stats.records_staged)
+        << "torn ingest stats cut";
+  }
+  for (std::thread& thread : threads) thread.join();
+  ingestor.Pump();
+
+  const IngestStats final_stats = ingestor.stats();
+  EXPECT_EQ(final_stats.records_staged, 0u);
+  EXPECT_EQ(final_stats.records_enqueued,
+            final_stats.records_folded + final_stats.records_dropped_late);
+  EXPECT_EQ(final_stats.records_enqueued +
+                final_stats.records_dropped_backpressure,
+            static_cast<size_t>(kProducers) * kPerProducer * 2);
+  EXPECT_GT(final_stats.records_dropped_late, 0u) << "late path not exercised";
+}
+
 // --- OnlineAnomalyDetector -----------------------------------------------
 
 TEST(OnlineDetectorTest, FiresExactlyOncePerSustainedRun) {
@@ -241,6 +294,36 @@ TEST(SchedulerTest, ActivityBeforeAnyTriggerDoesNotSuppressIt) {
   scheduler.NoteAnomalousActivity(998);
   scheduler.NoteAnomalousActivity(999);
   EXPECT_TRUE(scheduler.OnTrigger(MakeTrigger(998, 1000)));
+}
+
+TEST(SchedulerTest, CooldownIsPerInstance) {
+  IngestorOptions ingest_options;
+  StreamIngestor ingestor(ingest_options);
+  LogStore archive;
+  SchedulerOptions options;
+  options.cooldown_sec = 300;
+  DiagnosisScheduler scheduler(&ingestor, &archive, options);
+
+  const auto trigger_for = [](uint32_t instance_id, int64_t onset,
+                              int64_t trig) {
+    AnomalyTrigger t = MakeTrigger(onset, trig);
+    t.instance_id = instance_id;
+    return t;
+  };
+
+  // Instance 1's incident must not anchor a cooldown against instance 2:
+  // in a fleet, one instance's open incident says nothing about another's.
+  EXPECT_TRUE(scheduler.OnTrigger(trigger_for(1, 1000, 1003)));
+  EXPECT_TRUE(scheduler.OnTrigger(trigger_for(2, 1010, 1013)));
+  // Re-detections inside each instance's own horizon stay suppressed.
+  EXPECT_FALSE(scheduler.OnTrigger(trigger_for(1, 1200, 1203)));
+  EXPECT_FALSE(scheduler.OnTrigger(trigger_for(2, 1200, 1203)));
+  // Screen activity on instance 1 extends only instance 1's horizon.
+  scheduler.NoteAnomalousActivity(1400, /*instance_id=*/1);
+  EXPECT_FALSE(scheduler.OnTrigger(trigger_for(1, 1650, 1653)));
+  EXPECT_TRUE(scheduler.OnTrigger(trigger_for(2, 1650, 1653)));
+  EXPECT_EQ(scheduler.stats().triggers_accepted, 3u);
+  EXPECT_EQ(scheduler.stats().triggers_suppressed, 3u);
 }
 
 TEST(SchedulerTest, OpenWindowFloorCoversPendingDiagnoses) {

@@ -1,0 +1,151 @@
+// Durable online service demo: survives kill -9.
+//
+// First run: opens a WAL-backed service under --data-dir, streams the
+// first half of a synthetic incident, then hard-exits mid-ingest without
+// any shutdown — exactly what `kill -9` (or a power cut with fsync on)
+// leaves behind. Second run: recovers from the surviving WAL + checkpoint,
+// streams the rest, and prints the diagnosis — identical to a run that
+// never crashed.
+//
+//   ./build/examples/durable_service_demo --data-dir data/durable_demo
+//   ./build/examples/durable_service_demo --data-dir data/durable_demo
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "online/replay.h"
+#include "store/durable_service.h"
+
+namespace {
+
+using pinsql::QueryLogRecord;
+using pinsql::TemplateCatalogEntry;
+
+pinsql::online::ReplayLog SyntheticIncident() {
+  pinsql::online::ReplayLog log;
+  const int64_t t0 = 100'000;
+  const int64_t onset = t0 + 200;
+  const int64_t t1 = onset + 120;
+  for (int64_t sec = t0; sec < t1; ++sec) {
+    const bool anomalous = sec >= onset;
+    pinsql::online::PerfSample s;
+    s.sec = sec;
+    s.active_session = anomalous ? 380.0 : 4.0;
+    s.cpu_usage = s.active_session * 0.05;
+    s.iops_usage = s.active_session * 0.1;
+    log.samples.push_back(s);
+    uint64_t state = static_cast<uint64_t>(sec) * 2654435761ULL + 17;
+    const int count = anomalous ? 46 : 6;
+    for (int i = 0; i < count; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      QueryLogRecord r;
+      r.sql_id = i < 6 ? 1 + (state >> 33) % 4 : 9;
+      r.arrival_ms = sec * 1000 + static_cast<int64_t>((state >> 13) % 1000);
+      r.response_ms = i < 6 ? 2.0 : 450.0;
+      r.examined_rows = i < 6 ? 20 : 500'000;
+      log.records.push_back(r);
+    }
+  }
+  return log;
+}
+
+void RegisterCatalog(pinsql::store::DurableOnlineService* service) {
+  for (uint64_t id : {1, 2, 3, 4}) {
+    TemplateCatalogEntry entry;
+    entry.template_text = "SELECT * FROM t WHERE k = ?";
+    entry.kind = pinsql::sqltpl::StatementKind::kSelect;
+    entry.tables = {"t"};
+    service->RegisterTemplate(id, entry);
+  }
+  TemplateCatalogEntry heavy;
+  heavy.template_text = "SELECT * FROM big ORDER BY v";
+  heavy.kind = pinsql::sqltpl::StatementKind::kSelect;
+  heavy.tables = {"big"};
+  service->RegisterTemplate(9, heavy);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir = "data/durable_demo";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--data-dir") == 0) data_dir = argv[i + 1];
+  }
+
+  pinsql::store::DurableServiceOptions options;
+  options.service.scheduler.zero_timings = true;
+  options.checkpoint_every_sec = 60;
+  auto opened = pinsql::store::DurableOnlineService::Open(options, data_dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", data_dir.c_str(),
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto& service = *opened;
+  RegisterCatalog(service.get());
+
+  const auto& recovery = service->recovery();
+  const int64_t already = service->stats().service.seconds_processed;
+  if (already > 0) {
+    std::printf("recovered %lld seconds of stream from %s\n",
+                static_cast<long long>(already), data_dir.c_str());
+    std::printf("  checkpoint: %s   WAL frames replayed: %llu   "
+                "recovery: %.1f ms\n",
+                recovery.checkpoint_loaded ? "loaded" : "none",
+                static_cast<unsigned long long>(recovery.wal.frames_valid),
+                recovery.recovery_ms);
+  } else {
+    std::printf("fresh data dir %s\n", data_dir.c_str());
+  }
+
+  const pinsql::online::ReplayLog log = SyntheticIncident();
+  const int64_t resume_from = 100'000 + already;
+  const int64_t crash_at = already == 0 ? 100'160 : INT64_MAX;
+  size_t cursor = 0;
+  int64_t fed = 0;
+  for (const auto& sample : log.samples) {
+    if (sample.sec >= crash_at) {
+      std::printf("streamed %lld more seconds... simulating kill -9 "
+                  "mid-ingest (no shutdown, no final checkpoint).\n"
+                  "run the same command again to recover.\n",
+                  static_cast<long long>(fed));
+      std::fflush(stdout);
+      std::_Exit(0);  // no destructors, no drain: a crash
+    }
+    while (cursor < log.records.size() &&
+           log.records[cursor].arrival_ms / 1000 <= sample.sec) {
+      if (log.records[cursor].arrival_ms / 1000 == sample.sec &&
+          sample.sec >= resume_from) {
+        service->IngestRecord(log.records[cursor]);
+      }
+      ++cursor;
+    }
+    if (sample.sec < resume_from) continue;
+    service->IngestMetrics(sample);
+    ++fed;
+  }
+
+  if (pinsql::Status status = service->Stop(); !status.ok()) {
+    std::fprintf(stderr, "stop: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("streamed %lld more seconds, drained cleanly.\n",
+              static_cast<long long>(fed));
+  for (const auto& outcome : service->outcomes()) {
+    std::printf("  trigger at sec %lld (severity %.1f): %s\n",
+                static_cast<long long>(outcome.trigger.trigger_sec),
+                outcome.trigger.severity,
+                outcome.ok ? "diagnosed" : outcome.error.c_str());
+  }
+  if (service->outcomes().empty()) {
+    std::printf("  no anomaly diagnosed (did the first run crash before "
+                "feeding anything?)\n");
+  } else {
+    std::printf("the diagnosis above is byte-identical to a run that never "
+                "crashed.\n");
+  }
+  return 0;
+}

@@ -118,6 +118,40 @@ std::optional<FeatureEvent> StreamingFeatureDetector::Push(double value) {
   return closed;
 }
 
+StreamingDetectorSnapshot StreamingFeatureDetector::ExportSnapshot() const {
+  StreamingDetectorSnapshot snap;
+  snap.clean.assign(clean_.begin(), clean_.end());
+  snap.baseline_median = baseline_median_;
+  snap.baseline_mad = baseline_mad_;
+  snap.baseline_fresh = baseline_fresh_;
+  snap.in_run = in_run_;
+  snap.run_up = run_up_;
+  snap.run_start = run_start_;
+  snap.run_peak = run_peak_;
+  snap.last_z = last_z_;
+  snap.count = count_;
+  snap.start_time = start_time_;
+  snap.interval_sec = interval_sec_;
+  return snap;
+}
+
+StreamingFeatureDetector StreamingFeatureDetector::FromSnapshot(
+    const DetectorOptions& options, const StreamingDetectorSnapshot& snap) {
+  StreamingFeatureDetector detector(options, snap.start_time,
+                                    snap.interval_sec);
+  detector.clean_.assign(snap.clean.begin(), snap.clean.end());
+  detector.baseline_median_ = snap.baseline_median;
+  detector.baseline_mad_ = snap.baseline_mad;
+  detector.baseline_fresh_ = snap.baseline_fresh;
+  detector.in_run_ = snap.in_run;
+  detector.run_up_ = snap.run_up;
+  detector.run_start_ = static_cast<size_t>(snap.run_start);
+  detector.run_peak_ = snap.run_peak;
+  detector.last_z_ = snap.last_z;
+  detector.count_ = static_cast<size_t>(snap.count);
+  return detector;
+}
+
 std::optional<FeatureEvent> StreamingFeatureDetector::Finish() {
   if (!in_run_) return std::nullopt;
   return CloseRun(count_, /*recovered=*/false);

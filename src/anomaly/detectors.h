@@ -47,6 +47,27 @@ struct DetectorOptions {
   double mad_floor_frac = 0.05;
 };
 
+/// Complete serializable state of a StreamingFeatureDetector, captured by
+/// ExportSnapshot() and restored by FromSnapshot(): a restored detector
+/// continues the stream bit-identically to one that never stopped. The
+/// durable online service checkpoints this across process restarts.
+struct StreamingDetectorSnapshot {
+  std::vector<double> clean;
+  double baseline_median = 0.0;
+  double baseline_mad = 0.0;
+  bool baseline_fresh = false;
+  bool in_run = false;
+  bool run_up = true;
+  uint64_t run_start = 0;
+  double run_peak = 0.0;
+  double last_z = 0.0;
+  uint64_t count = 0;
+  /// Clock parameters, echoed so a restore can rebuild the constructor
+  /// arguments.
+  int64_t start_time = 0;
+  int64_t interval_sec = 1;
+};
+
 /// Incremental robust detector: push one sample at a time, each compared
 /// against the median/MAD of the last `baseline_window` *clean* points, so
 /// the baseline stays frozen while an anomaly is in progress (otherwise a
@@ -87,6 +108,13 @@ class StreamingFeatureDetector {
   double last_z() const { return last_z_; }
   /// Samples pushed so far.
   size_t count() const { return count_; }
+
+  /// Captures the full mutable state (see StreamingDetectorSnapshot).
+  StreamingDetectorSnapshot ExportSnapshot() const;
+  /// Rebuilds a detector mid-stream from a snapshot; subsequent pushes are
+  /// bit-identical to the detector the snapshot was taken from.
+  static StreamingFeatureDetector FromSnapshot(
+      const DetectorOptions& options, const StreamingDetectorSnapshot& snap);
 
  private:
   std::optional<FeatureEvent> CloseRun(size_t end_index, bool recovered);

@@ -1,0 +1,136 @@
+#include "faults/storage_faults.h"
+
+#include <utility>
+
+namespace pinsql::faults {
+
+namespace {
+
+double Scaled(double rate, double severity) {
+  if (severity <= 0.0) return 0.0;
+  return rate * (severity > 1.0 ? 1.0 : severity);
+}
+
+}  // namespace
+
+std::string StorageFaultStats::ToString() const {
+  std::string out;
+  out += "appends=" + std::to_string(appends_seen);
+  out += " torn=" + std::to_string(writes_torn);
+  out += " reads=" + std::to_string(reads_seen);
+  out += " bit_flipped=" + std::to_string(reads_bit_flipped);
+  out += " shortened=" + std::to_string(reads_shortened);
+  out += " fsyncs=" + std::to_string(fsyncs_seen);
+  out += " fsync_failed=" + std::to_string(fsyncs_failed);
+  return out;
+}
+
+/// Write handle that can tear an append (persist only a prefix, then
+/// report failure — what a crashed or lying disk leaves behind) and fail
+/// fsyncs without syncing.
+class FaultyWritableFile : public store::WritableFile {
+ public:
+  FaultyWritableFile(std::unique_ptr<store::WritableFile> base,
+                     StorageFaultInjector* owner)
+      : base_(std::move(base)), owner_(owner) {}
+
+  Status Append(std::string_view data) override {
+    ++owner_->stats_.appends_seen;
+    if (!data.empty() &&
+        owner_->rng_.Bernoulli(
+            Scaled(owner_->plan_.torn_write_rate, owner_->plan_.severity))) {
+      ++owner_->stats_.writes_torn;
+      const auto keep = static_cast<size_t>(owner_->rng_.UniformInt(
+          0, static_cast<int64_t>(data.size()) - 1));
+      base_->Append(data.substr(0, keep));
+      return Status::Internal("injected torn write");
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    ++owner_->stats_.fsyncs_seen;
+    if (owner_->rng_.Bernoulli(Scaled(owner_->plan_.fsync_failure_rate,
+                                      owner_->plan_.severity))) {
+      ++owner_->stats_.fsyncs_failed;
+      return Status::Internal("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<store::WritableFile> base_;
+  StorageFaultInjector* owner_;
+};
+
+StorageFaultInjector::StorageFaultInjector(store::Env* base,
+                                           const StorageFaultPlan& plan)
+    : base_(base), plan_(plan), rng_(plan.seed) {}
+
+StatusOr<std::unique_ptr<store::WritableFile>>
+StorageFaultInjector::NewWritableFile(const std::string& path) {
+  auto file = base_->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<store::WritableFile>(
+      new FaultyWritableFile(std::move(file).value(), this));
+}
+
+Status StorageFaultInjector::ReadFile(const std::string& path,
+                                      std::string* out) {
+  if (Status status = base_->ReadFile(path, out); !status.ok()) return status;
+  ++stats_.reads_seen;
+  if (!out->empty() &&
+      rng_.Bernoulli(Scaled(plan_.short_read_rate, plan_.severity))) {
+    ++stats_.reads_shortened;
+    out->resize(static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(out->size()) - 1)));
+  }
+  if (!out->empty() &&
+      rng_.Bernoulli(Scaled(plan_.bit_flip_rate, plan_.severity))) {
+    ++stats_.reads_bit_flipped;
+    const auto pos = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(out->size()) - 1));
+    (*out)[pos] = static_cast<char>(
+        (*out)[pos] ^ static_cast<char>(1 << rng_.UniformInt(0, 7)));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> StorageFaultInjector::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Status StorageFaultInjector::CreateDirs(const std::string& dir) {
+  return base_->CreateDirs(dir);
+}
+
+Status StorageFaultInjector::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+Status StorageFaultInjector::RenameFile(const std::string& from,
+                                        const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+Status StorageFaultInjector::TruncateFile(const std::string& path,
+                                          uint64_t size) {
+  return base_->TruncateFile(path, size);
+}
+
+StatusOr<uint64_t> StorageFaultInjector::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+bool StorageFaultInjector::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status StorageFaultInjector::SyncDir(const std::string& dir) {
+  return base_->SyncDir(dir);
+}
+
+}  // namespace pinsql::faults

@@ -1,0 +1,85 @@
+#ifndef PINSQL_FAULTS_STORAGE_FAULTS_H_
+#define PINSQL_FAULTS_STORAGE_FAULTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "store/env.h"
+#include "util/rng.h"
+
+namespace pinsql::faults {
+
+/// Seeded fault plan for the storage layer, mirroring FaultPlan's
+/// contract: `severity` in [0, 1] scales every rate linearly and severity
+/// 0 is a guaranteed pass-through. Identical (seed, severity) plans
+/// perturb identically.
+struct StorageFaultPlan {
+  uint64_t seed = 1;
+  double severity = 0.0;
+
+  /// Per-operation probabilities at severity 1 (scaled down linearly).
+  double torn_write_rate = 0.25;    // append persists only a prefix
+  double bit_flip_rate = 0.15;      // one random bit flipped on read
+  double short_read_rate = 0.10;    // read returns a truncated file
+  double fsync_failure_rate = 0.35; // fsync reports failure
+
+  StorageFaultPlan WithSeverity(double s) const {
+    StorageFaultPlan copy = *this;
+    copy.severity = s;
+    return copy;
+  }
+};
+
+/// What the injector actually did.
+struct StorageFaultStats {
+  size_t appends_seen = 0;
+  size_t writes_torn = 0;
+  size_t reads_seen = 0;
+  size_t reads_bit_flipped = 0;
+  size_t reads_shortened = 0;
+  size_t fsyncs_seen = 0;
+  size_t fsyncs_failed = 0;
+  std::string ToString() const;
+};
+
+/// Chaos Env for the storage engine: wraps a base Env (normally PosixEnv)
+/// and injects the disk's classic lies — torn writes, bit flips on the
+/// read path, short reads and failing fsyncs — underneath an unmodified
+/// WAL/checkpoint stack. The recovery tests assert that every injected
+/// corruption is *detected* (CRC mismatch, counted truncation, fallback
+/// checkpoint), never silently ingested.
+///
+/// Metadata operations (list/rename/delete/truncate) pass through
+/// unperturbed; the interesting failure surface is the data path.
+/// Not thread-safe (single-writer, like the engine above it).
+class StorageFaultInjector : public store::Env {
+ public:
+  StorageFaultInjector(store::Env* base, const StorageFaultPlan& plan);
+
+  StatusOr<std::unique_ptr<store::WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDirs(const std::string& dir) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+  const StorageFaultStats& stats() const { return stats_; }
+
+ private:
+  friend class FaultyWritableFile;
+
+  store::Env* base_;
+  StorageFaultPlan plan_;
+  Rng rng_;
+  StorageFaultStats stats_;
+};
+
+}  // namespace pinsql::faults
+
+#endif  // PINSQL_FAULTS_STORAGE_FAULTS_H_

@@ -14,6 +14,8 @@
 #include "online/scheduler.h"
 #include "online/stream_ingestor.h"
 #include "repair/rule_engine.h"
+#include "store/env.h"
+#include "store/wal.h"
 #include "util/thread_pool.h"
 
 namespace pinsql::fleet {
@@ -37,6 +39,32 @@ struct FleetOptions {
   /// Purely a throughput knob: instances are processed into disjoint
   /// slots, so results are identical at any count.
   int advance_workers = 4;
+  /// Durable journaling root (empty = in-memory only). Every accepted
+  /// record, sample and template registration is journaled into a
+  /// per-instance segment WAL under <data_dir>/inst-<id>/, and Start()
+  /// recovers whatever the directories hold before accepting new work.
+  /// The fleet keeps no checkpoints: recovery is a full WAL replay, and
+  /// segments are retained until the operator removes the directory.
+  std::string data_dir;
+  store::WalOptions wal;
+  /// Filesystem the journals go through (nullptr = POSIX); tests
+  /// substitute a fault-injecting Env.
+  store::Env* env = nullptr;
+};
+
+/// Accounting of one fleet journal recovery (summed over instances).
+struct FleetRecoveryStats {
+  bool attempted = false;
+  size_t instances_with_wal = 0;
+  size_t frames_valid = 0;
+  size_t frames_corrupt = 0;
+  size_t frames_malformed = 0;
+  size_t frames_time_rejected = 0;
+  size_t records = 0;
+  size_t samples = 0;
+  size_t templates = 0;
+  uint64_t torn_tail_bytes_truncated = 0;
+  double recovery_ms = 0.0;
 };
 
 /// What happened to one accepted trigger at fleet level.
@@ -147,6 +175,10 @@ class FleetService {
 
   FleetStats stats() const;
 
+  /// What Start()'s journal recovery replayed (zero-valued when the fleet
+  /// runs without a data_dir).
+  const FleetRecoveryStats& recovery() const { return recovery_; }
+
  private:
   struct Instance {
     FleetInstanceSpec spec;
@@ -155,6 +187,14 @@ class FleetService {
     std::unique_ptr<online::OnlineAnomalyDetector> detector;
     bool processed_any = false;
     int64_t last_processed_sec = 0;
+    /// Durable journal (null when the fleet runs in-memory, or between
+    /// Stop() and the next Start()). journal_mu orders the inner ingest
+    /// and the journal append as one atomic step, so the journal replays
+    /// in exactly the ingest order the rings saw.
+    std::unique_ptr<std::mutex> journal_mu;
+    std::vector<QueryLogRecord> pending;
+    std::unique_ptr<store::WalWriter> writer;
+    uint64_t next_seq = 1;
   };
   /// What one instance-second produced, recorded by the parallel advance
   /// step and merged sequentially in instance order.
@@ -165,6 +205,15 @@ class FleetService {
   };
 
   std::vector<FleetOutcome> AdvanceToLocked(int64_t fleet_sec);
+  bool durable() const { return !options_.data_dir.empty(); }
+  std::string InstanceDir(uint32_t instance_id) const;
+  /// First Start() only: replays every instance's WAL through the normal
+  /// ingest path with the canonical per-second discipline.
+  void RecoverJournalsLocked();
+  /// Opens (or reopens after Stop) each instance's writer and re-journals
+  /// the current catalog so template registrations made before Start()
+  /// survive a crash.
+  void OpenJournalsLocked();
   void ProcessInstance(Instance* instance, int64_t fleet_sec,
                        std::vector<SecondEvent>* events);
   void RouteAcceptedTrigger(const online::AnomalyTrigger& trigger);
@@ -200,6 +249,10 @@ class FleetService {
   std::vector<FleetOutcome> outcomes_;
   std::vector<StormBatch> storms_;
   std::vector<NoisyNeighborVerdict> verdicts_;
+
+  store::Env* env_ = nullptr;
+  bool journals_recovered_ = false;
+  FleetRecoveryStats recovery_;
 };
 
 }  // namespace pinsql::fleet

@@ -16,6 +16,34 @@ bool OnlineAnomalyDetector::in_run() const {
   return screen_.has_value() && screen_->in_run();
 }
 
+OnlineDetectorState OnlineAnomalyDetector::ExportState() const {
+  OnlineDetectorState state;
+  state.screen_initialized = screen_.has_value();
+  if (screen_.has_value()) state.screen = screen_->ExportSnapshot();
+  state.trailing.assign(trailing_.begin(), trailing_.end());
+  state.last_finite = last_finite_;
+  state.seen_finite = seen_finite_;
+  state.triggered_this_run = triggered_this_run_;
+  state.latencies = latencies_;
+  state.stats = stats_;
+  return state;
+}
+
+void OnlineAnomalyDetector::ImportState(const OnlineDetectorState& state) {
+  if (state.screen_initialized) {
+    screen_.emplace(anomaly::StreamingFeatureDetector::FromSnapshot(
+        options_.screen, state.screen));
+  } else {
+    screen_.reset();
+  }
+  trailing_.assign(state.trailing.begin(), state.trailing.end());
+  last_finite_ = state.last_finite;
+  seen_finite_ = state.seen_finite;
+  triggered_this_run_ = state.triggered_this_run;
+  latencies_ = state.latencies;
+  stats_ = state.stats;
+}
+
 std::optional<AnomalyTrigger> OnlineAnomalyDetector::Observe(
     int64_t sec, double active_session) {
   ++stats_.samples;

@@ -60,6 +60,21 @@ struct OnlineDetectorStats {
   size_t pettitt_rejections = 0;
 };
 
+/// Serializable mirror of an OnlineAnomalyDetector's mutable state, for
+/// the durable service's checkpoints (see online/service_state.h).
+struct OnlineDetectorState {
+  /// The screen is lazily constructed on the first observed sample; false
+  /// means it has not been yet.
+  bool screen_initialized = false;
+  anomaly::StreamingDetectorSnapshot screen;
+  std::vector<double> trailing;
+  double last_finite = 0.0;
+  bool seen_finite = false;
+  bool triggered_this_run = false;
+  std::vector<int64_t> latencies;
+  OnlineDetectorStats stats;
+};
+
 /// Streaming active-session anomaly detector: a cheap per-sample robust
 /// z-score screen (StreamingFeatureDetector) confirmed by the existing
 /// Pettitt change-point test over a trailing buffer. Fires at most one
@@ -88,6 +103,11 @@ class OnlineAnomalyDetector {
 
   /// True while the screen currently has a flagged run open.
   bool in_run() const;
+
+  /// Checkpoint support: a detector restored from an exported state
+  /// observes the rest of the stream bit-identically.
+  OnlineDetectorState ExportState() const;
+  void ImportState(const OnlineDetectorState& state);
 
  private:
   OnlineDetectorOptions options_;

@@ -24,6 +24,19 @@ bool TriggerDeduper::Accept(const AnomalyTrigger& trigger) {
   return true;
 }
 
+std::vector<std::pair<uint32_t, int64_t>> TriggerDeduper::ExportActivity()
+    const {
+  return {last_activity_.begin(), last_activity_.end()};
+}
+
+void TriggerDeduper::ImportActivity(
+    const std::vector<std::pair<uint32_t, int64_t>>& pairs) {
+  last_activity_.clear();
+  for (const auto& [instance_id, sec] : pairs) {
+    last_activity_[instance_id] = sec;
+  }
+}
+
 void TriggerDeduper::NoteActivity(uint32_t instance_id, int64_t sec) {
   // Extends an existing incident's horizon only. Screen activity before
   // any trigger fired must not anchor the cooldown — it would suppress the
@@ -208,6 +221,34 @@ DiagnosisOutcome RunWindowedDiagnosis(const WindowedDiagnosisContext& ctx,
   outcome.ok = true;
   PINSQL_OBS_COUNT("online.diagnoses", 1);
   return outcome;
+}
+
+SchedulerState DiagnosisScheduler::ExportState() const {
+  SchedulerState state;
+  state.pending.reserve(pending_.size());
+  for (const Pending& pending : pending_) {
+    SchedulerPendingState p;
+    p.trigger = pending.trigger;
+    p.due_sec = pending.due_sec;
+    state.pending.push_back(p);
+  }
+  state.dedup_activity = deduper_.ExportActivity();
+  state.stats = stats_;
+  state.outcomes = outcomes_;
+  return state;
+}
+
+void DiagnosisScheduler::ImportState(const SchedulerState& state) {
+  pending_.clear();
+  for (const SchedulerPendingState& p : state.pending) {
+    Pending pending;
+    pending.trigger = p.trigger;
+    pending.due_sec = p.due_sec;
+    pending_.push_back(pending);
+  }
+  deduper_.ImportActivity(state.dedup_activity);
+  stats_ = state.stats;
+  outcomes_ = state.outcomes;
 }
 
 DiagnosisOutcome DiagnosisScheduler::RunDiagnosis(const Pending& pending) {

@@ -67,6 +67,23 @@ struct SchedulerStats {
   size_t repairs_rejected = 0;
 };
 
+/// Serializable mirror of a DiagnosisScheduler's mutable state, for the
+/// durable service's checkpoints (see online/service_state.h). Pending
+/// diagnoses survive a restart with their planned windows intact — the
+/// open-diagnosis-window retention floor is therefore restored too.
+struct SchedulerPendingState {
+  AnomalyTrigger trigger;
+  int64_t due_sec = 0;
+};
+
+struct SchedulerState {
+  std::vector<SchedulerPendingState> pending;
+  /// TriggerDeduper: instance id -> last anomalous activity second.
+  std::vector<std::pair<uint32_t, int64_t>> dedup_activity;
+  SchedulerStats stats;
+  std::vector<DiagnosisOutcome> outcomes;
+};
+
 /// Cooldown/hysteresis trigger deduplication, keyed by instance id: one
 /// instance's cooldown can never suppress another instance's confirming
 /// trigger. A trigger whose onset falls within `cooldown_sec` of *its own
@@ -85,6 +102,11 @@ class TriggerDeduper {
   /// Extends an existing incident's horizon (no-op before the instance's
   /// first accepted trigger).
   void NoteActivity(uint32_t instance_id, int64_t sec);
+
+  /// Checkpoint support: the activity map as (instance id, last activity
+  /// second) pairs in id order.
+  std::vector<std::pair<uint32_t, int64_t>> ExportActivity() const;
+  void ImportActivity(const std::vector<std::pair<uint32_t, int64_t>>& pairs);
 
  private:
   int64_t cooldown_sec_;
@@ -175,6 +197,11 @@ class DiagnosisScheduler {
   size_t pending() const { return pending_.size(); }
   const std::vector<DiagnosisOutcome>& outcomes() const { return outcomes_; }
   const SchedulerStats& stats() const { return stats_; }
+
+  /// Checkpoint support: a scheduler restored from an exported state polls,
+  /// suppresses and diagnoses bit-identically to the one it came from.
+  SchedulerState ExportState() const;
+  void ImportState(const SchedulerState& state);
 
  private:
   struct Pending {

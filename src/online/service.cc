@@ -135,6 +135,47 @@ void OnlineService::ProcessSecond(int64_t sec,
   PINSQL_OBS_COUNT("online.seconds_processed", 1);
 }
 
+ServiceState OnlineService::ExportState() const {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  ServiceState state;
+  state.ingestor = ingestor_.ExportState();
+  state.detector = detector_.ExportState();
+  state.scheduler = scheduler_.ExportState();
+  state.processed_any = processed_any_;
+  state.last_processed_sec = last_processed_sec_;
+  state.retention_sweeps = retention_sweeps_;
+  state.records_retired = records_retired_;
+  state.seconds_processed = seconds_processed_;
+  state.archive_records = archive_.SortedRecords();
+  state.catalog.assign(archive_.catalog().begin(), archive_.catalog().end());
+  std::sort(state.catalog.begin(), state.catalog.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return state;
+}
+
+Status OnlineService::ImportState(const ServiceState& state) {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  if (running_) {
+    return Status::FailedPrecondition(
+        "ImportState requires a stopped service");
+  }
+  if (Status status = ingestor_.ImportState(state.ingestor); !status.ok()) {
+    return status;
+  }
+  detector_.ImportState(state.detector);
+  scheduler_.ImportState(state.scheduler);
+  processed_any_ = state.processed_any;
+  last_processed_sec_ = state.last_processed_sec;
+  retention_sweeps_ = state.retention_sweeps;
+  records_retired_ = state.records_retired;
+  seconds_processed_ = state.seconds_processed;
+  archive_.ReplaceRecords(state.archive_records);
+  for (const auto& [sql_id, entry] : state.catalog) {
+    archive_.RegisterTemplate(sql_id, entry);
+  }
+  return Status::OK();
+}
+
 const std::vector<DiagnosisOutcome>& OnlineService::outcomes() const {
   return scheduler_.outcomes();
 }

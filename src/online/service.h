@@ -12,8 +12,10 @@
 #include "logstore/log_store.h"
 #include "online/online_detector.h"
 #include "online/scheduler.h"
+#include "online/service_state.h"
 #include "online/stream_ingestor.h"
 #include "repair/supervisor.h"
+#include "util/status.h"
 
 namespace pinsql::online {
 
@@ -93,6 +95,17 @@ class OnlineService {
   const StreamIngestor& ingestor() const { return ingestor_; }
 
   ServiceStats stats() const;
+
+  /// Captures the complete mutable state (components, counters, archive,
+  /// catalog) as one consistent cut under the advance mutex. A service
+  /// restored from it continues the stream bit-identically. Safe while
+  /// producers race; call between Advance() ticks.
+  ServiceState ExportState() const;
+
+  /// Restores an exported state. The service must be stopped and shaped
+  /// identically (same ingestor shard count / window) to the exporter;
+  /// FailedPrecondition / InvalidArgument otherwise.
+  Status ImportState(const ServiceState& state);
 
  private:
   void ProcessSecond(int64_t sec, std::vector<DiagnosisOutcome>* completed);

@@ -1,0 +1,43 @@
+#ifndef PINSQL_ONLINE_SERVICE_STATE_H_
+#define PINSQL_ONLINE_SERVICE_STATE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "logstore/log_store.h"
+#include "online/online_detector.h"
+#include "online/scheduler.h"
+#include "online/stream_ingestor.h"
+
+namespace pinsql::online {
+
+/// Complete serializable state of an OnlineService, captured by
+/// OnlineService::ExportState() and restored by ImportState(): a restored
+/// service continues the stream bit-identically to one that never stopped.
+/// The component states (IngestorState, OnlineDetectorState,
+/// SchedulerState) are declared next to their owners; this header only
+/// assembles them. The durable store checkpoints this struct (see
+/// store/checkpoint.h and DESIGN.md §11).
+struct ServiceState {
+  IngestorState ingestor;
+  OnlineDetectorState detector;
+  SchedulerState scheduler;
+
+  bool processed_any = false;
+  int64_t last_processed_sec = 0;
+  int64_t retention_sweeps = 0;
+  uint64_t records_retired = 0;
+  int64_t seconds_processed = 0;
+
+  /// Archive contents in arrival order (ties keep insertion order, which
+  /// LogStore's stable sort preserves — required for bit-identical window
+  /// snapshots after a restore).
+  std::vector<QueryLogRecord> archive_records;
+  /// Catalog sorted by sql_id so exported state is deterministic.
+  std::vector<std::pair<uint64_t, TemplateCatalogEntry>> catalog;
+};
+
+}  // namespace pinsql::online
+
+#endif  // PINSQL_ONLINE_SERVICE_STATE_H_

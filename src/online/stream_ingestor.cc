@@ -99,7 +99,12 @@ void StreamIngestor::FoldRecord(Shard* shard, const QueryLogRecord& record,
 }
 
 size_t StreamIngestor::Pump() {
-  size_t folded = 0;
+  // Everything one pump folds is archived in ONE AppendBatch, concatenated
+  // in shard-index order (the same order the per-shard folds ran). A
+  // concurrent LogStore::SnapshotRange therefore observes a pump
+  // atomically — all of its records or none — which is also the granularity
+  // the durable WAL journals (frame == batch).
+  std::vector<QueryLogRecord> pumped;
   const int64_t mark = watermark_.load(std::memory_order_relaxed);
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
@@ -119,9 +124,14 @@ size_t StreamIngestor::Pump() {
         FoldRecord(&shard, record, mark);
       }
     }
-    if (archive_ != nullptr) archive_->AppendBatch(staged);
-    folded += staged.size();
+    if (pumped.empty()) {
+      pumped = std::move(staged);
+    } else {
+      pumped.insert(pumped.end(), staged.begin(), staged.end());
+    }
   }
+  if (archive_ != nullptr && !pumped.empty()) archive_->AppendBatch(pumped);
+  const size_t folded = pumped.size();
   PINSQL_OBS_COUNT("online.ingest_pumped", folded);
   return folded;
 }
@@ -197,6 +207,107 @@ std::optional<int64_t> StreamIngestor::window_floor_sec() const {
   const auto mark = watermark_sec();
   if (!mark.has_value()) return std::nullopt;
   return *mark - options_.window_sec + 1;
+}
+
+IngestorState StreamIngestor::ExportState() const {
+  // Same consistent-cut locking discipline as stats(): every fold_mu, then
+  // every queue_mu, then the metrics mutex.
+  std::vector<std::unique_lock<std::mutex>> fold_locks;
+  fold_locks.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    fold_locks.emplace_back(shard_ptr->fold_mu);
+  }
+  std::vector<std::unique_lock<std::mutex>> queue_locks;
+  queue_locks.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    queue_locks.emplace_back(shard_ptr->queue_mu);
+  }
+  IngestorState state;
+  state.shards.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    IngestorShardState shard_state;
+    shard_state.queue = shard.queue;
+    shard_state.enqueued = shard.enqueued;
+    shard_state.dropped_backpressure = shard.dropped_backpressure;
+    shard_state.folded = shard.folded;
+    shard_state.dropped_late = shard.dropped_late;
+    for (const Bucket& bucket : shard.ring) {
+      if (bucket.sec < 0) continue;
+      IngestorBucketState bucket_state;
+      bucket_state.sec = bucket.sec;
+      bucket_state.cells.reserve(bucket.cells.size());
+      for (const auto& [sql_id, cell] : bucket.cells) {
+        bucket_state.cells.push_back(
+            {sql_id, cell.count, cell.total_response_ms, cell.examined_rows});
+      }
+      shard_state.buckets.push_back(std::move(bucket_state));
+    }
+    state.shards.push_back(std::move(shard_state));
+  }
+  queue_locks.clear();
+  fold_locks.clear();
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  for (const MetricBucket& bucket : metric_ring_) {
+    if (bucket.sec < 0) continue;
+    state.metric_buckets.push_back({bucket.sec, bucket.sample});
+  }
+  state.metric_samples = metric_samples_;
+  state.metric_samples_dropped = metric_samples_dropped_;
+  state.watermark = watermark_.load(std::memory_order_relaxed);
+  return state;
+}
+
+Status StreamIngestor::ImportState(const IngestorState& state) {
+  if (state.shards.size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "ingestor state has " + std::to_string(state.shards.size()) +
+        " shards, ingestor has " + std::to_string(shards_.size()));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    const IngestorShardState& shard_state = state.shards[i];
+    shard.queue = shard_state.queue;
+    shard.enqueued = static_cast<size_t>(shard_state.enqueued);
+    shard.dropped_backpressure =
+        static_cast<size_t>(shard_state.dropped_backpressure);
+    shard.folded = static_cast<size_t>(shard_state.folded);
+    shard.dropped_late = static_cast<size_t>(shard_state.dropped_late);
+    for (Bucket& bucket : shard.ring) {
+      bucket.sec = -1;
+      bucket.cells.clear();
+    }
+    for (const IngestorBucketState& bucket_state : shard_state.buckets) {
+      if (bucket_state.sec < 0) {
+        return Status::InvalidArgument("ingestor bucket with negative sec");
+      }
+      Bucket& bucket = shard.ring[static_cast<size_t>(
+          bucket_state.sec % options_.window_sec)];
+      bucket.sec = bucket_state.sec;
+      bucket.cells.clear();
+      bucket.cells.reserve(bucket_state.cells.size());
+      for (const IngestorCellState& cell : bucket_state.cells) {
+        bucket.cells.emplace_back(
+            cell.sql_id,
+            Cell{cell.count, cell.total_response_ms, cell.examined_rows});
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  for (MetricBucket& bucket : metric_ring_) bucket.sec = -1;
+  for (const IngestorMetricBucketState& bucket_state : state.metric_buckets) {
+    if (bucket_state.sec < 0) {
+      return Status::InvalidArgument("metric bucket with negative sec");
+    }
+    MetricBucket& bucket = metric_ring_[static_cast<size_t>(
+        bucket_state.sec % options_.window_sec)];
+    bucket.sec = bucket_state.sec;
+    bucket.sample = bucket_state.sample;
+  }
+  metric_samples_ = static_cast<size_t>(state.metric_samples);
+  metric_samples_dropped_ = static_cast<size_t>(state.metric_samples_dropped);
+  watermark_.store(state.watermark, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 IngestStats StreamIngestor::stats() const {

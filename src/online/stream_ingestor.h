@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "logstore/log_store.h"
 #include "pipeline/template_metrics.h"
 #include "ts/time_series.h"
+#include "util/status.h"
 
 namespace pinsql::online {
 
@@ -70,6 +72,47 @@ struct IngestStats {
 struct WindowMetrics {
   TimeSeries active_session;
   std::map<std::string, TimeSeries> helpers;  // cpu/iops/lock-wait nodes
+};
+
+/// Serializable mirror of a StreamIngestor's full mutable state, for the
+/// durable service's checkpoints (see online/service_state.h). A restored
+/// ingestor folds, snapshots and drops bit-identically to the one the
+/// state was exported from.
+struct IngestorCellState {
+  uint64_t sql_id = 0;
+  double count = 0.0;
+  double total_response_ms = 0.0;
+  double examined_rows = 0.0;
+};
+
+struct IngestorBucketState {
+  int64_t sec = -1;
+  std::vector<IngestorCellState> cells;
+};
+
+struct IngestorShardState {
+  /// Staged records accepted but not yet folded by a Pump().
+  std::vector<QueryLogRecord> queue;
+  uint64_t enqueued = 0;
+  uint64_t dropped_backpressure = 0;
+  uint64_t folded = 0;
+  uint64_t dropped_late = 0;
+  /// Occupied ring buckets only (sec >= 0), in ring-index order.
+  std::vector<IngestorBucketState> buckets;
+};
+
+struct IngestorMetricBucketState {
+  int64_t sec = -1;
+  PerfSample sample;
+};
+
+struct IngestorState {
+  std::vector<IngestorShardState> shards;
+  std::vector<IngestorMetricBucketState> metric_buckets;
+  uint64_t metric_samples = 0;
+  uint64_t metric_samples_dropped = 0;
+  /// INT64_MIN = no sample seen yet.
+  int64_t watermark = std::numeric_limits<int64_t>::min();
 };
 
 /// Thread-safe streaming ingestion of query-log records and per-second
@@ -133,6 +176,16 @@ class StreamIngestor {
   std::optional<int64_t> window_floor_sec() const;
 
   IngestStats stats() const;
+
+  /// Captures the full mutable state (rings, staged queues, counters,
+  /// watermark) as one consistent cut — safe while producers race.
+  IngestorState ExportState() const;
+
+  /// Restores an exported state. The ingestor must be shaped identically
+  /// (same shard count and window) to the one the state came from;
+  /// InvalidArgument otherwise. Not thread-safe: call before producers
+  /// start.
+  Status ImportState(const IngestorState& state);
 
  private:
   struct Cell {

@@ -1,0 +1,74 @@
+#ifndef PINSQL_STORE_CHECKPOINT_H_
+#define PINSQL_STORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "online/service_state.h"
+#include "repair/events.h"
+#include "store/env.h"
+#include "store/wal.h"
+#include "util/status.h"
+
+namespace pinsql::store {
+
+/// Everything one checkpoint captures: the WAL position it is consistent
+/// with (recovery replays only frames after it), the complete online
+/// service state, and the supervised-repair audit trail. The invariant the
+/// durable service maintains is that every record/sample/event folded into
+/// `service` was journaled at or before `lsn` — so checkpoint + WAL suffix
+/// always reconstructs the exact pre-crash state, and an older (fallback)
+/// checkpoint merely replays a longer suffix.
+struct CheckpointData {
+  WalPosition lsn;
+  online::ServiceState service;
+  std::vector<repair::RepairEvent> audit;
+};
+
+/// A successfully loaded checkpoint.
+struct LoadedCheckpoint {
+  uint64_t counter = 0;
+  CheckpointData data;
+  /// Newer checkpoint files that failed validation and were skipped on the
+  /// way to this one (each counted, never silently trusted).
+  size_t corrupt_skipped = 0;
+};
+
+/// Checkpoint file name for a counter ("ckpt-000042.ckpt"). Counters are
+/// monotonic per data dir; the newest valid file wins on recovery.
+std::string CheckpointFileName(uint64_t counter);
+
+/// Serializes `data` (exposed for tests; the file adds magic/version/CRC
+/// around this body).
+std::string EncodeCheckpointBody(const CheckpointData& data);
+StatusOr<CheckpointData> DecodeCheckpointBody(std::string_view body);
+
+/// Atomically publishes a checkpoint: encode, write to a temp file, fsync,
+/// rename into place, fsync the directory. A crash at any point leaves
+/// either the complete new file or no trace of it — never a torn
+/// checkpoint under its final name.
+Status WriteCheckpoint(Env* env, const std::string& dir, uint64_t counter,
+                       const CheckpointData& data);
+
+/// Loads the newest checkpoint that validates (magic, version, whole-file
+/// CRC, full decode), skipping and counting corrupt newer ones. NotFound
+/// when the directory holds no valid checkpoint.
+StatusOr<LoadedCheckpoint> LoadLatestCheckpoint(Env* env,
+                                                const std::string& dir);
+
+/// Deletes checkpoint files other than the `keep` newest (by counter).
+/// Returns the number deleted. Stray temp files from interrupted writes
+/// are removed too.
+size_t PruneCheckpoints(Env* env, const std::string& dir, size_t keep);
+
+/// Deletes every checkpoint file except the one named by `keep_counter`
+/// (recovery housekeeping: once a checkpoint validated and loaded, corrupt
+/// newer siblings must not outlive it — counter-based pruning would keep
+/// them). Returns the number deleted.
+size_t DeleteOtherCheckpoints(Env* env, const std::string& dir,
+                              uint64_t keep_counter);
+
+}  // namespace pinsql::store
+
+#endif  // PINSQL_STORE_CHECKPOINT_H_

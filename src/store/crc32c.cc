@@ -1,0 +1,65 @@
+#include "store/crc32c.h"
+
+#include <array>
+
+namespace pinsql::store {
+
+namespace {
+
+// Slicing-by-4 tables for the reflected Castagnoli polynomial, built once
+// at first use. Byte-at-a-time would also be correct; four tables keep the
+// per-batch checksum cost well below the write syscall it guards.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+uint32_t Update(uint32_t crc, const uint8_t* p, size_t n) {
+  const auto& t = tables().t;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return crc;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Update(0xFFFFFFFFu, static_cast<const uint8_t*>(data), n) ^
+         0xFFFFFFFFu;
+}
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  return Update(crc ^ 0xFFFFFFFFu, static_cast<const uint8_t*>(data), n) ^
+         0xFFFFFFFFu;
+}
+
+}  // namespace pinsql::store

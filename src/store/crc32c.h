@@ -1,0 +1,25 @@
+#ifndef PINSQL_STORE_CRC32C_H_
+#define PINSQL_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pinsql::store {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78), the checksum the
+/// WAL and checkpoint files use for every frame and header. Standard
+/// init/final-xor convention: Crc32c("123456789") == 0xE3069283.
+uint32_t Crc32c(const void* data, size_t n);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(data.data(), data.size());
+}
+
+/// Extends a running CRC with more bytes: Extend(Crc32c(a), b) ==
+/// Crc32c(a+b).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace pinsql::store
+
+#endif  // PINSQL_STORE_CRC32C_H_

@@ -1,0 +1,271 @@
+#include "store/durable_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace pinsql::store {
+
+DurableOnlineService::DurableOnlineService(const DurableServiceOptions& options,
+                                           std::string data_dir, Env* env)
+    : options_(options), data_dir_(std::move(data_dir)), env_(env) {
+  // The byte-identical recovery contract fixes the fold/process
+  // interleaving to what the WAL records; a background pump thread would
+  // fold records at wall-clock-dependent instants.
+  options_.service.background_pump = false;
+}
+
+DurableOnlineService::~DurableOnlineService() { Stop(); }
+
+StatusOr<std::unique_ptr<DurableOnlineService>> DurableOnlineService::Open(
+    const DurableServiceOptions& options, const std::string& data_dir,
+    Env* env, repair::RepairSupervisor* supervisor,
+    const core::HistoryProvider* history) {
+  if (env == nullptr) env = PosixEnv();
+  std::unique_ptr<DurableOnlineService> service(
+      new DurableOnlineService(options, data_dir, env));
+  if (Status status = env->CreateDirs(data_dir); !status.ok()) return status;
+  if (Status status = service->Recover(supervisor, history); !status.ok()) {
+    return status;
+  }
+  return service;
+}
+
+Status DurableOnlineService::Recover(repair::RepairSupervisor* supervisor,
+                                     const core::HistoryProvider* history) {
+  const auto t0 = std::chrono::steady_clock::now();
+  supervisor_ = supervisor;
+  service_ = std::make_unique<online::OnlineService>(options_.service,
+                                                     supervisor, history);
+
+  WalPosition start;
+  auto loaded = LoadLatestCheckpoint(env_, data_dir_);
+  if (loaded.ok()) {
+    if (Status status = service_->ImportState(loaded->data.service);
+        !status.ok()) {
+      return status;
+    }
+    audit_ = std::move(loaded->data.audit);
+    start = loaded->data.lsn;
+    checkpoint_counter_ = loaded->counter;
+    checkpoint_lsns_.push_back(start);
+    recovery_.checkpoint_loaded = true;
+    recovery_.checkpoint_counter = loaded->counter;
+    recovery_.checkpoints_corrupt_skipped = loaded->corrupt_skipped;
+    // A corrupt newer sibling must not win a future recovery over the
+    // checkpoint that actually validated.
+    DeleteOtherCheckpoints(env_, data_dir_, loaded->counter);
+  } else if (loaded.status().code() == StatusCode::kNotFound) {
+    // No usable checkpoint (fresh dir, or every file corrupt): full WAL
+    // replay. Whatever unusable files exist are swept.
+    recovery_.checkpoints_corrupt_skipped =
+        PruneCheckpoints(env_, data_dir_, 0);
+  } else {
+    return loaded.status();
+  }
+
+  service_->Start();
+
+  // Replay the WAL suffix through the normal ingest path, one Advance per
+  // sample frame — exactly the live processing discipline.
+  Status replay_status = ScanWal(
+      env_, data_dir_, options_.wal, start,
+      [this](const WalFrame& frame) {
+        switch (frame.kind) {
+          case FrameKind::kRecordBatch:
+            for (const QueryLogRecord& record : frame.records) {
+              service_->IngestRecord(record);
+            }
+            break;
+          case FrameKind::kSample:
+            service_->IngestMetrics(frame.sample);
+            service_->Advance();
+            break;
+          case FrameKind::kTemplate:
+            service_->archive()->RegisterTemplate(frame.template_id,
+                                                  frame.template_entry);
+            break;
+          case FrameKind::kRepairEvent:
+            audit_.push_back(frame.event);
+            break;
+        }
+      },
+      &recovery_.wal);
+  if (!replay_status.ok()) return replay_status;
+
+  const uint64_t first_seq =
+      std::max(recovery_.wal.last_seq, start.segment_seq) + 1;
+  auto writer = WalWriter::Open(env_, data_dir_, options_.wal, first_seq);
+  if (!writer.ok()) return writer.status();
+  writer_ = std::move(writer).value();
+  writer_->AdoptSealed(recovery_.wal.segments);
+
+  if (auto mark = service_->ingestor().watermark_sec(); mark.has_value()) {
+    last_checkpoint_sec_ = *mark;
+    cadence_anchored_ = true;
+  }
+  // Events the replayed diagnoses pushed into a fresh supervisor are
+  // already in the audit trail via their WAL frames; don't journal them
+  // twice.
+  supervisor_events_seen_ =
+      supervisor_ != nullptr ? supervisor_->events().size() : 0;
+
+  recovery_.recovery_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  PINSQL_OBS_GAUGE_SET("store.recovery_ms", recovery_.recovery_ms);
+  PINSQL_OBS_COUNT("store.frames_corrupt_detected",
+                   static_cast<uint64_t>(recovery_.wal.frames_corrupt +
+                                         recovery_.wal.frames_malformed +
+                                         recovery_.wal.frames_time_rejected));
+  return Status::OK();
+}
+
+void DurableOnlineService::RegisterTemplate(uint64_t sql_id,
+                                            const TemplateCatalogEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  service_->archive()->RegisterTemplate(sql_id, entry);
+  if (!stopped_) writer_->AppendTemplate(sql_id, entry);
+}
+
+bool DurableOnlineService::IngestRecord(const QueryLogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return false;
+  // Inner ingest first: only *accepted* records reach the journal, so a
+  // replay never re-litigates a backpressure drop.
+  if (!service_->IngestRecord(record)) return false;
+  pending_.push_back(record);
+  return true;
+}
+
+std::vector<online::DiagnosisOutcome> DurableOnlineService::IngestMetrics(
+    const online::PerfSample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return {};
+  if (!service_->IngestMetrics(sample)) return {};
+  FlushPendingLocked();
+  writer_->AppendSample(sample);
+  std::vector<online::DiagnosisOutcome> completed = service_->Advance();
+  JournalNewRepairEventsLocked();
+  if (!cadence_anchored_) {
+    last_checkpoint_sec_ = sample.sec;
+    cadence_anchored_ = true;
+  } else if (options_.checkpoint_every_sec > 0 &&
+             sample.sec - last_checkpoint_sec_ >=
+                 options_.checkpoint_every_sec) {
+    CheckpointLocked();
+  }
+  return completed;
+}
+
+Status DurableOnlineService::FlushPendingLocked() {
+  if (pending_.empty()) return Status::OK();
+  Status status = writer_->AppendRecordBatch(pending_);
+  // The batch is cleared even on a degraded append (fsync failure or a
+  // retried torn write): re-journaling would duplicate records on replay.
+  // Hard losses are counted in the writer stats, never silent.
+  pending_.clear();
+  return status;
+}
+
+void DurableOnlineService::JournalNewRepairEventsLocked() {
+  if (supervisor_ == nullptr) return;
+  const auto& events = supervisor_->events();
+  for (size_t i = supervisor_events_seen_; i < events.size(); ++i) {
+    writer_->AppendRepairEvent(events[i]);
+    audit_.push_back(events[i]);
+  }
+  supervisor_events_seen_ = events.size();
+}
+
+Status DurableOnlineService::CheckpointLocked() {
+  if (Status status = FlushPendingLocked(); !status.ok()) return status;
+
+  CheckpointData data;
+  data.lsn = writer_->position();
+  data.service = service_->ExportState();
+  data.audit = audit_;
+  ++checkpoint_counter_;
+  if (Status status =
+          WriteCheckpoint(env_, data_dir_, checkpoint_counter_, data);
+      !status.ok()) {
+    return status;
+  }
+  ++checkpoints_written_;
+  checkpoint_lsns_.push_back(data.lsn);
+  while (checkpoint_lsns_.size() > options_.checkpoints_to_keep) {
+    checkpoint_lsns_.pop_front();
+  }
+  PruneCheckpoints(env_, data_dir_, options_.checkpoints_to_keep);
+
+  // Retire WAL segments that retention no longer needs *and* the oldest
+  // retained checkpoint already covers — a fallback recovery must always
+  // find its full replay suffix on disk.
+  if (auto mark = service_->ingestor().watermark_sec(); mark.has_value()) {
+    int64_t cutoff_ms = *mark * 1000 - options_.service.retention_ms;
+    if (auto floor = service_->ingestor().window_floor_sec();
+        floor.has_value()) {
+      cutoff_ms = std::min(cutoff_ms, *floor * 1000);
+    }
+    if (auto floor = service_->scheduler().open_window_floor_ms();
+        floor.has_value()) {
+      cutoff_ms = std::min(cutoff_ms, *floor);
+    }
+    segments_deleted_ += writer_->DeleteSealedSegments(
+        cutoff_ms, checkpoint_lsns_.front(), env_);
+    last_checkpoint_sec_ = *mark;
+    cadence_anchored_ = true;
+  }
+  return Status::OK();
+}
+
+Status DurableOnlineService::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    return Status::FailedPrecondition("service is stopped");
+  }
+  return CheckpointLocked();
+}
+
+Status DurableOnlineService::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return Status::OK();
+  service_->Stop();
+  JournalNewRepairEventsLocked();
+  Status checkpoint_status = CheckpointLocked();
+  Status close_status = writer_->Close();
+  stopped_ = true;
+  if (!checkpoint_status.ok()) return checkpoint_status;
+  return close_status;
+}
+
+DurableStats DurableOnlineService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DurableStats stats;
+  stats.service = service_->stats();
+  stats.wal = writer_->stats();
+  stats.checkpoints_written = checkpoints_written_;
+  stats.segments_deleted = segments_deleted_;
+  stats.pending_journal_records = pending_.size();
+  return stats;
+}
+
+std::string DurableOnlineService::Fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out += "latencies:";
+  for (int64_t latency : service_->detector().latencies_sec()) {
+    out += std::to_string(latency);
+    out += ',';
+  }
+  out += '\n';
+  for (const online::DiagnosisOutcome& outcome : service_->outcomes()) {
+    online::AppendOutcomeFingerprint(outcome, &out);
+  }
+  return out;
+}
+
+}  // namespace pinsql::store

@@ -1,0 +1,63 @@
+#ifndef PINSQL_STORE_ENV_H_
+#define PINSQL_STORE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pinsql::store {
+
+/// Append-only file handle. Writes go through the OS page cache; Sync()
+/// is the durability barrier (fsync). Destruction closes without syncing.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Filesystem abstraction the storage engine writes and recovers through
+/// (RocksDB-style). Production uses PosixEnv; faults::StorageFaultInjector
+/// wraps any Env to inject torn writes, bit flips, short reads and fsync
+/// failures underneath an unmodified engine.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole file into `out`. A short read (fewer bytes than the
+  /// file claims) is an error from PosixEnv but injectable for tests.
+  virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& dir) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// fsyncs the directory entry itself, making renames/creates durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX filesystem.
+Env* PosixEnv();
+
+}  // namespace pinsql::store
+
+#endif  // PINSQL_STORE_ENV_H_

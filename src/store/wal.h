@@ -1,0 +1,249 @@
+#ifndef PINSQL_STORE_WAL_H_
+#define PINSQL_STORE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logstore/log_store.h"
+#include "online/stream_ingestor.h"
+#include "repair/events.h"
+#include "store/env.h"
+#include "util/status.h"
+
+namespace pinsql::store {
+
+/// When the writer fsyncs (see DESIGN.md §11 for the durability matrix).
+enum class FsyncPolicy {
+  /// fsync after every appended frame batch: a true-returning ingest is
+  /// durable against kill -9 *and* power loss.
+  kEveryBatch,
+  /// fsync every fsync_interval_frames frames: bounded loss on power
+  /// failure, no loss on plain process death (the page cache survives).
+  kInterval,
+  /// Never fsync from the writer (close/rotation still flushes the OS
+  /// buffer): durable against process death only.
+  kNever,
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct WalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEveryBatch;
+  /// Frames between fsyncs under FsyncPolicy::kInterval.
+  size_t fsync_interval_frames = 64;
+  /// A segment is sealed and rotated once it reaches this size.
+  uint64_t segment_bytes = 8ull << 20;
+  /// Sanity ceiling for one frame; larger length prefixes are corruption.
+  uint32_t max_frame_bytes = 64u << 20;
+  /// Event-time validation on recovery: within one segment, a frame's
+  /// second may precede the segment's first event (or the previous frame)
+  /// by at most this grace, and may not exceed the first event by more
+  /// than max_segment_span_sec. A CRC-valid frame outside the range is
+  /// rejected and counted — a bit pattern that happens to checksum is not
+  /// enough to be believed.
+  int64_t time_grace_sec = 3600;
+  int64_t max_segment_span_sec = 4 * 24 * 3600;
+};
+
+enum class FrameKind : uint8_t {
+  kRecordBatch = 1,  // one atomically-journaled QueryLogRecord batch
+  kSample = 2,       // one per-second PerfSample (advances the clock)
+  kTemplate = 3,     // one template catalog registration
+  kRepairEvent = 4,  // one supervised-repair audit event
+};
+
+/// One decoded WAL frame (tagged by `kind`; only the matching member is
+/// meaningful).
+struct WalFrame {
+  FrameKind kind = FrameKind::kRecordBatch;
+  std::vector<QueryLogRecord> records;
+  online::PerfSample sample;
+  uint64_t template_id = 0;
+  TemplateCatalogEntry template_entry;
+  repair::RepairEvent event;
+};
+
+/// A position in the WAL: (segment sequence number, byte offset within the
+/// segment). Checkpoints record the writer position as their LSN; recovery
+/// replays only frames at or after it.
+struct WalPosition {
+  uint64_t segment_seq = 0;
+  uint64_t offset = 0;
+
+  bool operator==(const WalPosition& other) const {
+    return segment_seq == other.segment_seq && offset == other.offset;
+  }
+  bool operator<(const WalPosition& other) const {
+    if (segment_seq != other.segment_seq) {
+      return segment_seq < other.segment_seq;
+    }
+    return offset < other.offset;
+  }
+};
+
+/// Encodes the payload of one frame (kind byte + body). Exposed so tests
+/// can hand-craft frames (e.g. a CRC-valid frame with an out-of-range
+/// timestamp) without going through a writer.
+std::string EncodeFramePayload(const WalFrame& frame);
+
+/// Wraps an encoded payload with the on-disk frame header
+/// [u32 len][u32 crc32c(payload)].
+std::string WrapFrame(std::string payload);
+
+/// Decodes one frame payload; ParseError on unknown kind / malformed body.
+StatusOr<WalFrame> DecodeFramePayload(std::string_view payload);
+
+struct WalWriterStats {
+  uint64_t bytes_written = 0;
+  uint64_t frames_appended = 0;
+  uint64_t fsyncs = 0;
+  uint64_t fsync_failures = 0;
+  uint64_t segments_sealed = 0;
+  uint64_t append_failures = 0;
+};
+
+/// One sealed (rotated, no longer written) segment still on disk.
+struct SealedSegment {
+  uint64_t seq = 0;
+  std::string path;
+  /// Largest event time any frame in the segment carries. INT64_MAX when
+  /// the segment held only untimestamped frames (templates): such a
+  /// segment never ages out — template registrations are tiny and must
+  /// survive as long as any record referencing them might replay.
+  int64_t max_event_ms = 0;
+  /// Byte size, i.e. the end offset of its last frame.
+  uint64_t size = 0;
+};
+
+/// Append side of the segment WAL. Single-writer: callers serialize
+/// externally (the durable service holds its journal mutex across every
+/// append). Append errors from the Env seal the wounded segment and retry
+/// the frame once on a fresh one, so a torn write degrades into a
+/// recoverable torn segment tail instead of poisoning the stream.
+class WalWriter {
+ public:
+  /// Opens a new segment `wal-<first_seq>.log` in `dir` (which must
+  /// exist). Never appends to a pre-existing segment: recovery always
+  /// starts a fresh one after the highest sequence it scanned.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(Env* env, std::string dir,
+                                                   const WalOptions& options,
+                                                   uint64_t first_seq);
+
+  Status AppendRecordBatch(const std::vector<QueryLogRecord>& records);
+  Status AppendSample(const online::PerfSample& sample);
+  Status AppendTemplate(uint64_t sql_id, const TemplateCatalogEntry& entry);
+  Status AppendRepairEvent(const repair::RepairEvent& event);
+
+  /// Forces an fsync regardless of policy (graceful drain / checkpoint
+  /// boundaries).
+  Status Sync();
+
+  /// End position of the last appended frame — the LSN a checkpoint taken
+  /// now records.
+  WalPosition position() const {
+    return WalPosition{current_seq_, current_offset_};
+  }
+
+  /// Deletes sealed segments whose every event is older than `cutoff_ms`
+  /// AND whose frames are all covered by `covered_lsn` (the oldest retained
+  /// checkpoint's LSN, so any fallback checkpoint can still replay).
+  /// Returns the number of segments deleted.
+  size_t DeleteSealedSegments(int64_t cutoff_ms, const WalPosition& covered_lsn,
+                              Env* env);
+
+  /// Adopts prior-incarnation segments (from a recovery scan) into the
+  /// sealed set, so retention keeps deleting segments written before the
+  /// last crash. Segments at or above this writer's first sequence are
+  /// ignored.
+  void AdoptSealed(const std::vector<SealedSegment>& segments);
+
+  const std::vector<SealedSegment>& sealed() const { return sealed_; }
+  const WalWriterStats& stats() const { return stats_; }
+
+  /// Flushes and closes the current segment (no further appends).
+  Status Close();
+
+ private:
+  WalWriter(Env* env, std::string dir, const WalOptions& options);
+
+  Status OpenSegment(uint64_t seq);
+  Status AppendFrame(const WalFrame& frame, int64_t max_event_ms);
+  Status AppendWrapped(const std::string& wrapped, int64_t max_event_ms);
+  Status MaybeSync();
+  void SealCurrent();
+
+  Env* env_;
+  std::string dir_;
+  WalOptions options_;
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t current_seq_ = 0;
+  uint64_t current_offset_ = 0;
+  int64_t current_max_event_ms_ = 0;
+  bool current_has_event_ = false;
+  size_t frames_since_sync_ = 0;
+
+  std::vector<SealedSegment> sealed_;
+  WalWriterStats stats_;
+};
+
+/// Accounting of one recovery scan. Every byte of every segment ends up in
+/// exactly one bucket: replayed, skipped (below the start LSN), truncated
+/// torn tail, or discarded after a hard corruption — bounded, counted data
+/// loss, never silent.
+struct WalScanStats {
+  size_t segments_scanned = 0;
+  size_t segments_duplicate_seq = 0;
+  size_t segments_invalid_header = 0;
+  size_t frames_valid = 0;
+  /// CRC mismatches / impossible lengths (includes torn tails).
+  size_t frames_corrupt = 0;
+  /// CRC-valid frames rejected for an out-of-range event time.
+  size_t frames_time_rejected = 0;
+  /// Frames that decoded but failed payload validation (unknown kind,
+  /// malformed body).
+  size_t frames_malformed = 0;
+  uint64_t torn_tail_bytes_truncated = 0;
+  /// Bytes abandoned after a mid-segment corruption or a sequence gap.
+  uint64_t bytes_discarded = 0;
+  /// The scan stopped before the physical end of the WAL (mid-segment
+  /// corruption, time rejection, or a sequence gap).
+  bool stopped_early = false;
+  bool seq_gap = false;
+  size_t records = 0;
+  size_t samples = 0;
+  size_t templates = 0;
+  size_t repair_events = 0;
+  /// Highest segment sequence present on disk (valid header), 0 if none.
+  uint64_t last_seq = 0;
+  /// Position one past the last frame the scan delivered.
+  WalPosition end;
+  /// Every scanned segment with its retention metadata, so a recovered
+  /// writer can adopt prior-incarnation segments into the sealed set and
+  /// retention keeps deleting them.
+  std::vector<SealedSegment> segments;
+};
+
+using WalFrameFn = std::function<void(const WalFrame&)>;
+
+/// Scans every segment in `dir` in sequence order, validating headers,
+/// frame CRCs and event-time ranges, and invokes `fn` for every valid
+/// frame at or after `start` (a checkpoint LSN; {0,0} replays everything).
+/// A partial or corrupt frame at the tail of a segment is truncated off
+/// (the kill -9 case and the torn-write case — the writer re-appends a
+/// torn frame to the next segment, so the stream stays contiguous); a
+/// corruption with valid bytes after it in the same segment aborts the
+/// scan with everything later counted as discarded.
+Status ScanWal(Env* env, const std::string& dir, const WalOptions& options,
+               const WalPosition& start, const WalFrameFn& fn,
+               WalScanStats* stats);
+
+/// Segment file name for a sequence number ("wal-00000000000000000042.log").
+std::string SegmentFileName(uint64_t seq);
+
+}  // namespace pinsql::store
+
+#endif  // PINSQL_STORE_WAL_H_

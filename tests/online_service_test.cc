@@ -379,6 +379,47 @@ TEST(SchedulerTest, RetentionNeverTrimsAnOpenDiagnosisWindow) {
   EXPECT_EQ(older.size(), 1u);
 }
 
+TEST(SchedulerTest, OpenWindowFloorSurvivesAStateRoundTrip) {
+  // Restart regression for the durable service: a pending diagnosis is
+  // checkpointed via ExportState and restored via ImportState in a fresh
+  // process. The restored scheduler must report the same retention floor,
+  // and TrimExpiredKeeping with that floor must keep every record the
+  // still-pending diagnosis will scan — exactly as before the restart.
+  IngestorOptions ingest_options;
+  StreamIngestor ingestor(ingest_options);
+  LogStore archive;
+  SchedulerOptions options;
+  DiagnosisScheduler scheduler(&ingestor, &archive, options);
+
+  const int64_t now_ms = LogStore::kRetentionMs + 500'000'000;
+  const int64_t edge_ms = now_ms - LogStore::kRetentionMs;
+  const int64_t onset_sec = edge_ms / 1000 + options.diagnoser.delta_s_sec;
+  ASSERT_TRUE(scheduler.OnTrigger(MakeTrigger(onset_sec, onset_sec + 3)));
+  const auto floor = scheduler.open_window_floor_ms();
+  ASSERT_TRUE(floor.has_value());
+
+  // "Restart": a brand-new scheduler over a recovered archive.
+  StreamIngestor recovered_ingestor(ingest_options);
+  LogStore recovered_archive;
+  recovered_archive.Append(Rec(edge_ms - 1, 2));     // expired by 1 ms
+  recovered_archive.Append(Rec(edge_ms, 3));         // window start: retained
+  recovered_archive.Append(Rec(edge_ms + 1000, 4));  // inside the window
+  DiagnosisScheduler restored(&recovered_ingestor, &recovered_archive,
+                              options);
+  restored.ImportState(scheduler.ExportState());
+  EXPECT_EQ(restored.pending(), 1u);
+  const auto restored_floor = restored.open_window_floor_ms();
+  ASSERT_TRUE(restored_floor.has_value());
+  EXPECT_EQ(*restored_floor, *floor);
+
+  EXPECT_EQ(recovered_archive.TrimExpiredKeeping(now_ms, *restored_floor),
+            1u);
+  const auto kept = recovered_archive.SnapshotRange(0, now_ms + 1);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].sql_id, 3u);
+  EXPECT_EQ(kept[1].sql_id, 4u);
+}
+
 // --- OnlineService lifecycle ---------------------------------------------
 
 TEST(OnlineServiceTest, GracefulDrainUnderRacingProducers) {

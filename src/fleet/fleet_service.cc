@@ -134,7 +134,12 @@ bool FleetService::IngestRecord(uint32_t instance_id,
   // journal replays in exactly the order the rings accepted.
   std::lock_guard<std::mutex> journal_lock(*instance.journal_mu);
   const bool accepted = instance.ingestor->IngestRecord(record);
-  if (accepted) instance.pending.push_back(record);
+  // Buffer for the journal only while a writer exists to drain it: an
+  // instance whose writer failed to open runs in-memory, and buffering
+  // without a flusher would grow `pending` without bound.
+  if (accepted && instance.writer != nullptr) {
+    instance.pending.push_back(record);
+  }
   return accepted;
 }
 
@@ -517,6 +522,10 @@ FleetStats FleetService::stats() const {
     stats.ingest.metric_samples += cut.metric_samples;
     stats.ingest.metric_samples_dropped += cut.metric_samples_dropped;
     stats.samples_observed += instance.detector->stats().samples;
+    if (instance.journal_mu != nullptr) {
+      std::lock_guard<std::mutex> journal_lock(*instance.journal_mu);
+      stats.pending_journal_records += instance.pending.size();
+    }
   }
   stats.triggers_confirmed = triggers_confirmed_;
   stats.triggers_accepted = triggers_accepted_;

@@ -98,6 +98,10 @@ struct FleetStats {
   size_t storm_deferred = 0;
   size_t neighbor_verdicts = 0;
   int64_t seconds_processed = 0;
+  /// Accepted records buffered for the journal but not yet flushed by a
+  /// sample, summed over instances. Always 0 in-memory and for degraded
+  /// instances (writer failed to open): nothing buffers without a flusher.
+  size_t pending_journal_records = 0;
   FleetSchedulerStats pool;
 };
 

@@ -64,8 +64,12 @@ class PosixEnvImpl : public Env {
  public:
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override {
+    // O_TRUNC, never O_APPEND: no caller legitimately appends to a
+    // pre-existing file, and a leftover with the same name (a torn segment
+    // header, an interrupted checkpoint temp) must not survive as a garbage
+    // prefix under fresh bytes.
     const int fd =
-        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     if (fd < 0) return ErrnoStatus("open", path);
     return std::unique_ptr<WritableFile>(
         std::make_unique<PosixWritableFile>(fd, path));

@@ -28,6 +28,9 @@ class Env {
  public:
   virtual ~Env() = default;
 
+  /// Creates `path`, truncating any pre-existing bytes: writers own their
+  /// file names outright, so a leftover from a crashed incarnation (e.g. a
+  /// torn segment header) is replaced, never extended.
   virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) = 0;
 

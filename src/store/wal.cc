@@ -46,36 +46,60 @@ std::optional<uint64_t> DecodeSegmentHeader(std::string_view data) {
   return seq;
 }
 
-/// Event-time span of one frame in milliseconds, or nullopt for
-/// untimestamped kinds (templates). Used both for the recovery range check
-/// and for the sealed-segment retention metadata.
+/// Event-time span of one frame in milliseconds. Used both for the
+/// recovery range check and for the sealed-segment retention metadata.
 struct EventSpan {
   int64_t lo_ms;
   int64_t hi_ms;
 };
 
-std::optional<EventSpan> FrameEventSpan(const WalFrame& frame) {
+enum class SpanStatus {
+  kNone,     // untimestamped kind (templates)
+  kOk,       // *span holds the frame's event-time range
+  kInvalid,  // timestamp cannot be represented in int64 milliseconds
+};
+
+/// Largest |seconds| that survives a *1000 without signed overflow, and a
+/// double bound strictly inside int64 range (a CRC-valid but corrupt frame
+/// can carry any bit pattern; the arithmetic must reject it before UB).
+constexpr int64_t kMaxEventSec = std::numeric_limits<int64_t>::max() / 1000;
+constexpr double kMaxEventMsDouble = 9.0e18;
+
+SpanStatus FrameEventSpan(const WalFrame& frame, EventSpan* span) {
   switch (frame.kind) {
     case FrameKind::kRecordBatch: {
-      if (frame.records.empty()) return std::nullopt;
+      if (frame.records.empty()) return SpanStatus::kNone;
       int64_t lo = frame.records.front().arrival_ms;
       int64_t hi = lo;
       for (const QueryLogRecord& record : frame.records) {
         lo = std::min(lo, record.arrival_ms);
         hi = std::max(hi, record.arrival_ms);
       }
-      return EventSpan{lo, hi};
+      *span = EventSpan{lo, hi};
+      return SpanStatus::kOk;
     }
-    case FrameKind::kSample:
-      return EventSpan{frame.sample.sec * 1000, frame.sample.sec * 1000};
+    case FrameKind::kSample: {
+      const int64_t sec = frame.sample.sec;
+      if (sec < -kMaxEventSec || sec > kMaxEventSec) {
+        return SpanStatus::kInvalid;
+      }
+      *span = EventSpan{sec * 1000, sec * 1000};
+      return SpanStatus::kOk;
+    }
     case FrameKind::kRepairEvent: {
-      const int64_t ms = static_cast<int64_t>(frame.event.time_ms);
-      return EventSpan{ms, ms};
+      const double time_ms = frame.event.time_ms;
+      // The negated comparison also rejects NaN.
+      if (!(time_ms >= -kMaxEventMsDouble && time_ms <= kMaxEventMsDouble)) {
+        return SpanStatus::kInvalid;
+      }
+      const int64_t ms = static_cast<int64_t>(time_ms);
+      *span = EventSpan{ms, ms};
+      return SpanStatus::kOk;
     }
     case FrameKind::kTemplate:
-      return std::nullopt;
+      return SpanStatus::kNone;
   }
-  return std::nullopt;
+  return SpanStatus::kNone;
 }
 
 }  // namespace
@@ -340,15 +364,20 @@ Status WalWriter::AppendRecordBatch(
   WalFrame frame;
   frame.kind = FrameKind::kRecordBatch;
   frame.records = records;
-  const auto span = FrameEventSpan(frame);
-  return AppendFrame(frame, span->hi_ms);
+  EventSpan span{0, 0};
+  FrameEventSpan(frame, &span);  // non-empty batch always has a span
+  return AppendFrame(frame, span.hi_ms);
 }
 
 Status WalWriter::AppendSample(const online::PerfSample& sample) {
   WalFrame frame;
   frame.kind = FrameKind::kSample;
   frame.sample = sample;
-  return AppendFrame(frame, sample.sec * 1000);
+  EventSpan span{0, 0};
+  const int64_t max_event_ms = FrameEventSpan(frame, &span) == SpanStatus::kOk
+                                   ? span.hi_ms
+                                   : std::numeric_limits<int64_t>::min();
+  return AppendFrame(frame, max_event_ms);
 }
 
 Status WalWriter::AppendTemplate(uint64_t sql_id,
@@ -364,7 +393,11 @@ Status WalWriter::AppendRepairEvent(const repair::RepairEvent& event) {
   WalFrame frame;
   frame.kind = FrameKind::kRepairEvent;
   frame.event = event;
-  return AppendFrame(frame, static_cast<int64_t>(event.time_ms));
+  EventSpan span{0, 0};
+  const int64_t max_event_ms = FrameEventSpan(frame, &span) == SpanStatus::kOk
+                                   ? span.hi_ms
+                                   : std::numeric_limits<int64_t>::min();
+  return AppendFrame(frame, max_event_ms);
 }
 
 Status WalWriter::MaybeSync() {
@@ -414,10 +447,11 @@ size_t WalWriter::DeleteSealedSegments(int64_t cutoff_ms,
   kept.reserve(sealed_.size());
   for (SealedSegment& segment : sealed_) {
     const bool aged_out = segment.max_event_ms < cutoff_ms;
-    const bool covered =
-        segment.seq < covered_lsn.segment_seq ||
-        (segment.seq == covered_lsn.segment_seq &&
-         segment.size <= covered_lsn.offset);
+    // Strictly below the covered LSN's segment: the LSN's own segment must
+    // survive even when the checkpoint landed exactly at its end, or a
+    // recovery from that checkpoint finds its start below the oldest
+    // segment on disk and falsely reports a sequence gap.
+    const bool covered = segment.seq < covered_lsn.segment_seq;
     if (aged_out && covered && env->DeleteFile(segment.path).ok()) {
       ++deleted;
       PINSQL_OBS_COUNT("store.wal_segments_deleted", 1);
@@ -575,18 +609,22 @@ Status ScanWal(Env* env, const std::string& dir, const WalOptions& options,
       }
       const WalFrame& frame = *decoded;
 
-      if (const auto span = FrameEventSpan(frame); span.has_value()) {
-        const int64_t lo_sec = span->lo_ms / 1000;
-        const int64_t hi_sec = span->hi_ms / 1000;
-        bool in_range = true;
-        if (seg_has_t0) {
+      EventSpan span{0, 0};
+      const SpanStatus span_status = FrameEventSpan(frame, &span);
+      if (span_status != SpanStatus::kNone) {
+        bool in_range = span_status == SpanStatus::kOk;
+        if (in_range && seg_has_t0) {
+          const int64_t lo_sec = span.lo_ms / 1000;
+          const int64_t hi_sec = span.hi_ms / 1000;
           in_range = lo_sec >= seg_t0_sec - options.time_grace_sec &&
                      hi_sec <= seg_t0_sec + options.max_segment_span_sec &&
                      lo_sec >= prev_hi_sec - options.time_grace_sec;
         }
         if (!in_range) {
-          // CRC-valid but chronologically impossible: reject the frame and
-          // abandon the rest of the segment (counted, never replayed).
+          // CRC-valid but chronologically impossible — out of the segment's
+          // plausible window, or a timestamp that doesn't even fit int64
+          // milliseconds: reject the frame and abandon the rest of the
+          // segment (counted, never replayed).
           ++stats->frames_time_rejected;
           stats->bytes_discarded += remaining;
           stats->stopped_early = true;
@@ -595,14 +633,13 @@ Status ScanWal(Env* env, const std::string& dir, const WalOptions& options,
         }
         if (!seg_has_t0) {
           seg_has_t0 = true;
-          seg_t0_sec = lo_sec;
-          prev_hi_sec = hi_sec;
+          seg_t0_sec = span.lo_ms / 1000;
+          prev_hi_sec = span.hi_ms / 1000;
         } else {
-          prev_hi_sec = std::max(prev_hi_sec, hi_sec);
+          prev_hi_sec = std::max(prev_hi_sec, span.hi_ms / 1000);
         }
-        seg_max_event_ms = seg_has_event
-                               ? std::max(seg_max_event_ms, span->hi_ms)
-                               : span->hi_ms;
+        seg_max_event_ms =
+            seg_has_event ? std::max(seg_max_event_ms, span.hi_ms) : span.hi_ms;
         seg_has_event = true;
       }
 

@@ -127,7 +127,10 @@ class WalWriter {
  public:
   /// Opens a new segment `wal-<first_seq>.log` in `dir` (which must
   /// exist). Never appends to a pre-existing segment: recovery always
-  /// starts a fresh one after the highest sequence it scanned.
+  /// starts a fresh one after the highest sequence it scanned, and opening
+  /// truncates any leftover file of the same name (e.g. a torn-header
+  /// segment from a crashed incarnation) so stale bytes can never precede
+  /// this writer's header.
   static StatusOr<std::unique_ptr<WalWriter>> Open(Env* env, std::string dir,
                                                    const WalOptions& options,
                                                    uint64_t first_seq);
@@ -148,9 +151,11 @@ class WalWriter {
   }
 
   /// Deletes sealed segments whose every event is older than `cutoff_ms`
-  /// AND whose frames are all covered by `covered_lsn` (the oldest retained
-  /// checkpoint's LSN, so any fallback checkpoint can still replay).
-  /// Returns the number of segments deleted.
+  /// AND whose sequence is strictly below `covered_lsn.segment_seq` (the
+  /// oldest retained checkpoint's LSN, so any fallback checkpoint can
+  /// still replay, and the LSN's own segment survives even when the
+  /// checkpoint landed exactly at its end). Returns the number of segments
+  /// deleted.
   size_t DeleteSealedSegments(int64_t cutoff_ms, const WalPosition& covered_lsn,
                               Env* env);
 

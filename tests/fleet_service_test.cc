@@ -4,6 +4,8 @@
 /// noisy-neighbor attribution; graceful drain with in-flight diagnoses.
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "eval/fleet_cases.h"
 #include "fleet/fleet_replay.h"
 #include "fleet/fleet_service.h"
+#include "store/env.h"
 
 namespace pinsql::fleet {
 namespace {
@@ -274,6 +277,76 @@ TEST(FleetServiceTest, GracefulDrainRunsInFlightDiagnoses) {
 
   service.Stop();  // idempotent
   EXPECT_EQ(service.outcomes().size(), 2u);
+}
+
+/// Env whose file opens always fail: every instance's journal writer fails
+/// to open and the fleet degrades to in-memory operation.
+class OpenFailEnv : public store::Env {
+ public:
+  StatusOr<std::unique_ptr<store::WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    return Status::Internal("injected open failure: " + path);
+  }
+  Status ReadFile(const std::string& path, std::string* out) override {
+    return store::PosixEnv()->ReadFile(path, out);
+  }
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return store::PosixEnv()->ListDir(dir);
+  }
+  Status CreateDirs(const std::string& dir) override {
+    return store::PosixEnv()->CreateDirs(dir);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return store::PosixEnv()->DeleteFile(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return store::PosixEnv()->RenameFile(from, to);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return store::PosixEnv()->TruncateFile(path, size);
+  }
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    return store::PosixEnv()->FileSize(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return store::PosixEnv()->FileExists(path);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return store::PosixEnv()->SyncDir(dir);
+  }
+};
+
+TEST(FleetServiceTest, DegradedJournalDoesNotAccumulatePendingRecords) {
+  std::string data_dir = ::testing::TempDir() + "pinsql_fleet_XXXXXX";
+  ASSERT_NE(mkdtemp(data_dir.data()), nullptr);
+  OpenFailEnv env;
+  FleetOptions options;
+  options.data_dir = data_dir;
+  options.env = &env;
+  FleetService service({{7, 0}}, options);
+  service.Start();
+
+  // The instance runs in-memory: ingest keeps streaming, and nothing may
+  // buffer for a journal that has no writer to drain it.
+  for (int64_t sec = 0; sec < 60; ++sec) {
+    for (int64_t k = 0; k < 5; ++k) {
+      QueryLogRecord record;
+      record.arrival_ms = sec * 1000 + k;
+      record.sql_id = 1001;
+      record.response_ms = 4.0;
+      record.examined_rows = 40;
+      EXPECT_TRUE(service.IngestRecord(7, record));
+    }
+    online::PerfSample sample;
+    sample.sec = sec;
+    sample.active_session = 5.0;
+    EXPECT_TRUE(service.IngestMetrics(7, sample));
+    service.AdvanceTo(sec);
+  }
+  const FleetStats stats = service.stats();
+  EXPECT_EQ(stats.pending_journal_records, 0u);
+  EXPECT_GT(stats.ingest.records_enqueued, 0u);
+  service.Stop();
 }
 
 TEST(FleetServiceTest, UnknownInstanceIngestIsRejected) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -463,6 +464,159 @@ TEST(WalTest, CrcValidFrameWithImpossibleTimestampIsRejected) {
   EXPECT_EQ(stats.frames_time_rejected, 1u);
   EXPECT_TRUE(stats.stopped_early);
   EXPECT_EQ(seen, (std::vector<uint64_t>{1}));
+}
+
+TEST(WalTest, OverflowingTimestampIsRejectedBeforeArithmetic) {
+  const std::string dir = MakeTempDir();
+  ASSERT_TRUE(PosixEnv()->CreateDirs(dir).ok());
+  WalOptions options;
+
+  // First frame of the segment is a CRC-valid sample claiming a second
+  // that cannot be multiplied into milliseconds without signed overflow.
+  // As the segment's first timestamped frame it sees no range check
+  // against a prior frame — the bounds check itself must reject it.
+  std::string file;
+  {
+    codec::Writer w(&file);
+    file.append("PSQLWAL1", 8);
+    w.U32(1);  // version
+    w.U64(1);  // seq
+    w.U32(Crc32c(file.data(), file.size()));
+  }
+  WalFrame huge;
+  huge.kind = FrameKind::kSample;
+  huge.sample = Sample(std::numeric_limits<int64_t>::max() / 1000 + 1, 1.0);
+  file += WrapFrame(EncodeFramePayload(huge));
+  WalFrame good;
+  good.kind = FrameKind::kSample;
+  good.sample = Sample(1000, 4.0);
+  file += WrapFrame(EncodeFramePayload(good));
+  {
+    std::ofstream f(dir + "/" + SegmentFileName(1), std::ios::binary);
+    f.write(file.data(), static_cast<std::streamsize>(file.size()));
+  }
+
+  WalScanStats stats;
+  size_t delivered = 0;
+  ASSERT_TRUE(ScanWal(PosixEnv(), dir, options, WalPosition{},
+                      [&](const WalFrame&) { ++delivered; }, &stats)
+                  .ok());
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(stats.frames_valid, 0u);
+  EXPECT_EQ(stats.frames_time_rejected, 1u);
+  EXPECT_TRUE(stats.stopped_early);
+
+  // A repair event whose double timestamp is outside int64 range is
+  // equally impossible: rejected before the cast, never delivered.
+  const std::string dir2 = MakeTempDir();
+  ASSERT_TRUE(PosixEnv()->CreateDirs(dir2).ok());
+  std::string file2;
+  {
+    codec::Writer w(&file2);
+    file2.append("PSQLWAL1", 8);
+    w.U32(1);  // version
+    w.U64(1);  // seq
+    w.U32(Crc32c(file2.data(), file2.size()));
+  }
+  file2 += WrapFrame(EncodeFramePayload(good));
+  WalFrame event;
+  event.kind = FrameKind::kRepairEvent;
+  event.event.time_ms = 1e300;
+  event.event.kind = repair::RepairEventKind::kAttempt;
+  file2 += WrapFrame(EncodeFramePayload(event));
+  {
+    std::ofstream f(dir2 + "/" + SegmentFileName(1), std::ios::binary);
+    f.write(file2.data(), static_cast<std::streamsize>(file2.size()));
+  }
+  WalScanStats stats2;
+  ASSERT_TRUE(ScanWal(PosixEnv(), dir2, options, WalPosition{},
+                      [](const WalFrame&) {}, &stats2)
+                  .ok());
+  EXPECT_EQ(stats2.frames_valid, 1u);
+  EXPECT_EQ(stats2.frames_time_rejected, 1u);
+}
+
+TEST(WalTest, TornHeaderLeftoverIsTruncatedOnReopenNotPoisoned) {
+  const std::string dir = MakeTempDir();
+  WalOptions options;
+  auto writer = WalWriter::Open(PosixEnv(), dir, options, 1);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t sec = 1000; sec < 1005; ++sec) {
+    ASSERT_TRUE((*writer)->AppendSample(Sample(sec, 4.0)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // kill -9 mid-header: segment 2 exists on disk with a torn header.
+  {
+    std::ofstream f(dir + "/" + SegmentFileName(2), std::ios::binary);
+    f.write("PSQL", 4);
+  }
+  WalScanStats first;
+  ASSERT_TRUE(ScanWal(PosixEnv(), dir, options, WalPosition{},
+                      [](const WalFrame&) {}, &first)
+                  .ok());
+  EXPECT_EQ(first.frames_valid, 5u);
+  EXPECT_EQ(first.segments_invalid_header, 1u);
+  EXPECT_EQ(first.last_seq, 1u);
+
+  // The next incarnation reopens wal-2: opening truncates the garbage, so
+  // its header lands at offset 0 instead of after it — the segment must
+  // not be poisoned and the stream must stay contiguous.
+  auto resumed = WalWriter::Open(PosixEnv(), dir, options, first.last_seq + 1);
+  ASSERT_TRUE(resumed.ok());
+  for (int64_t sec = 1005; sec < 1010; ++sec) {
+    ASSERT_TRUE((*resumed)->AppendSample(Sample(sec, 4.0)).ok());
+  }
+  ASSERT_TRUE((*resumed)->Close().ok());
+
+  WalScanStats second;
+  std::vector<int64_t> secs;
+  ASSERT_TRUE(ScanWal(PosixEnv(), dir, options, WalPosition{},
+                      [&](const WalFrame& f) { secs.push_back(f.sample.sec); },
+                      &second)
+                  .ok());
+  EXPECT_EQ(second.frames_valid, 10u);
+  EXPECT_EQ(second.segments_invalid_header, 0u);
+  EXPECT_FALSE(second.seq_gap);
+  EXPECT_EQ(second.last_seq, 2u);
+  ASSERT_EQ(secs.size(), 10u);
+  for (size_t i = 1; i < secs.size(); ++i) EXPECT_GT(secs[i], secs[i - 1]);
+}
+
+TEST(WalTest, CheckpointAtSegmentEndKeepsLsnSegment) {
+  const std::string dir = MakeTempDir();
+  WalOptions options;
+  options.segment_bytes = 256;
+  options.fsync = FsyncPolicy::kNever;
+  auto writer = WalWriter::Open(PosixEnv(), dir, options, 1);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t sec = 3000; sec < 3030; ++sec) {
+    ASSERT_TRUE((*writer)->AppendSample(Sample(sec, 5.0)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  const std::vector<SealedSegment> sealed = (*writer)->sealed();
+  ASSERT_GE(sealed.size(), 3u) << "fixture needs several sealed segments";
+
+  // A checkpoint taken exactly at a sealed segment's end: its LSN points
+  // one past that segment's last frame. Retention must keep the LSN's own
+  // segment, or a recovery from this checkpoint finds its start below the
+  // oldest segment on disk and falsely reports a sequence gap.
+  const SealedSegment& boundary = sealed[1];
+  const WalPosition lsn{boundary.seq, boundary.size};
+  const size_t deleted = (*writer)->DeleteSealedSegments(
+      std::numeric_limits<int64_t>::max(), lsn, PosixEnv());
+  EXPECT_EQ(deleted, 1u);  // only segments strictly below the LSN's
+  EXPECT_TRUE(PosixEnv()->FileExists(boundary.path));
+
+  WalScanStats stats;
+  size_t delivered = 0;
+  ASSERT_TRUE(ScanWal(PosixEnv(), dir, options, lsn,
+                      [&](const WalFrame&) { ++delivered; }, &stats)
+                  .ok());
+  EXPECT_FALSE(stats.seq_gap);
+  EXPECT_FALSE(stats.stopped_early);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_LT(delivered, 30u);
 }
 
 // --- Checkpoints -----------------------------------------------------------

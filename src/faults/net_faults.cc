@@ -1,0 +1,274 @@
+#include "faults/net_faults.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace pinsql::faults {
+namespace {
+
+/// Sends every byte (blocking socket); false on error/disconnect.
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the peer closes or `budget_ms` expires; returns everything
+/// received (possibly empty).
+std::string ReadUntilClose(int fd, int budget_ms) {
+  std::string out;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  char buf[4096];
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    if (::poll(&pfd, 1, std::max(remaining_ms, 0)) <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // closed or error
+  }
+  return out;
+}
+
+int StatusOf(const std::string& response) {
+  // "HTTP/1.1 NNN ..."
+  if (response.size() < 12 || response.compare(0, 5, "HTTP/") != 0) return 0;
+  return std::atoi(response.c_str() + 9);
+}
+
+}  // namespace
+
+NetChaosClient::NetChaosClient(const NetChaosOptions& options)
+    : options_(options) {}
+
+int NetChaosClient::Connect() const {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+NetChaosStats NetChaosClient::RunSlowLoris() {
+  NetChaosStats stats;
+  const std::string header =
+      "POST /v1/ingest HTTP/1.1\r\nX-Pinsql-Tenant: " + options_.tenant +
+      "\r\nContent-Length: 100\r\n";
+  for (int c = 0; c < options_.slow_loris_conns; ++c) {
+    const int fd = Connect();
+    if (fd < 0) {
+      ++stats.connects_failed;
+      continue;
+    }
+    // Trickle the header one byte at a time; never finish the request.
+    bool closed = false;
+    const int bytes =
+        std::min<int>(options_.slow_loris_bytes,
+                      static_cast<int>(header.size()));
+    const auto wait_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.slow_loris_wait_ms);
+    for (int i = 0; i < bytes; ++i) {
+      if (!SendAll(fd, header.data() + i, 1)) {
+        closed = true;
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.slow_loris_interval_ms));
+      // A pending read of 0 bytes means the server hung up on us.
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 0) > 0) {
+        char buf[512];
+        if (::recv(fd, buf, sizeof(buf), 0) <= 0) {
+          closed = true;
+          break;
+        }
+      }
+      if (std::chrono::steady_clock::now() > wait_deadline) break;
+    }
+    if (!closed) {
+      // Stop trickling and wait for the read deadline to reap us.
+      const int remaining_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              wait_deadline - std::chrono::steady_clock::now())
+              .count());
+      const std::string tail = ReadUntilClose(fd, std::max(remaining_ms, 1));
+      // After ReadUntilClose returns, either the server closed (recv saw
+      // 0/err) or the budget expired with the connection still open.
+      pollfd pfd{fd, POLLIN, 0};
+      ::poll(&pfd, 1, 0);
+      char probe;
+      const ssize_t n = ::recv(fd, &probe, 1, MSG_DONTWAIT);
+      closed = (n == 0) || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK);
+      if (!tail.empty() && !closed) closed = false;
+      if (!closed && !tail.empty()) {
+        // Got a response (e.g. 408) but the FIN has not landed yet; count
+        // it as the defense firing.
+        closed = true;
+      }
+    }
+    if (closed) {
+      ++stats.loris_closed_by_server;
+    } else {
+      ++stats.loris_survived;
+    }
+    ::close(fd);
+  }
+  return stats;
+}
+
+NetChaosStats NetChaosClient::RunMidBodyDisconnect() {
+  NetChaosStats stats;
+  Rng rng(options_.seed ^ 0xB0D7);
+  for (int c = 0; c < options_.mid_body_disconnects; ++c) {
+    const int fd = Connect();
+    if (fd < 0) {
+      ++stats.connects_failed;
+      continue;
+    }
+    const std::string body = FloodBody(&rng);
+    const std::string request =
+        "POST /v1/ingest HTTP/1.1\r\nX-Pinsql-Tenant: " + options_.tenant +
+        "\r\nContent-Length: " + std::to_string(body.size()) +
+        "\r\n\r\n" + body.substr(0, body.size() / 2);
+    SendAll(fd, request.data(), request.size());
+    ++stats.mid_body_sent;
+    ::close(fd);  // vanish mid-body
+  }
+  return stats;
+}
+
+NetChaosStats NetChaosClient::RunGarbage() {
+  NetChaosStats stats;
+  Rng rng(options_.seed ^ 0x6A7B);
+  for (int c = 0; c < options_.garbage_frames; ++c) {
+    const int fd = Connect();
+    if (fd < 0) {
+      ++stats.connects_failed;
+      continue;
+    }
+    std::string frame;
+    const size_t len = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(options_.garbage_max_bytes)));
+    frame.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      frame.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    // Terminate with a blank line sometimes so header parsing completes.
+    if (rng.Bernoulli(0.5)) frame += "\r\n\r\n";
+    SendAll(fd, frame.data(), frame.size());
+    ++stats.garbage_sent;
+    const std::string response = ReadUntilClose(fd, 2000);
+    const int status = StatusOf(response);
+    if (status >= 400 && status < 500) ++stats.garbage_got_4xx;
+    ::close(fd);
+  }
+  return stats;
+}
+
+std::string NetChaosClient::FloodBody(Rng* rng) const {
+  std::string body = "{\"instance\":" + std::to_string(options_.instance_id) +
+                     ",\"records\":[";
+  for (int i = 0; i < options_.flood_records_per_request; ++i) {
+    if (i > 0) body += ',';
+    body += "{\"arrival_ms\":" +
+            std::to_string(1'000'000'000 + rng->UniformInt(0, 999)) +
+            ",\"sql_id\":" + std::to_string(rng->UniformInt(1, 9)) +
+            ",\"response_ms\":" + std::to_string(rng->UniformInt(1, 400)) +
+            ",\"examined_rows\":" + std::to_string(rng->UniformInt(1, 5000)) +
+            "}";
+  }
+  body += "]}";
+  return body;
+}
+
+NetChaosStats NetChaosClient::RunTenantFlood() {
+  NetChaosStats stats;
+  Rng rng(options_.seed ^ 0xF100D);
+  for (int c = 0; c < options_.flood_requests; ++c) {
+    const int fd = Connect();
+    if (fd < 0) {
+      ++stats.connects_failed;
+      continue;
+    }
+    const std::string body = FloodBody(&rng);
+    const std::string request =
+        "POST /v1/ingest HTTP/1.1\r\nX-Pinsql-Tenant: " + options_.tenant +
+        "\r\nContent-Length: " + std::to_string(body.size()) +
+        "\r\nConnection: close\r\n\r\n" + body;
+    if (!SendAll(fd, request.data(), request.size())) {
+      ::close(fd);
+      continue;
+    }
+    ++stats.flood_sent;
+    const std::string response = ReadUntilClose(fd, 5000);
+    const int status = StatusOf(response);
+    if (status == 202) {
+      ++stats.flood_accepted;
+    } else if (status >= 400) {
+      ++stats.flood_rejected;
+      if (response.find("Retry-After:") != std::string::npos) {
+        ++stats.flood_retry_after;
+      }
+    }
+    ::close(fd);
+  }
+  return stats;
+}
+
+NetChaosStats NetChaosClient::RunAll() {
+  NetChaosStats total;
+  const auto merge = [&total](const NetChaosStats& s) {
+    total.connects_failed += s.connects_failed;
+    total.loris_closed_by_server += s.loris_closed_by_server;
+    total.loris_survived += s.loris_survived;
+    total.mid_body_sent += s.mid_body_sent;
+    total.garbage_sent += s.garbage_sent;
+    total.garbage_got_4xx += s.garbage_got_4xx;
+    total.flood_sent += s.flood_sent;
+    total.flood_accepted += s.flood_accepted;
+    total.flood_rejected += s.flood_rejected;
+    total.flood_retry_after += s.flood_retry_after;
+  };
+  merge(RunGarbage());
+  merge(RunMidBodyDisconnect());
+  merge(RunTenantFlood());
+  merge(RunSlowLoris());
+  return total;
+}
+
+}  // namespace pinsql::faults

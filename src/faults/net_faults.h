@@ -1,0 +1,83 @@
+#ifndef PINSQL_FAULTS_NET_FAULTS_H_
+#define PINSQL_FAULTS_NET_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace pinsql::faults {
+
+/// Configuration for one chaos-client campaign against a serve endpoint.
+struct NetChaosOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t seed = 42;
+  /// Tenant name stamped on flood requests (the "abusive" tenant).
+  std::string tenant = "chaos";
+  uint32_t instance_id = 0;
+
+  int slow_loris_conns = 4;
+  /// Bytes trickled per slow-loris connection before giving up (the server
+  /// should reap the connection via its read deadline first).
+  int slow_loris_bytes = 32;
+  int slow_loris_interval_ms = 50;
+  /// Upper bound on how long one slow-loris connection waits for the
+  /// server to close it.
+  int slow_loris_wait_ms = 15'000;
+
+  int mid_body_disconnects = 8;
+  int garbage_frames = 16;
+  size_t garbage_max_bytes = 512;
+  /// Valid-but-hostile flood: well-formed ingest requests far past the
+  /// tenant's budget.
+  int flood_requests = 64;
+  int flood_records_per_request = 200;
+};
+
+/// What a campaign observed. The assertions live in the tests; the client
+/// only counts.
+struct NetChaosStats {
+  int connects_failed = 0;
+  /// Slow-loris connections the server closed on us (the defense working).
+  int loris_closed_by_server = 0;
+  /// Slow-loris connections still open when the wait budget expired.
+  int loris_survived = 0;
+  int mid_body_sent = 0;
+  int garbage_sent = 0;
+  /// 4xx responses read back from garbage frames before the close.
+  int garbage_got_4xx = 0;
+  int flood_sent = 0;
+  int flood_accepted = 0;   // 202
+  int flood_rejected = 0;   // 4xx/5xx
+  int flood_retry_after = 0;  // rejections that carried Retry-After
+};
+
+/// Adversarial network client for the serve layer: slow-loris trickle,
+/// mid-body disconnects, random garbage frames and a well-formed tenant
+/// flood. Deterministic given the seed (modulo kernel timing). Used by the
+/// netchaos test suite and bench_serve; plain blocking sockets, no
+/// dependency on the serve library.
+class NetChaosClient {
+ public:
+  explicit NetChaosClient(const NetChaosOptions& options);
+
+  NetChaosStats RunSlowLoris();
+  NetChaosStats RunMidBodyDisconnect();
+  NetChaosStats RunGarbage();
+  NetChaosStats RunTenantFlood();
+  /// All four campaigns, stats summed.
+  NetChaosStats RunAll();
+
+ private:
+  /// Connects to host:port; -1 on failure (counted by the caller).
+  int Connect() const;
+  /// One well-formed ingest request body for the flood.
+  std::string FloodBody(Rng* rng) const;
+
+  NetChaosOptions options_;
+};
+
+}  // namespace pinsql::faults
+
+#endif  // PINSQL_FAULTS_NET_FAULTS_H_

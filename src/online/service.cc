@@ -26,6 +26,10 @@ void OnlineService::Start() {
   std::lock_guard<std::mutex> lock(advance_mu_);
   if (running_) return;
   running_ = true;
+  {
+    std::unique_lock<std::shared_mutex> gate(ingest_gate_);
+    accepting_ = true;
+  }
   if (options_.background_pump) {
     {
       std::lock_guard<std::mutex> pump_lock(pump_mu_);
@@ -39,6 +43,15 @@ void OnlineService::Stop() {
   {
     std::lock_guard<std::mutex> lock(advance_mu_);
     if (!running_) return;
+  }
+  // Close the ingest gate first: the exclusive acquisition waits for every
+  // in-flight producer call (and whole AppendBatch) to finish, and flips
+  // accepting_ so later calls reject cleanly. Only then is the drain below
+  // a complete, final cut — nothing can arrive behind it and be stranded
+  // in the staging queues.
+  {
+    std::unique_lock<std::shared_mutex> gate(ingest_gate_);
+    accepting_ = false;
   }
   if (pump_thread_.joinable()) {
     {
@@ -75,11 +88,46 @@ void OnlineService::PumpLoop() {
 }
 
 bool OnlineService::IngestRecord(const QueryLogRecord& record) {
+  std::shared_lock<std::shared_mutex> gate(ingest_gate_);
+  if (!accepting_) {
+    records_rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
+    PINSQL_OBS_COUNT("online.service.records_rejected_stopped", 1);
+    return false;
+  }
   return ingestor_.IngestRecord(record);
 }
 
 bool OnlineService::IngestMetrics(const PerfSample& sample) {
+  std::shared_lock<std::shared_mutex> gate(ingest_gate_);
+  if (!accepting_) {
+    samples_rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
+    PINSQL_OBS_COUNT("online.service.samples_rejected_stopped", 1);
+    return false;
+  }
   return ingestor_.IngestMetrics(sample);
+}
+
+bool OnlineService::AppendBatch(const std::vector<QueryLogRecord>& records,
+                                const std::vector<PerfSample>& samples) {
+  // The shared lock spans the whole batch, so Stop()'s exclusive
+  // acquisition can only observe it fully applied or not started.
+  std::shared_lock<std::shared_mutex> gate(ingest_gate_);
+  if (!accepting_) {
+    records_rejected_stopped_.fetch_add(records.size(),
+                                        std::memory_order_relaxed);
+    samples_rejected_stopped_.fetch_add(samples.size(),
+                                        std::memory_order_relaxed);
+    batches_rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
+    PINSQL_OBS_COUNT("online.service.batches_rejected_stopped", 1);
+    return false;
+  }
+  for (const QueryLogRecord& record : records) {
+    ingestor_.IngestRecord(record);
+  }
+  for (const PerfSample& sample : samples) {
+    ingestor_.IngestMetrics(sample);
+  }
+  return true;
 }
 
 std::vector<DiagnosisOutcome> OnlineService::Advance() {
@@ -189,6 +237,12 @@ ServiceStats OnlineService::stats() const {
   stats.seconds_processed = seconds_processed_;
   stats.retention_sweeps = static_cast<size_t>(retention_sweeps_);
   stats.records_retired = records_retired_;
+  stats.records_rejected_stopped =
+      records_rejected_stopped_.load(std::memory_order_relaxed);
+  stats.samples_rejected_stopped =
+      samples_rejected_stopped_.load(std::memory_order_relaxed);
+  stats.batches_rejected_stopped =
+      batches_rejected_stopped_.load(std::memory_order_relaxed);
   return stats;
 }
 

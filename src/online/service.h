@@ -1,11 +1,13 @@
 #ifndef PINSQL_ONLINE_SERVICE_H_
 #define PINSQL_ONLINE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -40,6 +42,12 @@ struct ServiceStats {
   int64_t seconds_processed = 0;
   size_t retention_sweeps = 0;
   size_t records_retired = 0;
+  /// Producer calls refused whole because the service was stopped or
+  /// stopping. Mirrors the ingest layer's drop counters: a record that a
+  /// producer handed to a closed service is counted, never half-applied.
+  uint64_t records_rejected_stopped = 0;
+  uint64_t samples_rejected_stopped = 0;
+  uint64_t batches_rejected_stopped = 0;
 };
 
 /// The continuous online diagnosis service: glues ingestion, streaming
@@ -79,9 +87,19 @@ class OnlineService {
   bool running() const { return running_; }
 
   /// Thread-safe producer entry points. Return false when the record /
-  /// sample was dropped (and counted).
+  /// sample was dropped (and counted). After Stop() begins its drain these
+  /// reject cleanly (counted as rejected_stopped) instead of stranding
+  /// records in the staging queues.
   bool IngestRecord(const QueryLogRecord& record);
   bool IngestMetrics(const PerfSample& sample);
+
+  /// Atomic multi-item ingest with respect to Stop(): either every item is
+  /// offered to the ingestor before the drain starts, or the whole batch
+  /// is rejected (returns false, counted). Per-item backpressure/late
+  /// drops within an accepted batch still apply and are counted by the
+  /// ingestor as usual.
+  bool AppendBatch(const std::vector<QueryLogRecord>& records,
+                   const std::vector<PerfSample>& samples);
 
   /// Processes every watermark second not yet processed. Returns the
   /// diagnosis outcomes completed by this call.
@@ -116,6 +134,17 @@ class OnlineService {
   StreamIngestor ingestor_;
   OnlineAnomalyDetector detector_;
   DiagnosisScheduler scheduler_;
+
+  /// Ingest gate ordering producers against Stop(): producers hold it
+  /// shared for the duration of one call (or one whole batch); Stop()
+  /// flips accepting_ under the exclusive side before draining, so every
+  /// in-flight call/batch completes fully and every later one is rejected
+  /// whole — a batch is never half-applied across the drain boundary.
+  mutable std::shared_mutex ingest_gate_;
+  bool accepting_ = false;  // guarded by ingest_gate_
+  std::atomic<uint64_t> records_rejected_stopped_{0};
+  std::atomic<uint64_t> samples_rejected_stopped_{0};
+  std::atomic<uint64_t> batches_rejected_stopped_{0};
 
   mutable std::mutex advance_mu_;
   bool running_ = false;

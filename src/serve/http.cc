@@ -1,0 +1,307 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pinsql::serve {
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Header values may contain any printable byte plus horizontal tab;
+/// embedded control bytes (header smuggling, log injection) are malformed.
+bool CleanHeaderValue(std::string_view v) {
+  return std::all_of(v.begin(), v.end(), [](char c) {
+    const auto u = static_cast<unsigned char>(c);
+    return u == '\t' || (u >= 0x20 && u != 0x7f);
+  });
+}
+
+bool CleanToken(std::string_view v) {
+  return !v.empty() && std::all_of(v.begin(), v.end(), [](char c) {
+    const auto u = static_cast<unsigned char>(c);
+    return u > 0x20 && u < 0x7f && u != ':';
+  });
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view HttpRequest::Path() const {
+  const std::string_view t = target;
+  const size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string HttpRequest::QueryParam(std::string_view key) const {
+  const std::string_view t = target;
+  const size_t q = t.find('?');
+  if (q == std::string_view::npos) return "";
+  std::string_view rest = t.substr(q + 1);
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (eq == std::string_view::npos && pair == key) return "";
+    if (amp == std::string_view::npos) break;
+    rest.remove_prefix(amp + 1);
+  }
+  return "";
+}
+
+HttpParser::State HttpParser::Fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  return state_;
+}
+
+HttpParser::State HttpParser::Feed(std::string_view data) {
+  if (state_ == State::kError || state_ == State::kComplete) return state_;
+  buffer_.append(data.data(), data.size());
+  return ParseBuffer();
+}
+
+HttpParser::State HttpParser::ParseBuffer() {
+  if (state_ == State::kHeaders) {
+    // Find the blank line terminating the header block. Lines end in \n
+    // with an optional preceding \r (lenient framing, strict content).
+    size_t end = std::string::npos;  // index one past the blank line
+    size_t line_start = 0;
+    for (size_t i = 0; i < buffer_.size(); ++i) {
+      if (buffer_[i] != '\n') continue;
+      size_t line_end = i;
+      if (line_end > line_start && buffer_[line_end - 1] == '\r') --line_end;
+      if (line_end == line_start) {
+        if (line_start == 0) {
+          return Fail(400, "request starts with a blank line");
+        }
+        end = i + 1;
+        break;
+      }
+      line_start = i + 1;
+    }
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(431, "header block exceeds limit");
+      }
+      return state_;
+    }
+    if (end > limits_.max_header_bytes) {
+      return Fail(431, "header block exceeds limit");
+    }
+    if (State s = ParseHeaderBlock(end); s == State::kError) return s;
+    body_start_ = end;
+    state_ = State::kHeadersDone;
+  }
+  if (state_ == State::kHeadersDone) {
+    const size_t have = buffer_.size() - body_start_;
+    if (have >= request_.content_length) {
+      request_.body = buffer_.substr(body_start_, request_.content_length);
+      // Keep only pipelined leftovers.
+      buffer_.erase(0, body_start_ + request_.content_length);
+      state_ = State::kComplete;
+    }
+  }
+  return state_;
+}
+
+HttpParser::State HttpParser::ParseHeaderBlock(size_t end) {
+  request_ = HttpRequest{};
+  size_t pos = 0;
+  size_t line_no = 0;
+  bool saw_content_length = false;
+  while (pos < end) {
+    size_t nl = buffer_.find('\n', pos);
+    size_t line_end = nl;
+    if (line_end > pos && buffer_[line_end - 1] == '\r') --line_end;
+    const std::string_view line(buffer_.data() + pos, line_end - pos);
+    pos = nl + 1;
+    if (line.empty()) break;  // blank line: end of headers
+    if (line_no == 0) {
+      // Request line: METHOD SP TARGET SP VERSION.
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 =
+          sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        return Fail(400, "malformed request line");
+      }
+      const std::string_view method = line.substr(0, sp1);
+      const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string_view version = line.substr(sp2 + 1);
+      if (!CleanToken(method) || method.size() > 16) {
+        return Fail(400, "malformed method");
+      }
+      if (target.empty() || target.size() > limits_.max_target_bytes ||
+          !CleanHeaderValue(target) ||
+          target.find(' ') != std::string_view::npos) {
+        return Fail(400, "malformed request target");
+      }
+      if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+        return Fail(505, "unsupported HTTP version");
+      }
+      request_.method = std::string(method);
+      request_.target = std::string(target);
+      request_.version = std::string(version);
+      request_.keep_alive = version == "HTTP/1.1";
+    } else {
+      if (request_.headers.size() >= limits_.max_headers) {
+        return Fail(431, "too many headers");
+      }
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return Fail(400, "malformed header line");
+      }
+      const std::string_view name = line.substr(0, colon);
+      const std::string_view value = Trim(line.substr(colon + 1));
+      if (!CleanToken(name)) return Fail(400, "malformed header name");
+      if (!CleanHeaderValue(value)) {
+        return Fail(400, "control bytes in header value");
+      }
+      request_.headers.emplace_back(std::string(name), std::string(value));
+    }
+    ++line_no;
+  }
+  if (line_no == 0) return Fail(400, "empty request");
+
+  if (request_.FindHeader("Transfer-Encoding") != nullptr) {
+    return Fail(501, "transfer-encoding not supported");
+  }
+  if (const std::string* cl = request_.FindHeader("Content-Length")) {
+    const std::string_view v = *cl;
+    if (v.empty() || v.size() > 18 ||
+        !std::all_of(v.begin(), v.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      return Fail(400, "malformed Content-Length");
+    }
+    uint64_t length = 0;
+    for (char c : v) length = length * 10 + static_cast<uint64_t>(c - '0');
+    // Reject before buffering a single body byte: the declared size alone
+    // is enough to refuse the request with bounded memory.
+    if (length > limits_.max_body_bytes) {
+      return Fail(413, "declared body exceeds limit");
+    }
+    // A second, different Content-Length is smuggling; identical repeats
+    // are tolerated.
+    for (const auto& [key, value] : request_.headers) {
+      if (EqualsIgnoreCase(key, "Content-Length") && value != *cl) {
+        return Fail(400, "conflicting Content-Length headers");
+      }
+    }
+    saw_content_length = true;
+    request_.content_length = static_cast<size_t>(length);
+  }
+  if (!saw_content_length) request_.content_length = 0;
+
+  if (const std::string* conn = request_.FindHeader("Connection")) {
+    if (EqualsIgnoreCase(*conn, "close")) request_.keep_alive = false;
+    if (EqualsIgnoreCase(*conn, "keep-alive")) request_.keep_alive = true;
+  }
+  return state_;
+}
+
+void HttpParser::Reset() {
+  if (state_ != State::kComplete) return;
+  request_ = HttpRequest{};
+  body_start_ = 0;
+  state_ = State::kHeaders;
+  if (!buffer_.empty()) ParseBuffer();
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += StatusText(response.status);
+  out += "\r\n";
+  bool has_type = false;
+  for (const auto& [key, value] : response.headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+    if (EqualsIgnoreCase(key, "Content-Type")) has_type = true;
+  }
+  if (!has_type && !response.body.empty()) {
+    out += "Content-Type: application/json\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  out += (keep_alive && !response.close) ? "Connection: keep-alive\r\n"
+                                         : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse ErrorResponse(int status, std::string_view reason,
+                           int64_t retry_after_sec) {
+  HttpResponse response;
+  response.status = status;
+  std::string body = "{\"error\":\"";
+  // Reasons are our own constants: printable ASCII without quotes.
+  body.append(reason.data(), reason.size());
+  body += "\"}";
+  response.body = std::move(body);
+  if (retry_after_sec > 0) {
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(retry_after_sec));
+  }
+  return response;
+}
+
+}  // namespace pinsql::serve

@@ -1,0 +1,262 @@
+#ifndef PINSQL_SERVE_SERVER_H_
+#define PINSQL_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet_service.h"
+#include "online/replay.h"
+#include "serve/admission.h"
+#include "serve/http.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace pinsql::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; the bound port is port() after Start().
+  uint16_t port = 0;
+  /// Bounded connection table: accepts past this are closed immediately
+  /// (and counted), so a connection flood cannot exhaust fds or memory.
+  size_t max_connections = 256;
+  HttpLimits http;
+  AdmissionOptions admission;
+  /// A request must arrive completely within this window of its first
+  /// byte; slow-loris connections are reaped with a best-effort 408.
+  int64_t read_deadline_ms = 5000;
+  /// A written response must drain within this window; slow readers are
+  /// disconnected rather than allowed to pin buffers.
+  int64_t write_deadline_ms = 5000;
+  /// Keep-alive connections idle longer than this are closed.
+  int64_t idle_deadline_ms = 30'000;
+  /// A fully received ingest request that waits longer than this for a
+  /// handler is answered 503 (deadline-expired) instead of being processed
+  /// stale.
+  int64_t request_deadline_ms = 2000;
+  /// Bounded ingest handler queue; overflow is shed with 503. GET traffic
+  /// (reports/health/metrics) never enters this queue — it is served
+  /// directly from the event loop, so ingest floods cannot starve it.
+  size_t handler_queue_capacity = 512;
+  int num_handler_threads = 2;
+  /// Delivery pump cadence when the staging queues are empty.
+  int64_t advance_interval_ms = 10;
+  /// Budget for the graceful drain of open connections on Stop().
+  int64_t drain_deadline_ms = 1000;
+  /// Per-request body shape bounds (beyond the byte limits in `http`).
+  size_t max_records_per_batch = 65'536;
+  size_t max_samples_per_batch = 4096;
+  /// Record the per-instance accepted stream (records + watermark-
+  /// advancing samples) so tests/benches can replay it and verify the
+  /// deterministic-ingest fingerprint. Costs memory; off by default.
+  bool capture_accepted = false;
+};
+
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected_table_full = 0;
+  uint64_t connections_closed_read_deadline = 0;
+  uint64_t connections_closed_write_deadline = 0;
+  uint64_t connections_closed_idle = 0;
+  uint64_t parse_errors = 0;
+  uint64_t requests_received = 0;
+  uint64_t responses_sent = 0;
+  uint64_t responses_4xx = 0;
+  uint64_t responses_5xx = 0;
+  uint64_t ingest_requests = 0;
+  uint64_t ingest_accepted = 0;
+  uint64_t handler_queue_shed = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t batches_delivered = 0;
+  uint64_t records_delivered = 0;
+  uint64_t samples_delivered = 0;
+  int64_t advanced_to_sec = 0;
+};
+
+/// HTTP/JSON front door for a FleetService: tenant-scoped ingest behind
+/// the admission controller, plus report/trigger/repair/health/metrics
+/// endpoints that stay responsive during ingest floods.
+///
+/// Architecture (see DESIGN.md §12): one poll()-based event loop owns every
+/// socket and serves GET endpoints inline from caches; POST /v1/ingest
+/// requests are pre-admitted at header time (byte quota + shed, before the
+/// body is read), parsed and admitted on a small handler pool, staged in
+/// the admission controller's per-tenant queues, and delivered into the
+/// fleet by a single pump thread via weighted-fair dequeue — so the order
+/// records enter the deterministic ingest boundary is a single serialized
+/// stream, and replaying the accepted set is bit-reproducible.
+class Server {
+ public:
+  /// The server does not own the fleet; callers stop the fleet (flushing
+  /// its journals) after Server::Stop() has drained the staging queues.
+  Server(fleet::FleetService* fleet, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the event loop, handler pool and delivery
+  /// pump. InvalidArgument / Internal on socket errors.
+  Status Start();
+
+  /// Graceful drain: stops accepting, flushes open connections (bounded by
+  /// drain_deadline_ms), finishes queued ingest requests, and delivers
+  /// every staged batch into the fleet. Idempotent. The fleet itself keeps
+  /// running; the owner stops it afterwards.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const;
+
+  ServerStats stats() const;
+  std::map<std::string, TenantAdmissionStats> tenant_stats() const;
+
+  /// The captured accepted streams (capture_accepted only); call after
+  /// Stop() for a complete set.
+  std::map<uint32_t, online::ReplayLog> accepted_streams() const;
+
+  /// Routes one parsed request exactly as the serving path would —
+  /// exposed so hardening tests can hammer the handlers without sockets.
+  /// now_ms feeds the admission buckets (pass a monotonically
+  /// nondecreasing clock).
+  HttpResponse HandleRequest(const HttpRequest& request, int64_t now_ms);
+
+  /// Monotonic clock used for deadlines/buckets (steady_clock ms).
+  static int64_t NowMs();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    HttpParser parser;
+    std::string out;
+    size_t out_off = 0;
+    int64_t read_deadline_at = 0;   // 0 = no partial request pending
+    int64_t write_deadline_at = 0;  // 0 = nothing buffered
+    int64_t idle_deadline_at = 0;
+    bool close_after_write = false;
+    /// fd already closed; entry reaped at the top of the next loop turn.
+    bool closed = false;
+    /// Request handed to the handler pool; reads pause until the response
+    /// is written.
+    bool awaiting_response = false;
+    /// Header-time admission already ran for the current request.
+    bool pre_admit_done = false;
+
+    explicit Conn(const HttpLimits& limits) : parser(limits) {}
+  };
+  struct PendingIngest {
+    uint64_t conn_id = 0;
+    HttpRequest request;
+    int64_t arrival_ms = 0;
+    bool keep_alive = true;
+  };
+  struct OutboundResponse {
+    uint64_t conn_id = 0;
+    std::string bytes;
+    bool close_after = false;
+    bool error_class_4xx = false;
+    bool error_class_5xx = false;
+  };
+
+  void IoLoop();
+  void HandlerLoop();
+  void PumpLoop();
+
+  void AcceptPending(int64_t now_ms);
+  void ReadFromConn(Conn* conn, int64_t now_ms);
+  void ProcessParserProgress(Conn* conn, int64_t now_ms);
+  void QueueResponse(Conn* conn, const HttpResponse& response,
+                     bool keep_alive, int64_t now_ms);
+  void FlushConn(Conn* conn, int64_t now_ms);
+  void CloseConn(Conn* conn);
+  void SweepDeadlines(int64_t now_ms);
+  void DrainOutbound(int64_t now_ms);
+  void Wake();
+
+  /// Delivers one staged batch into the fleet; returns the max accepted
+  /// sample second (INT64_MIN if none).
+  int64_t DeliverBatch(StagedBatch batch);
+  void RefreshCachesAfterAdvance(std::vector<fleet::FleetOutcome> outcomes);
+
+  HttpResponse HandleIngest(const HttpRequest& request, int64_t now_ms);
+  HttpResponse HandleHealthz() const;
+  HttpResponse HandleMetricsz() const;
+  HttpResponse HandleReports(const HttpRequest& request) const;
+  HttpResponse HandleTriggers(const HttpRequest& request) const;
+  HttpResponse HandleRepairs(const HttpRequest& request) const;
+  StatusOr<StagedBatch> ParseIngestBody(const std::string& tenant,
+                                        const std::string& body) const;
+
+  fleet::FleetService* fleet_;
+  ServerOptions options_;
+  AdmissionController admission_;
+
+  mutable std::mutex lifecycle_mu_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::thread io_thread_;
+  std::vector<std::thread> handler_threads_;
+  std::thread pump_thread_;
+
+  // IO-thread-only state.
+  std::map<int, Conn> conns_;
+  std::map<uint64_t, int> conn_fd_by_id_;
+  uint64_t next_conn_id_ = 1;
+
+  // Handler queue (IO thread -> handler pool).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingIngest> handler_queue_;
+  bool handlers_stop_ = false;
+
+  // Response queue (handler pool -> IO thread).
+  std::mutex resp_mu_;
+  std::vector<OutboundResponse> responses_;
+
+  // Pump control.
+  std::mutex pump_mu_;
+  std::condition_variable pump_cv_;
+  bool pump_stop_ = false;
+
+  // Read-mostly caches the GET endpoints serve from (never touching the
+  // fleet's advance mutex on the request path).
+  mutable std::mutex cache_mu_;
+  fleet::FleetStats fleet_stats_cache_;
+  struct OutcomeEntry {
+    uint32_t instance_id = 0;
+    int64_t onset_sec = 0;
+    int64_t trigger_sec = 0;
+    double severity = 0.0;
+    bool ok = false;
+    bool storm_deferred = false;
+    uint64_t storm_batch = 0;
+    std::string error;
+    Json report_json;  // null unless ok
+  };
+  std::vector<OutcomeEntry> outcome_cache_;
+  std::vector<fleet::StormBatch> storm_cache_;
+  size_t storms_seen_ = 0;
+  std::map<uint32_t, online::ReplayLog> capture_;
+  std::map<uint32_t, int64_t> capture_last_sample_sec_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace pinsql::serve
+
+#endif  // PINSQL_SERVE_SERVER_H_

@@ -468,6 +468,83 @@ TEST(OnlineServiceTest, GracefulDrainUnderRacingProducers) {
   EXPECT_EQ(service.stats().seconds_processed, 40);
 }
 
+TEST(OnlineServiceTest, StopNeverHalfAppliesABatch) {
+  // Producers hammer AppendBatch while the main thread Stop()s mid-stream.
+  // Every batch must be all-or-nothing with respect to the drain: accepted
+  // batches are fully offered to the ingestor before the drain's final cut
+  // (so nothing is stranded staged), and batches that lose the race are
+  // rejected whole and counted.
+  ServiceOptions options;
+  options.ingestor.window_sec = 3600;
+  options.background_pump = true;
+  OnlineService service(options);
+  service.Start();
+
+  constexpr int kProducers = 4;
+  constexpr int kBatchesPerProducer = 400;
+  constexpr int kRecordsPerBatch = 7;
+  std::atomic<size_t> accepted_records{0};
+  std::atomic<size_t> rejected_records{0};
+  std::atomic<size_t> rejected_batches{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  for (int tid = 0; tid < kProducers; ++tid) {
+    producers.emplace_back([&, tid]() {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int b = 0; b < kBatchesPerProducer; ++b) {
+        std::vector<QueryLogRecord> records;
+        records.reserve(kRecordsPerBatch);
+        const int64_t sec = 2000 + b % 50;
+        for (int i = 0; i < kRecordsPerBatch; ++i) {
+          records.push_back(
+              Rec(sec * 1000 + (b * kRecordsPerBatch + i) % 1000 + tid,
+                  1 + static_cast<uint64_t>(i % 5)));
+        }
+        std::vector<PerfSample> samples;
+        if (b % 10 == tid % 10) samples.push_back(Sample(sec, 5.0));
+        if (service.AppendBatch(records, samples)) {
+          accepted_records.fetch_add(records.size(),
+                                     std::memory_order_relaxed);
+        } else {
+          rejected_records.fetch_add(records.size(),
+                                     std::memory_order_relaxed);
+          rejected_batches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Stop while the producers are mid-flight; the gate decides each batch.
+  service.Stop();
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(service.running());
+
+  const ServiceStats stats = service.stats();
+  // All-or-nothing: the records of every accepted batch reached the
+  // ingestor (enqueued or counted as backpressure drops) — no partial
+  // batches on either side of the cut.
+  EXPECT_EQ(stats.ingest.records_enqueued +
+                stats.ingest.records_dropped_backpressure,
+            accepted_records.load());
+  EXPECT_EQ(stats.records_rejected_stopped, rejected_records.load());
+  EXPECT_EQ(stats.batches_rejected_stopped, rejected_batches.load());
+  // The drain's cut is complete: nothing an accepted batch contributed is
+  // still staged, and the consistent-cut invariant closes.
+  EXPECT_EQ(stats.ingest.records_staged, 0u);
+  EXPECT_EQ(stats.ingest.records_folded + stats.ingest.records_dropped_late,
+            stats.ingest.records_enqueued);
+
+  // After Stop, producer calls reject cleanly and are counted.
+  EXPECT_FALSE(service.IngestRecord(Rec(3'000'000, 1)));
+  EXPECT_FALSE(service.IngestMetrics(Sample(3000, 5.0)));
+  EXPECT_FALSE(service.AppendBatch({Rec(3'000'000, 1)}, {}));
+  const ServiceStats after = service.stats();
+  EXPECT_EQ(after.records_rejected_stopped,
+            rejected_records.load() + 2);
+  EXPECT_GE(after.samples_rejected_stopped, 1u);
+}
+
 // --- Replay determinism --------------------------------------------------
 
 /// A synthetic incident: flat baseline, then template 9 floods the

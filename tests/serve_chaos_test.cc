@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faults/net_faults.h"
+#include "fleet/fleet_service.h"
+#include "serve/server.h"
+#include "util/json.h"
+
+namespace pinsql::serve {
+namespace {
+
+/// Two-tenant serving stack: "victim" (instance 1) is well behaved,
+/// "chaos" (instance 2) is the abusive tenant the chaos client plays.
+struct Stack {
+  std::unique_ptr<fleet::FleetService> fleet;
+  std::unique_ptr<Server> server;
+
+  Stack() = default;
+  Stack(Stack&&) = default;
+  Stack& operator=(Stack&&) = default;
+  ~Stack() {
+    if (server) server->Stop();
+    if (fleet) fleet->Stop();
+  }
+};
+
+Stack MakeStack(ServerOptions soptions) {
+  Stack stack;
+  fleet::FleetOptions foptions;
+  stack.fleet = std::make_unique<fleet::FleetService>(
+      std::vector<fleet::FleetInstanceSpec>{{1, 0}, {2, 0}}, foptions);
+  TemplateCatalogEntry entry;
+  entry.template_text = "SELECT * FROM t WHERE k = ?";
+  entry.kind = sqltpl::StatementKind::kSelect;
+  entry.tables = {"t"};
+  for (uint64_t id = 1; id <= 9; ++id) {
+    stack.fleet->RegisterTemplateFleetWide(id, entry);
+  }
+  stack.fleet->Start();
+
+  TenantQuota victim;
+  victim.records_per_sec = 1e6;
+  victim.record_burst = 1e6;
+  victim.bytes_per_sec = 1e9;
+  victim.byte_burst = 1e9;
+  victim.queue_capacity_batches = 10'000;
+  victim.instances = {1};
+  soptions.admission.tenants["victim"] = victim;
+  TenantQuota chaos;
+  chaos.records_per_sec = 500.0;  // the abusive tenant's real budget
+  chaos.record_burst = 1000.0;
+  chaos.bytes_per_sec = 256.0 * 1024;
+  chaos.byte_burst = 512.0 * 1024;
+  chaos.queue_capacity_batches = 16;
+  chaos.instances = {2};
+  soptions.admission.tenants["chaos"] = chaos;
+
+  stack.server = std::make_unique<Server>(stack.fleet.get(), soptions);
+  return stack;
+}
+
+faults::NetChaosOptions ChaosOptions(uint16_t port) {
+  faults::NetChaosOptions options;
+  options.port = port;
+  options.tenant = "chaos";
+  options.instance_id = 2;
+  return options;
+}
+
+// --- Victim-side client helpers ------------------------------------------
+
+int ConnectTo(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int RequestStatus(uint16_t port, const std::string& wire) {
+  const int fd = ConnectTo(port);
+  if (fd < 0) return -1;
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return -1;
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string buffer;
+  char chunk[2048];
+  while (buffer.find("\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (buffer.size() < 12 || buffer.compare(0, 5, "HTTP/") != 0) return -1;
+  return std::atoi(buffer.c_str() + 9);
+}
+
+std::string VictimIngest(int64_t sec, int records) {
+  std::string body = "{\"instance\":1,\"records\":[";
+  for (int i = 0; i < records; ++i) {
+    if (i > 0) body += ',';
+    body += "{\"arrival_ms\":" + std::to_string(sec * 1000 + i) +
+            ",\"sql_id\":" + std::to_string(1 + i % 4) +
+            ",\"response_ms\":2.0,\"examined_rows\":10}";
+  }
+  body += "],\"samples\":[{\"sec\":" + std::to_string(sec) +
+          ",\"active_session\":4.0}]}";
+  return "POST /v1/ingest HTTP/1.1\r\nX-Pinsql-Tenant: victim\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+}
+
+// --- Tests ---------------------------------------------------------------
+
+TEST(ServeChaosTest, GarbageFramesGetClean4xxAndBoundedState) {
+  ServerOptions soptions;
+  // Frames that happen to parse as an incomplete request sit until the
+  // read deadline; keep it tight so 32 frames stay fast.
+  soptions.read_deadline_ms = 300;
+  Stack stack = MakeStack(soptions);
+  ASSERT_TRUE(stack.server->Start().ok());
+
+  faults::NetChaosOptions coptions = ChaosOptions(stack.server->port());
+  coptions.garbage_frames = 32;
+  faults::NetChaosClient client(coptions);
+  const faults::NetChaosStats stats = client.RunGarbage();
+  EXPECT_EQ(stats.connects_failed, 0);
+  EXPECT_EQ(stats.garbage_sent, 32);
+  // The server survived and still answers cleanly.
+  EXPECT_EQ(RequestStatus(stack.server->port(),
+                          "GET /v1/healthz HTTP/1.1\r\n\r\n"),
+            200);
+  EXPECT_GT(stack.server->stats().parse_errors, 0u);
+  EXPECT_EQ(stack.server->stats().ingest_accepted, 0u);
+}
+
+TEST(ServeChaosTest, MidBodyDisconnectsLeakNothing) {
+  ServerOptions soptions;
+  Stack stack = MakeStack(soptions);
+  ASSERT_TRUE(stack.server->Start().ok());
+
+  faults::NetChaosOptions coptions = ChaosOptions(stack.server->port());
+  coptions.mid_body_disconnects = 16;
+  faults::NetChaosClient client(coptions);
+  const faults::NetChaosStats stats = client.RunMidBodyDisconnect();
+  EXPECT_EQ(stats.mid_body_sent, 16);
+
+  // No half request was ever handed to the ingest path, and the
+  // connections were reclaimed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(stack.server->stats().ingest_requests, 0u);
+  EXPECT_EQ(RequestStatus(stack.server->port(),
+                          "GET /v1/healthz HTTP/1.1\r\n\r\n"),
+            200);
+}
+
+TEST(ServeChaosTest, SlowLorisConnectionsAreReaped) {
+  ServerOptions soptions;
+  soptions.read_deadline_ms = 400;  // tight so the test stays fast
+  soptions.max_connections = 8;
+  Stack stack = MakeStack(soptions);
+  ASSERT_TRUE(stack.server->Start().ok());
+
+  faults::NetChaosOptions coptions = ChaosOptions(stack.server->port());
+  coptions.slow_loris_conns = 3;
+  coptions.slow_loris_bytes = 8;
+  coptions.slow_loris_interval_ms = 100;
+  coptions.slow_loris_wait_ms = 5000;
+  faults::NetChaosClient client(coptions);
+  const faults::NetChaosStats stats = client.RunSlowLoris();
+  // Every trickling connection was closed by the server's read deadline,
+  // not left pinning a slot.
+  EXPECT_EQ(stats.loris_survived, 0);
+  EXPECT_EQ(stats.loris_closed_by_server, 3);
+  EXPECT_GE(stack.server->stats().connections_closed_read_deadline, 3u);
+  // The table has free slots again.
+  EXPECT_EQ(RequestStatus(stack.server->port(),
+                          "GET /v1/healthz HTTP/1.1\r\n\r\n"),
+            200);
+}
+
+TEST(ServeChaosTest, TenantFloodIsContainedAndVictimKeepsGoodput) {
+  ServerOptions soptions;
+  Stack stack = MakeStack(soptions);
+  ASSERT_TRUE(stack.server->Start().ok());
+  const uint16_t port = stack.server->port();
+
+  // The abusive tenant floods from a background thread while the victim
+  // streams at its modest steady rate.
+  faults::NetChaosOptions coptions = ChaosOptions(port);
+  coptions.flood_requests = 40;
+  coptions.flood_records_per_request = 500;  // 20k records vs a 500/s budget
+  std::atomic<bool> flood_done{false};
+  faults::NetChaosStats flood_stats;
+  std::thread flooder([&]() {
+    faults::NetChaosClient client(coptions);
+    flood_stats = client.RunTenantFlood();
+    flood_done.store(true);
+  });
+
+  int victim_sent = 0;
+  int victim_accepted = 0;
+  for (int64_t sec = 700'000; sec < 700'040; ++sec) {
+    ++victim_sent;
+    if (RequestStatus(port, VictimIngest(sec, 10)) == 202) {
+      ++victim_accepted;
+    }
+  }
+  flooder.join();
+
+  // The flood was mostly rejected (429/503 with Retry-After) and the
+  // rejections carried backoff guidance.
+  EXPECT_EQ(flood_stats.flood_sent, 40);
+  EXPECT_GT(flood_stats.flood_rejected, flood_stats.flood_accepted);
+  EXPECT_GT(flood_stats.flood_retry_after, 0);
+  // The victim's goodput is essentially untouched (≥ 90%).
+  EXPECT_GE(victim_accepted * 10, victim_sent * 9);
+  // Reports stayed reachable throughout and after.
+  EXPECT_EQ(RequestStatus(port,
+                          "GET /v1/reports HTTP/1.1\r\n"
+                          "X-Pinsql-Tenant: victim\r\n\r\n"),
+            200);
+  // Per-tenant accounting separates the two cleanly.
+  const auto tenants = stack.server->tenant_stats();
+  EXPECT_EQ(tenants.at("victim").dropped_rate_limited +
+                tenants.at("victim").dropped_shed,
+            0u);
+  EXPECT_GT(tenants.at("chaos").dropped_rate_limited +
+                tenants.at("chaos").dropped_over_quota +
+                tenants.at("chaos").dropped_shed,
+            0u);
+}
+
+TEST(ServeChaosTest, FullCampaignLeavesAConsistentServer) {
+  ServerOptions soptions;
+  soptions.read_deadline_ms = 500;
+  Stack stack = MakeStack(soptions);
+  ASSERT_TRUE(stack.server->Start().ok());
+  const uint16_t port = stack.server->port();
+
+  faults::NetChaosOptions coptions = ChaosOptions(port);
+  coptions.slow_loris_conns = 2;
+  coptions.slow_loris_bytes = 6;
+  coptions.slow_loris_interval_ms = 80;
+  coptions.slow_loris_wait_ms = 4000;
+  coptions.mid_body_disconnects = 6;
+  coptions.garbage_frames = 12;
+  coptions.flood_requests = 12;
+  coptions.flood_records_per_request = 300;
+  faults::NetChaosClient client(coptions);
+  const faults::NetChaosStats stats = client.RunAll();
+  EXPECT_EQ(stats.loris_survived, 0);
+
+  // After the whole campaign: health is served, metrics parse, stop is
+  // clean (the ASan/TSan jobs assert the absence of leaks/races here).
+  EXPECT_EQ(RequestStatus(port, "GET /v1/healthz HTTP/1.1\r\n\r\n"), 200);
+  stack.server->Stop();
+  stack.fleet->Stop();
+}
+
+}  // namespace
+}  // namespace pinsql::serve

@@ -112,6 +112,16 @@ AdmitDecision AdmissionController::Enqueue(StagedBatch batch, int64_t now_ms) {
     PINSQL_OBS_COUNT("serve.admission.forbidden_instance", 1);
     return {AdmitOutcome::kForbiddenInstance, 0};
   }
+  // Re-check the global ceiling here: PreAdmit does not reserve the
+  // declared bytes (requests can die between header and body), so many
+  // concurrent in-flight bodies could otherwise collectively overshoot
+  // max_pending_bytes. Checked before the record bucket so a shed does not
+  // burn tenant tokens.
+  if (pending_bytes_ + batch.wire_bytes > options_.max_pending_bytes) {
+    ++t.stats.dropped_shed;
+    PINSQL_OBS_COUNT("serve.admission.dropped_shed", 1);
+    return {AdmitOutcome::kShed, 1000};
+  }
   if (t.queue.size() >= t.quota.queue_capacity_batches) {
     ++t.stats.dropped_over_quota;
     PINSQL_OBS_COUNT("serve.admission.dropped_over_quota", 1);

@@ -108,9 +108,10 @@ class AdmissionController {
   AdmitDecision PreAdmit(const std::string& tenant, size_t declared_bytes,
                          int64_t now_ms);
 
-  /// Post-parse: charges the record bucket and stages the batch for fair
-  /// delivery. On any non-admitted outcome the batch is dropped and
-  /// counted.
+  /// Post-parse: re-applies the global shed ceiling against the actual
+  /// wire bytes (PreAdmit does not reserve them), charges the record
+  /// bucket and stages the batch for fair delivery. On any non-admitted
+  /// outcome the batch is dropped and counted.
   AdmitDecision Enqueue(StagedBatch batch, int64_t now_ms);
 
   /// Weighted deficit-round-robin drain across backlogged tenants, up to

@@ -218,7 +218,9 @@ void Server::IoLoop() {
       short events = 0;
       if (!conn.awaiting_response && !conn.close_after_write) events |= POLLIN;
       if (conn.out_off < conn.out.size()) events |= POLLOUT;
-      if (events == 0) events = POLLIN;  // still notice resets
+      // events may be 0 while awaiting a handler response: POLLERR/POLLHUP
+      // are still reported, and polling POLLIN here would busy-spin on any
+      // pipelined bytes the client already sent.
       pfds.push_back({fd, events, 0});
     }
 
@@ -281,6 +283,11 @@ void Server::AcceptPending(int64_t now_ms) {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.socket_send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
+                   &options_.socket_send_buffer_bytes,
+                   sizeof(options_.socket_send_buffer_bytes));
+    }
     auto [it, inserted] = conns_.emplace(fd, Conn(options_.http));
     Conn& conn = it->second;
     conn.fd = fd;
@@ -303,7 +310,15 @@ void Server::ReadFromConn(Conn* conn, int64_t now_ms) {
         conn->read_deadline_at = now_ms + options_.read_deadline_ms;
       }
       conn->idle_deadline_at = now_ms + options_.idle_deadline_ms;
-      conn->parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      const HttpParser::State state =
+          conn->parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      // Stop at a request boundary: Feed() ignores bytes once the parser is
+      // complete (or failed), so pipelined bytes past this request must stay
+      // in the kernel buffer until the parser is Reset.
+      if (state == HttpParser::State::kComplete ||
+          state == HttpParser::State::kError) {
+        break;
+      }
       continue;
     }
     if (n == 0) {
@@ -413,9 +428,13 @@ void Server::ProcessParserProgress(Conn* conn, int64_t now_ms) {
         QueueResponse(conn,
                       ErrorResponse(503, "overloaded: handler queue full", 1),
                       keep_alive, now_ms);
-        if (conn->closed || conn->out_off < conn->out.size()) return;
+        if (conn->closed) return;
+        // Reset before any early return: the POLLOUT path re-enters this
+        // function once the flush drains, and a still-kComplete parser
+        // would re-process (and re-answer) the same request.
         parser.Reset();
         conn->pre_admit_done = false;
+        if (conn->out_off < conn->out.size()) return;  // resume after flush
         continue;
       }
       queue_cv_.notify_one();
@@ -427,9 +446,12 @@ void Server::ProcessParserProgress(Conn* conn, int64_t now_ms) {
     // ingest floods queue behind the handler pool, never in front of these.
     const HttpResponse response = HandleRequest(request, now_ms);
     QueueResponse(conn, response, keep_alive, now_ms);
-    if (conn->closed || conn->out_off < conn->out.size()) return;
+    if (conn->closed) return;
+    // As above: Reset must precede the partial-flush return so the POLLOUT
+    // re-entry sees a fresh parser, never the already-answered request.
     parser.Reset();
     conn->pre_admit_done = false;
+    if (conn->out_off < conn->out.size()) return;  // resume after flush
   }
 }
 
@@ -706,6 +728,14 @@ void Server::RefreshCachesAfterAdvance(
   const auto& storms = fleet_->storms();
   for (; storms_seen_ < storms.size(); ++storms_seen_) {
     storm_cache_.push_back(storms[storms_seen_]);
+  }
+  // Evict oldest entries so a long-running server's caches stay bounded;
+  // the read endpoints serve newest-first, so recent history survives.
+  while (outcome_cache_.size() > options_.max_cached_outcomes) {
+    outcome_cache_.pop_front();
+  }
+  while (storm_cache_.size() > options_.max_cached_storms) {
+    storm_cache_.pop_front();
   }
 }
 
@@ -1003,13 +1033,16 @@ HttpResponse Server::HandleMetricsz() const {
 
 namespace {
 
-/// Tenant scope shared by the three read endpoints.
-struct ReadScope {
-  bool ok = false;
-  HttpResponse error;
-  std::vector<uint32_t> instances;
+/// `limit` query parameter shared by the three read endpoints: default 100,
+/// clamped to [1, 1000] so no response serializes an unbounded cache.
+size_t ParseLimit(const HttpRequest& request) {
   size_t limit = 100;
-};
+  if (const std::string param = request.QueryParam("limit"); !param.empty()) {
+    limit = static_cast<size_t>(
+        std::clamp<int64_t>(std::atoll(param.c_str()), 1, 1000));
+  }
+  return limit;
+}
 
 }  // namespace
 
@@ -1019,11 +1052,7 @@ HttpResponse Server::HandleReports(const HttpRequest& request) const {
     return ErrorResponse(403, "unknown tenant");
   }
   const std::vector<uint32_t> scope = admission_.TenantInstances(*tenant);
-  size_t limit = 100;
-  if (const std::string param = request.QueryParam("limit"); !param.empty()) {
-    limit = static_cast<size_t>(
-        std::clamp<int64_t>(std::atoll(param.c_str()), 1, 1000));
-  }
+  const size_t limit = ParseLimit(request);
   Json reports = Json::MakeArray();
   std::lock_guard<std::mutex> lock(cache_mu_);
   size_t emitted = 0;
@@ -1059,31 +1088,38 @@ HttpResponse Server::HandleTriggers(const HttpRequest& request) const {
     return ErrorResponse(403, "unknown tenant");
   }
   const std::vector<uint32_t> scope = admission_.TenantInstances(*tenant);
+  const size_t limit = ParseLimit(request);
   Json triggers = Json::MakeArray();
   Json storms = Json::MakeArray();
   std::lock_guard<std::mutex> lock(cache_mu_);
-  for (const OutcomeEntry& entry : outcome_cache_) {
-    if (std::find(scope.begin(), scope.end(), entry.instance_id) ==
+  size_t emitted = 0;
+  for (auto it = outcome_cache_.rbegin();
+       it != outcome_cache_.rend() && emitted < limit; ++it) {
+    if (std::find(scope.begin(), scope.end(), it->instance_id) ==
         scope.end()) {
       continue;
     }
     Json t = Json::MakeObject();
-    t.Set("instance", static_cast<int64_t>(entry.instance_id));
-    t.Set("onset_sec", entry.onset_sec);
-    t.Set("trigger_sec", entry.trigger_sec);
-    t.Set("severity", entry.severity);
-    t.Set("storm_deferred", entry.storm_deferred);
-    t.Set("storm_batch", static_cast<int64_t>(entry.storm_batch));
+    t.Set("instance", static_cast<int64_t>(it->instance_id));
+    t.Set("onset_sec", it->onset_sec);
+    t.Set("trigger_sec", it->trigger_sec);
+    t.Set("severity", it->severity);
+    t.Set("storm_deferred", it->storm_deferred);
+    t.Set("storm_batch", static_cast<int64_t>(it->storm_batch));
     triggers.Append(std::move(t));
+    ++emitted;
   }
-  for (const fleet::StormBatch& storm : storm_cache_) {
+  size_t storms_emitted = 0;
+  for (auto it = storm_cache_.rbegin();
+       it != storm_cache_.rend() && storms_emitted < limit; ++it) {
     Json s = Json::MakeObject();
-    s.Set("id", static_cast<int64_t>(storm.id));
-    s.Set("opened_sec", storm.opened_sec);
-    s.Set("closed_sec", storm.closed_sec);
-    s.Set("members", static_cast<int64_t>(storm.members.size()));
-    s.Set("triaged", static_cast<int64_t>(storm.triaged.size()));
+    s.Set("id", static_cast<int64_t>(it->id));
+    s.Set("opened_sec", it->opened_sec);
+    s.Set("closed_sec", it->closed_sec);
+    s.Set("members", static_cast<int64_t>(it->members.size()));
+    s.Set("triaged", static_cast<int64_t>(it->triaged.size()));
     storms.Append(std::move(s));
+    ++storms_emitted;
   }
   Json root = Json::MakeObject();
   root.Set("triggers", std::move(triggers));
@@ -1099,23 +1135,27 @@ HttpResponse Server::HandleRepairs(const HttpRequest& request) const {
     return ErrorResponse(403, "unknown tenant");
   }
   const std::vector<uint32_t> scope = admission_.TenantInstances(*tenant);
+  const size_t limit = ParseLimit(request);
   Json repairs = Json::MakeArray();
   std::lock_guard<std::mutex> lock(cache_mu_);
-  for (const OutcomeEntry& entry : outcome_cache_) {
-    if (!entry.ok) continue;
-    if (std::find(scope.begin(), scope.end(), entry.instance_id) ==
+  size_t emitted = 0;
+  for (auto it = outcome_cache_.rbegin();
+       it != outcome_cache_.rend() && emitted < limit; ++it) {
+    if (!it->ok) continue;
+    if (std::find(scope.begin(), scope.end(), it->instance_id) ==
         scope.end()) {
       continue;
     }
     Json r = Json::MakeObject();
-    r.Set("instance", static_cast<int64_t>(entry.instance_id));
-    r.Set("trigger_sec", entry.trigger_sec);
-    if (const Json* events = entry.report_json.Find("repair_events")) {
+    r.Set("instance", static_cast<int64_t>(it->instance_id));
+    r.Set("trigger_sec", it->trigger_sec);
+    if (const Json* events = it->report_json.Find("repair_events")) {
       r.Set("events", *events);
     } else {
       r.Set("events", Json::MakeArray());
     }
     repairs.Append(std::move(r));
+    ++emitted;
   }
   Json root = Json::MakeObject();
   root.Set("repairs", std::move(repairs));

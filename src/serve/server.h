@@ -53,6 +53,14 @@ struct ServerOptions {
   /// Per-request body shape bounds (beyond the byte limits in `http`).
   size_t max_records_per_batch = 65'536;
   size_t max_samples_per_batch = 4096;
+  /// Bounds on the read-endpoint caches (reports/triggers/repairs serve
+  /// from these); the oldest entries are evicted so a long-running server's
+  /// memory stays bounded.
+  size_t max_cached_outcomes = 1024;
+  size_t max_cached_storms = 512;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the OS default. Tests use
+  /// tiny values to exercise the partial-flush (POLLOUT resume) paths.
+  int socket_send_buffer_bytes = 0;
   /// Record the per-instance accepted stream (records + watermark-
   /// advancing samples) so tests/benches can replay it and verify the
   /// deterministic-ingest fingerprint. Costs memory; off by default.
@@ -247,8 +255,8 @@ class Server {
     std::string error;
     Json report_json;  // null unless ok
   };
-  std::vector<OutcomeEntry> outcome_cache_;
-  std::vector<fleet::StormBatch> storm_cache_;
+  std::deque<OutcomeEntry> outcome_cache_;
+  std::deque<fleet::StormBatch> storm_cache_;
   size_t storms_seen_ = 0;
   std::map<uint32_t, online::ReplayLog> capture_;
   std::map<uint32_t, int64_t> capture_last_sample_sec_;

@@ -112,6 +112,39 @@ TEST(AdmissionTest, PreAdmitChargesBytesAndSheds) {
             AdmitOutcome::kAdmitted);
 }
 
+TEST(AdmissionTest, EnqueueReappliesGlobalShedCeiling) {
+  AdmissionOptions options = TwoTenantOptions();
+  options.max_pending_bytes = 50'000;
+  for (auto& [name, quota] : options.tenants) {
+    quota.bytes_per_sec = 1e12;
+    quota.byte_burst = 1e12;
+    quota.records_per_sec = 1e9;
+    quota.record_burst = 1e9;
+  }
+  AdmissionController controller(options);
+  // Two in-flight requests both pass the header-time ceiling check (no
+  // bytes are reserved at PreAdmit)...
+  EXPECT_EQ(controller.PreAdmit("acme", 30'000, 0).outcome,
+            AdmitOutcome::kAdmitted);
+  EXPECT_EQ(controller.PreAdmit("umbrella", 30'000, 0).outcome,
+            AdmitOutcome::kAdmitted);
+  // ...but Enqueue re-applies it against actually staged bytes, so the
+  // second body cannot push the pool past max_pending_bytes.
+  EXPECT_EQ(controller.Enqueue(Batch("acme", 1, 10, 30'000), 0).outcome,
+            AdmitOutcome::kAdmitted);
+  const AdmitDecision shed =
+      controller.Enqueue(Batch("umbrella", 7, 10, 30'000), 0);
+  EXPECT_EQ(shed.outcome, AdmitOutcome::kShed);
+  EXPECT_GE(shed.retry_after_ms, 1);
+  EXPECT_EQ(controller.TenantStats().at("umbrella").dropped_shed, 1u);
+  EXPECT_LE(controller.pending_bytes(), 50'000u);
+  // The shed burned no record tokens: once the pool drains, the same
+  // batch is admitted.
+  controller.DequeueFair(16, 0);
+  EXPECT_EQ(controller.Enqueue(Batch("umbrella", 7, 10, 30'000), 0).outcome,
+            AdmitOutcome::kAdmitted);
+}
+
 TEST(AdmissionTest, QueueCapacityIsPerTenant) {
   AdmissionOptions options = TwoTenantOptions();
   for (auto& [name, quota] : options.tenants) {

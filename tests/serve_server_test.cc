@@ -347,6 +347,96 @@ TEST(ServeServerTest, KeepAlivePipeliningServesSequentialRequests) {
   ::close(fd);
 }
 
+TEST(ServeServerTest, PartialFlushDoesNotReplayOrDuplicateResponses) {
+  ServerOptions soptions;
+  soptions.socket_send_buffer_bytes = 2048;  // force partial flushes
+  Stack stack = MakeStack(soptions);
+  ASSERT_TRUE(stack.server->Start().ok());
+  const uint16_t port = stack.server->port();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 2048;  // tiny receive window: responses cannot drain
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Pipeline large responses (metricsz) ahead of distinguishable small
+  // ones. The server hits EAGAIN mid-response and must resume via POLLOUT
+  // without re-processing an already-answered request — a stuck parser
+  // here used to replay request 1 forever and the 404 would never arrive.
+  std::string wire;
+  constexpr int kBig = 16;
+  for (int i = 0; i < kBig; ++i) {
+    wire += "GET /v1/metricsz HTTP/1.1\r\n\r\n";
+  }
+  wire += "GET /v1/nope HTTP/1.1\r\n\r\n";
+  wire += "GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(SendAll(fd, wire));
+  // Give the server time to attempt (and partially fail) the flushes
+  // before we start draining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  std::string carry;
+  for (int i = 0; i < kBig; ++i) {
+    const ClientResponse response = ReadResponse(fd, &carry);
+    ASSERT_TRUE(response.ok) << "response " << i;
+    EXPECT_EQ(response.status, 200) << "response " << i;
+  }
+  const ClientResponse not_found = ReadResponse(fd, &carry);
+  ASSERT_TRUE(not_found.ok);
+  EXPECT_EQ(not_found.status, 404);
+  const ClientResponse last = ReadResponse(fd, &carry);
+  ASSERT_TRUE(last.ok);
+  EXPECT_EQ(last.status, 200);
+  EXPECT_NE(last.headers.find("Connection: close"), std::string::npos);
+  ::close(fd);
+
+  const ServerStats stats = stack.server->stats();
+  EXPECT_EQ(stats.requests_received, static_cast<uint64_t>(kBig) + 2);
+  EXPECT_EQ(stats.responses_sent, static_cast<uint64_t>(kBig) + 2);
+}
+
+TEST(ServeServerTest, PipelinedRequestSpanningMultipleReadsIsNotLost) {
+  Stack stack = MakeStack();
+  ASSERT_TRUE(stack.server->Start().ok());
+  const int fd = ConnectTo(stack.server->port());
+  ASSERT_GE(fd, 0);
+
+  // A tiny GET followed, in the same burst, by an ingest POST whose body
+  // exceeds the server's 16 KiB read chunk: the POST's bytes span several
+  // recv() calls after the GET already completed, and must wait in the
+  // kernel buffer — not be fed into (and discarded by) a complete parser.
+  std::vector<QueryLogRecord> records(400);
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].arrival_ms = 700'000'000 + static_cast<int64_t>(i);
+    records[i].sql_id = 1 + i % 4;
+    records[i].response_ms = 2.0;
+    records[i].examined_rows = 10;
+  }
+  const std::string body = BatchBody(1, records, {});
+  ASSERT_GT(body.size(), 16u * 1024);
+  std::string wire = "GET /v1/healthz HTTP/1.1\r\n\r\n";
+  wire +=
+      "POST /v1/ingest HTTP/1.1\r\nX-Pinsql-Tenant: acme\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  ASSERT_TRUE(SendAll(fd, wire));
+
+  std::string carry;
+  const ClientResponse first = ReadResponse(fd, &carry);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.status, 200);
+  const ClientResponse second = ReadResponse(fd, &carry);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.status, 202);
+  ::close(fd);
+}
+
 TEST(ServeServerTest, MalformedRequestsGetCleanErrors) {
   Stack stack = MakeStack();
   ASSERT_TRUE(stack.server->Start().ok());
@@ -428,8 +518,18 @@ TEST(ServeServerTest, EndToEndIncidentDiagnosisAndReplayFingerprint) {
   ASSERT_TRUE(tparsed.ok());
   EXPECT_FALSE(tparsed.value().Find("triggers")->AsArray().empty());
 
+  // Triggers/repairs honor the same limit parameter as reports, so their
+  // responses stay bounded no matter how much history is cached.
+  const ClientResponse limited =
+      Request(port, "GET", "/v1/triggers?limit=1", "acme");
+  ASSERT_EQ(limited.status, 200);
+  auto lparsed = Json::Parse(limited.body);
+  ASSERT_TRUE(lparsed.ok());
+  EXPECT_LE(lparsed.value().Find("triggers")->AsArray().size(), 1u);
+
   // Repairs endpoint answers (events may be empty: fleet is diagnose-only).
-  const ClientResponse repairs = Request(port, "GET", "/v1/repairs", "acme");
+  const ClientResponse repairs =
+      Request(port, "GET", "/v1/repairs?limit=5", "acme");
   EXPECT_EQ(repairs.status, 200);
 
   // Graceful stop, then verify the determinism contract: the accepted

@@ -1,16 +1,29 @@
 /// Google-benchmark micro-benchmarks for the hot kernels of PinSQL: SQL
 /// fingerprinting, Pearson correlation, session estimation, the lock
-/// manager, the simulation engine, and JSON parsing. These back the
-/// efficiency discussion of Sec. VIII-B (stage times of the 14.94 s
-/// average diagnosis).
+/// manager, the simulation engine, JSON parsing, and the arena-backed
+/// ingest path (staging, pump/fold, arena and log-store primitives). These
+/// back the efficiency discussion of Sec. VIII-B (stage times of the
+/// 14.94 s average diagnosis) and the DESIGN.md §13 memory-layout numbers.
+///
+/// `--smoke` shortens every benchmark for CI (mapped to a small
+/// --benchmark_min_time); combine with --benchmark_filter=Ingest and
+/// --benchmark_out=BENCH_ingest.json --benchmark_out_format=json for the
+/// machine-readable ingest sweep.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/session_estimator.h"
 #include "dbsim/engine.h"
 #include "dbsim/lock_manager.h"
+#include "logstore/log_store.h"
+#include "online/stream_ingestor.h"
 #include "sqltpl/fingerprint.h"
 #include "ts/stats.h"
+#include "util/arena.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -128,6 +141,167 @@ void BM_JsonParse(benchmark::State& state) {
 }
 BENCHMARK(BM_JsonParse);
 
+// --- Ingest hot path ------------------------------------------------------
+
+pinsql::QueryLogRecord IngestRecordAt(size_t i, uint64_t tid = 0) {
+  pinsql::QueryLogRecord record;
+  record.sql_id = tid * 131071ULL + i % 512;
+  record.arrival_ms = static_cast<int64_t>(i % 600'000);
+  record.response_ms = 1.0 + static_cast<double>(i % 17);
+  record.examined_rows = static_cast<int64_t>(i % 100);
+  return record;
+}
+
+/// Producer-side staging only: the per-record cost a collector thread pays
+/// (shard lock + chunk append), pump kept out of the timed loop.
+void BM_IngestStage(benchmark::State& state) {
+  pinsql::online::IngestorOptions options;
+  options.num_shards = 16;
+  options.window_sec = 600;
+  options.shard_queue_capacity = 1 << 20;
+  pinsql::online::StreamIngestor ingestor(options);
+  size_t i = 0;
+  size_t staged = 0;
+  for (auto _ : state) {
+    ingestor.IngestRecord(IngestRecordAt(i++));
+    if (++staged >= (1 << 19)) {  // drain outside the timed region
+      state.PauseTiming();
+      ingestor.Pump();
+      staged = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IngestStage);
+
+/// Full single-core path: stage a batch, pump it (fold into SoA ring
+/// cells), alternating — the sustained records/sec/core number.
+void BM_IngestStagePump(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  pinsql::online::IngestorOptions options;
+  options.num_shards = 16;
+  options.window_sec = 600;
+  options.shard_queue_capacity = 1 << 20;
+  pinsql::online::StreamIngestor ingestor(options);
+  size_t i = 0;
+  for (auto _ : state) {
+    for (size_t k = 0; k < batch; ++k) {
+      ingestor.IngestRecord(IngestRecordAt(i++));
+    }
+    benchmark::DoNotOptimize(ingestor.Pump());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_IngestStagePump)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// Stage+pump with the archive attached: adds the arena-backed LogStore
+/// append (spans into slabs) to every pumped record.
+void BM_IngestStagePumpArchived(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  pinsql::online::IngestorOptions options;
+  options.num_shards = 16;
+  options.window_sec = 600;
+  options.shard_queue_capacity = 1 << 20;
+  pinsql::online::StreamIngestor ingestor(options);
+  pinsql::LogStore archive;
+  ingestor.AttachArchive(&archive);
+  size_t i = 0;
+  for (auto _ : state) {
+    for (size_t k = 0; k < batch; ++k) {
+      ingestor.IngestRecord(IngestRecordAt(i++));
+    }
+    benchmark::DoNotOptimize(ingestor.Pump());
+    if (archive.size() > (1 << 22)) {
+      state.PauseTiming();
+      archive.TrimBefore(700'000'000);  // reset retention outside the timer
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_IngestStagePumpArchived)->Arg(4096)->Arg(65536);
+
+/// Window assembly out of the rings: the snapshot the detector and the
+/// scheduler consume each second.
+void BM_IngestSnapshotTemplates(benchmark::State& state) {
+  pinsql::online::IngestorOptions options;
+  options.num_shards = 16;
+  options.window_sec = 600;
+  options.shard_queue_capacity = 1 << 20;
+  pinsql::online::StreamIngestor ingestor(options);
+  for (size_t i = 0; i < (1 << 19); ++i) {
+    ingestor.IngestRecord(IngestRecordAt(i));
+    if (i % (1 << 16) == 0) ingestor.Pump();
+  }
+  ingestor.Pump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ingestor.SnapshotTemplates(0, 600));
+  }
+}
+BENCHMARK(BM_IngestSnapshotTemplates);
+
+void BM_ArenaCreateRelease(benchmark::State& state) {
+  pinsql::util::Arena arena;
+  std::vector<pinsql::util::Arena::Handle> handles;
+  handles.reserve(1 << 16);
+  for (auto _ : state) {
+    for (int i = 0; i < (1 << 16); ++i) {
+      handles.push_back(arena.Create<pinsql::QueryLogRecord>({}));
+    }
+    for (const auto h : handles) {
+      arena.Release(h, sizeof(pinsql::QueryLogRecord));
+    }
+    handles.clear();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_ArenaCreateRelease);
+
+void BM_LogStoreAppendScan(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    pinsql::LogStore store;
+    state.ResumeTiming();
+    for (size_t i = 0; i < (1 << 16); ++i) {
+      store.Append(IngestRecordAt((i * 7919) % (1 << 16)));
+    }
+    double sum = 0;
+    store.ScanRange(0, 700'000,
+                    [&sum](const pinsql::QueryLogRecord& r) {
+                      sum += r.response_ms;
+                    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_LogStoreAppendScan);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main instead of BENCHMARK_MAIN(): recognizes `--smoke` (CI's
+/// short mode) and translates it into a small --benchmark_min_time before
+/// handing the rest to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  static std::string min_time = "--benchmark_min_time=0.05s";
+  bool smoke = false;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (smoke) args.push_back(min_time.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

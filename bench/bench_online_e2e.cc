@@ -112,12 +112,18 @@ int main(int argc, char** argv) {
       EnvInt("PINSQL_BENCH_INGEST_RECORDS", smoke ? 50'000 : 400'000));
   std::printf("ingest throughput (%zu records per producer):\n", per_thread);
   double rate1 = 0.0, rate4 = 0.0;
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : {0, 1, 2, 4, 8}) {
     const auto point = pinsql::eval::RunIngestThroughput(threads, per_thread);
-    std::printf("  %d thread%s: %9.0f rec/s  (%.3fs, %zu backpressure "
-                "rejections)\n",
-                point.threads, point.threads == 1 ? " " : "s",
-                point.records_per_sec, point.seconds, point.dropped);
+    if (point.threads == 0) {
+      std::printf("  coop 1-core: %9.0f rec/s  (%.3fs, %zu backpressure "
+                  "rejections)\n",
+                  point.records_per_sec, point.seconds, point.dropped);
+    } else {
+      std::printf("  %d thread%s  : %9.0f rec/s  (%.3fs, %zu backpressure "
+                  "rejections)\n",
+                  point.threads, point.threads == 1 ? " " : "s",
+                  point.records_per_sec, point.seconds, point.dropped);
+    }
     if (threads == 1) rate1 = point.records_per_sec;
     if (threads == 4) rate4 = point.records_per_sec;
   }

@@ -71,9 +71,17 @@ SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
   // second's contribution order matches the serial record-order loop;
   // the expensive Overlap×K math below then shards per second.
   std::vector<RecordSpan> spans(logs.size());
+  // Structure-of-arrays mirror of the two fields the Overlap kernels read:
+  // the per-second scans below visit records by index out of arrival
+  // order, and two contiguous double columns keep those gathers off the
+  // full 32-byte record.
+  std::vector<double> rec_lo(logs.size());
+  std::vector<double> rec_hi(logs.size());
   std::vector<std::vector<uint32_t>> records_by_sec(n);
   for (size_t r = 0; r < logs.size(); ++r) {
     spans[r] = SpanOf(logs[r], ts_sec, te_sec);
+    rec_lo[r] = static_cast<double>(logs[r].arrival_ms);
+    rec_hi[r] = rec_lo[r] + std::max(logs[r].response_ms, 0.0);
     for (int64_t sec = spans[r].first_sec; sec <= spans[r].last_sec; ++sec) {
       records_by_sec[static_cast<size_t>(sec - ts_sec)].push_back(
           static_cast<uint32_t>(r));
@@ -89,9 +97,8 @@ SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
     const double sec_ms = static_cast<double>(sec) * 1000.0;
     const size_t row = i * static_cast<size_t>(k);
     for (const uint32_t r : records_by_sec[i]) {
-      const QueryLogRecord& q = logs[r];
-      const double q_lo = static_cast<double>(q.arrival_ms);
-      const double q_hi = q_lo + std::max(q.response_ms, 0.0);
+      const double q_lo = rec_lo[r];
+      const double q_hi = rec_hi[r];
       for (int b = 0; b < k; ++b) {
         const double b_lo = sec_ms + bucket_ms * b;
         const double p =
@@ -160,9 +167,8 @@ SessionEstimate EstimateSessions(const std::vector<QueryLogRecord>& logs,
   util::ParallelFor(pool, tpl_records.size(), [&](size_t t) {
     TimeSeries& series = *tpl_series[t];
     for (const uint32_t r : tpl_records[t].second) {
-      const QueryLogRecord& q = logs[r];
-      const double q_lo = static_cast<double>(q.arrival_ms);
-      const double q_hi = q_lo + std::max(q.response_ms, 0.0);
+      const double q_lo = rec_lo[r];
+      const double q_hi = rec_hi[r];
       for (int64_t sec = spans[r].first_sec; sec <= spans[r].last_sec;
            ++sec) {
         const size_t i = static_cast<size_t>(sec - ts_sec);

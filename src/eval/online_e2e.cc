@@ -218,13 +218,54 @@ OnlineE2ESummary RunOnlineE2E(const OnlineE2EOptions& options) {
 
 ThroughputPoint RunIngestThroughput(int threads, size_t records_per_thread) {
   ThroughputPoint point;
-  point.threads = std::max(threads, 1);
-  point.records = records_per_thread * static_cast<size_t>(point.threads);
+  point.threads = std::max(threads, 0);
+  point.records = records_per_thread *
+                  static_cast<size_t>(std::max(point.threads, 1));
 
   online::IngestorOptions ingest_options;
   ingest_options.num_shards = 16;
   ingest_options.window_sec = 600;
   online::StreamIngestor ingestor(ingest_options);
+
+  if (point.threads == 0) {
+    // Cooperative single-core: stage a batch, fold it, repeat — the same
+    // records and the same full path (stage + pump + fold), but one thread
+    // doing both halves so the measurement is per-core work, not
+    // scheduling.
+    constexpr size_t kPumpEvery = 4096;
+    QueryLogRecord record;
+    size_t since_pump = 0;
+    const auto feed = [&](size_t i) {
+      record.sql_id = i % 512;
+      record.arrival_ms = static_cast<int64_t>(i % 600'000);
+      record.response_ms = 1.0 + static_cast<double>(i % 17);
+      record.examined_rows = static_cast<int64_t>(i % 100);
+      while (!ingestor.IngestRecord(record)) ingestor.Pump();
+      if (++since_pump >= kPumpEvery) {
+        ingestor.Pump();
+        since_pump = 0;
+      }
+    };
+    // One full pass over the arrival ring untimed: ring-bucket columns,
+    // lookup tables and pool slabs reach steady state before the clock
+    // starts, so short sweeps report the sustained rate rather than
+    // first-touch growth.
+    constexpr size_t kWarmup = 600'000;
+    for (size_t i = 0; i < kWarmup; ++i) feed(i);
+    ingestor.Pump();
+    since_pump = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = kWarmup; i < kWarmup + records_per_thread; ++i) feed(i);
+    ingestor.Pump();
+    const auto t1 = std::chrono::steady_clock::now();
+    point.seconds = std::chrono::duration<double>(t1 - t0).count();
+    point.records_per_sec =
+        point.seconds > 0.0
+            ? static_cast<double>(point.records) / point.seconds
+            : 0.0;
+    point.dropped = ingestor.stats().records_dropped_backpressure;
+    return point;
+  }
 
   std::atomic<bool> done{false};
   const auto t0 = std::chrono::steady_clock::now();

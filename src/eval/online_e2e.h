@@ -87,6 +87,13 @@ OnlineE2ESummary RunOnlineE2E(const OnlineE2EOptions& options);
 /// `records_per_thread` synthetic records each into a StreamIngestor while
 /// the main thread pumps. Wall-clock timed (not part of any deterministic
 /// guarantee).
+///
+/// `threads == 0` is the cooperative single-core case: ONE thread
+/// alternates staging batches with Pump(), so the number is the stage +
+/// fold capability of one core with no scheduler interference. On hosts
+/// with fewer cores than threads the threaded cases time the kernel
+/// scheduler as much as the ingest path; the cooperative case is the
+/// records/sec/core figure.
 struct ThroughputPoint {
   int threads = 1;
   size_t records = 0;

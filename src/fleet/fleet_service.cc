@@ -29,6 +29,7 @@ FleetService::FleetService(const std::vector<FleetInstanceSpec>& specs,
             return clamped;
           }(),
           specs) {
+  chunk_pool_ = std::make_shared<online::IngestChunkPool>();
   instances_.reserve(specs.size());
   for (const FleetInstanceSpec& spec : specs) {
     if (index_by_id_.count(spec.instance_id) != 0) continue;  // first wins
@@ -37,7 +38,7 @@ FleetService::FleetService(const std::vector<FleetInstanceSpec>& specs,
     instance.spec = spec;
     instance.archive = std::make_unique<LogStore>();
     instance.ingestor =
-        std::make_unique<online::StreamIngestor>(options_.ingestor);
+        std::make_unique<online::StreamIngestor>(options_.ingestor, chunk_pool_);
     instance.ingestor->AttachArchive(instance.archive.get());
     instance.detector =
         std::make_unique<online::OnlineAnomalyDetector>(options_.detector);

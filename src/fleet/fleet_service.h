@@ -227,6 +227,10 @@ class FleetService {
   online::DiagnosisOutcome RunOne(const QueuedTrigger& entry);
 
   FleetOptions options_;
+  /// One chunk pool behind every instance's ingestor: staging capacity is
+  /// pooled fleet-wide (slabs recycle across instances) instead of
+  /// multiplied by the instance count.
+  std::shared_ptr<online::IngestChunkPool> chunk_pool_;
   std::vector<Instance> instances_;
   std::map<uint32_t, size_t> index_by_id_;
 

@@ -6,9 +6,11 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sqltpl/fingerprint.h"
+#include "util/arena.h"
 
 namespace pinsql {
 
@@ -32,14 +34,23 @@ struct TemplateCatalogEntry {
 };
 
 /// Append-only query-log store, the stand-in for Alibaba Cloud LogStore.
-/// Records are buffered as they complete (completion order != arrival
-/// order) and sorted lazily by arrival time when scanned. Retention
+///
+/// Memory layout (DESIGN.md §13): records live in arena slabs (32-bit
+/// handles, bulk slab recycling) and never move once written; ordering is a
+/// separate *sorted-offset index* of (arrival_ms, handle) entries. Scans
+/// binary-search the index; the lazy re-sort moves 16-byte index entries
+/// instead of 32-byte records; retention pops an index prefix and recycles
+/// whole slabs once every record inside them expired — no O(n) record
+/// memmove per sweep. Completion order != arrival order, so the index is
+/// sorted lazily when scanned (stable: ties keep append order). Retention
 /// trimming models the paper's 3-day expiry.
 class LogStore {
  public:
   LogStore() = default;
-  // The sort mutex is per-instance state, not data: copies/moves transfer
-  // the records and catalog and get their own fresh mutex.
+  // The mutex is per-instance state, not data: copies/moves transfer the
+  // records and catalog and get their own fresh mutex. Self-assignment and
+  // self-move are no-ops; a moved-from store is a valid empty store that
+  // accepts Append() again.
   LogStore(const LogStore& other);
   LogStore& operator=(const LogStore& other);
   LogStore(LogStore&& other) noexcept;
@@ -52,6 +63,12 @@ class LogStore {
   void Append(const QueryLogRecord& record);
   /// Appends many records under one lock acquisition.
   void AppendBatch(const std::vector<QueryLogRecord>& records);
+  /// Appends several contiguous spans under ONE lock acquisition, in span
+  /// order — the ingestor's chunked pump archives a whole pump atomically
+  /// (a concurrent SnapshotRange sees all of it or none) without first
+  /// concatenating the chunks into a scratch vector.
+  void AppendSpans(
+      const std::vector<std::pair<const QueryLogRecord*, size_t>>& spans);
 
   /// Registers template metadata (idempotent).
   void RegisterTemplate(uint64_t sql_id, TemplateCatalogEntry entry);
@@ -118,10 +135,22 @@ class LogStore {
   /// may arrive in any order; scans re-sort lazily as usual.
   void ReplaceRecords(std::vector<QueryLogRecord> records);
 
-  /// All records, arrival-ordered.
+  /// All records, arrival-ordered. Materialized lazily from the arena into
+  /// a contiguous cache (invalidated by any write); same concurrency
+  /// contract as ScanRange.
   const std::vector<QueryLogRecord>& SortedRecords() const;
 
+  /// Arena occupancy / compaction counters (DESIGN.md §13).
+  util::Arena::Stats arena_stats() const;
+
  private:
+  /// Sorted-offset index entry: the record itself never moves; sorting and
+  /// trimming shuffle these 16-byte entries only.
+  struct IndexEntry {
+    int64_t arrival_ms = 0;
+    util::Arena::Handle handle = util::Arena::kNullHandle;
+  };
+
   /// Lazily sorts under a mutex so that concurrent *const* scans (the
   /// parallel diagnosis stages all read one shared LogStore) are safe.
   /// Writes (Append/Trim*/ReplaceRecords) take the same mutex, so a write
@@ -132,10 +161,24 @@ class LogStore {
   void EnsureSortedLocked() const;
   /// TrimBefore with the mutex already held.
   size_t TrimBeforeLocked(int64_t cutoff_ms);
+  /// Append one record with the mutex already held.
+  void AppendLocked(const QueryLogRecord& record);
+  /// Live (post-head) index range.
+  const IndexEntry* IndexBegin() const { return index_.data() + head_; }
+  const IndexEntry* IndexEnd() const { return index_.data() + index_.size(); }
+  const QueryLogRecord& Record(const IndexEntry& e) const {
+    return *arena_.Get<QueryLogRecord>(e.handle);
+  }
 
   mutable std::mutex sort_mu_;
-  mutable std::vector<QueryLogRecord> records_;
+  mutable util::Arena arena_;
+  mutable std::vector<IndexEntry> index_;
+  /// Trimmed prefix length: live entries are index_[head_ ..). Dead space
+  /// is compacted away once it exceeds the live half.
+  size_t head_ = 0;
   mutable bool sorted_ = true;
+  mutable std::vector<QueryLogRecord> materialized_;
+  mutable bool materialized_valid_ = false;
   std::unordered_map<uint64_t, TemplateCatalogEntry> catalog_;
 };
 

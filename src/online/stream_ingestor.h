@@ -14,6 +14,7 @@
 #include "logstore/log_store.h"
 #include "pipeline/template_metrics.h"
 #include "ts/time_series.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace pinsql::online {
@@ -30,6 +31,15 @@ struct PerfSample {
   double row_lock_waits = 0.0;
   double mdl_waits = 0.0;
 };
+
+/// Producer->pump handoff unit: records move through the shard queues a
+/// chunk at a time, so a pump takes each queue lock once per ~256 records
+/// instead of once per record, and staging allocates nothing per record —
+/// chunks recycle through an arena-backed pool (shared fleet-wide when the
+/// fleet passes one in).
+inline constexpr uint32_t kIngestChunkCapacity = 256;
+using IngestChunk = util::Chunk<QueryLogRecord, kIngestChunkCapacity>;
+using IngestChunkPool = util::ChunkPool<QueryLogRecord, kIngestChunkCapacity>;
 
 struct IngestorOptions {
   /// Sliding window the ring buffers retain, in seconds. Must cover the
@@ -54,10 +64,11 @@ struct IngestorOptions {
 /// stats() returns a *consistent cut*: the shard counters are read with
 /// every shard's fold and queue locks held at once, so the invariant
 /// `records_enqueued == records_folded + records_dropped_late +
-/// records_staged` holds exactly in every snapshot, even while producers
-/// and pumpers race — never a torn per-shard sum. (Fleet-level stats sum
-/// these per-instance cuts.)
+/// records_dropped_backpressure + records_staged` holds exactly in every
+/// snapshot, even while producers and pumpers race — never a torn
+/// per-shard sum. (Fleet-level stats sum these per-instance cuts.)
 struct IngestStats {
+  /// Every record offered to IngestRecord, accepted or not.
   size_t records_enqueued = 0;
   size_t records_folded = 0;
   size_t records_dropped_backpressure = 0;
@@ -119,26 +130,40 @@ struct IngestorState {
 /// perf samples, maintaining *incremental* sliding-window aggregates in
 /// ring buffers — assembling a diagnosis window never rescans a LogStore.
 ///
-/// Data flow: producers append records into sql_id-sharded bounded queues
-/// (multi-producer, lock per shard); Pump() folds the staged records into
-/// per-shard rings of per-second template cells and archives them into the
-/// attached LogStore in one batch per shard. Metric samples go straight
-/// into a per-second ring and advance the watermark (the service's virtual
-/// clock). Snapshot*() assembles the window views the detector and the
-/// DiagnosisScheduler consume.
+/// Data flow: producers stage records into sql_id-sharded chunk lists
+/// (multi-producer, lock per shard, one pooled chunk per ~256 records);
+/// Pump() detaches each shard's whole chunk list under one lock hold,
+/// folds it into per-shard rings of per-second template cells, archives
+/// every chunk span into the attached LogStore in one call, and recycles
+/// the chunks. Metric samples go straight into a per-second ring and
+/// advance the watermark (the service's virtual clock). Snapshot*()
+/// assembles the window views the detector and the DiagnosisScheduler
+/// consume.
+///
+/// Memory layout (DESIGN.md §13): ring cells are structure-of-arrays —
+/// per bucket, parallel `ids` / `count` / `total_response_ms` /
+/// `examined_rows` columns — so folds touch four contiguous arrays and
+/// snapshot scans stream over doubles.
 ///
 /// Determinism: a template's records all land in one shard queue, so their
 /// fold order is the producer's publish order; ring cells are sequential
-/// per-(sql_id, sec) sums and snapshots insert cells into disjoint series
-/// buckets, so a snapshot is bit-identical to the batch AggregateWindow
-/// over the same records in the same per-template order.
+/// per-(sql_id, sec) sums kept in first-touch order and snapshots insert
+/// cells into disjoint series buckets, so a snapshot is bit-identical to
+/// the batch AggregateWindow over the same records in the same
+/// per-template order.
 class StreamIngestor {
  public:
-  explicit StreamIngestor(const IngestorOptions& options);
+  /// `pool` shares chunk capacity across ingestors (the fleet passes one
+  /// pool to every instance); nullptr gives the ingestor a private pool.
+  explicit StreamIngestor(const IngestorOptions& options,
+                          std::shared_ptr<IngestChunkPool> pool = nullptr);
+  ~StreamIngestor();
+  StreamIngestor(const StreamIngestor&) = delete;
+  StreamIngestor& operator=(const StreamIngestor&) = delete;
 
-  /// Optional: folded records are also archived here (AppendBatch per
-  /// shard per pump). The archive is what Diagnose() scans; concurrent
-  /// readers must use LogStore::SnapshotRange.
+  /// Optional: folded records are also archived here (one AppendSpans call
+  /// per pump). The archive is what Diagnose() scans; concurrent readers
+  /// must use LogStore::SnapshotRange.
   void AttachArchive(LogStore* store) { archive_ = store; }
 
   /// Stages one record (thread-safe). Returns false when the shard queue
@@ -147,7 +172,8 @@ class StreamIngestor {
 
   /// Ingests one per-second sample (thread-safe) and advances the
   /// watermark. Returns false when the sample was older than the retained
-  /// window and was dropped.
+  /// window and was dropped. A sample at exactly window_floor_sec() is the
+  /// oldest retained instant.
   bool IngestMetrics(const PerfSample& sample);
 
   /// Folds every staged record into the rings (and the archive). Safe to
@@ -172,10 +198,14 @@ class StreamIngestor {
   WindowMetrics SnapshotMetrics(int64_t t0_sec, int64_t t1_sec) const;
 
   /// Oldest second still retained by the rings (watermark - window + 1),
-  /// or nullopt before the first sample.
+  /// or nullopt before the first sample. Snapshots at exactly this second
+  /// see retained data; one second older is outside the rings.
   std::optional<int64_t> window_floor_sec() const;
 
   IngestStats stats() const;
+
+  /// The chunk pool backing the shard queues (shared or private).
+  const IngestChunkPool& chunk_pool() const { return *pool_; }
 
   /// Captures the full mutable state (rings, staged queues, counters,
   /// watermark) as one consistent cut — safe while producers race.
@@ -188,23 +218,38 @@ class StreamIngestor {
   Status ImportState(const IngestorState& state);
 
  private:
-  struct Cell {
-    double count = 0.0;
-    double total_response_ms = 0.0;
-    double examined_rows = 0.0;
-  };
+  /// One second of one shard's template aggregates, structure-of-arrays:
+  /// slot i of every column belongs to ids[i]; slots are in first-touch
+  /// (fold) order, which snapshots and exports preserve. `lookup` is an
+  /// open-addressing id->slot table engaged once the linear scan over the
+  /// contiguous `ids` column stops being the faster option.
+  /// Empty-slot sentinel for the ring buckets. INT64_MIN (not -1): early
+  /// streams have genuinely negative window-floor seconds, and the
+  /// sentinel must compare older than every real second so the
+  /// recycled-slot checks stay branch-free.
+  static constexpr int64_t kEmptySec = std::numeric_limits<int64_t>::min();
+
   struct Bucket {
-    int64_t sec = -1;
-    // Flat cells: a second holds few distinct templates, and deterministic
-    // iteration (insertion order per shard queue) costs nothing.
-    std::vector<std::pair<uint64_t, Cell>> cells;
+    int64_t sec = kEmptySec;
+    std::vector<uint64_t> ids;
+    std::vector<double> count;
+    std::vector<double> total_response_ms;
+    std::vector<double> examined_rows;
+    std::vector<uint32_t> lookup;
+
+    size_t FindOrAddSlot(uint64_t id);
+    void RebuildLookup();
+    void ClearCells();
   };
   struct Shard {
     // Lock order: fold_mu before queue_mu wherever both are held (Pump and
-    // stats). IngestRecord takes only queue_mu, so producers never wait on
-    // a fold in progress.
+    // stats), and the pool mutex only ever after queue_mu/fold_mu (the
+    // pool is a leaf). IngestRecord takes only queue_mu (+ pool on chunk
+    // boundaries), so producers never wait on a fold in progress.
     mutable std::mutex queue_mu;
-    std::vector<QueryLogRecord> queue;
+    IngestChunk* head = nullptr;
+    IngestChunk* tail = nullptr;
+    size_t staged = 0;
     size_t enqueued = 0;
     size_t dropped_backpressure = 0;
 
@@ -214,15 +259,40 @@ class StreamIngestor {
     size_t dropped_late = 0;
   };
   struct MetricBucket {
-    int64_t sec = -1;
+    int64_t sec = kEmptySec;
     PerfSample sample;
   };
 
+  /// Ring slot for `sec`, correct for negative seconds too (C++ % truncates
+  /// toward zero, which would index out of bounds below sec 0 — and the
+  /// window floor of an early stream *is* negative).
+  size_t RingIndex(int64_t sec) const {
+    const int64_t w = options_.window_sec;
+    const int64_t m = sec % w;
+    return static_cast<size_t>(m < 0 ? m + w : m);
+  }
+
+  /// `cached_sec` / `cached_bucket` memoize the last resolved ring slot
+  /// across a fold run: consecutive records in a chunk overwhelmingly
+  /// share a second, so the ring-index modulo (a runtime division) runs
+  /// once per second transition instead of once per record.
   void FoldRecord(Shard* shard, const QueryLogRecord& record,
-                  int64_t watermark);
+                  int64_t watermark, int64_t* cached_sec,
+                  Bucket** cached_bucket);
+  /// Shard for a template id: bitmask when num_shards is a power of two,
+  /// modulo otherwise.
+  size_t ShardIndex(uint64_t sql_id) const {
+    return shard_mask_ != 0 ? static_cast<size_t>(sql_id & shard_mask_)
+                            : static_cast<size_t>(sql_id % shards_.size());
+  }
+  /// Releases a shard's staged chunk list back to the pool (queue_mu held).
+  void DropStagedLocked(Shard* shard);
 
   IngestorOptions options_;
+  std::shared_ptr<IngestChunkPool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// num_shards - 1 when num_shards is a power of two, else 0 (use %).
+  uint64_t shard_mask_ = 0;
   LogStore* archive_ = nullptr;
 
   mutable std::mutex metrics_mu_;

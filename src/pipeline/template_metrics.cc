@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace pinsql {
 
@@ -12,17 +13,29 @@ TemplateMetricsStore::TemplateMetricsStore(int64_t start_sec, int64_t end_sec,
   assert(interval_sec > 0);
 }
 
+size_t TemplateMetricsStore::num_buckets() const {
+  // Ceil, not floor: a window whose length is not a multiple of the
+  // interval keeps its trailing partial bucket, exactly as
+  // TimeSeries::Resample shapes its output — so a Resample()d shard and a
+  // store accumulated directly at the coarse interval have identical
+  // series shapes and MergeFrom round-trips the tail.
+  if (interval_sec_ <= 0) return 0;
+  return static_cast<size_t>((end_sec_ - start_sec_ + interval_sec_ - 1) /
+                             interval_sec_);
+}
+
 TemplateSeries* TemplateMetricsStore::FindOrCreate(uint64_t sql_id) {
-  auto it = by_id_.find(sql_id);
-  if (it != by_id_.end()) return &it->second;
-  const size_t n =
-      static_cast<size_t>((end_sec_ - start_sec_) / interval_sec_);
+  auto it = slot_.find(sql_id);
+  if (it != slot_.end()) return &series_[it->second];
+  const size_t n = num_buckets();
   TemplateSeries series;
   series.sql_id = sql_id;
   series.execution_count = TimeSeries(start_sec_, interval_sec_, n);
   series.total_response_ms = TimeSeries(start_sec_, interval_sec_, n);
   series.examined_rows = TimeSeries(start_sec_, interval_sec_, n);
-  return &by_id_.emplace(sql_id, std::move(series)).first->second;
+  slot_.emplace(sql_id, static_cast<uint32_t>(series_.size()));
+  series_.push_back(std::move(series));
+  return &series_.back();
 }
 
 void TemplateMetricsStore::Accumulate(const QueryLogRecord& record) {
@@ -47,14 +60,14 @@ void TemplateMetricsStore::AccumulateCell(uint64_t sql_id, int64_t t_sec,
 }
 
 const TemplateSeries* TemplateMetricsStore::Find(uint64_t sql_id) const {
-  auto it = by_id_.find(sql_id);
-  return it == by_id_.end() ? nullptr : &it->second;
+  auto it = slot_.find(sql_id);
+  return it == slot_.end() ? nullptr : &series_[it->second];
 }
 
 std::vector<const TemplateSeries*> TemplateMetricsStore::AllSorted() const {
   std::vector<const TemplateSeries*> out;
-  out.reserve(by_id_.size());
-  for (const auto& [id, series] : by_id_) out.push_back(&series);
+  out.reserve(series_.size());
+  for (const TemplateSeries& series : series_) out.push_back(&series);
   std::sort(out.begin(), out.end(),
             [](const TemplateSeries* a, const TemplateSeries* b) {
               return a->sql_id < b->sql_id;
@@ -64,19 +77,18 @@ std::vector<const TemplateSeries*> TemplateMetricsStore::AllSorted() const {
 
 std::vector<uint64_t> TemplateMetricsStore::SqlIdsSorted() const {
   std::vector<uint64_t> out;
-  out.reserve(by_id_.size());
-  for (const auto& [id, series] : by_id_) out.push_back(id);
+  out.reserve(series_.size());
+  for (const TemplateSeries& series : series_) out.push_back(series.sql_id);
   std::sort(out.begin(), out.end());
   return out;
 }
 
 TimeSeries TemplateMetricsStore::TotalResponseAcrossTemplates() const {
-  const size_t n =
-      static_cast<size_t>((end_sec_ - start_sec_) / interval_sec_);
-  TimeSeries total(start_sec_, interval_sec_, n);
-  // Summed in sql_id order, not hash-map order: the result must not depend
-  // on how the store was assembled (serial scan vs merged parallel shards
-  // produce different map layouts for identical contents).
+  TimeSeries total(start_sec_, interval_sec_, num_buckets());
+  // Summed in sql_id order, not insertion order: the result must not
+  // depend on how the store was assembled (serial scan vs merged parallel
+  // shards first-touch templates in different orders for identical
+  // contents).
   for (const TemplateSeries* series : AllSorted()) {
     total.AddInPlace(series->total_response_ms);
   }
@@ -87,30 +99,32 @@ void TemplateMetricsStore::MergeFrom(TemplateMetricsStore&& shard) {
   assert(shard.start_sec_ == start_sec_);
   assert(shard.end_sec_ == end_sec_);
   assert(shard.interval_sec_ == interval_sec_);
-  // Insert in sql_id order so the merged map layout is a function of the
-  // contents only, never of shard-internal hash-map ordering.
+  // Insert in sql_id order so the merged store's layout is a function of
+  // the contents only, never of shard-internal first-touch ordering.
   for (uint64_t id : shard.SqlIdsSorted()) {
-    auto shard_it = shard.by_id_.find(id);
-    auto it = by_id_.find(id);
-    if (it == by_id_.end()) {
-      by_id_.emplace(id, std::move(shard_it->second));
+    TemplateSeries& incoming = shard.series_[shard.slot_.at(id)];
+    auto it = slot_.find(id);
+    if (it == slot_.end()) {
+      slot_.emplace(id, static_cast<uint32_t>(series_.size()));
+      series_.push_back(std::move(incoming));
     } else {
-      it->second.execution_count.AddInPlace(
-          shard_it->second.execution_count);
-      it->second.total_response_ms.AddInPlace(
-          shard_it->second.total_response_ms);
-      it->second.examined_rows.AddInPlace(shard_it->second.examined_rows);
+      TemplateSeries& mine = series_[it->second];
+      mine.execution_count.AddInPlace(incoming.execution_count);
+      mine.total_response_ms.AddInPlace(incoming.total_response_ms);
+      mine.examined_rows.AddInPlace(incoming.examined_rows);
     }
   }
-  shard.by_id_.clear();
+  shard.series_.clear();
+  shard.slot_.clear();
 }
 
 TemplateMetricsStore TemplateMetricsStore::Resample(
     int64_t new_interval_sec) const {
   TemplateMetricsStore out(start_sec_, end_sec_, new_interval_sec);
-  for (const auto& [id, series] : by_id_) {
+  out.series_.reserve(series_.size());
+  for (const TemplateSeries& series : series_) {
     TemplateSeries resampled;
-    resampled.sql_id = id;
+    resampled.sql_id = series.sql_id;
     resampled.execution_count =
         series.execution_count.Resample(new_interval_sec,
                                         TimeSeries::Agg::kSum);
@@ -119,7 +133,9 @@ TemplateMetricsStore TemplateMetricsStore::Resample(
                                           TimeSeries::Agg::kSum);
     resampled.examined_rows = series.examined_rows.Resample(
         new_interval_sec, TimeSeries::Agg::kSum);
-    out.by_id_.emplace(id, std::move(resampled));
+    out.slot_.emplace(resampled.sql_id,
+                      static_cast<uint32_t>(out.series_.size()));
+    out.series_.push_back(std::move(resampled));
   }
   return out;
 }

@@ -23,6 +23,19 @@ struct TemplateSeries {
 /// Aggregated template metrics for one instance and one time window.
 /// Produced by the StreamAggregator at 1 s granularity; 1 min granularity
 /// is derived via Resample.
+///
+/// Memory layout (DESIGN.md §13): the series live in one contiguous
+/// vector in first-touch order — scans over every template (AllSorted,
+/// TotalResponseAcrossTemplates, the diagnoser's template loops) stream
+/// sequentially instead of chasing hash-map nodes; a side table maps
+/// sql_id to its slot. A window whose length is not a multiple of the
+/// interval gets a trailing *partial* bucket (ceil sizing), matching
+/// TimeSeries::Resample, so resampled shards merge into directly
+/// aggregated stores without losing the tail.
+///
+/// Pointer stability: TemplateSeries pointers returned by Find / AllSorted
+/// are invalidated by any subsequent mutation (Accumulate*, MergeFrom) —
+/// the usage pattern everywhere is build-then-read.
 class TemplateMetricsStore {
  public:
   TemplateMetricsStore() = default;
@@ -33,7 +46,7 @@ class TemplateMetricsStore {
   int64_t start_sec() const { return start_sec_; }
   int64_t end_sec() const { return end_sec_; }
   int64_t interval_sec() const { return interval_sec_; }
-  size_t num_templates() const { return by_id_.size(); }
+  size_t num_templates() const { return series_.size(); }
 
   /// Folds one query-log record into the aggregates. Records outside the
   /// window are ignored (late/early data).
@@ -49,7 +62,12 @@ class TemplateMetricsStore {
                       double total_response_ms, double examined_rows);
 
   /// Lookup; nullptr when the template never executed in the window.
+  /// Invalidated by mutation (see pointer-stability note above).
   const TemplateSeries* Find(uint64_t sql_id) const;
+
+  /// Contiguous series in first-touch (accumulation) order — the scan
+  /// order for callers that do not need sorted ids.
+  const std::vector<TemplateSeries>& series() const { return series_; }
 
   /// Stable iteration order (sorted by sql_id) for deterministic results.
   std::vector<const TemplateSeries*> AllSorted() const;
@@ -59,7 +77,10 @@ class TemplateMetricsStore {
   /// the "Estimate by RT" proxy for the active session (Table III).
   TimeSeries TotalResponseAcrossTemplates() const;
 
-  /// Re-aggregated copy at a coarser granularity (e.g. 60 s).
+  /// Re-aggregated copy at a coarser granularity (e.g. 60 s). A window
+  /// length that is not a multiple of the new interval yields a trailing
+  /// partial bucket aggregated from the seconds available (exactly
+  /// TimeSeries::Resample semantics).
   TemplateMetricsStore Resample(int64_t new_interval_sec) const;
 
   /// Folds a shard produced over the same window/interval into this store:
@@ -73,11 +94,18 @@ class TemplateMetricsStore {
 
  private:
   TemplateSeries* FindOrCreate(uint64_t sql_id);
+  /// Buckets the window spans at interval_sec_ granularity — ceil, so a
+  /// trailing partial interval gets a bucket (the Resample round-trip
+  /// invariant; see class comment).
+  size_t num_buckets() const;
 
   int64_t start_sec_ = 0;
   int64_t end_sec_ = 0;
   int64_t interval_sec_ = 1;
-  std::unordered_map<uint64_t, TemplateSeries> by_id_;
+  /// Parallel pair: series_ holds the payloads contiguously in
+  /// first-touch order; slot_ maps sql_id -> index into series_.
+  std::vector<TemplateSeries> series_;
+  std::unordered_map<uint64_t, uint32_t> slot_;
 };
 
 }  // namespace pinsql

@@ -1,0 +1,160 @@
+#include "util/arena.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pinsql::util {
+
+Arena::Arena(size_t slab_bytes)
+    : slab_bytes_((slab_bytes + kAlign - 1) / kAlign * kAlign),
+      units_per_slab_(slab_bytes_ / kAlign) {
+  assert(slab_bytes_ >= kAlign);
+}
+
+Arena::Arena(Arena&& other) noexcept
+    : slab_bytes_(other.slab_bytes_),
+      units_per_slab_(other.units_per_slab_),
+      slabs_(std::move(other.slabs_)),
+      free_slabs_(std::move(other.free_slabs_)),
+      open_slab_(other.open_slab_),
+      has_open_slab_(other.has_open_slab_),
+      stats_(other.stats_) {
+  // The moved-from arena stays usable: empty, same slab size.
+  other.slabs_.clear();
+  other.free_slabs_.clear();
+  other.open_slab_ = 0;
+  other.has_open_slab_ = false;
+  other.stats_ = Stats{};
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this == &other) return *this;
+  slab_bytes_ = other.slab_bytes_;
+  units_per_slab_ = other.units_per_slab_;
+  slabs_ = std::move(other.slabs_);
+  free_slabs_ = std::move(other.free_slabs_);
+  open_slab_ = other.open_slab_;
+  has_open_slab_ = other.has_open_slab_;
+  stats_ = other.stats_;
+  other.slabs_.clear();
+  other.free_slabs_.clear();
+  other.open_slab_ = 0;
+  other.has_open_slab_ = false;
+  other.stats_ = Stats{};
+  return *this;
+}
+
+void Arena::OpenNewSlab() {
+  if (!free_slabs_.empty()) {
+    open_slab_ = free_slabs_.back();
+    free_slabs_.pop_back();
+    Slab& slab = slabs_[open_slab_];
+    slab.live_bytes = 0;
+    slab.bump_units = 0;
+    slab.open = true;
+    slab.on_free_list = false;
+    has_open_slab_ = true;
+    return;
+  }
+  Slab slab;
+  slab.data = std::make_unique<unsigned char[]>(slab_bytes_);
+  slab.open = true;
+  open_slab_ = static_cast<uint32_t>(slabs_.size());
+  slabs_.push_back(std::move(slab));
+  ++stats_.slabs_allocated;
+  has_open_slab_ = true;
+  // 32-bit handles cover slab_index * units_per_slab_ + unit; overflowing
+  // that space would need >32 GiB of live slab data.
+  assert((slabs_.size() * units_per_slab_) <=
+         static_cast<size_t>(kNullHandle));
+}
+
+Arena::Handle Arena::Allocate(size_t bytes) {
+  assert(bytes > 0 && bytes <= slab_bytes_);
+  const size_t units = (bytes + kAlign - 1) / kAlign;
+  if (!has_open_slab_ ||
+      slabs_[open_slab_].bump_units + units > units_per_slab_) {
+    if (has_open_slab_) {
+      Slab& prev = slabs_[open_slab_];
+      prev.open = false;
+      if (prev.live_bytes == 0) {
+        // Everything bumped into it was already released.
+        prev.on_free_list = true;
+        free_slabs_.push_back(open_slab_);
+        ++stats_.slabs_recycled;
+      }
+    }
+    OpenNewSlab();
+  }
+  Slab& slab = slabs_[open_slab_];
+  const Handle h = open_slab_ * static_cast<Handle>(units_per_slab_) +
+                   static_cast<Handle>(slab.bump_units);
+  slab.bump_units += units;
+  slab.live_bytes += units * kAlign;
+  stats_.live_bytes += units * kAlign;
+  if (stats_.live_bytes > stats_.high_water_bytes) {
+    stats_.high_water_bytes = stats_.live_bytes;
+  }
+  return h;
+}
+
+void Arena::Release(Handle h, size_t bytes) {
+  const size_t units = (bytes + kAlign - 1) / kAlign;
+  Slab& slab = slabs_[h / units_per_slab_];
+  assert(slab.live_bytes >= units * kAlign);
+  slab.live_bytes -= units * kAlign;
+  stats_.live_bytes -= units * kAlign;
+  if (slab.live_bytes == 0 && !slab.open && !slab.on_free_list) {
+    slab.on_free_list = true;
+    free_slabs_.push_back(
+        static_cast<uint32_t>(h / units_per_slab_));
+    ++stats_.slabs_recycled;
+  }
+}
+
+void Arena::Clear() {
+  free_slabs_.clear();
+  for (uint32_t i = 0; i < slabs_.size(); ++i) {
+    Slab& slab = slabs_[i];
+    if (slab.data == nullptr) continue;  // already OS-released, stays dead
+    if (slab.live_bytes > 0 || slab.bump_units > 0 || slab.open) {
+      ++stats_.slabs_recycled;
+    }
+    slab.live_bytes = 0;
+    slab.bump_units = 0;
+    slab.open = false;
+    slab.on_free_list = true;
+    free_slabs_.push_back(i);
+  }
+  has_open_slab_ = false;
+  stats_.live_bytes = 0;
+}
+
+size_t Arena::ReleaseFreeSlabs() {
+  size_t released = 0;
+  for (const uint32_t i : free_slabs_) {
+    slabs_[i].data.reset();
+    slabs_[i].on_free_list = false;
+    ++released;
+  }
+  // Slab slots with no data are dead: they are never put back on the free
+  // list, so handles can no longer map into them. Slot indices are not
+  // reused (keeps Resolve() a pure division), which is fine — slabs are
+  // only OS-released on explicit shrink calls.
+  free_slabs_.clear();
+  return released;
+}
+
+Arena::Stats Arena::stats() const {
+  Stats s = stats_;
+  s.slabs_free = free_slabs_.size();
+  size_t in_use = 0;
+  for (const Slab& slab : slabs_) {
+    if (slab.data != nullptr && !slab.on_free_list) ++in_use;
+  }
+  s.slabs_in_use = in_use;
+  s.bytes_reserved = (in_use + s.slabs_free) * slab_bytes_;
+  return s;
+}
+
+}  // namespace pinsql::util

@@ -1,0 +1,220 @@
+#ifndef PINSQL_UTIL_ARENA_H_
+#define PINSQL_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace pinsql::util {
+
+/// Slab arena in the CryptoMiniSat ClauseAllocator mold: objects live in
+/// large fixed-size slabs and are addressed by 32-bit *handles* instead of
+/// pointers, so references cost 4 bytes, allocation is a bump, and freeing
+/// is bulk (whole slabs) rather than per object.
+///
+/// Handles address 8-byte units: handle = slab_index * units_per_slab +
+/// unit_offset, which spans 32 GiB of slab space. Slabs are recycled
+/// through a free list when every allocation inside them has been
+/// Release()d — the arena's form of compaction: space comes back in slab
+/// quanta without ever moving a live object, so resolved pointers stay
+/// valid for the life of the allocation.
+///
+/// Not thread-safe; owners (LogStore, ChunkPool) serialize externally.
+class Arena {
+ public:
+  using Handle = uint32_t;
+  static constexpr Handle kNullHandle = 0xFFFFFFFFu;
+  static constexpr size_t kAlign = 8;
+  static constexpr size_t kDefaultSlabBytes = size_t{1} << 18;  // 256 KiB
+
+  struct Stats {
+    size_t slabs_in_use = 0;    ///< slabs holding at least one live byte
+    size_t slabs_free = 0;      ///< recycled slabs awaiting reuse
+    size_t slabs_allocated = 0; ///< cumulative slabs obtained from new[]
+    size_t slabs_recycled = 0;  ///< cumulative slabs returned to the free list
+    size_t bytes_reserved = 0;  ///< slab_bytes * (slabs_in_use + slabs_free)
+    size_t live_bytes = 0;      ///< bytes currently reachable via handles
+    size_t high_water_bytes = 0;///< max live_bytes ever observed
+  };
+
+  explicit Arena(size_t slab_bytes = kDefaultSlabBytes);
+  Arena(Arena&&) noexcept;
+  Arena& operator=(Arena&&) noexcept;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` (rounded up to 8) from the open slab, opening a
+  /// new or recycled slab when it does not fit. `bytes` must not exceed the
+  /// slab size. Never returns kNullHandle.
+  Handle Allocate(size_t bytes);
+
+  /// Marks `bytes` at `h` dead. When the owning slab's live count reaches
+  /// zero the slab is recycled to the free list (and its handles become
+  /// reusable). Callers must pass the same size they allocated.
+  void Release(Handle h, size_t bytes);
+
+  void* Resolve(Handle h) {
+    return slabs_[h / units_per_slab_].data.get() +
+           static_cast<size_t>(h % units_per_slab_) * kAlign;
+  }
+  const void* Resolve(Handle h) const {
+    return slabs_[h / units_per_slab_].data.get() +
+           static_cast<size_t>(h % units_per_slab_) * kAlign;
+  }
+
+  /// Typed helpers for trivially copyable payloads.
+  template <typename T>
+  Handle Create(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Handle h = Allocate(sizeof(T));
+    std::memcpy(Resolve(h), &value, sizeof(T));
+    return h;
+  }
+  template <typename T>
+  T* Get(Handle h) {
+    return static_cast<T*>(Resolve(h));
+  }
+  template <typename T>
+  const T* Get(Handle h) const {
+    return static_cast<const T*>(Resolve(h));
+  }
+
+  /// Bulk free: every handle becomes invalid, every slab moves to the free
+  /// list. Capacity is retained for reuse (see ReleaseFreeSlabs).
+  void Clear();
+
+  /// Returns free-list slabs to the OS; live slabs are untouched. Returns
+  /// the number of slabs released.
+  size_t ReleaseFreeSlabs();
+
+  size_t slab_bytes() const { return slab_bytes_; }
+  Stats stats() const;
+
+ private:
+  struct Slab {
+    std::unique_ptr<unsigned char[]> data;
+    size_t live_bytes = 0;   // bytes not yet Release()d
+    size_t bump_units = 0;   // next free unit inside this slab
+    bool open = false;       // the slab currently being bumped into
+    bool on_free_list = false;
+  };
+
+  void OpenNewSlab();
+
+  size_t slab_bytes_;
+  size_t units_per_slab_;
+  std::vector<Slab> slabs_;
+  std::vector<uint32_t> free_slabs_;
+  uint32_t open_slab_ = 0;
+  bool has_open_slab_ = false;
+  Stats stats_;
+};
+
+/// Fixed-capacity staging chunk: the unit of batched producer->pump
+/// handoff in the ingest path (BoundedQueue-style: many records move
+/// through one lock acquisition). Trivially recyclable.
+template <typename T, uint32_t Capacity>
+struct Chunk {
+  uint32_t size = 0;
+  Chunk* next = nullptr;
+  T items[Capacity];
+
+  bool full() const { return size == Capacity; }
+  void push(const T& v) { items[size++] = v; }
+};
+
+/// Thread-safe recycler of Chunks backed by one Arena. A fleet shares one
+/// pool across every per-instance ingestor, so staging capacity is pooled
+/// instead of multiplied by the instance count. Chunks never move; the
+/// arena grows in slab quanta and recycled chunks are handed out again
+/// before any new slab is opened.
+template <typename T, uint32_t Capacity>
+class ChunkPool {
+ public:
+  using ChunkT = Chunk<T, Capacity>;
+
+  explicit ChunkPool(size_t slab_bytes = kSlabBytesFor())
+      : arena_(slab_bytes) {}
+
+  ChunkT* Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_ != nullptr) {
+      ChunkT* chunk = free_;
+      free_ = chunk->next;
+      --free_count_;
+      chunk->size = 0;
+      chunk->next = nullptr;
+      return chunk;
+    }
+    const Arena::Handle h = arena_.Allocate(sizeof(ChunkT));
+    ++chunks_created_;
+    ChunkT* chunk = new (arena_.Resolve(h)) ChunkT();
+    return chunk;
+  }
+
+  void Release(ChunkT* chunk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    chunk->size = 0;
+    chunk->next = free_;
+    free_ = chunk;
+    ++free_count_;
+  }
+
+  /// Releases a whole linked list of chunks in one lock acquisition.
+  void ReleaseList(ChunkT* head) {
+    if (head == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    while (head != nullptr) {
+      ChunkT* next = head->next;
+      head->size = 0;
+      head->next = free_;
+      free_ = head;
+      ++free_count_;
+      head = next;
+    }
+  }
+
+  /// O(1) splice of a pre-linked chain [head..tail] of `count` chunks onto
+  /// the free list — no walk inside the lock. The caller vouches that tail
+  /// is reachable from head and the chain has exactly `count` chunks
+  /// (Pump() knows all three from the walk it already did); sizes are
+  /// reset on Acquire, so release does not need to touch each chunk.
+  void ReleaseChain(ChunkT* head, ChunkT* tail, size_t count) {
+    if (head == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    tail->next = free_;
+    free_ = head;
+    free_count_ += count;
+  }
+
+  struct Stats {
+    size_t chunks_created = 0;
+    size_t chunks_free = 0;
+    Arena::Stats arena;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Stats{chunks_created_, free_count_, arena_.stats()};
+  }
+
+ private:
+  static constexpr size_t kSlabBytesFor() {
+    // At least 8 chunks per slab, and never below the default slab size.
+    const size_t need = sizeof(ChunkT) * 8;
+    return need > Arena::kDefaultSlabBytes ? need : Arena::kDefaultSlabBytes;
+  }
+
+  mutable std::mutex mu_;
+  Arena arena_;
+  ChunkT* free_ = nullptr;
+  size_t free_count_ = 0;
+  size_t chunks_created_ = 0;
+};
+
+}  // namespace pinsql::util
+
+#endif  // PINSQL_UTIL_ARENA_H_

@@ -241,6 +241,98 @@ TEST(LogStoreTest, ReplaceRecordsKeepsCatalogAndResorts) {
   EXPECT_TRUE(store.Range(0, 100).empty());
 }
 
+TEST(LogStoreTest, SelfCopyAssignmentIsANoOp) {
+  LogStore store;
+  for (int i = 0; i < 10; ++i) store.Append(Rec(10 - i, 1.0 + i));
+  store.RegisterTemplate(7, TemplateCatalogEntry{"SELECT ?", {}, {}});
+  // Through a reference so the compiler cannot elide the aliasing call.
+  LogStore& alias = store;
+  alias = store;
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_NE(store.FindTemplate(7), nullptr);
+  const auto snap = store.SnapshotRange(0, 100);
+  ASSERT_EQ(snap.size(), 10u);
+  EXPECT_EQ(snap.front().arrival_ms, 1);
+  EXPECT_EQ(snap.back().arrival_ms, 10);
+}
+
+TEST(LogStoreTest, SelfMoveAssignmentLosesNothing) {
+  LogStore store;
+  for (int i = 0; i < 10; ++i) store.Append(Rec(i + 1, 1.0));
+  LogStore& alias = store;
+  store = std::move(alias);
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_EQ(store.SnapshotRange(0, 100).size(), 10u);
+}
+
+TEST(LogStoreTest, MovedFromStoreIsEmptyAndAcceptsAppends) {
+  LogStore source;
+  for (int i = 0; i < 5; ++i) source.Append(Rec(5 - i, 1.0));  // unsorted
+  source.RegisterTemplate(3, TemplateCatalogEntry{"UPDATE ?", {}, {}});
+  LogStore dest(std::move(source));
+  EXPECT_EQ(dest.size(), 5u);
+  EXPECT_NE(dest.FindTemplate(3), nullptr);
+  // The moved-from store is a well-defined empty store with a fresh mutex
+  // and no stale sorted-flag: appends and scans behave like a new store.
+  EXPECT_EQ(source.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(source.FindTemplate(3), nullptr);
+  source.Append(Rec(20, 2.0));
+  source.Append(Rec(10, 1.0));  // out of order: must trigger a fresh sort
+  const auto snap = source.SnapshotRange(0, 100);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.front().arrival_ms, 10);
+  EXPECT_EQ(snap.back().arrival_ms, 20);
+  // And the destination kept the source's unsorted state correctly.
+  const auto moved = dest.SnapshotRange(0, 100);
+  ASSERT_EQ(moved.size(), 5u);
+  EXPECT_EQ(moved.front().arrival_ms, 1);
+}
+
+TEST(LogStoreTest, MoveAssignedOverStoreReleasesOldRecords) {
+  LogStore a;
+  for (int i = 0; i < 100; ++i) a.Append(Rec(i + 1, 1.0));
+  LogStore b;
+  b.Append(Rec(999, 9.0));
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.SnapshotRange(0, 1000).size(), 100u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  a.Append(Rec(1, 1.0));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(LogStoreTest, AppendSpansIsOneAtomicBatch) {
+  LogStore store;
+  const std::vector<QueryLogRecord> first = {Rec(3, 1), Rec(1, 2)};
+  const std::vector<QueryLogRecord> second = {Rec(2, 3, 3.0)};
+  store.AppendSpans({{first.data(), first.size()},
+                     {second.data(), second.size()}});
+  const auto snap = store.SnapshotRange(0, 10);
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].arrival_ms, 1);
+  EXPECT_EQ(snap[1].arrival_ms, 2);
+  EXPECT_EQ(snap[2].arrival_ms, 3);
+  EXPECT_DOUBLE_EQ(snap[1].response_ms, 3.0);
+}
+
+TEST(LogStoreTest, TrimRecyclesArenaSlabs) {
+  LogStore store;
+  constexpr int kRecords = 100000;
+  for (int i = 0; i < kRecords; ++i) store.Append(Rec(i + 1, 1.0));
+  const auto before = store.arena_stats();
+  EXPECT_GT(before.slabs_in_use, 1u);
+  // Expire almost everything: the drained slabs must come back as free
+  // capacity (the arena's compaction) rather than stay resident.
+  store.TrimBefore(kRecords - 10);
+  const auto after = store.arena_stats();
+  EXPECT_EQ(store.size(), 11u);
+  EXPECT_GT(after.slabs_free, 0u);
+  EXPECT_LT(after.live_bytes, before.live_bytes);
+  // Refill reuses the recycled slabs instead of growing the arena.
+  for (int i = 0; i < kRecords; ++i) store.Append(Rec(kRecords + i, 1.0));
+  EXPECT_EQ(store.arena_stats().slabs_allocated, before.slabs_allocated);
+}
+
 TEST(LogStoreConcurrencyTest, SnapshotRangeRacesAppendSafely) {
   // The online ingestor appends while the DiagnosisScheduler snapshots.
   // Every snapshot must be a consistent point-in-time copy: sorted, never

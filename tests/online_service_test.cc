@@ -101,8 +101,11 @@ TEST(StreamIngestorTest, BackpressureDropsAreCounted) {
   EXPECT_EQ(accepted, 8u);
   EXPECT_EQ(rejected, 12u);
   const IngestStats stats = ingestor.stats();
-  EXPECT_EQ(stats.records_enqueued, 8u);
+  // records_enqueued counts every offer; backpressure drops are the slice
+  // of it that never made a queue.
+  EXPECT_EQ(stats.records_enqueued, 20u);
   EXPECT_EQ(stats.records_dropped_backpressure, 12u);
+  EXPECT_EQ(stats.records_staged, 8u);
   ingestor.Pump();
   EXPECT_EQ(ingestor.stats().records_folded, 8u);
 }
@@ -135,6 +138,72 @@ TEST(StreamIngestorTest, StaleMetricSamplesAreDropped) {
   EXPECT_EQ(*ingestor.watermark_sec(), 1000);
   ASSERT_TRUE(ingestor.SampleAt(950).has_value());
   EXPECT_DOUBLE_EQ(ingestor.SampleAt(950)->active_session, 4.0);
+}
+
+TEST(StreamIngestorTest, WindowFloorBoundaryRetainsFloorDropsBelow) {
+  IngestorOptions options;
+  options.window_sec = 100;
+  options.late_grace_sec = 99;  // grace horizon == the whole retained ring
+  StreamIngestor ingestor(options);
+  ASSERT_TRUE(ingestor.IngestMetrics(Sample(1000, 5.0)));
+  ASSERT_TRUE(ingestor.window_floor_sec().has_value());
+  const int64_t floor = *ingestor.window_floor_sec();
+  EXPECT_EQ(floor, 1000 - 100 + 1);
+
+  // A sample at exactly the floor is the oldest retained instant; one
+  // second older misses the rings and is counted as dropped.
+  EXPECT_TRUE(ingestor.IngestMetrics(Sample(floor, 2.0)));
+  ASSERT_TRUE(ingestor.SampleAt(floor).has_value());
+  EXPECT_DOUBLE_EQ(ingestor.SampleAt(floor)->active_session, 2.0);
+  EXPECT_FALSE(ingestor.IngestMetrics(Sample(floor - 1, 3.0)));
+  EXPECT_FALSE(ingestor.SampleAt(floor - 1).has_value());
+  EXPECT_EQ(ingestor.stats().metric_samples_dropped, 1u);
+
+  // Same boundary for records: the floor second folds, floor - 1 is late.
+  ASSERT_TRUE(ingestor.IngestRecord(Rec(floor * 1000, 7)));
+  ASSERT_TRUE(ingestor.IngestRecord(Rec((floor - 1) * 1000, 7)));
+  ingestor.Pump();
+  const IngestStats stats = ingestor.stats();
+  EXPECT_EQ(stats.records_folded, 1u);
+  EXPECT_EQ(stats.records_dropped_late, 1u);
+
+  // Snapshots at the floor agree with window_floor_sec(): both the metric
+  // and the template view see the floor second's data.
+  const WindowMetrics metrics = ingestor.SnapshotMetrics(floor, floor + 1);
+  ASSERT_EQ(metrics.active_session.values().size(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.active_session.values()[0], 2.0);
+  const TemplateMetricsStore snap =
+      ingestor.SnapshotTemplates(floor, floor + 1);
+  const TemplateSeries* tpl = snap.Find(7);
+  ASSERT_NE(tpl, nullptr);
+  EXPECT_DOUBLE_EQ(tpl->execution_count.values()[0], 1.0);
+}
+
+TEST(StreamIngestorTest, NegativeFloorSecondsAreWellDefined) {
+  // Early in a stream the window floor is negative; ring indexing and
+  // snapshots must still be well-defined (C++ % truncates toward zero, so
+  // a naive sec % window on a negative second indexes out of bounds).
+  IngestorOptions options;
+  options.window_sec = 100;
+  options.late_grace_sec = 99;
+  StreamIngestor ingestor(options);
+  ASSERT_TRUE(ingestor.IngestMetrics(Sample(10, 5.0)));
+  ASSERT_TRUE(ingestor.window_floor_sec().has_value());
+  const int64_t floor = *ingestor.window_floor_sec();
+  ASSERT_LT(floor, 0);
+  EXPECT_TRUE(ingestor.IngestMetrics(Sample(floor, 1.0)));
+  EXPECT_FALSE(ingestor.IngestMetrics(Sample(floor - 1, 1.0)));
+  ASSERT_TRUE(ingestor.SampleAt(floor).has_value());
+  ASSERT_TRUE(ingestor.IngestRecord(Rec(floor * 1000, 3)));
+  ingestor.Pump();
+  EXPECT_EQ(ingestor.stats().records_folded, 1u);
+  const TemplateMetricsStore snap =
+      ingestor.SnapshotTemplates(floor, floor + 1);
+  const TemplateSeries* tpl = snap.Find(3);
+  ASSERT_NE(tpl, nullptr);
+  EXPECT_DOUBLE_EQ(tpl->execution_count.values()[0], 1.0);
+  const WindowMetrics metrics = ingestor.SnapshotMetrics(floor, floor + 2);
+  EXPECT_DOUBLE_EQ(metrics.active_session.values()[0], 1.0);
 }
 
 TEST(StreamIngestorTest, StatsAreAConsistentCutUnderConcurrentProducers) {
@@ -174,7 +243,7 @@ TEST(StreamIngestorTest, StatsAreAConsistentCutUnderConcurrentProducers) {
     const IngestStats stats = ingestor.stats();
     ASSERT_EQ(stats.records_enqueued,
               stats.records_folded + stats.records_dropped_late +
-                  stats.records_staged)
+                  stats.records_dropped_backpressure + stats.records_staged)
         << "torn ingest stats cut";
   }
   for (std::thread& thread : threads) thread.join();
@@ -183,9 +252,9 @@ TEST(StreamIngestorTest, StatsAreAConsistentCutUnderConcurrentProducers) {
   const IngestStats final_stats = ingestor.stats();
   EXPECT_EQ(final_stats.records_staged, 0u);
   EXPECT_EQ(final_stats.records_enqueued,
-            final_stats.records_folded + final_stats.records_dropped_late);
-  EXPECT_EQ(final_stats.records_enqueued +
-                final_stats.records_dropped_backpressure,
+            final_stats.records_folded + final_stats.records_dropped_late +
+                final_stats.records_dropped_backpressure);
+  EXPECT_EQ(final_stats.records_enqueued,
             static_cast<size_t>(kProducers) * kPerProducer * 2);
   EXPECT_GT(final_stats.records_dropped_late, 0u) << "late path not exercised";
 }
@@ -458,7 +527,8 @@ TEST(OnlineServiceTest, GracefulDrainUnderRacingProducers) {
   // Drain accounting closes: every accepted record was folded or dropped
   // with a counted reason; every watermark second was processed.
   const ServiceStats stats = service.stats();
-  EXPECT_EQ(stats.ingest.records_enqueued, accepted.load());
+  EXPECT_EQ(stats.ingest.records_enqueued,
+            accepted.load() + stats.ingest.records_dropped_backpressure);
   EXPECT_EQ(stats.ingest.records_folded + stats.ingest.records_dropped_late,
             accepted.load());
   EXPECT_EQ(stats.seconds_processed, 40);
@@ -524,15 +594,14 @@ TEST(OnlineServiceTest, StopNeverHalfAppliesABatch) {
   // All-or-nothing: the records of every accepted batch reached the
   // ingestor (enqueued or counted as backpressure drops) — no partial
   // batches on either side of the cut.
-  EXPECT_EQ(stats.ingest.records_enqueued +
-                stats.ingest.records_dropped_backpressure,
-            accepted_records.load());
+  EXPECT_EQ(stats.ingest.records_enqueued, accepted_records.load());
   EXPECT_EQ(stats.records_rejected_stopped, rejected_records.load());
   EXPECT_EQ(stats.batches_rejected_stopped, rejected_batches.load());
   // The drain's cut is complete: nothing an accepted batch contributed is
   // still staged, and the consistent-cut invariant closes.
   EXPECT_EQ(stats.ingest.records_staged, 0u);
-  EXPECT_EQ(stats.ingest.records_folded + stats.ingest.records_dropped_late,
+  EXPECT_EQ(stats.ingest.records_folded + stats.ingest.records_dropped_late +
+                stats.ingest.records_dropped_backpressure,
             stats.ingest.records_enqueued);
 
   // After Stop, producer calls reject cleanly and are counted.

@@ -24,6 +24,7 @@
 #include <string>
 #include <thread>
 
+#include "detect/forecast.h"
 #include "eval/online_e2e.h"
 
 namespace {
@@ -107,6 +108,30 @@ int main(int argc, char** argv) {
   const auto hook_free = pinsql::eval::RunOnlineCase(no_hook, 0);
   const bool sev0_noop = base.fingerprint == hook_free.fingerprint;
 
+  // --- Forecasting ensemble through the full online loop ----------------
+  // The screen+forecaster ensemble must not regress the legacy pipeline's
+  // recall on the standard cases, and its replays must stay bit-identical
+  // across ingest-thread counts (the forecaster state is part of the
+  // deterministic core, not a side channel).
+  pinsql::eval::OnlineE2EOptions ens = options;
+  ens.replay.service.detector.forecasters =
+      pinsql::detect::DefaultEnsembleForecasters();
+  const auto ens_summary = pinsql::eval::RunOnlineE2E(ens);
+  std::printf("ensemble (screen + EWMA/Holt forecasters): recall %.2f  "
+              "precision %.2f  duplicate triggers %zu\n\n",
+              ens_summary.recall, ens_summary.precision,
+              ens_summary.duplicate_triggers);
+  pinsql::eval::OnlineE2EOptions ens_det = ens;
+  ens_det.num_cases = 1;
+  const auto ens_base = pinsql::eval::RunOnlineCase(ens_det, 0);
+  pinsql::eval::OnlineE2EOptions ens_det4 = ens_det;
+  ens_det4.replay.num_ingest_threads = 4;
+  const auto ens_ingest4 = pinsql::eval::RunOnlineCase(ens_det4, 0);
+  const bool ens_ingest_identical =
+      ens_base.fingerprint == ens_ingest4.fingerprint;
+  const bool ens_recall_ok = ens_summary.recall >= summary.recall;
+  const bool ens_dup_ok = ens_summary.duplicate_triggers == 0;
+
   // --- Ingest throughput sweep ------------------------------------------
   const size_t per_thread = static_cast<size_t>(
       EnvInt("PINSQL_BENCH_INGEST_RECORDS", smoke ? 50'000 : 400'000));
@@ -155,6 +180,14 @@ int main(int argc, char** argv) {
               diag_identical ? "OK" : "VIOLATED");
   std::printf("  severity-0 action-fault injector is a no-op: %s\n",
               sev0_noop ? "OK" : "VIOLATED");
+  std::printf("  ensemble recall >= legacy recall (%.2f vs %.2f): %s\n",
+              ens_summary.recall, summary.recall,
+              ens_recall_ok ? "OK" : "VIOLATED");
+  std::printf("  ensemble zero duplicate triggers (%zu): %s\n",
+              ens_summary.duplicate_triggers, ens_dup_ok ? "OK" : "VIOLATED");
+  std::printf("  ensemble replay bit-identical at 1 vs 4 ingest threads: "
+              "%s\n",
+              ens_ingest_identical ? "OK" : "VIOLATED");
   if (scaling_hard) {
     std::printf("  ingest throughput scales 1 -> 4 threads: %s\n",
                 scaling_ok ? "OK" : "VIOLATED");
@@ -168,6 +201,7 @@ int main(int argc, char** argv) {
   return (recall_ok ? 0 : 1) + (dup_ok ? 0 : 1) + (latency_ok ? 0 : 1) +
          (repaired_ok ? 0 : 1) + (repeat_identical ? 0 : 1) +
          (ingest_identical ? 0 : 1) + (diag_identical ? 0 : 1) +
-         (sev0_noop ? 0 : 1) +
+         (sev0_noop ? 0 : 1) + (ens_recall_ok ? 0 : 1) + (ens_dup_ok ? 0 : 1) +
+         (ens_ingest_identical ? 0 : 1) +
          (scaling_hard && !scaling_ok ? 1 : 0);
 }

@@ -1,12 +1,21 @@
 /// Table I reproduction: overall effectiveness/efficiency of PinSQL vs the
-/// Top-SQL baselines on a batch of synthetic ADAC-style anomaly cases
-/// (mixed across the paper's root-cause categories).
+/// Top-SQL baselines (and the Corr-Lag causality heuristic) on a batch of
+/// synthetic ADAC-style anomaly cases — plus the SynADAC v2 per-category
+/// detection matrix and the detector-family ablation (screen / ewma / holt
+/// / holt_winters / ensemble).
 ///
 /// Environment knobs: PINSQL_BENCH_CASES (default 32), PINSQL_BENCH_SEED.
+/// `--smoke` shrinks both batches for CI (checks still run, with a
+/// proportionally relaxed drift-recall floor).
+///
+/// Exit code = number of violated hard checks.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "eval/detection_eval.h"
 #include "eval/runner.h"
 
 namespace {
@@ -16,12 +25,34 @@ int EnvInt(const char* name, int fallback) {
   return value != nullptr ? std::atoi(value) : fallback;
 }
 
+const pinsql::eval::MethodScores* FindMethod(
+    const std::vector<pinsql::eval::MethodScores>& scores,
+    const std::string& name) {
+  for (const auto& m : scores) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+int g_violations = 0;
+
+void Check(bool ok, const char* what) {
+  std::printf("  %s: %s\n", what, ok ? "OK" : "VIOLATED");
+  if (!ok) ++g_violations;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   pinsql::eval::EvalOptions options;
-  options.num_cases = EnvInt("PINSQL_BENCH_CASES", 32);
+  options.num_cases = EnvInt("PINSQL_BENCH_CASES", smoke ? 12 : 32);
   options.seed = static_cast<uint64_t>(EnvInt("PINSQL_BENCH_SEED", 42));
+  options.num_threads = 4;
 
   std::printf(
       "TABLE I: overall results of identifying R-SQLs and H-SQLs\n"
@@ -46,22 +77,114 @@ int main() {
                 m.hsql.hits_at_5, m.hsql.mrr, m.mean_time_sec);
   }
 
-  // Shape assertions the paper's conclusions rest on.
-  const auto& pinsql = scores[0];
-  const auto& top_all = scores[4];
+  // Shape assertions the paper's conclusions rest on (by method name; the
+  // result vector grows as baselines are added).
+  const auto* pinsql = FindMethod(scores, "PinSQL");
+  const auto* top_all = FindMethod(scores, "Top-All");
+  const auto* corr_lag = FindMethod(scores, "Corr-Lag");
   std::printf("\nshape checks:\n");
-  std::printf("  PinSQL R-SQL H@1 (%.1f) > Top-All R-SQL H@1 (%.1f): %s\n",
-              pinsql.rsql.hits_at_1, top_all.rsql.hits_at_1,
-              pinsql.rsql.hits_at_1 > top_all.rsql.hits_at_1 ? "OK"
-                                                             : "VIOLATED");
+  if (pinsql == nullptr || top_all == nullptr || corr_lag == nullptr) {
+    Check(false, "PinSQL / Top-All / Corr-Lag rows present");
+    return g_violations;
+  }
+  Check(pinsql->rsql.hits_at_1 > top_all->rsql.hits_at_1,
+        "PinSQL R-SQL H@1 > Top-All R-SQL H@1");
   // Parity suffices on H-SQLs: the synthetic ground truth labels H-SQLs
   // by true session inflation, and total response time approximates the
   // session by Little's law, so Top-RT is structurally near-optimal here.
   // (The paper's DBA-labeled truth gave PinSQL a large H gap; the R gap
   // above is the reproduction headline.)
-  std::printf("  PinSQL H-SQL H@1 (%.1f) >= Top-All H-SQL H@1 (%.1f): %s\n",
-              pinsql.hsql.hits_at_1, top_all.hsql.hits_at_1,
-              pinsql.hsql.hits_at_1 >= top_all.hsql.hits_at_1 ? "OK"
-                                                              : "VIOLATED");
-  return 0;
+  Check(pinsql->hsql.hits_at_1 >= top_all->hsql.hits_at_1,
+        "PinSQL H-SQL H@1 >= Top-All H-SQL H@1");
+  // The causality heuristic sees the same inputs as PinSQL; structured
+  // diagnosis must still win on root causes.
+  Check(pinsql->rsql.hits_at_1 > corr_lag->rsql.hits_at_1,
+        "PinSQL R-SQL H@1 > Corr-Lag R-SQL H@1");
+
+  // ------------------------------------------------------------------
+  // SynADAC v2: per-category detection matrix + detector-family ablation.
+  // Every family replays the identical simulated session streams.
+  pinsql::eval::DetectionEvalOptions det;
+  det.cases_per_category = smoke ? 2 : 4;
+  det.seed = options.seed + 17;
+  det.num_threads = 4;
+
+  const auto families = pinsql::eval::StandardDetectorFamilies();
+  const auto ablation = pinsql::eval::RunDetectionAblation(det, families);
+
+  std::printf("\nDETECTION MATRIX: per-category recall / precision / "
+              "median latency (%d cases per category)\n\n",
+              det.cases_per_category);
+  std::printf("%-18s", "category");
+  for (const auto& result : ablation) {
+    std::printf(" | %20s", result.family.c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < det.categories.size(); ++c) {
+    std::printf("%-18s",
+                pinsql::workload::AnomalyTypeName(det.categories[c]));
+    for (const auto& result : ablation) {
+      const auto& cat = result.categories[c];
+      const size_t trig = cat.detected + cat.false_triggers;
+      const double precision =
+          trig > 0 ? static_cast<double>(cat.detected) /
+                         static_cast<double>(trig)
+                   : 1.0;
+      std::printf(" | R=%.2f P=%.2f L=%4.0f", cat.recall, precision,
+                  cat.median_latency_sec);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-18s", "legacy-false-trig");
+  for (const auto& result : ablation) {
+    std::printf(" | %20zu", result.legacy_false_triggers);
+  }
+  std::printf("\n%-18s", "legacy-recall");
+  for (const auto& result : ablation) {
+    std::printf(" | %20.2f", result.LegacyRecall());
+  }
+  std::printf("\n%-18s", "extended-recall");
+  for (const auto& result : ablation) {
+    std::printf(" | %20.2f", result.ExtendedRecall());
+  }
+  std::printf("\n");
+
+  const auto* screen_result = &ablation.front();
+  const auto* ensemble_result = &ablation.back();
+  const auto* screen_drift =
+      screen_result->Find(pinsql::workload::AnomalyType::kSlowDrift);
+  const auto* ensemble_drift =
+      ensemble_result->Find(pinsql::workload::AnomalyType::kSlowDrift);
+
+  std::printf("\ndetection checks:\n");
+  if (screen_drift == nullptr || ensemble_drift == nullptr) {
+    Check(false, "slow_drift category present in ablation");
+    return g_violations;
+  }
+  // The headline claim: the forecasting ensemble catches the hours-scale
+  // creep the per-sample robust-z screen absorbs into its baseline...
+  const double drift_floor = smoke ? 0.5 : 0.8;
+  std::printf("  (ensemble slow-drift recall %.2f, floor %.2f; screen "
+              "slow-drift recall %.2f)\n",
+              ensemble_drift->recall, drift_floor, screen_drift->recall);
+  Check(ensemble_drift->recall >= drift_floor,
+        "ensemble slow-drift recall >= floor");
+  Check(ensemble_drift->recall > screen_drift->recall,
+        "ensemble slow-drift recall > screen-only");
+  // ...without paying for it in false pages on the paper's categories.
+  std::printf("  (legacy false triggers: ensemble %zu, screen %zu)\n",
+              ensemble_result->legacy_false_triggers,
+              screen_result->legacy_false_triggers);
+  Check(ensemble_result->legacy_false_triggers <=
+            screen_result->legacy_false_triggers,
+        "ensemble legacy false triggers <= screen-only");
+  // The ensemble never detects less than the screen alone anywhere
+  // (first-to-confirm is a union of confirmation paths).
+  Check(ensemble_result->LegacyRecall() >= screen_result->LegacyRecall(),
+        "ensemble legacy recall >= screen-only");
+
+  if (g_violations > 0) {
+    std::printf("\n%d hard check(s) VIOLATED\n", g_violations);
+  }
+  return g_violations;
 }

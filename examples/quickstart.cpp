@@ -3,7 +3,9 @@
 /// the resulting rankings next to the ground truth.
 ///
 ///   $ ./build/examples/quickstart [anomaly_type] [seed]
-///     anomaly_type: business_spike | poor_sql | mdl_lock | row_lock
+///     anomaly_type: business_spike | poor_sql | mdl_lock | row_lock |
+///                   flash_sale_flood | slow_drift | cache_stampede |
+///                   replication_lag | migration_storm | compound
 ///
 /// This exercises the whole public API: workload synthesis, the DB
 /// simulator, the collection/aggregation pipeline, anomaly detection, the
@@ -25,9 +27,9 @@ using pinsql::HashToHex;
 using pinsql::workload::AnomalyType;
 
 AnomalyType ParseType(const std::string& name) {
-  if (name == "poor_sql") return AnomalyType::kPoorSql;
-  if (name == "mdl_lock") return AnomalyType::kMdlLock;
-  if (name == "row_lock") return AnomalyType::kRowLock;
+  for (AnomalyType type : pinsql::workload::AllAnomalyTypes()) {
+    if (name == pinsql::workload::AnomalyTypeName(type)) return type;
+  }
   return AnomalyType::kBusinessSpike;
 }
 

@@ -1,0 +1,195 @@
+#include "baselines/causal_corr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "ts/stats.h"
+
+namespace pinsql::baselines {
+namespace {
+
+/// Solves the symmetric positive-definite system (A + ridge*I) x = b by
+/// Gaussian elimination with partial pivoting. Small systems only
+/// (ar_order + 2 unknowns); returns false on a (post-ridge) singular
+/// matrix.
+bool SolveLinear(std::vector<std::vector<double>> a, std::vector<double> b,
+                 double ridge, std::vector<double>* x) {
+  const size_t n = b.size();
+  for (size_t i = 0; i < n; ++i) a[i][i] += ridge;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t k = i + 1; k < n; ++k) acc -= a[i][k] * (*x)[k];
+    (*x)[i] = acc / a[i][i];
+  }
+  return true;
+}
+
+/// Residual sum of squares of least-squares-fitting `y` on the column set
+/// `cols` (plus an intercept). Negative when the fit is degenerate.
+double FitRss(const std::vector<const std::vector<double>*>& cols,
+              const std::vector<double>& y, double ridge) {
+  const size_t n = y.size();
+  const size_t p = cols.size() + 1;  // + intercept
+  // Normal equations X^T X w = X^T y; X column 0 is all-ones.
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  auto col_at = [&](size_t j, size_t t) {
+    return j == 0 ? 1.0 : (*cols[j - 1])[t];
+  };
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = i; j < p; ++j) {
+      double acc = 0.0;
+      for (size_t t = 0; t < n; ++t) acc += col_at(i, t) * col_at(j, t);
+      xtx[i][j] = xtx[j][i] = acc;
+    }
+    double acc = 0.0;
+    for (size_t t = 0; t < n; ++t) acc += col_at(i, t) * y[t];
+    xty[i] = acc;
+  }
+  std::vector<double> w;
+  if (!SolveLinear(std::move(xtx), std::move(xty), ridge, &w)) return -1.0;
+  double rss = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    double pred = w[0];
+    for (size_t j = 0; j < cols.size(); ++j) pred += w[j + 1] * (*cols[j])[t];
+    const double r = y[t] - pred;
+    rss += r * r;
+  }
+  return rss;
+}
+
+/// Standardizes in place; returns false for (near-)constant series, which
+/// carry no correlation signal.
+bool Standardize(std::vector<double>* v) {
+  const double mean = Mean(*v);
+  const double sd = Stddev(*v);
+  if (!(sd > 1e-9)) return false;
+  for (double& x : *v) x = (x - mean) / sd;
+  return true;
+}
+
+}  // namespace
+
+std::vector<CausalCorrScore> ScoreCausalCorr(
+    const TemplateMetricsStore& metrics, const TimeSeries& symptom,
+    const CausalCorrOptions& options) {
+  // Shared preprocessing: the symptom over the store's window, bucketed.
+  const std::vector<double> y_raw =
+      symptom.Slice(metrics.start_sec(), metrics.end_sec())
+          .Resample(options.interval_sec, TimeSeries::Agg::kMean)
+          .values();
+  const int max_lag = std::max(0, options.max_lag);
+  const int ar_order = std::max(1, options.ar_order);
+  const int skip = std::max(max_lag, ar_order);
+
+  std::vector<CausalCorrScore> scored;
+  scored.reserve(metrics.num_templates());
+
+  std::vector<double> y_std = y_raw;
+  const bool symptom_usable =
+      static_cast<int>(y_raw.size()) > skip + 2 * (ar_order + 2) &&
+      Standardize(&y_std);
+
+  // Rows t in [skip, n): the regression target and its own-lag columns,
+  // shared across every template.
+  const size_t n = y_std.size();
+  std::vector<double> target;
+  std::vector<std::vector<double>> own_lags(
+      static_cast<size_t>(ar_order));
+  double restricted_rss = -1.0;
+  if (symptom_usable) {
+    for (size_t t = static_cast<size_t>(skip); t < n; ++t) {
+      target.push_back(y_std[t]);
+      for (int l = 1; l <= ar_order; ++l) {
+        own_lags[static_cast<size_t>(l - 1)].push_back(
+            y_std[t - static_cast<size_t>(l)]);
+      }
+    }
+    std::vector<const std::vector<double>*> cols;
+    for (const auto& c : own_lags) cols.push_back(&c);
+    restricted_rss = FitRss(cols, target, options.ridge);
+  }
+
+  for (const TemplateSeries* tpl : metrics.AllSorted()) {
+    CausalCorrScore s;
+    s.sql_id = tpl->sql_id;
+    std::vector<double> x_std =
+        tpl->total_response_ms
+            .Resample(options.interval_sec, TimeSeries::Agg::kSum)
+            .values();
+    if (!symptom_usable || x_std.size() != n || !Standardize(&x_std)) {
+      scored.push_back(s);
+      continue;
+    }
+
+    // Signal 1: max lagged correlation, template leading by L buckets.
+    for (int lag = 0; lag <= max_lag; ++lag) {
+      std::vector<double> lead;
+      std::vector<double> sym;
+      for (size_t t = static_cast<size_t>(lag); t < n; ++t) {
+        lead.push_back(x_std[t - static_cast<size_t>(lag)]);
+        sym.push_back(y_std[t]);
+      }
+      const double corr = PearsonCorrelation(lead, sym);
+      if (lag == 0 || corr > s.best_corr) {
+        s.best_corr = corr;
+        s.best_lag = lag;
+      }
+    }
+
+    // Signal 2: Granger-style gain of the template's best lag over the
+    // pure AR model of the symptom.
+    if (restricted_rss > 1e-12) {
+      std::vector<double> x_col;
+      for (size_t t = static_cast<size_t>(skip); t < n; ++t) {
+        x_col.push_back(x_std[t - static_cast<size_t>(s.best_lag)]);
+      }
+      std::vector<const std::vector<double>*> cols;
+      for (const auto& c : own_lags) cols.push_back(&c);
+      cols.push_back(&x_col);
+      const double unrestricted_rss = FitRss(cols, target, options.ridge);
+      if (unrestricted_rss >= 0.0) {
+        s.granger_gain = std::clamp(
+            (restricted_rss - unrestricted_rss) / restricted_rss, 0.0, 1.0);
+      }
+    }
+
+    s.score = s.granger_gain + std::max(0.0, s.best_corr);
+    scored.push_back(s);
+  }
+
+  std::sort(scored.begin(), scored.end(),
+            [](const CausalCorrScore& a, const CausalCorrScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.sql_id < b.sql_id;
+            });
+  return scored;
+}
+
+std::vector<uint64_t> RankCausalCorr(const TemplateMetricsStore& metrics,
+                                     const TimeSeries& symptom,
+                                     const CausalCorrOptions& options) {
+  std::vector<uint64_t> out;
+  const auto scored = ScoreCausalCorr(metrics, symptom, options);
+  out.reserve(scored.size());
+  for (const CausalCorrScore& s : scored) out.push_back(s.sql_id);
+  return out;
+}
+
+}  // namespace pinsql::baselines

@@ -1,0 +1,65 @@
+#ifndef PINSQL_BASELINES_CAUSAL_CORR_H_
+#define PINSQL_BASELINES_CAUSAL_CORR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/template_metrics.h"
+#include "ts/time_series.h"
+
+namespace pinsql::baselines {
+
+/// The PerfCE-spirit causality baseline ("Corr-Lag"): instead of ranking
+/// templates by their own resource totals (Top-SQL family), rank them by
+/// how much their per-template response-time series *explains* the
+/// instance-level symptom (the active session). Two complementary signals
+/// per template:
+///
+///  1. Max lagged Pearson correlation between the template series shifted
+///     by L in [0, max_lag] buckets and the symptom — the classic
+///     cross-correlation picture of "the template moved first".
+///  2. A Granger-style variance-reduction gain: fit the symptom with an
+///     AR(p) model on its own lags (restricted), then add the template's
+///     best lag as a regressor (unrestricted); the relative RSS drop is
+///     the template's added predictive value.
+///
+/// score = gain + max(0, best_corr). Like the Top-SQL baselines this is a
+/// pure post-hoc ranking over aggregated metrics — no session estimation,
+/// no lock analysis — which is exactly what makes it a fair "causality
+/// heuristic" comparison point for PinSQL's structured diagnosis.
+struct CausalCorrOptions {
+  /// Bucket width the series are resampled to before regression; coarse
+  /// enough to tame per-second noise, fine enough to resolve lead/lag.
+  int64_t interval_sec = 15;
+  /// Max lead (in buckets) a template is allowed over the symptom.
+  int max_lag = 6;
+  /// Own-lag AR order of the restricted symptom model.
+  int ar_order = 2;
+  /// Ridge term added to the normal equations (conditioning only).
+  double ridge = 1e-6;
+};
+
+struct CausalCorrScore {
+  uint64_t sql_id = 0;
+  double score = 0.0;
+  double granger_gain = 0.0;  // in [0, 1]
+  double best_corr = 0.0;
+  int best_lag = 0;  // buckets, of the max correlation
+};
+
+/// Scores every template in the store against the symptom series,
+/// descending by score (ties broken by sql_id for determinism). The
+/// symptom is sliced to the store's window; both are resampled to
+/// options.interval_sec.
+std::vector<CausalCorrScore> ScoreCausalCorr(
+    const TemplateMetricsStore& metrics, const TimeSeries& symptom,
+    const CausalCorrOptions& options = {});
+
+/// Ranking-only view of ScoreCausalCorr.
+std::vector<uint64_t> RankCausalCorr(const TemplateMetricsStore& metrics,
+                                     const TimeSeries& symptom,
+                                     const CausalCorrOptions& options = {});
+
+}  // namespace pinsql::baselines
+
+#endif  // PINSQL_BASELINES_CAUSAL_CORR_H_

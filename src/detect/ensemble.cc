@@ -1,0 +1,138 @@
+#include "detect/ensemble.h"
+
+#include <vector>
+
+#include "anomaly/pettitt.h"
+
+namespace pinsql::detect {
+
+EnsembleDetector::EnsembleDetector(const EnsembleOptions& options)
+    : options_(options) {}
+
+void EnsembleDetector::InitMembers(int64_t sec) {
+  if (options_.use_screen) {
+    screen_.emplace(options_.screen, sec, /*interval_sec=*/1);
+  }
+  forecasters_.clear();
+  forecasters_.reserve(options_.forecasters.size());
+  for (const ForecastOptions& fo : options_.forecasters) {
+    forecasters_.push_back(MakeForecastDetector(fo, sec, /*interval_sec=*/1));
+  }
+  initialized_ = true;
+}
+
+bool EnsembleDetector::in_run() const {
+  if (screen_.has_value() && screen_->in_run()) return true;
+  for (const auto& fc : forecasters_) {
+    if (fc->in_run()) return true;
+  }
+  return false;
+}
+
+void EnsembleDetector::Reset() {
+  initialized_ = false;
+  screen_.reset();
+  trailing_.clear();
+  forecasters_.clear();
+  fired_this_incident_ = false;
+  // pettitt_rejections_ survives: it is a lifetime stat, not stream state.
+}
+
+std::optional<EnsembleTrigger> EnsembleDetector::Observe(int64_t sec,
+                                                         double value) {
+  if (!initialized_) InitMembers(sec);
+
+  std::optional<EnsembleTrigger> fired;
+
+  if (screen_.has_value()) {
+    // The trailing buffer holds every sample, clean or flagged: the
+    // change-point test needs the pre-anomaly distribution to confirm a
+    // shift.
+    trailing_.push_back(value);
+    if (trailing_.size() > options_.pettitt_window) trailing_.pop_front();
+
+    screen_->Push(value);
+    if (!fired_this_incident_ && screen_->in_run() && screen_->run_up() &&
+        screen_->run_length() >= options_.confirm_run_len &&
+        trailing_.size() >= options_.pettitt_min_samples) {
+      const auto pettitt = anomaly::PettittTest(
+          std::vector<double>(trailing_.begin(), trailing_.end()));
+      if (pettitt.significant(options_.pettitt_alpha) &&
+          pettitt.shifted_up()) {
+        fired_this_incident_ = true;
+        EnsembleTrigger trigger;
+        trigger.onset_sec = screen_->run_start_time();
+        trigger.trigger_sec = sec;
+        trigger.severity = screen_->run_peak();
+        trigger.pettitt_p = pettitt.p_value;
+        trigger.source = "robust_z_pettitt";
+        fired = trigger;
+      } else {
+        ++pettitt_rejections_;
+      }
+    }
+  }
+
+  for (const auto& fc : forecasters_) {
+    // Every member always sees every sample — confirmation never starves
+    // a model, which is what keeps snapshots resume-exact.
+    fc->Push(value);
+    if (fired_this_incident_ || !fc->in_run() || !fc->run_up()) continue;
+    const bool confirmed =
+        fc->drift_run() ||
+        fc->run_length() >= fc->options().confirm_run_len;
+    if (!confirmed) continue;
+    fired_this_incident_ = true;
+    EnsembleTrigger trigger;
+    trigger.onset_sec = fc->run_start_time();
+    trigger.trigger_sec = sec;
+    trigger.severity = fc->run_peak();
+    trigger.pettitt_p = 1.0;
+    trigger.source = fc->name();
+    fired = trigger;
+  }
+
+  // The incident (union of member runs) ended: re-arm.
+  if (!in_run()) fired_this_incident_ = false;
+  return fired;
+}
+
+EnsembleSnapshot EnsembleDetector::ExportSnapshot() const {
+  EnsembleSnapshot snap;
+  snap.initialized = initialized_;
+  snap.screen_present = screen_.has_value();
+  if (screen_.has_value()) snap.screen = screen_->ExportSnapshot();
+  snap.trailing.assign(trailing_.begin(), trailing_.end());
+  snap.fired_this_incident = fired_this_incident_;
+  snap.pettitt_rejections = pettitt_rejections_;
+  snap.forecasters.reserve(forecasters_.size());
+  for (const auto& fc : forecasters_) {
+    snap.forecasters.push_back(fc->ExportSnapshot());
+  }
+  return snap;
+}
+
+void EnsembleDetector::Restore(const EnsembleSnapshot& snap) {
+  initialized_ = snap.initialized;
+  if (snap.screen_present) {
+    screen_.emplace(anomaly::StreamingFeatureDetector::FromSnapshot(
+        options_.screen, snap.screen));
+  } else {
+    screen_.reset();
+  }
+  trailing_.assign(snap.trailing.begin(), snap.trailing.end());
+  fired_this_incident_ = snap.fired_this_incident;
+  pettitt_rejections_ = snap.pettitt_rejections;
+  forecasters_.clear();
+  if (initialized_) {
+    forecasters_.reserve(options_.forecasters.size());
+    for (size_t i = 0; i < options_.forecasters.size(); ++i) {
+      auto fc = MakeForecastDetector(options_.forecasters[i],
+                                     /*start_time=*/0, /*interval_sec=*/1);
+      if (i < snap.forecasters.size()) fc->Restore(snap.forecasters[i]);
+      forecasters_.push_back(std::move(fc));
+    }
+  }
+}
+
+}  // namespace pinsql::detect

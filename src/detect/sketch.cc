@@ -1,0 +1,168 @@
+#include "detect/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+namespace pinsql::detect {
+
+namespace {
+
+/// splitmix64: deterministic, well-mixed, and cheap — the same generator
+/// the util Rng builds on, reused here as a keyed hash.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kRowSeeds[] = {
+    0xA24BAED4963EE407ULL, 0x9FB21C651E98DF25ULL, 0xE7037ED1A0B428DBULL,
+    0x8C2F1D7A9B3E5C61ULL, 0xD6E8FEB86659FD93ULL, 0x589965CC75374CC3ULL,
+};
+
+/// The single-stream adapter's key (arbitrary fixed constant).
+constexpr uint64_t kScalarKey = 0x5CA1AB1E0DDBA11ULL;
+
+}  // namespace
+
+SketchEwmaEngine::SketchEwmaEngine(size_t width, size_t depth, double alpha,
+                                   double scale_alpha)
+    : width_(std::max<size_t>(width, 8)),
+      depth_(std::clamp<size_t>(depth, 1, std::size(kRowSeeds))),
+      alpha_(alpha),
+      scale_alpha_(scale_alpha),
+      cells_(width_ * depth_) {}
+
+size_t SketchEwmaEngine::CellIndex(size_t row, uint64_t key) const {
+  return row * width_ +
+         static_cast<size_t>(Mix64(key ^ kRowSeeds[row]) % width_);
+}
+
+bool SketchEwmaEngine::Ready(uint64_t key) const {
+  return UpdateFloor(key) > 0;
+}
+
+uint64_t SketchEwmaEngine::UpdateFloor(uint64_t key) const {
+  uint64_t floor = ~0ULL;
+  for (size_t row = 0; row < depth_; ++row) {
+    floor = std::min(floor, cells_[CellIndex(row, key)].count);
+  }
+  return floor;
+}
+
+double SketchEwmaEngine::MedianAcrossRows(uint64_t key,
+                                          double Cell::* field) const {
+  double vals[std::size(kRowSeeds)];
+  for (size_t row = 0; row < depth_; ++row) {
+    vals[row] = cells_[CellIndex(row, key)].*field;
+  }
+  std::sort(vals, vals + depth_);
+  const size_t mid = depth_ / 2;
+  return depth_ % 2 == 1 ? vals[mid] : 0.5 * (vals[mid - 1] + vals[mid]);
+}
+
+double SketchEwmaEngine::Forecast(uint64_t key) const {
+  return MedianAcrossRows(key, &Cell::level);
+}
+
+double SketchEwmaEngine::Scale(uint64_t key) const {
+  return MedianAcrossRows(key, &Cell::mad);
+}
+
+void SketchEwmaEngine::Update(uint64_t key, double value) {
+  for (size_t row = 0; row < depth_; ++row) {
+    Cell& cell = cells_[CellIndex(row, key)];
+    if (cell.count == 0) {
+      cell.level = value;
+      cell.mad = 0.0;
+    } else {
+      const double residual = std::fabs(value - cell.level);
+      cell.mad += scale_alpha_ * (residual - cell.mad);
+      cell.level += alpha_ * (value - cell.level);
+    }
+    ++cell.count;
+  }
+}
+
+void SketchEwmaEngine::Export(std::vector<double>* out) const {
+  out->clear();
+  out->reserve(cells_.size() * 3);
+  for (const Cell& cell : cells_) {
+    out->push_back(cell.level);
+    out->push_back(cell.mad);
+    out->push_back(static_cast<double>(cell.count));
+  }
+}
+
+void SketchEwmaEngine::Restore(const std::vector<double>& in) {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    Cell& cell = cells_[i];
+    cell.level = in.size() > 3 * i ? in[3 * i] : 0.0;
+    cell.mad = in.size() > 3 * i + 1 ? in[3 * i + 1] : 0.0;
+    cell.count = in.size() > 3 * i + 2
+                     ? static_cast<uint64_t>(in[3 * i + 2])
+                     : 0;
+  }
+}
+
+SketchForecastDetector::SketchForecastDetector(const ForecastOptions& options,
+                                               int64_t start_time,
+                                               int64_t interval_sec)
+    : ForecastDetector(options, start_time, interval_sec),
+      engine_(options.sketch_width, options.sketch_depth, options.alpha,
+              options.scale_alpha) {}
+
+bool SketchForecastDetector::ModelReady() const {
+  return engine_.Ready(kScalarKey);
+}
+
+double SketchForecastDetector::ForecastValue(size_t) const {
+  return engine_.Forecast(kScalarKey);
+}
+
+void SketchForecastDetector::UpdateModel(size_t, double value) {
+  engine_.Update(kScalarKey, value);
+}
+
+void SketchForecastDetector::ExportModel(std::vector<double>* out) const {
+  engine_.Export(out);
+}
+
+void SketchForecastDetector::RestoreModel(const std::vector<double>& in) {
+  engine_.Restore(in);
+}
+
+KeyedSketchDetector::KeyedSketchDetector(const ForecastOptions& options)
+    : options_(options),
+      engine_(options.sketch_width, options.sketch_depth, options.alpha,
+              options.scale_alpha) {}
+
+std::optional<KeyedAnomaly> KeyedSketchDetector::Observe(uint64_t key,
+                                                         int64_t sec,
+                                                         double value) {
+  std::optional<KeyedAnomaly> out;
+  const bool ready = engine_.UpdateFloor(key) >= kKeyWarmup;
+  if (ready) {
+    const double scale =
+        std::max(options_.scale_floor, 1.2533 * engine_.Scale(key));
+    const double z = (value - engine_.Forecast(key)) / scale;
+    if (z >= options_.threshold) {
+      const bool newly_hot =
+          hot_.find(key) == hot_.end() && hot_.size() < kHotKeyCap;
+      if (newly_hot) {
+        hot_.insert(key);
+        out = KeyedAnomaly{key, z, sec};
+      }
+      // Flagged samples do not update the model (mirrors the scalar
+      // detectors' frozen baseline during a run).
+      return out;
+    }
+    hot_.erase(key);
+  }
+  engine_.Update(key, value);
+  return out;
+}
+
+}  // namespace pinsql::detect

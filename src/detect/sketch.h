@@ -1,0 +1,119 @@
+#ifndef PINSQL_DETECT_SKETCH_H_
+#define PINSQL_DETECT_SKETCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "detect/forecast.h"
+
+namespace pinsql::detect {
+
+/// Count-min style sketch whose cells hold EWMA forecasting state instead
+/// of counters: `depth` hash rows of `width` cells, each cell an
+/// exponentially weighted level plus a residual-scale estimate. Memory is
+/// fixed regardless of how many keys stream through; a query takes the
+/// median across its `depth` cells, so a collision with one hot key
+/// perturbs at most one row's estimate. Deterministic: hashing is
+/// splitmix64 with fixed per-row seeds, no allocation order dependence.
+class SketchEwmaEngine {
+ public:
+  SketchEwmaEngine(size_t width, size_t depth, double alpha,
+                   double scale_alpha);
+
+  /// True once every row cell for `key` has absorbed at least one sample.
+  bool Ready(uint64_t key) const;
+  /// Median level across the key's cells (the one-step forecast).
+  double Forecast(uint64_t key) const;
+  /// Median residual-scale (EWMA of |residual|) across the key's cells.
+  double Scale(uint64_t key) const;
+  /// Minimum update count across the key's cells (collision-safe lower
+  /// bound on how much history backs the estimate).
+  uint64_t UpdateFloor(uint64_t key) const;
+  /// Folds one observation of `key` into all rows.
+  void Update(uint64_t key, double value);
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+  /// Flat state [level, mad, count] per cell, row-major — the snapshot
+  /// payload for sketch-backed detectors.
+  void Export(std::vector<double>* out) const;
+  void Restore(const std::vector<double>& in);
+
+ private:
+  struct Cell {
+    double level = 0.0;
+    double mad = 0.0;
+    uint64_t count = 0;
+  };
+
+  size_t CellIndex(size_t row, uint64_t key) const;
+  double MedianAcrossRows(uint64_t key, double Cell::* field) const;
+
+  size_t width_;
+  size_t depth_;
+  double alpha_;
+  double scale_alpha_;
+  std::vector<Cell> cells_;  // depth_ rows of width_ cells
+};
+
+/// ForecastDetector over a single stream, backed by the sketch engine —
+/// the scalar adapter that lets kEwmaSketch participate in ensembles and
+/// share the residual / run-tracking logic of the family. Model vector:
+/// the engine's flat cell state.
+class SketchForecastDetector final : public ForecastDetector {
+ public:
+  SketchForecastDetector(const ForecastOptions& options, int64_t start_time,
+                         int64_t interval_sec);
+
+ protected:
+  bool ModelReady() const override;
+  double ForecastValue(size_t idx) const override;
+  void UpdateModel(size_t idx, double value) override;
+  void ExportModel(std::vector<double>* out) const override;
+  void RestoreModel(const std::vector<double>& in) override;
+
+ private:
+  SketchEwmaEngine engine_;
+};
+
+/// One keyed anomaly: `key`'s current value sits `z` residual scales above
+/// its forecast.
+struct KeyedAnomaly {
+  uint64_t key = 0;
+  double z = 0.0;
+  int64_t sec = 0;
+};
+
+/// High-cardinality per-template screen: feed (sql_id, per-second value)
+/// pairs for every template of a fleet instance; memory stays at the
+/// sketch's fixed geometry no matter how many templates exist. Emits one
+/// KeyedAnomaly when a key first crosses the residual threshold (the key
+/// re-arms after it observes a clean sample), so a sustained per-template
+/// anomaly yields one event, not one per second.
+class KeyedSketchDetector {
+ public:
+  explicit KeyedSketchDetector(const ForecastOptions& options);
+
+  std::optional<KeyedAnomaly> Observe(uint64_t key, int64_t sec,
+                                      double value);
+
+  /// Keys currently flagged (bounded: the hot set is capped, so a storm
+  /// of anomalous keys cannot grow memory without bound).
+  size_t hot_keys() const { return hot_.size(); }
+
+  static constexpr size_t kHotKeyCap = 1024;
+  /// Per-key samples required before scoring starts.
+  static constexpr uint64_t kKeyWarmup = 16;
+
+ private:
+  ForecastOptions options_;
+  SketchEwmaEngine engine_;
+  std::unordered_set<uint64_t> hot_;
+};
+
+}  // namespace pinsql::detect
+
+#endif  // PINSQL_DETECT_SKETCH_H_

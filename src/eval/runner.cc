@@ -1,6 +1,8 @@
 #include "eval/runner.h"
 
 #include <algorithm>
+
+#include "baselines/causal_corr.h"
 #include <chrono>
 #include <memory>
 #include <unordered_set>
@@ -125,6 +127,8 @@ struct CaseOutcome {
   double pin_seconds = 0.0;
   int en_r = 0, en_h = 0, rt_r = 0, rt_h = 0, er_r = 0, er_h = 0;
   double top_seconds = 0.0;
+  int corr_r = 0, corr_h = 0;
+  double corr_seconds = 0.0;
   obs::PipelineTrace trace;
 };
 
@@ -163,6 +167,17 @@ CaseOutcome RunOneCase(const EvalOptions& options,
   out.rt_h = HsqlRank(tops.by_response_time, data);
   out.er_r = RsqlRank(tops.by_examined_rows, data);
   out.er_h = HsqlRank(tops.by_examined_rows, data);
+
+  // The causality heuristic sees the same aggregated metrics plus the
+  // instance symptom — nothing PinSQL does not also consume.
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::vector<uint64_t> corr = baselines::RankCausalCorr(
+      result.metrics, data.metrics.active_session);
+  out.corr_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+  out.corr_r = RsqlRank(corr, data);
+  out.corr_h = HsqlRank(corr, data);
   return out;
 }
 
@@ -176,6 +191,7 @@ std::vector<MethodScores> RunOverallEvaluation(
   MethodAccumulator top_rt("Top-RT");
   MethodAccumulator top_er("Top-ER");
   MethodAccumulator top_all("Top-All");
+  MethodAccumulator corr_lag("Corr-Lag");
 
   // Fleet mode: each case is an independent instance (own generator seed,
   // own logs/metrics), so cases fan out across the pool; outcomes land in
@@ -206,10 +222,13 @@ std::vector<MethodScores> RunOverallEvaluation(
     top_all.AddRanks(best(best(out.en_r, out.rt_r), out.er_r),
                      best(best(out.en_h, out.rt_h), out.er_h),
                      out.top_seconds * 3.0);
+    corr_lag.AddRanks(out.corr_r, out.corr_h, out.corr_seconds);
   }
 
-  return {pinsql.Summary(), top_rt.Summary(), top_er.Summary(),
-          top_en.Summary(), top_all.Summary()};
+  // Corr-Lag rides last so existing positional consumers of the first
+  // five rows keep working; new consumers should look methods up by name.
+  return {pinsql.Summary(),  top_rt.Summary(),   top_er.Summary(),
+          top_en.Summary(),  top_all.Summary(),  corr_lag.Summary()};
 }
 
 }  // namespace pinsql::eval

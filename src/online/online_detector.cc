@@ -1,45 +1,46 @@
 #include "online/online_detector.h"
 
 #include <cmath>
-#include <vector>
 
-#include "anomaly/pettitt.h"
 #include "obs/metrics.h"
 
 namespace pinsql::online {
 
+detect::EnsembleOptions MakeEnsembleOptions(
+    const OnlineDetectorOptions& options) {
+  detect::EnsembleOptions ensemble;
+  ensemble.use_screen = options.use_screen;
+  ensemble.screen = options.screen;
+  ensemble.confirm_run_len = options.confirm_run_len;
+  ensemble.pettitt_window = options.pettitt_window;
+  ensemble.pettitt_min_samples = options.pettitt_min_samples;
+  ensemble.pettitt_alpha = options.pettitt_alpha;
+  ensemble.forecasters = options.forecasters;
+  return ensemble;
+}
+
 OnlineAnomalyDetector::OnlineAnomalyDetector(
     const OnlineDetectorOptions& options)
-    : options_(options) {}
+    : options_(options), ensemble_(MakeEnsembleOptions(options)) {}
 
-bool OnlineAnomalyDetector::in_run() const {
-  return screen_.has_value() && screen_->in_run();
-}
+bool OnlineAnomalyDetector::in_run() const { return ensemble_.in_run(); }
 
 OnlineDetectorState OnlineAnomalyDetector::ExportState() const {
   OnlineDetectorState state;
-  state.screen_initialized = screen_.has_value();
-  if (screen_.has_value()) state.screen = screen_->ExportSnapshot();
-  state.trailing.assign(trailing_.begin(), trailing_.end());
+  state.ensemble = ensemble_.ExportSnapshot();
   state.last_finite = last_finite_;
   state.seen_finite = seen_finite_;
-  state.triggered_this_run = triggered_this_run_;
+  state.consecutive_gaps = consecutive_gaps_;
   state.latencies = latencies_;
   state.stats = stats_;
   return state;
 }
 
 void OnlineAnomalyDetector::ImportState(const OnlineDetectorState& state) {
-  if (state.screen_initialized) {
-    screen_.emplace(anomaly::StreamingFeatureDetector::FromSnapshot(
-        options_.screen, state.screen));
-  } else {
-    screen_.reset();
-  }
-  trailing_.assign(state.trailing.begin(), state.trailing.end());
+  ensemble_.Restore(state.ensemble);
   last_finite_ = state.last_finite;
   seen_finite_ = state.seen_finite;
-  triggered_this_run_ = state.triggered_this_run;
+  consecutive_gaps_ = state.consecutive_gaps;
   latencies_ = state.latencies;
   stats_ = state.stats;
 }
@@ -49,9 +50,20 @@ std::optional<AnomalyTrigger> OnlineAnomalyDetector::Observe(
   ++stats_.samples;
   double value = active_session;
   if (!std::isfinite(value)) {
+    ++consecutive_gaps_;
     if (!seen_finite_) {
-      // Nothing to carry yet; the screen's clock starts at the first
+      // Nothing to carry yet; the ensemble's clock starts at the first
       // finite sample.
+      ++stats_.gaps_skipped;
+      return std::nullopt;
+    }
+    if (consecutive_gaps_ >= options_.screen.baseline_window) {
+      // The gap has outlived every sample the baseline was built from:
+      // whatever comes after is a new stream, not a continuation. Reset
+      // instead of freezing the carried value into the baseline forever.
+      ensemble_.Reset();
+      seen_finite_ = false;
+      ++stats_.baseline_resets;
       ++stats_.gaps_skipped;
       return std::nullopt;
     }
@@ -60,45 +72,21 @@ std::optional<AnomalyTrigger> OnlineAnomalyDetector::Observe(
   } else {
     last_finite_ = value;
     seen_finite_ = true;
+    consecutive_gaps_ = 0;
   }
 
-  if (!screen_.has_value()) {
-    screen_.emplace(options_.screen, sec, /*interval_sec=*/1);
-  }
+  const std::optional<detect::EnsembleTrigger> fired =
+      ensemble_.Observe(sec, value);
+  stats_.pettitt_rejections =
+      static_cast<size_t>(ensemble_.pettitt_rejections());
+  if (!fired.has_value()) return std::nullopt;
 
-  // The trailing buffer holds every sample, clean or flagged: the
-  // change-point test needs the pre-anomaly distribution to confirm a
-  // shift.
-  trailing_.push_back(value);
-  if (trailing_.size() > options_.pettitt_window) trailing_.pop_front();
-
-  const bool was_in_run = screen_->in_run();
-  screen_->Push(value);
-  if (!screen_->in_run()) {
-    triggered_this_run_ = false;
-    return std::nullopt;
-  }
-  if (!was_in_run) triggered_this_run_ = false;
-
-  if (triggered_this_run_ || !screen_->run_up() ||
-      screen_->run_length() < options_.confirm_run_len ||
-      trailing_.size() < options_.pettitt_min_samples) {
-    return std::nullopt;
-  }
-
-  const auto pettitt = anomaly::PettittTest(
-      std::vector<double>(trailing_.begin(), trailing_.end()));
-  if (!pettitt.significant(options_.pettitt_alpha) || !pettitt.shifted_up()) {
-    ++stats_.pettitt_rejections;
-    return std::nullopt;
-  }
-
-  triggered_this_run_ = true;
   AnomalyTrigger trigger;
-  trigger.onset_sec = screen_->run_start_time();
-  trigger.trigger_sec = sec;
-  trigger.severity = screen_->run_peak();
-  trigger.pettitt_p = pettitt.p_value;
+  trigger.onset_sec = fired->onset_sec;
+  trigger.trigger_sec = fired->trigger_sec;
+  trigger.severity = fired->severity;
+  trigger.pettitt_p = fired->pettitt_p;
+  trigger.source = fired->source;
   ++stats_.triggers;
   latencies_.push_back(trigger.trigger_sec - trigger.onset_sec);
   PINSQL_OBS_COUNT("online.triggers", 1);

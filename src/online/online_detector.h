@@ -2,11 +2,12 @@
 #define PINSQL_ONLINE_ONLINE_DETECTOR_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "anomaly/detectors.h"
+#include "detect/ensemble.h"
 
 namespace pinsql::online {
 
@@ -21,15 +22,25 @@ struct AnomalyTrigger {
   /// Second at which the detector confirmed and fired (>= onset_sec); the
   /// difference is the detection latency.
   int64_t trigger_sec = 0;
-  /// Peak robust z-score of the run at confirmation time.
+  /// The confirming detector's run peak: robust/residual |z| units for
+  /// threshold runs, CUSUM units for drift confirmations.
   double severity = 0.0;
-  /// p-value of the confirming Pettitt change-point test.
+  /// p-value of the confirming Pettitt change-point test; 1.0 when a
+  /// forecaster confirmed (no change-point test ran).
   double pettitt_p = 1.0;
+  /// Which ensemble member confirmed ("robust_z_pettitt", "ewma", "holt",
+  /// "holt_winters", "ewma_sketch") — the per-detector attribution that
+  /// flows into reports, the serve API and replay fingerprints.
+  std::string source = "robust_z_pettitt";
 };
 
 struct OnlineDetectorOptions {
   /// Screening detector (robust z against a frozen clean baseline).
   anomaly::DetectorOptions screen;
+  /// Disable to run the configured forecasters without the robust-z screen
+  /// — ablation studies only; production keeps the screen as the fast path
+  /// for sharp anomalies.
+  bool use_screen = true;
   /// A flagged up-run must persist this many consecutive samples before the
   /// confirmation test runs — one- and two-sample blips never page anyone
   /// (noisy integer-valued session counts routinely throw single-sample
@@ -46,6 +57,11 @@ struct OnlineDetectorOptions {
   size_t pettitt_min_samples = 12;
   /// Pettitt significance level for confirmation.
   double pettitt_alpha = 0.1;
+  /// Forecasting ensemble members run alongside the screen (empty = the
+  /// legacy robust-z + Pettitt pipeline, bit-identical). See
+  /// detect::DefaultEnsembleForecasters() for the stock drift-catching
+  /// configuration.
+  std::vector<detect::ForecastOptions> forecasters;
 };
 
 struct OnlineDetectorStats {
@@ -58,34 +74,38 @@ struct OnlineDetectorStats {
   /// Confirmation attempts where Pettitt did not find a significant upward
   /// change point (the screen keeps retrying while the run persists).
   size_t pettitt_rejections = 0;
+  /// Telemetry gaps that outlived the entire robust-z baseline window and
+  /// reset the detector (the pre-gap baseline said nothing about the
+  /// post-gap world).
+  size_t baseline_resets = 0;
 };
 
 /// Serializable mirror of an OnlineAnomalyDetector's mutable state, for
 /// the durable service's checkpoints (see online/service_state.h).
 struct OnlineDetectorState {
-  /// The screen is lazily constructed on the first observed sample; false
-  /// means it has not been yet.
-  bool screen_initialized = false;
-  anomaly::StreamingDetectorSnapshot screen;
-  std::vector<double> trailing;
+  detect::EnsembleSnapshot ensemble;
   double last_finite = 0.0;
   bool seen_finite = false;
-  bool triggered_this_run = false;
+  uint64_t consecutive_gaps = 0;
   std::vector<int64_t> latencies;
   OnlineDetectorStats stats;
 };
 
-/// Streaming active-session anomaly detector: a cheap per-sample robust
-/// z-score screen (StreamingFeatureDetector) confirmed by the existing
-/// Pettitt change-point test over a trailing buffer. Fires at most one
-/// trigger per flagged run, so one sustained anomaly can never produce
-/// duplicate diagnoses; the scheduler's cooldown handles runs that briefly
-/// close mid-anomaly.
+/// Streaming active-session anomaly detector: a first-to-confirm ensemble
+/// of the cheap per-sample robust z-score screen (confirmed by the Pettitt
+/// change-point test) and any configured forecasting detectors (EWMA /
+/// Holt / Holt-Winters / sketch residual screens with CUSUM drift
+/// accumulation). Fires at most one trigger per incident, so one sustained
+/// anomaly can never produce duplicate diagnoses; the scheduler's cooldown
+/// handles incidents that briefly close mid-anomaly.
 ///
 /// Feed it exactly one sample per second, in order. A telemetry gap (NaN)
-/// is carried forward from the last finite sample so the screen's clock
+/// is carried forward from the last finite sample so the ensemble's clock
 /// stays aligned with wall seconds and a gap can neither start nor end a
-/// run by itself.
+/// run by itself — unless the gap outlives the entire baseline window, in
+/// which case the detector resets and re-learns from the post-gap stream
+/// (a frozen pre-gap baseline would score the new world against stale
+/// statistics indefinitely).
 class OnlineAnomalyDetector {
  public:
   explicit OnlineAnomalyDetector(const OnlineDetectorOptions& options);
@@ -101,7 +121,7 @@ class OnlineAnomalyDetector {
 
   const OnlineDetectorStats& stats() const { return stats_; }
 
-  /// True while the screen currently has a flagged run open.
+  /// True while any ensemble member currently has a flagged run open.
   bool in_run() const;
 
   /// Checkpoint support: a detector restored from an exported state
@@ -111,15 +131,17 @@ class OnlineAnomalyDetector {
 
  private:
   OnlineDetectorOptions options_;
-  std::optional<anomaly::StreamingFeatureDetector> screen_;
-  std::deque<double> trailing_;
+  detect::EnsembleDetector ensemble_;
   double last_finite_ = 0.0;
   bool seen_finite_ = false;
-  /// The open run already fired (or we are not in a run).
-  bool triggered_this_run_ = false;
+  uint64_t consecutive_gaps_ = 0;
   std::vector<int64_t> latencies_;
   OnlineDetectorStats stats_;
 };
+
+/// Builds the ensemble configuration an OnlineDetectorOptions describes.
+detect::EnsembleOptions MakeEnsembleOptions(
+    const OnlineDetectorOptions& options);
 
 }  // namespace pinsql::online
 

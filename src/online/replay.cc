@@ -32,6 +32,8 @@ void AppendOutcomeFingerprint(const DiagnosisOutcome& outcome,
   *out += FormatDouble(outcome.trigger.severity);
   *out += ',';
   *out += FormatDouble(outcome.trigger.pettitt_p);
+  *out += ',';
+  *out += outcome.trigger.source;
   *out += '\n';
   *out += outcome.ok ? "ok\n" : ("error:" + outcome.error + "\n");
   if (outcome.ok) {

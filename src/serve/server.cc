@@ -715,6 +715,7 @@ void Server::RefreshCachesAfterAdvance(
     entry.onset_sec = fo.outcome.trigger.onset_sec;
     entry.trigger_sec = fo.outcome.trigger.trigger_sec;
     entry.severity = fo.outcome.trigger.severity;
+    entry.source = fo.outcome.trigger.source;
     entry.ok = fo.outcome.ok;
     entry.storm_deferred =
         fo.disposition == fleet::FleetOutcome::Disposition::kStormDeferred;
@@ -1067,6 +1068,7 @@ HttpResponse Server::HandleReports(const HttpRequest& request) const {
     entry.Set("onset_sec", it->onset_sec);
     entry.Set("trigger_sec", it->trigger_sec);
     entry.Set("severity", it->severity);
+    entry.Set("source", it->source);
     entry.Set("ok", it->ok);
     entry.Set("storm_deferred", it->storm_deferred);
     entry.Set("storm_batch", static_cast<int64_t>(it->storm_batch));
@@ -1104,6 +1106,7 @@ HttpResponse Server::HandleTriggers(const HttpRequest& request) const {
     t.Set("onset_sec", it->onset_sec);
     t.Set("trigger_sec", it->trigger_sec);
     t.Set("severity", it->severity);
+    t.Set("source", it->source);
     t.Set("storm_deferred", it->storm_deferred);
     t.Set("storm_batch", static_cast<int64_t>(it->storm_batch));
     triggers.Append(std::move(t));

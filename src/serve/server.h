@@ -249,6 +249,7 @@ class Server {
     int64_t onset_sec = 0;
     int64_t trigger_sec = 0;
     double severity = 0.0;
+    std::string source;  // confirming detector (ensemble attribution)
     bool ok = false;
     bool storm_deferred = false;
     uint64_t storm_batch = 0;

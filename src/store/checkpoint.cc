@@ -16,7 +16,11 @@ namespace pinsql::store {
 namespace {
 
 constexpr char kCheckpointMagic[8] = {'P', 'S', 'Q', 'L', 'C', 'K', 'P', '1'};
-constexpr uint32_t kCheckpointVersion = 1;
+// v2: ensemble-backed detector state (forecaster snapshots, gap-reset
+// counters) and trigger source attribution. v1 checkpoints fail the
+// version check and recovery falls back to the WAL, which replays into
+// the new format.
+constexpr uint32_t kCheckpointVersion = 2;
 // magic(8) + version(4) at the front, crc(4) at the back.
 constexpr size_t kCheckpointOverhead = 16;
 
@@ -70,9 +74,8 @@ void EncodeIngestor(codec::Writer* w, const online::IngestorState& state) {
   w->I64(state.watermark);
 }
 
-void EncodeDetector(codec::Writer* w, const online::OnlineDetectorState& state) {
-  w->Bool(state.screen_initialized);
-  const anomaly::StreamingDetectorSnapshot& screen = state.screen;
+void EncodeScreenSnapshot(codec::Writer* w,
+                          const anomaly::StreamingDetectorSnapshot& screen) {
   w->U64(screen.clean.size());
   for (double v : screen.clean) w->F64(v);
   w->F64(screen.baseline_median);
@@ -86,11 +89,46 @@ void EncodeDetector(codec::Writer* w, const online::OnlineDetectorState& state) 
   w->U64(screen.count);
   w->I64(screen.start_time);
   w->I64(screen.interval_sec);
-  w->U64(state.trailing.size());
-  for (double v : state.trailing) w->F64(v);
+}
+
+void EncodeForecast(codec::Writer* w, const detect::ForecastSnapshot& fc) {
+  w->U32(static_cast<uint32_t>(fc.method));
+  w->U64(fc.count);
+  w->F64(fc.mad);
+  w->F64(fc.cusum);
+  w->U64(fc.cusum_start);
+  w->U64(fc.cusum_anchor);
+  w->Bool(fc.cusum_anchor_set);
+  w->F64(fc.block_sum);
+  w->U64(fc.block_n);
+  w->Bool(fc.in_run);
+  w->Bool(fc.run_up);
+  w->Bool(fc.drift_run);
+  w->U64(fc.run_start);
+  w->F64(fc.run_peak);
+  w->F64(fc.last_z);
+  w->I64(fc.start_time);
+  w->I64(fc.interval_sec);
+  w->U64(fc.model.size());
+  for (double v : fc.model) w->F64(v);
+}
+
+void EncodeDetector(codec::Writer* w, const online::OnlineDetectorState& state) {
+  const detect::EnsembleSnapshot& ensemble = state.ensemble;
+  w->Bool(ensemble.initialized);
+  w->Bool(ensemble.screen_present);
+  EncodeScreenSnapshot(w, ensemble.screen);
+  w->U64(ensemble.trailing.size());
+  for (double v : ensemble.trailing) w->F64(v);
+  w->Bool(ensemble.fired_this_incident);
+  w->U64(ensemble.pettitt_rejections);
+  w->U64(ensemble.forecasters.size());
+  for (const detect::ForecastSnapshot& fc : ensemble.forecasters) {
+    EncodeForecast(w, fc);
+  }
   w->F64(state.last_finite);
   w->Bool(state.seen_finite);
-  w->Bool(state.triggered_this_run);
+  w->U64(state.consecutive_gaps);
   w->U64(state.latencies.size());
   for (int64_t v : state.latencies) w->I64(v);
   w->U64(state.stats.samples);
@@ -98,6 +136,7 @@ void EncodeDetector(codec::Writer* w, const online::OnlineDetectorState& state) 
   w->U64(state.stats.gaps_skipped);
   w->U64(state.stats.triggers);
   w->U64(state.stats.pettitt_rejections);
+  w->U64(state.stats.baseline_resets);
 }
 
 void EncodeTrigger(codec::Writer* w, const online::AnomalyTrigger& trigger) {
@@ -106,6 +145,7 @@ void EncodeTrigger(codec::Writer* w, const online::AnomalyTrigger& trigger) {
   w->I64(trigger.trigger_sec);
   w->F64(trigger.severity);
   w->F64(trigger.pettitt_p);
+  w->Str(trigger.source);
 }
 
 void EncodeScheduler(codec::Writer* w, const online::SchedulerState& state) {
@@ -232,33 +272,75 @@ bool DecodeU64Counter(codec::Reader* r, size_t* out) {
   return true;
 }
 
-bool DecodeDetector(codec::Reader* r, online::OnlineDetectorState* state) {
-  if (!r->Bool(&state->screen_initialized)) return false;
-  anomaly::StreamingDetectorSnapshot& screen = state->screen;
+bool DecodeScreenSnapshot(codec::Reader* r,
+                          anomaly::StreamingDetectorSnapshot* screen) {
   uint64_t clean_size = 0;
   if (!r->U64(&clean_size) || !PlausibleCount(*r, clean_size, 8)) return false;
-  screen.clean.resize(clean_size);
-  for (double& v : screen.clean) {
+  screen->clean.resize(clean_size);
+  for (double& v : screen->clean) {
     if (!r->F64(&v)) return false;
   }
-  if (!r->F64(&screen.baseline_median) || !r->F64(&screen.baseline_mad) ||
-      !r->Bool(&screen.baseline_fresh) || !r->Bool(&screen.in_run) ||
-      !r->Bool(&screen.run_up) || !r->U64(&screen.run_start) ||
-      !r->F64(&screen.run_peak) || !r->F64(&screen.last_z) ||
-      !r->U64(&screen.count) || !r->I64(&screen.start_time) ||
-      !r->I64(&screen.interval_sec)) {
+  return r->F64(&screen->baseline_median) && r->F64(&screen->baseline_mad) &&
+         r->Bool(&screen->baseline_fresh) && r->Bool(&screen->in_run) &&
+         r->Bool(&screen->run_up) && r->U64(&screen->run_start) &&
+         r->F64(&screen->run_peak) && r->F64(&screen->last_z) &&
+         r->U64(&screen->count) && r->I64(&screen->start_time) &&
+         r->I64(&screen->interval_sec);
+}
+
+bool DecodeForecast(codec::Reader* r, detect::ForecastSnapshot* fc) {
+  uint32_t method = 0;
+  if (!r->U32(&method) || method > 3) return false;
+  fc->method = static_cast<detect::ForecastMethod>(method);
+  if (!r->U64(&fc->count) || !r->F64(&fc->mad) || !r->F64(&fc->cusum) ||
+      !r->U64(&fc->cusum_start) || !r->U64(&fc->cusum_anchor) ||
+      !r->Bool(&fc->cusum_anchor_set) || !r->F64(&fc->block_sum) ||
+      !r->U64(&fc->block_n) || !r->Bool(&fc->in_run) ||
+      !r->Bool(&fc->run_up) || !r->Bool(&fc->drift_run) ||
+      !r->U64(&fc->run_start) || !r->F64(&fc->run_peak) ||
+      !r->F64(&fc->last_z) || !r->I64(&fc->start_time) ||
+      !r->I64(&fc->interval_sec)) {
+    return false;
+  }
+  uint64_t model_size = 0;
+  if (!r->U64(&model_size) || !PlausibleCount(*r, model_size, 8)) {
+    return false;
+  }
+  fc->model.resize(model_size);
+  for (double& v : fc->model) {
+    if (!r->F64(&v)) return false;
+  }
+  return true;
+}
+
+bool DecodeDetector(codec::Reader* r, online::OnlineDetectorState* state) {
+  detect::EnsembleSnapshot& ensemble = state->ensemble;
+  if (!r->Bool(&ensemble.initialized) || !r->Bool(&ensemble.screen_present) ||
+      !DecodeScreenSnapshot(r, &ensemble.screen)) {
     return false;
   }
   uint64_t trailing_size = 0;
   if (!r->U64(&trailing_size) || !PlausibleCount(*r, trailing_size, 8)) {
     return false;
   }
-  state->trailing.resize(trailing_size);
-  for (double& v : state->trailing) {
+  ensemble.trailing.resize(trailing_size);
+  for (double& v : ensemble.trailing) {
     if (!r->F64(&v)) return false;
   }
+  if (!r->Bool(&ensemble.fired_this_incident) ||
+      !r->U64(&ensemble.pettitt_rejections)) {
+    return false;
+  }
+  uint64_t num_forecasters = 0;
+  if (!r->U64(&num_forecasters) || !PlausibleCount(*r, num_forecasters, 80)) {
+    return false;
+  }
+  ensemble.forecasters.resize(num_forecasters);
+  for (detect::ForecastSnapshot& fc : ensemble.forecasters) {
+    if (!DecodeForecast(r, &fc)) return false;
+  }
   if (!r->F64(&state->last_finite) || !r->Bool(&state->seen_finite) ||
-      !r->Bool(&state->triggered_this_run)) {
+      !r->U64(&state->consecutive_gaps)) {
     return false;
   }
   uint64_t latencies_size = 0;
@@ -273,13 +355,14 @@ bool DecodeDetector(codec::Reader* r, online::OnlineDetectorState* state) {
          DecodeU64Counter(r, &state->stats.gaps_carried) &&
          DecodeU64Counter(r, &state->stats.gaps_skipped) &&
          DecodeU64Counter(r, &state->stats.triggers) &&
-         DecodeU64Counter(r, &state->stats.pettitt_rejections);
+         DecodeU64Counter(r, &state->stats.pettitt_rejections) &&
+         DecodeU64Counter(r, &state->stats.baseline_resets);
 }
 
 bool DecodeTrigger(codec::Reader* r, online::AnomalyTrigger* trigger) {
   return r->U32(&trigger->instance_id) && r->I64(&trigger->onset_sec) &&
          r->I64(&trigger->trigger_sec) && r->F64(&trigger->severity) &&
-         r->F64(&trigger->pettitt_p);
+         r->F64(&trigger->pettitt_p) && r->Str(&trigger->source);
 }
 
 bool DecodeScheduler(codec::Reader* r, online::SchedulerState* state) {

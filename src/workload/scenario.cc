@@ -18,8 +18,49 @@ const char* AnomalyTypeName(AnomalyType type) {
       return "mdl_lock";
     case AnomalyType::kRowLock:
       return "row_lock";
+    case AnomalyType::kFlashSaleFlood:
+      return "flash_sale_flood";
+    case AnomalyType::kSlowDrift:
+      return "slow_drift";
+    case AnomalyType::kCacheStampede:
+      return "cache_stampede";
+    case AnomalyType::kReplicationLag:
+      return "replication_lag";
+    case AnomalyType::kMigrationStorm:
+      return "migration_storm";
+    case AnomalyType::kCompound:
+      return "compound";
   }
   return "unknown";
+}
+
+const std::vector<AnomalyType>& AllAnomalyTypes() {
+  static const std::vector<AnomalyType> kAll = {
+      AnomalyType::kBusinessSpike,  AnomalyType::kPoorSql,
+      AnomalyType::kMdlLock,        AnomalyType::kRowLock,
+      AnomalyType::kFlashSaleFlood, AnomalyType::kSlowDrift,
+      AnomalyType::kCacheStampede,  AnomalyType::kReplicationLag,
+      AnomalyType::kMigrationStorm, AnomalyType::kCompound,
+  };
+  return kAll;
+}
+
+bool IsLegacyAnomalyType(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kBusinessSpike:
+    case AnomalyType::kPoorSql:
+    case AnomalyType::kMdlLock:
+    case AnomalyType::kRowLock:
+      return true;
+    case AnomalyType::kFlashSaleFlood:
+    case AnomalyType::kSlowDrift:
+    case AnomalyType::kCacheStampede:
+    case AnomalyType::kReplicationLag:
+    case AnomalyType::kMigrationStorm:
+    case AnomalyType::kCompound:
+      return false;
+  }
+  return false;
 }
 
 namespace {
@@ -317,6 +358,287 @@ Injection MakeRowLock(Workload* w, int64_t as, int64_t ae, Rng* rng) {
   return inj;
 }
 
+/// Load-carrying templates (qps x service demand, descending), excluding
+/// exclusive lockers — the shared carrier ranking behind the spike-shaped
+/// categories.
+std::vector<std::pair<double, size_t>> RankCarriers(const Workload& w) {
+  std::vector<std::pair<double, size_t>> carriers;
+  for (size_t i = 0; i < w.templates.size(); ++i) {
+    const TemplateDef& tpl = w.templates[i];
+    if (tpl.mdl_exclusive ||
+        (tpl.row_groups_touched > 0 &&
+         tpl.row_lock_mode == dbsim::LockMode::kExclusive)) {
+      continue;
+    }
+    const double qps = BaselineQps(w, i);
+    if (qps < 0.5) continue;
+    carriers.emplace_back(qps * (tpl.cpu_ms_mean + tpl.io_ms_mean), i);
+  }
+  std::sort(carriers.begin(), carriers.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return carriers;
+}
+
+Injection MakeFlashSaleFlood(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kFlashSaleFlood;
+  // A flash sale floods several load-bearing endpoints of the same
+  // business at once (landing page, inventory check, checkout): every
+  // flooded template is a root cause, so the case is multi-root by
+  // construction even without a second failure mechanism.
+  const auto carriers = RankCarriers(*w);
+  assert(carriers.size() >= 2);
+  const size_t num_flooded = static_cast<size_t>(rng->UniformInt(
+      2, std::min<int64_t>(3, static_cast<int64_t>(carriers.size()))));
+  for (size_t pick = 0; pick < num_flooded; ++pick) {
+    const size_t idx = carriers[pick].second;
+    const TemplateDef& tpl = w->templates[idx];
+    const double qps = BaselineQps(*w, idx);
+    const double target_concurrency = rng->Uniform(6.0, 14.0);
+    double mult = 1.0 + target_concurrency * 1000.0 /
+                            (qps * (tpl.cpu_ms_mean + tpl.io_ms_mean));
+    mult = std::clamp(mult, 5.0, 50.0);
+    RateOverride ov;
+    ov.sql_id = tpl.sql_id;
+    ov.start_sec = as;
+    ov.end_sec = ae;
+    ov.multiplier = mult;
+    inj.overrides.push_back(ov);
+    inj.root_cause_ids.push_back(tpl.sql_id);
+  }
+  return inj;
+}
+
+Injection MakeSlowDrift(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kSlowDrift;
+  // A plan flip that degrades gradually: the optimizer starts picking a
+  // bad join order for a rising share of executions (statistics decaying
+  // as the table grows), so a slow variant of an existing query ramps in
+  // over the whole window instead of arriving as a step. The per-sample
+  // robust-z screen absorbs each tiny increment into its clean baseline;
+  // only a forecaster's accumulated residual (CUSUM) sees the creep.
+  const uint32_t table_id = static_cast<uint32_t>(
+      rng->UniformInt(0, static_cast<int64_t>(w->tables.size()) - 1));
+  const uint32_t other_id = static_cast<uint32_t>(
+      rng->UniformInt(0, static_cast<int64_t>(w->tables.size()) - 1));
+  TemplateDef proto;
+  proto.cluster_idx = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(w->clusters.size()) - 1));
+  proto.weight = 0.0;
+  proto.table_id = table_id;
+  proto.cpu_ms_mean = rng->Uniform(90.0, 180.0);
+  proto.cpu_sigma = 0.25;
+  proto.io_ms_mean = rng->Uniform(2.0, 10.0);
+  proto.examined_rows_mean = rng->Uniform(5e4, 3e5);
+  const int variant = 900 + static_cast<int>(rng->UniformInt(0, 49));
+  TemplateDef def = MakeTemplate(
+      MakeJoinSelectSql(w->tables[table_id].name, w->tables[other_id].name,
+                        variant),
+      proto);
+  // Target full-ramp concurrency deliberately *modest*, reached via a
+  // piecewise-linear staircase: RatePlan applies each override inside its
+  // own interval, so consecutive segments compose into a ramp whose
+  // per-step increment sits far below any per-sample z threshold — the
+  // rolling clean baseline absorbs each step, which is what makes this
+  // the category a robust-z screen structurally misses.
+  const double target_concurrency = rng->Uniform(2.2, 3.2);
+  const double peak_qps =
+      target_concurrency * 1000.0 / (proto.cpu_ms_mean + proto.io_ms_mean);
+  constexpr int kSegments = 30;
+  const int64_t span = ae - as;
+  for (int seg = 0; seg < kSegments; ++seg) {
+    RateOverride ov;
+    ov.sql_id = def.sql_id;
+    ov.start_sec = as + span * seg / kSegments;
+    ov.end_sec = as + span * (seg + 1) / kSegments;
+    ov.add_qps = peak_qps * static_cast<double>(seg + 1) /
+                 static_cast<double>(kSegments);
+    inj.overrides.push_back(ov);
+  }
+  inj.root_cause_ids.push_back(def.sql_id);
+  w->templates.push_back(std::move(def));
+  return inj;
+}
+
+Injection MakeCacheStampede(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kCacheStampede;
+  // A cache expiry sends every miss to the database at once: the hottest
+  // point read floods (the misses) while a new heavy recompute query
+  // rebuilds the cached aggregate. Both are root causes — killing either
+  // one alone leaves half the incident running.
+  const auto carriers = RankCarriers(*w);
+  assert(!carriers.empty());
+  size_t flood_idx = carriers.front().second;
+  for (const auto& [load, idx] : carriers) {
+    const TemplateDef& tpl = w->templates[idx];
+    if (tpl.cpu_ms_mean <= 5.0 && tpl.io_ms_mean <= 1.0) {
+      flood_idx = idx;  // prefer a cache-shaped read: cheap and hot
+      break;
+    }
+  }
+  const TemplateDef& flood = w->templates[flood_idx];
+  const double flood_qps = BaselineQps(*w, flood_idx);
+  // Size the miss flood to a target concurrency (a bare rate multiplier
+  // on a cheap point read barely moves the session).
+  const double flood_target = rng->Uniform(5.0, 9.0);
+  double flood_mult =
+      1.0 + flood_target * 1000.0 /
+                (flood_qps * (flood.cpu_ms_mean + flood.io_ms_mean));
+  flood_mult = std::clamp(flood_mult, 10.0, 80.0);
+  RateOverride flood_ov;
+  flood_ov.sql_id = flood.sql_id;
+  flood_ov.start_sec = as;
+  flood_ov.end_sec = ae;
+  flood_ov.multiplier = flood_mult;
+  inj.overrides.push_back(flood_ov);
+  inj.root_cause_ids.push_back(flood.sql_id);
+
+  TemplateDef proto;
+  proto.cluster_idx = flood.cluster_idx;
+  proto.weight = 0.0;
+  proto.table_id = flood.table_id;
+  proto.cpu_ms_mean = rng->Uniform(100.0, 250.0);
+  proto.cpu_sigma = 0.3;
+  proto.io_ms_mean = rng->Uniform(5.0, 15.0);
+  proto.examined_rows_mean = rng->Uniform(5e4, 4e5);
+  const int variant = 900 + static_cast<int>(rng->UniformInt(0, 49));
+  TemplateDef def = MakeTemplate(
+      MakeSelectSql(w->tables[proto.table_id].name, variant + 3000), proto);
+  RateOverride recompute_ov;
+  recompute_ov.sql_id = def.sql_id;
+  recompute_ov.start_sec = as;
+  recompute_ov.end_sec = ae;
+  recompute_ov.add_qps = rng->Uniform(5.0, 10.0);
+  inj.overrides.push_back(recompute_ov);
+  inj.root_cause_ids.push_back(def.sql_id);
+  w->templates.push_back(std::move(def));
+  return inj;
+}
+
+Injection MakeReplicationLag(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kReplicationLag;
+  // A backup / replication catch-up job: a low-rate full scan with huge
+  // IO demand. Little CPU, little lock footprint — it surfaces through
+  // IOPS saturation and queueing delay on everything else, so Top-EN
+  // never sees it and Top-RT sees mostly its victims.
+  const uint32_t table_id = PickHotTable(*w, /*require_locking_reads=*/false,
+                                         rng);
+  TemplateDef proto;
+  proto.cluster_idx = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(w->clusters.size()) - 1));
+  proto.weight = 0.0;
+  proto.table_id = table_id;
+  proto.cpu_ms_mean = rng->Uniform(20.0, 60.0);
+  proto.cpu_sigma = 0.2;
+  proto.io_ms_mean = rng->Uniform(500.0, 900.0);
+  proto.examined_rows_mean = rng->Uniform(5e5, 2e6);
+  const int variant = 900 + static_cast<int>(rng->UniformInt(0, 49));
+  TemplateDef def = MakeTemplate(
+      MakeSelectSql(w->tables[table_id].name, variant + 4000), proto);
+  RateOverride ov;
+  ov.sql_id = def.sql_id;
+  ov.start_sec = as;
+  ov.end_sec = ae;
+  ov.add_qps = rng->Uniform(3.0, 6.0);
+  inj.overrides.push_back(ov);
+  inj.root_cause_ids.push_back(def.sql_id);
+  w->templates.push_back(std::move(def));
+  return inj;
+}
+
+Injection MakeMigrationStorm(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kMigrationStorm;
+  // An online schema migration is two root causes working in concert:
+  // the ALTER chunks that take the exclusive MDL, and the backfill
+  // UPDATE batches holding row locks on the ranges being rewritten.
+  const uint32_t table_id = PickHotTable(*w, /*require_locking_reads=*/false,
+                                         rng);
+  const int variant = 900 + static_cast<int>(rng->UniformInt(0, 49));
+
+  TemplateDef alter_proto;
+  alter_proto.cluster_idx = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(w->clusters.size()) - 1));
+  alter_proto.weight = 0.0;
+  alter_proto.table_id = table_id;
+  alter_proto.cpu_ms_mean = rng->Uniform(2000.0, 6000.0);
+  alter_proto.cpu_sigma = 0.15;
+  alter_proto.examined_rows_mean = 1.0;
+  alter_proto.mdl_exclusive = true;
+  TemplateDef alter_def = MakeTemplate(
+      MakeAlterSql(w->tables[table_id].name, variant), alter_proto);
+  RateOverride alter_ov;
+  alter_ov.sql_id = alter_def.sql_id;
+  alter_ov.start_sec = as;
+  alter_ov.end_sec = ae;
+  alter_ov.add_qps = 1.0 / rng->Uniform(20.0, 45.0);
+  inj.overrides.push_back(alter_ov);
+  inj.root_cause_ids.push_back(alter_def.sql_id);
+  w->templates.push_back(std::move(alter_def));
+
+  TemplateDef backfill_proto;
+  backfill_proto.cluster_idx = alter_proto.cluster_idx;
+  backfill_proto.weight = 0.0;
+  backfill_proto.table_id = table_id;
+  backfill_proto.cpu_ms_mean = rng->Uniform(200.0, 450.0);
+  backfill_proto.cpu_sigma = 0.3;
+  backfill_proto.examined_rows_mean = rng->Uniform(2000.0, 15000.0);
+  backfill_proto.row_groups_touched =
+      static_cast<int>(rng->UniformInt(2, 4));
+  backfill_proto.row_lock_mode = dbsim::LockMode::kExclusive;
+  backfill_proto.hot_group_limit = 5;
+  TemplateDef backfill_def = MakeTemplate(
+      MakePointUpdateSql(w->tables[table_id].name, variant + 5000),
+      backfill_proto);
+  RateOverride backfill_ov;
+  backfill_ov.sql_id = backfill_def.sql_id;
+  backfill_ov.start_sec = as;
+  backfill_ov.end_sec = ae;
+  backfill_ov.add_qps = rng->Uniform(1.0, 3.0);
+  inj.overrides.push_back(backfill_ov);
+  inj.root_cause_ids.push_back(backfill_def.sql_id);
+  w->templates.push_back(std::move(backfill_def));
+  return inj;
+}
+
+Injection MakeCompound(Workload* w, int64_t as, int64_t ae, Rng* rng) {
+  Injection inj;
+  inj.type = AnomalyType::kCompound;
+  // Two independent mechanisms overlap in time (the second lands a third
+  // of the way in): the diagnosis must surface both roots, and a
+  // detector sees a compound session signature rather than one clean
+  // step. Sub-builders draw from the same rng stream, so the compound
+  // case is as deterministic as its parts.
+  Injection first;
+  Injection second;
+  const int64_t mid = as + (ae - as) / 3;
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      first = MakeBusinessSpike(w, as, ae, rng);
+      second = MakePoorSql(w, mid, ae, rng);
+      break;
+    case 1:
+      first = MakePoorSql(w, as, ae, rng);
+      second = MakeRowLock(w, mid, ae, rng);
+      break;
+    default:
+      first = MakeBusinessSpike(w, as, ae, rng);
+      second = MakeMdlLock(w, mid, ae, rng);
+      break;
+  }
+  for (const Injection* part : {&first, &second}) {
+    inj.overrides.insert(inj.overrides.end(), part->overrides.begin(),
+                         part->overrides.end());
+    inj.root_cause_ids.insert(inj.root_cause_ids.end(),
+                              part->root_cause_ids.begin(),
+                              part->root_cause_ids.end());
+  }
+  return inj;
+}
+
 }  // namespace
 
 Injection MakeInjection(AnomalyType type, Workload* workload, int64_t as_sec,
@@ -334,6 +656,24 @@ Injection MakeInjection(AnomalyType type, Workload* workload, int64_t as_sec,
       break;
     case AnomalyType::kRowLock:
       inj = MakeRowLock(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kFlashSaleFlood:
+      inj = MakeFlashSaleFlood(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kSlowDrift:
+      inj = MakeSlowDrift(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kCacheStampede:
+      inj = MakeCacheStampede(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kReplicationLag:
+      inj = MakeReplicationLag(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kMigrationStorm:
+      inj = MakeMigrationStorm(workload, as_sec, ae_sec, rng);
+      break;
+    case AnomalyType::kCompound:
+      inj = MakeCompound(workload, as_sec, ae_sec, rng);
       break;
   }
   inj.anomaly_start_sec = as_sec;

@@ -11,16 +11,35 @@
 
 namespace pinsql::workload {
 
-/// The paper's three R-SQL categories (Sec. II), with the lock category
-/// split into its two sub-cases.
+/// The paper's three R-SQL categories (Sec. II, lock category split into
+/// its two sub-cases) plus the SynADAC v2 adversarial extensions: the
+/// incident shapes production fleets see that the paper's taxonomy —
+/// and a pure robust-z + change-point screen — does not cover.
 enum class AnomalyType {
   kBusinessSpike,  // category 1: business scenario change / QPS surge
   kPoorSql,        // category 2: poor SQL statement, resource bottleneck
   kMdlLock,        // category 3-i: DDL metadata-lock pile-up
   kRowLock,        // category 3-ii: row-lock convoy
+  // --- SynADAC v2 extensions ---
+  kFlashSaleFlood,   // several load-bearing endpoints flood at once
+  kSlowDrift,        // plan-flip regression creeping in over hours
+  kCacheStampede,    // cache expiry: point-read flood + recompute query
+  kReplicationLag,   // backup / replication scan interference
+  kMigrationStorm,   // schema migration: DDL chunks + backfill updates
+  kCompound,         // two independent root causes overlapping in time
 };
 
 const char* AnomalyTypeName(AnomalyType type);
+
+/// Every anomaly category, in enum order — the canonical iteration set
+/// for taxonomy-wide evaluation and tests.
+const std::vector<AnomalyType>& AllAnomalyTypes();
+
+/// True for the paper's original three categories (four enum values);
+/// false for the SynADAC v2 extensions. The benches report legacy and
+/// extended categories separately so the false-trigger baseline on the
+/// paper's cases stays comparable across detector stacks.
+bool IsLegacyAnomalyType(AnomalyType type);
 
 /// Knobs for the synthetic instance workload.
 struct ScenarioParams {

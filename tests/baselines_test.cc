@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "baselines/causal_corr.h"
 #include "baselines/top_sql.h"
 #include "eval/metrics.h"
 
@@ -120,6 +123,80 @@ TEST(RankMetricsTest, EmptyAccumulator) {
   const eval::RankMetrics m = eval::RankAccumulator().Summary();
   EXPECT_EQ(m.cases, 0u);
   EXPECT_DOUBLE_EQ(m.mrr, 0.0);
+}
+
+// --- Corr-Lag (PerfCE-spirit causality baseline) ---------------------------
+
+/// Three steady templates plus template 9, whose response time explodes at
+/// t=300; the symptom follows 10 seconds later. Only template 9 *leads*
+/// the symptom — the steady templates have nothing to add.
+TemplateMetricsStore CausalMetrics() {
+  TemplateMetricsStore metrics(0, 600);
+  for (int64_t t = 0; t < 600; ++t) {
+    for (int k = 0; k < 20; ++k) {
+      metrics.Accumulate(Rec(t * 1000 + k, 1, 2.0, 10));
+    }
+    metrics.Accumulate(Rec(t * 1000 + 400, 2, 15.0, 200));
+    metrics.Accumulate(Rec(t * 1000 + 500, 3, 5.0, 50));
+    const bool hot = t >= 300;
+    metrics.Accumulate(Rec(t * 1000 + 700, 9, hot ? 800.0 : 2.0, 100));
+  }
+  return metrics;
+}
+
+TimeSeries CausalSymptom() {
+  std::vector<double> values;
+  values.reserve(600);
+  for (int64_t t = 0; t < 600; ++t) {
+    const double base = 4.0 + 0.3 * static_cast<double>(t % 7);
+    values.push_back(t >= 310 ? base + 60.0 : base);
+  }
+  return TimeSeries(0, 1, values);
+}
+
+TEST(CorrLagTest, TemplateLeadingTheSymptomRanksFirst) {
+  const auto scores =
+      baselines::ScoreCausalCorr(CausalMetrics(), CausalSymptom());
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_EQ(scores[0].sql_id, 9u);
+  EXPECT_GT(scores[0].score, scores[1].score);
+  EXPECT_GT(scores[0].best_corr, 0.8);
+  EXPECT_GE(scores[0].best_lag, 0);
+  for (const auto& s : scores) {
+    EXPECT_GE(s.granger_gain, 0.0);
+    EXPECT_LE(s.granger_gain, 1.0);
+  }
+  const auto ranking =
+      baselines::RankCausalCorr(CausalMetrics(), CausalSymptom());
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking[0], 9u);
+}
+
+TEST(CorrLagTest, DeterministicAcrossRunsAndTiesBreakBySqlId) {
+  const auto a = baselines::ScoreCausalCorr(CausalMetrics(), CausalSymptom());
+  const auto b = baselines::ScoreCausalCorr(CausalMetrics(), CausalSymptom());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sql_id, b[i].sql_id);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    EXPECT_DOUBLE_EQ(a[i].granger_gain, b[i].granger_gain);
+    EXPECT_DOUBLE_EQ(a[i].best_corr, b[i].best_corr);
+    EXPECT_EQ(a[i].best_lag, b[i].best_lag);
+  }
+  // A symptom with no structure gives every template the same nothing;
+  // the ordering contract is then ascending sql_id.
+  TemplateMetricsStore flat(0, 600);
+  for (int64_t t = 0; t < 600; ++t) {
+    flat.Accumulate(Rec(t * 1000 + 1, 4, 2.0, 10));
+    flat.Accumulate(Rec(t * 1000 + 2, 6, 2.0, 10));
+    flat.Accumulate(Rec(t * 1000 + 3, 5, 2.0, 10));
+  }
+  const TimeSeries constant(0, 1, std::vector<double>(600, 5.0));
+  const auto tied = baselines::RankCausalCorr(flat, constant);
+  ASSERT_EQ(tied.size(), 3u);
+  EXPECT_EQ(tied[0], 4u);
+  EXPECT_EQ(tied[1], 5u);
+  EXPECT_EQ(tied[2], 6u);
 }
 
 }  // namespace

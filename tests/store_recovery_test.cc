@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "detect/forecast.h"
 #include "faults/storage_faults.h"
 #include "online/replay.h"
 #include "store/checkpoint.h"
@@ -932,6 +933,133 @@ TEST(StorageFaultTest, ReadPathBitFlipsAreAlwaysDetected) {
         << "seed " << seed;
     (*resumed)->Stop();
   }
+}
+
+// --- Forecasting-detector state through the durable path -------------------
+
+/// A creep only the EWMA member's CUSUM accumulates: flat baseline, then
+/// +0.02 sessions/sec. Records trickle in so a confirmed trigger has
+/// something to diagnose.
+online::ReplayLog DriftIncident() {
+  online::ReplayLog log;
+  const int64_t t0 = 100'000;
+  for (int64_t i = 0; i < 1900; ++i) {
+    const int64_t sec = t0 + i;
+    uint64_t state = static_cast<uint64_t>(sec) * 2654435761ULL + 17;
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double noise =
+        static_cast<double>(state % 2000) / 1000.0 - 1.0;
+    const double ramp = i < 700 ? 0.0 : 0.02 * static_cast<double>(i - 700);
+    log.samples.push_back(Sample(sec, 8.0 + ramp + 0.4 * noise));
+    const int count = 5 + (i < 700 ? 0 : static_cast<int>((i - 700) / 120));
+    for (int j = 0; j < count; ++j) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      QueryLogRecord r;
+      r.sql_id = j < 5 ? 1 + (state >> 33) % 4 : 9;
+      r.arrival_ms = sec * 1000 + static_cast<int64_t>((state >> 13) % 1000);
+      r.response_ms =
+          j < 5 ? 2.0 : 90.0 + static_cast<double>(i - 700) / 8.0;
+      r.examined_rows = j < 5 ? 20 : 200'000;
+      log.records.push_back(r);
+    }
+  }
+  return log;
+}
+
+TEST(CheckpointTest, ForecasterSnapshotFieldsRoundTripThroughCodec) {
+  // Build live mid-excursion forecaster state (partial CUSUM block, anchor
+  // set, evidence accumulated) and require every field to survive the
+  // checkpoint codec — a dropped field would silently fork the post-
+  // recovery stream.
+  online::OnlineDetectorOptions detector_options;
+  detector_options.forecasters = detect::DefaultEnsembleForecasters();
+  online::OnlineAnomalyDetector detector(detector_options);
+  const online::ReplayLog log = DriftIncident();
+  // Stop mid-ramp: CUSUM evidence exists but no trigger has fired yet.
+  for (size_t i = 0; i < 1300; ++i) {
+    detector.Observe(log.samples[i].sec, log.samples[i].active_session);
+  }
+
+  CheckpointData data = SmallCheckpoint();
+  data.service.detector = detector.ExportState();
+  auto decoded = DecodeCheckpointBody(EncodeCheckpointBody(data));
+  ASSERT_TRUE(decoded.ok());
+
+  const auto& want = data.service.detector.ensemble;
+  const auto& got = decoded->service.detector.ensemble;
+  ASSERT_EQ(want.forecasters.size(), got.forecasters.size());
+  ASSERT_FALSE(want.forecasters.empty());
+  bool any_evidence = false;
+  for (size_t i = 0; i < want.forecasters.size(); ++i) {
+    const detect::ForecastSnapshot& a = want.forecasters[i];
+    const detect::ForecastSnapshot& b = got.forecasters[i];
+    EXPECT_EQ(a.method, b.method);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.cusum, b.cusum);
+    EXPECT_EQ(a.cusum_start, b.cusum_start);
+    EXPECT_EQ(a.cusum_anchor, b.cusum_anchor);
+    EXPECT_EQ(a.cusum_anchor_set, b.cusum_anchor_set);
+    EXPECT_EQ(a.block_sum, b.block_sum);
+    EXPECT_EQ(a.block_n, b.block_n);
+    EXPECT_EQ(a.in_run, b.in_run);
+    EXPECT_EQ(a.drift_run, b.drift_run);
+    EXPECT_EQ(a.model, b.model);
+    if (a.cusum > 0.0 || a.block_n > 0) any_evidence = true;
+  }
+  EXPECT_TRUE(any_evidence) << "mid-ramp state should carry CUSUM evidence";
+
+  // The restored state continues the stream bit-identically.
+  online::OnlineAnomalyDetector resumed(detector_options);
+  resumed.ImportState(decoded->service.detector);
+  for (size_t i = 1300; i < log.samples.size(); ++i) {
+    const auto a =
+        detector.Observe(log.samples[i].sec, log.samples[i].active_session);
+    const auto b =
+        resumed.Observe(log.samples[i].sec, log.samples[i].active_session);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->onset_sec, b->onset_sec);
+      EXPECT_EQ(a->source, b->source);
+    }
+  }
+  EXPECT_GE(detector.stats().triggers, 1u) << "the drift must confirm";
+}
+
+TEST(DurableServiceTest, RestartMidDriftResumesForecastersByteIdentically) {
+  // Kill the service mid-ramp — after CUSUM evidence accumulated, before
+  // the drift confirms — and require the recovered run to finish the
+  // incident exactly like an uninterrupted replay, attributed to the
+  // forecaster member. This is the durable-recovery contract for the new
+  // detector state (block CUSUM progress included).
+  const online::ReplayLog log = DriftIncident();
+  // The drift confirms at ~sample 960 with this realization; stop at 900 —
+  // CUSUM evidence accumulated, trigger still ahead.
+  const int64_t split = log.samples[900].sec + 1;
+  DurableServiceOptions options = DurableOpts();
+  options.service.detector.forecasters = detect::DefaultEnsembleForecasters();
+  const std::string dir = MakeTempDir();
+  {
+    auto service = DurableOnlineService::Open(options, dir);
+    ASSERT_TRUE(service.ok());
+    RegisterCatalog(service->get());
+    Feed(service->get(), log, 0, split);
+    EXPECT_TRUE((*service)->outcomes().empty()) << "must stop pre-trigger";
+    ASSERT_TRUE((*service)->Stop().ok());
+  }
+  auto resumed = DurableOnlineService::Open(options, dir);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE((*resumed)->recovery().checkpoint_loaded);
+  Feed(resumed->get(), log, split, 1'000'000);
+  ASSERT_TRUE((*resumed)->Stop().ok());
+  ASSERT_FALSE((*resumed)->outcomes().empty()) << "drift must trigger";
+  EXPECT_EQ((*resumed)->outcomes()[0].trigger.source, "ewma");
+
+  online::ReplayOptions reference;
+  reference.service.detector.forecasters =
+      detect::DefaultEnsembleForecasters();
+  const std::string want =
+      RunReplay(log, SyntheticCatalog(), reference).Fingerprint();
+  EXPECT_EQ((*resumed)->Fingerprint(), want);
 }
 
 }  // namespace

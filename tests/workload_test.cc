@@ -251,6 +251,29 @@ TEST(ScenarioTest, WorkloadContainsLockingReadsAndUpdates) {
 class InjectionTest
     : public ::testing::TestWithParam<AnomalyType> {};
 
+/// How many templates each category appends to the workload. kCompound
+/// combines two sub-builders chosen by the rng, so it adds 1 or 2;
+/// {-1, -2} encodes that range.
+std::pair<int, int> ExpectedTemplatesAdded(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kBusinessSpike:   // spikes reuse a template
+    case AnomalyType::kFlashSaleFlood:  // floods existing endpoints
+      return {0, 0};
+    case AnomalyType::kPoorSql:
+    case AnomalyType::kMdlLock:
+    case AnomalyType::kRowLock:
+    case AnomalyType::kSlowDrift:
+    case AnomalyType::kCacheStampede:  // flood reuses; recompute is new
+    case AnomalyType::kReplicationLag:
+      return {1, 1};
+    case AnomalyType::kMigrationStorm:  // ALTER chunks + backfill UPDATE
+      return {2, 2};
+    case AnomalyType::kCompound:
+      return {1, 2};
+  }
+  return {0, 0};
+}
+
 TEST_P(InjectionTest, ProducesGroundTruthAndOverrides) {
   Rng rng(79);
   Workload w = MakeStandardWorkload(ScenarioParams{}, &rng);
@@ -270,11 +293,10 @@ TEST_P(InjectionTest, ProducesGroundTruthAndOverrides) {
     EXPECT_GE(ov.start_sec, 600);
     EXPECT_LE(ov.end_sec, 840);
   }
-  if (GetParam() == AnomalyType::kBusinessSpike) {
-    EXPECT_EQ(w.templates.size(), before);  // spikes reuse a template
-  } else {
-    EXPECT_EQ(w.templates.size(), before + 1);  // others inject one
-  }
+  const auto [min_added, max_added] = ExpectedTemplatesAdded(GetParam());
+  const int added = static_cast<int>(w.templates.size() - before);
+  EXPECT_GE(added, min_added);
+  EXPECT_LE(added, max_added);
 }
 
 TEST_P(InjectionTest, InjectedTemplateShapeMatchesType) {
@@ -299,14 +321,59 @@ TEST_P(InjectionTest, InjectedTemplateShapeMatchesType) {
       EXPECT_EQ(tpl->row_lock_mode, dbsim::LockMode::kExclusive);
       EXPECT_GT(tpl->row_groups_touched, 0);
       break;
+    case AnomalyType::kFlashSaleFlood: {
+      // Several load-bearing endpoints flood at once: every override is a
+      // multiplier on an existing template, every flooded id is a root.
+      EXPECT_GE(inj.root_cause_ids.size(), 2u);
+      ASSERT_EQ(inj.overrides.size(), inj.root_cause_ids.size());
+      for (const auto& ov : inj.overrides) EXPECT_GT(ov.multiplier, 1.0);
+      break;
+    }
+    case AnomalyType::kSlowDrift: {
+      EXPECT_GE(tpl->cpu_ms_mean, 80.0);
+      // A staircase of additive segments, each step's rate above the last:
+      // the creep that defeats a per-sample z screen.
+      ASSERT_GE(inj.overrides.size(), 16u);
+      for (size_t i = 1; i < inj.overrides.size(); ++i) {
+        EXPECT_EQ(inj.overrides[i].start_sec, inj.overrides[i - 1].end_sec);
+        EXPECT_GT(inj.overrides[i].add_qps, inj.overrides[i - 1].add_qps);
+      }
+      break;
+    }
+    case AnomalyType::kCacheStampede: {
+      // Two roots: the flooded point read (existing) and the new
+      // recompute query.
+      ASSERT_EQ(inj.root_cause_ids.size(), 2u);
+      EXPECT_GT(inj.overrides[0].multiplier, 1.0);
+      const TemplateDef* recompute = w.FindTemplate(inj.root_cause_ids[1]);
+      ASSERT_NE(recompute, nullptr);
+      EXPECT_GE(recompute->cpu_ms_mean, 60.0);
+      break;
+    }
+    case AnomalyType::kReplicationLag:
+      EXPECT_GE(tpl->io_ms_mean, 300.0);  // IO-bound scan, little CPU
+      EXPECT_GE(tpl->examined_rows_mean, 5e5);
+      break;
+    case AnomalyType::kMigrationStorm: {
+      // The DDL chunks and the backfill UPDATE are both roots, both on
+      // the same table.
+      ASSERT_EQ(inj.root_cause_ids.size(), 2u);
+      EXPECT_TRUE(tpl->mdl_exclusive);
+      const TemplateDef* backfill = w.FindTemplate(inj.root_cause_ids[1]);
+      ASSERT_NE(backfill, nullptr);
+      EXPECT_EQ(backfill->row_lock_mode, dbsim::LockMode::kExclusive);
+      EXPECT_GT(backfill->row_groups_touched, 0);
+      EXPECT_EQ(backfill->table_id, tpl->table_id);
+      break;
+    }
+    case AnomalyType::kCompound:
+      EXPECT_GE(inj.root_cause_ids.size(), 2u);
+      break;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTypes, InjectionTest,
-                         ::testing::Values(AnomalyType::kBusinessSpike,
-                                           AnomalyType::kPoorSql,
-                                           AnomalyType::kMdlLock,
-                                           AnomalyType::kRowLock));
+                         ::testing::ValuesIn(AllAnomalyTypes()));
 
 TEST(ScenarioTest, AnomalyTypeNames) {
   EXPECT_STREQ(AnomalyTypeName(AnomalyType::kBusinessSpike),
@@ -314,6 +381,33 @@ TEST(ScenarioTest, AnomalyTypeNames) {
   EXPECT_STREQ(AnomalyTypeName(AnomalyType::kPoorSql), "poor_sql");
   EXPECT_STREQ(AnomalyTypeName(AnomalyType::kMdlLock), "mdl_lock");
   EXPECT_STREQ(AnomalyTypeName(AnomalyType::kRowLock), "row_lock");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kFlashSaleFlood),
+               "flash_sale_flood");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kSlowDrift), "slow_drift");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kCacheStampede),
+               "cache_stampede");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kReplicationLag),
+               "replication_lag");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kMigrationStorm),
+               "migration_storm");
+  EXPECT_STREQ(AnomalyTypeName(AnomalyType::kCompound), "compound");
+  // Every enum value renders a distinct, non-"unknown" name.
+  std::set<std::string> names;
+  for (AnomalyType type : AllAnomalyTypes()) {
+    names.insert(AnomalyTypeName(type));
+  }
+  EXPECT_EQ(names.size(), AllAnomalyTypes().size());
+  EXPECT_EQ(names.count("unknown"), 0u);
+}
+
+TEST(ScenarioTest, LegacyTypePartition) {
+  size_t legacy = 0;
+  for (AnomalyType type : AllAnomalyTypes()) {
+    if (IsLegacyAnomalyType(type)) ++legacy;
+  }
+  EXPECT_EQ(legacy, 4u);
+  EXPECT_TRUE(IsLegacyAnomalyType(AnomalyType::kRowLock));
+  EXPECT_FALSE(IsLegacyAnomalyType(AnomalyType::kSlowDrift));
 }
 
 }  // namespace
